@@ -1,0 +1,32 @@
+//! Feature-extraction micro-benchmarks: block DCT and run-length histograms
+//! over a realistic clip raster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_features::{run_length_histogram, FeatureExtractor, DEFAULT_RUN_BINS};
+use hotspot_geom::{Raster, Rect};
+
+fn clip_raster() -> Raster {
+    let mut raster = Raster::zeros(Rect::new(0, 0, 1200, 1200).unwrap(), 10).unwrap();
+    for i in 0..8 {
+        let y = 40 + i * 150;
+        raster.fill_rect(&Rect::new(0, y, 1200, y + 80).unwrap(), 1.0);
+    }
+    raster
+}
+
+fn bench_features(c: &mut Criterion) {
+    let raster = clip_raster();
+    let extractor = FeatureExtractor::standard();
+    c.bench_function("dct_extract_standard", |b| {
+        b.iter(|| extractor.extract(std::hint::black_box(&raster)));
+    });
+    c.bench_function("density_features", |b| {
+        b.iter(|| extractor.density_features(std::hint::black_box(&raster)));
+    });
+    c.bench_function("run_length_histogram", |b| {
+        b.iter(|| run_length_histogram(std::hint::black_box(&raster), 0.5, &DEFAULT_RUN_BINS));
+    });
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark behind Fig. 3(b): the paper's min-distance
+//! diversity metric against the QP formulation of [14], at several query-set
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotspot_active::diversity_scores;
+use hotspot_baselines::QpSelector;
+use hotspot_nn::{InitRng, Matrix};
+use hotspot_qp::QpSolver;
+
+fn embeddings(n: usize, dim: usize) -> Matrix {
+    let mut rng = InitRng::seeded(7, 1.0);
+    let mut data = vec![0.0f32; n * dim];
+    rng.fill(&mut data);
+    Matrix::from_flat(n, dim, data)
+}
+
+fn bench_diversity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diversity");
+    for &n in &[64usize, 128, 256] {
+        let e = embeddings(n, 32);
+        let uncertainty = vec![0.5f32; n];
+        group.bench_with_input(BenchmarkId::new("ours_min_distance", n), &e, |b, e| {
+            b.iter(|| diversity_scores(std::hint::black_box(e)));
+        });
+        group.bench_with_input(BenchmarkId::new("qp_relaxation", n), &e, |b, e| {
+            let selector = QpSelector::new();
+            let solver = QpSolver::default();
+            b.iter(|| {
+                let problem = selector.build_problem(std::hint::black_box(e), &uncertainty, 25);
+                solver.solve(&problem)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diversity);
+criterion_main!(benches);

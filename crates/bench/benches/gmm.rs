@@ -1,0 +1,43 @@
+//! Gaussian-mixture micro-benchmarks: the EM fit that seeds Algorithm 2's
+//! query pool, and per-sample scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotspot_gmm::{GaussianMixture, GmmConfig};
+use hotspot_nn::InitRng;
+
+fn data(n: usize, dim: usize) -> Vec<f32> {
+    let mut rng = InitRng::seeded(2, 1.0);
+    let mut out = vec![0.0f32; n * dim];
+    rng.fill(&mut out);
+    // Shift half the points to make two real clusters.
+    for row in out.chunks_exact_mut(dim).step_by(2) {
+        for v in row {
+            *v += 6.0;
+        }
+    }
+    out
+}
+
+fn bench_gmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gmm");
+    for &n in &[500usize, 2000] {
+        let d = data(n, 16);
+        group.bench_with_input(BenchmarkId::new("fit_4_components", n), &d, |b, d| {
+            let config = GmmConfig {
+                components: 4,
+                max_iters: 20,
+                ..GmmConfig::default()
+            };
+            b.iter(|| GaussianMixture::fit(std::hint::black_box(d), 16, &config).expect("fit"));
+        });
+    }
+    let d = data(2000, 16);
+    let gmm = GaussianMixture::fit(&d, 16, &GmmConfig::default()).expect("fit");
+    group.bench_function("score_2000_samples", |b| {
+        b.iter(|| gmm.score_samples(std::hint::black_box(&d)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gmm);
+criterion_main!(benches);

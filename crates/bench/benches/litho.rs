@@ -1,0 +1,33 @@
+//! Lithography-simulator micro-benchmarks: aerial image convolution and the
+//! full clip analysis (the per-clip cost that makes litho labelling the
+//! expensive oracle of the problem).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_geom::{Raster, Rect};
+use hotspot_litho::{LithoConfig, LithoSimulator};
+
+fn clip_raster(config: &LithoConfig) -> Raster {
+    let mut raster = Raster::zeros(Rect::new(0, 0, 1200, 1200).unwrap(), config.pitch).unwrap();
+    for i in 0..7 {
+        let y = 60 + i * 160;
+        raster.fill_rect(&Rect::new(0, y, 1200, y + 80).unwrap(), 1.0);
+    }
+    raster
+}
+
+fn bench_litho(c: &mut Criterion) {
+    let config = LithoConfig::duv_28nm();
+    let sim = LithoSimulator::new(config.clone());
+    let raster = clip_raster(&config);
+    let core = Rect::new(300, 300, 900, 900).unwrap();
+
+    c.bench_function("aerial_image", |b| {
+        b.iter(|| sim.aerial_image(std::hint::black_box(&raster)));
+    });
+    c.bench_function("full_clip_analysis", |b| {
+        b.iter(|| sim.analyze(std::hint::black_box(&raster), core));
+    });
+}
+
+criterion_group!(benches, bench_litho);
+criterion_main!(benches);

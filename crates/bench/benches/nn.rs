@@ -1,0 +1,47 @@
+//! Classifier micro-benchmarks: forward inference (the per-iteration query
+//! cost) and a full training step of the hotspot MLP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_nn::{Adam, Dense, InitRng, Matrix, Relu, Sequential, SoftmaxCrossEntropy};
+
+fn model(input_dim: usize) -> Sequential {
+    let mut rng = InitRng::seeded(3, 1.0);
+    let mut net = Sequential::new();
+    net.push(Dense::new(input_dim, 64, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(64, 32, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(32, 2, &mut rng));
+    net
+}
+
+fn batch(rows: usize, dim: usize) -> Matrix {
+    let mut rng = InitRng::seeded(5, 0.5);
+    let mut data = vec![0.0f32; rows * dim];
+    rng.fill(&mut data);
+    Matrix::from_flat(rows, dim, data)
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let dim = 148;
+    let net = model(dim);
+    let pool = batch(1024, dim);
+    c.bench_function("infer_1024_clips", |b| {
+        b.iter(|| net.infer(std::hint::black_box(&pool)));
+    });
+    c.bench_function("infer_with_embedding_1024", |b| {
+        b.iter(|| net.infer_with_embedding(std::hint::black_box(&pool)));
+    });
+
+    let x = batch(64, dim);
+    let labels: Vec<usize> = (0..64).map(|i| i % 2).collect();
+    let loss = SoftmaxCrossEntropy::balanced(2);
+    c.bench_function("train_batch_64", |b| {
+        let mut train_net = model(dim);
+        let mut opt = Adam::new(1e-3);
+        b.iter(|| train_net.train_batch(&x, &labels, &loss, &mut opt).expect("train step"));
+    });
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

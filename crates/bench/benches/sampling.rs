@@ -1,0 +1,63 @@
+//! End-to-end batch-selection micro-benchmark: Algorithm 1 (entropy
+//! sampling) against the TS and QP selectors on the same query set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotspot_active::{
+    AblationConfig, BatchSelector, EntropySelector, SelectionContext, UncertaintySelector,
+    WeightMode,
+};
+use hotspot_baselines::QpSelector;
+use hotspot_nn::{InitRng, Matrix};
+
+fn query(n: usize) -> (Matrix, Vec<f32>, Matrix) {
+    let mut rng = InitRng::seeded(11, 1.0);
+    let mut logits = vec![0.0f32; n * 2];
+    rng.fill(&mut logits);
+    let logits = Matrix::from_flat(n, 2, logits);
+    let probabilities: Vec<f32> = logits
+        .as_slice()
+        .chunks_exact(2)
+        .flat_map(|row| {
+            let m = row[0].max(row[1]);
+            let e0 = (row[0] - m).exp();
+            let e1 = (row[1] - m).exp();
+            [e0 / (e0 + e1), e1 / (e0 + e1)]
+        })
+        .collect();
+    let mut embeddings = vec![0.0f32; n * 32];
+    rng.fill(&mut embeddings);
+    (logits, probabilities, Matrix::from_flat(n, 32, embeddings))
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_selection");
+    for &n in &[128usize, 256] {
+        let (logits, probabilities, embeddings) = query(n);
+        let make_ctx = || SelectionContext {
+            logits: &logits,
+            probabilities: &probabilities,
+            embeddings: &embeddings,
+            k: 25,
+            boundary_h: 0.4,
+            weight_mode: WeightMode::Entropy,
+            ablation: AblationConfig::default(),
+            rng_seed: 0,
+        };
+        group.bench_with_input(BenchmarkId::new("entropy", n), &n, |b, _| {
+            let mut selector = EntropySelector::new();
+            b.iter(|| selector.select(&make_ctx()));
+        });
+        group.bench_with_input(BenchmarkId::new("ts", n), &n, |b, _| {
+            let mut selector = UncertaintySelector::new();
+            b.iter(|| selector.select(&make_ctx()));
+        });
+        group.bench_with_input(BenchmarkId::new("qp", n), &n, |b, _| {
+            let mut selector = QpSelector::new();
+            b.iter(|| selector.select(&make_ctx()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Fig. 5 — hotspot distribution and sampled clips on the layout map.
+//!
+//! Lays the ICCAD16-2-like benchmark's clips out on their layout grid and
+//! renders, for each method (PM-exact, TS, QP, Ours), an ASCII map marking
+//! real hotspot positions (`x`) and litho-simulated clips (`#`; `X` where a
+//! hotspot was itself simulated). The shaded area of the paper's figure is
+//! the litho overhead — visibly near-total for PM-exact and sparse for the
+//! active samplers.
+
+use hotspot_active::SamplingConfig;
+use hotspot_bench::{generate, write_json, ActiveMethod, ExperimentArgs};
+use hotspot_baselines::PatternMatcher;
+use hotspot_layout::GeneratedBenchmark;
+use hotspot_layout::BenchmarkSpec;
+use hotspot_litho::Label;
+use serde::Serialize;
+use std::collections::HashSet;
+
+#[derive(Debug, Serialize)]
+struct MapResult {
+    method: String,
+    sampled: usize,
+    hotspots: usize,
+    map: Vec<String>,
+}
+
+fn render_map(bench: &GeneratedBenchmark, sampled: &[usize]) -> Vec<String> {
+    let n = bench.len();
+    let grid = (n as f64).sqrt().ceil() as usize;
+    let sampled: HashSet<usize> = sampled.iter().copied().collect();
+    let mut lines = Vec::with_capacity(grid);
+    for row in 0..grid {
+        let mut line = String::with_capacity(grid);
+        for col in 0..grid {
+            let idx = row * grid + col;
+            if idx >= n {
+                line.push(' ');
+                continue;
+            }
+            let hot = bench.labels()[idx] == Label::Hotspot;
+            let sim = sampled.contains(&idx);
+            line.push(match (hot, sim) {
+                (true, true) => 'X',
+                (true, false) => 'x',
+                (false, true) => '#',
+                (false, false) => '.',
+            });
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let spec = BenchmarkSpec::iccad16_2().scaled(args.scale.max(0.25));
+    let bench = generate(&spec, args.seed);
+    let config = SamplingConfig::for_benchmark(bench.len());
+
+    let mut results = Vec::new();
+
+    // PM-exact samples every cluster representative.
+    let pm = PatternMatcher::exact().run(&bench);
+    results.push(("PM-exact".to_owned(), pm.sampled_indices));
+
+    // The three learning methods sample their labelled sets.
+    for method in [ActiveMethod::Ts, ActiveMethod::Qp, ActiveMethod::Ours] {
+        let framework = hotspot_active::SamplingFramework::new(config.clone());
+        let mut selector = method.selector();
+        let outcome = framework
+            .run(&bench, selector.as_mut(), args.seed)
+            .expect("framework run succeeds");
+        results.push((method.label().to_owned(), outcome.sampled_indices));
+    }
+
+    println!(
+        "Fig. 5: hotspot distribution and sampled clips, {} ({} clips, {} hotspots)",
+        spec.name,
+        bench.len(),
+        bench.hotspot_count()
+    );
+    println!("legend: x hotspot, # litho-simulated, X both, . untouched");
+    let mut json = Vec::new();
+    for (method, sampled) in results {
+        let map = render_map(&bench, &sampled);
+        println!();
+        println!("--- {method} ({} litho-clips) ---", sampled.len());
+        for line in &map {
+            println!("{line}");
+        }
+        json.push(MapResult {
+            method,
+            sampled: sampled.len(),
+            hotspots: bench.hotspot_count(),
+            map,
+        });
+    }
+    write_json(&args.out, "fig5", &json);
+}

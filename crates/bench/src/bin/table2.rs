@@ -1,0 +1,62 @@
+//! Table II — full-chip pattern sampling and hotspot detection.
+//!
+//! Runs all seven methods of the paper's main comparison — PM-exact, PM-a95,
+//! PM-a90, PM-e2, TS, QP \[14\], and Ours — over the four evaluated
+//! benchmarks, printing Acc(%) / Litho# per cell plus the Average and Ratio
+//! summary rows (ratios normalised by "Ours", as in the paper).
+
+use hotspot_active::SamplingConfig;
+use hotspot_bench::{
+    evaluated_specs, generate, ratio_row, render_table, run_active_method_avg,
+    run_pattern_method, write_json, ActiveMethod, ExperimentArgs, MethodResult, TableRow,
+};
+use hotspot_baselines::PatternMatcher;
+
+const METHODS: [&str; 7] = ["PM-exact", "PM-a95", "PM-a90", "PM-e2", "TS", "QP", "Ours"];
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let specs = evaluated_specs(args.scale);
+
+    let mut rows = Vec::new();
+    let mut results: Vec<MethodResult> = Vec::new();
+    for spec in &specs {
+        let bench = generate(spec, args.seed);
+        let config = SamplingConfig::for_benchmark(bench.len());
+        let cells: Vec<MethodResult> = vec![
+            run_pattern_method(PatternMatcher::exact(), &bench),
+            run_pattern_method(PatternMatcher::fuzzy_95(), &bench),
+            run_pattern_method(PatternMatcher::fuzzy_90(), &bench),
+            run_pattern_method(PatternMatcher::edge_tolerant(), &bench),
+            run_active_method_avg(ActiveMethod::Ts, &bench, &config, args.seed, args.repeats),
+            run_active_method_avg(ActiveMethod::Qp, &bench, &config, args.seed, args.repeats),
+            run_active_method_avg(ActiveMethod::Ours, &bench, &config, args.seed, args.repeats),
+        ];
+        eprintln!("[run] {}:", spec.name);
+        for cell in &cells {
+            eprintln!(
+                "      {:<10} acc {:>6.2}%  litho {:>8}",
+                cell.method,
+                cell.accuracy * 100.0,
+                cell.litho
+            );
+        }
+        rows.push(TableRow {
+            label: spec.name.clone(),
+            cells: cells.iter().map(|c| (c.accuracy, c.litho as f64)).collect(),
+            percent: true,
+        });
+        results.extend(cells);
+    }
+
+    let (avg, ratio) = ratio_row(&rows);
+    rows.push(avg);
+    rows.push(ratio);
+
+    println!(
+        "Table II: full chip pattern sampling and hotspot detection (scale {}, seed {}, {} repeats)",
+        args.scale, args.seed, args.repeats
+    );
+    println!("{}", render_table(&METHODS, &rows));
+    write_json(&args.out, "table2", &results);
+}

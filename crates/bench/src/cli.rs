@@ -1,0 +1,121 @@
+use std::path::PathBuf;
+
+/// Command-line arguments shared by every experiment binary.
+///
+/// Supported flags: `--scale <f64>` (benchmark size factor, default 0.1;
+/// 1.0 reproduces Table I cardinalities), `--seed <u64>` (default 1),
+/// `--repeats <usize>` (experiments that average over runs, default 3), and
+/// `--out <dir>` (JSON output directory, default `target/experiments`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentArgs {
+    /// Benchmark size factor.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Repetitions for averaged experiments.
+    pub repeats: usize,
+    /// Output directory for JSON results.
+    pub out: PathBuf,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            scale: 0.1,
+            seed: 1,
+            repeats: 3,
+            out: PathBuf::from("target/experiments"),
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses `std::env::args`, exiting with a usage message on bad input.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{message}");
+                eprintln!(
+                    "usage: <bin> [--scale <f64>] [--seed <u64>] [--repeats <usize>] [--out <dir>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument iterator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or unparsable
+    /// values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = ExperimentArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = || {
+                iter.next()
+                    .ok_or_else(|| format!("flag {flag} expects a value"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    out.scale = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --scale: {e}"))?;
+                    if !(out.scale > 0.0 && out.scale.is_finite()) {
+                        return Err("--scale must be positive".to_owned());
+                    }
+                }
+                "--seed" => {
+                    out.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                }
+                "--repeats" => {
+                    out.repeats = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --repeats: {e}"))?;
+                    if out.repeats == 0 {
+                        return Err("--repeats must be positive".to_owned());
+                    }
+                }
+                "--out" => {
+                    out.out = PathBuf::from(value()?);
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExperimentArgs, String> {
+        ExperimentArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, ExperimentArgs::default());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let args = parse(&["--scale", "0.5", "--seed", "9", "--repeats", "7", "--out", "/tmp/x"]).unwrap();
+        assert_eq!(args.scale, 0.5);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.repeats, 7);
+        assert_eq!(args.out, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--scale", "-1"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--repeats", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared experiment harness for the table/figure reproduction binaries.
+//!
+//! Every `src/bin/*` target reproduces one table or figure of the paper (see
+//! DESIGN.md for the index). This library holds what they share: a tiny CLI
+//! parser (`--scale`, `--seed`, `--out`), benchmark construction, method
+//! runners, plain-text table rendering, JSON result output, and the Fig. 6(b)
+//! runtime model (10 s penalty per litho-clip plus measured PSHD seconds).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod cli;
+mod methods;
+mod pca;
+mod report;
+mod runtime;
+
+pub use cli::ExperimentArgs;
+pub use methods::{run_active_method, run_active_method_avg, run_pattern_method, ActiveMethod, MethodResult};
+pub use pca::project_2d;
+pub use report::{ratio_row, render_table, write_json, TableRow};
+pub use runtime::{runtime_seconds, LITHO_SECONDS_PER_CLIP};
+
+use hotspot_layout::{BenchmarkSpec, GeneratedBenchmark};
+
+/// The four evaluated benchmarks of Table II (ICCAD16-1 is excluded for
+/// having no hotspots, as in the paper), scaled by `scale`. The small
+/// ICCAD16 suites are never scaled below a quarter so their class counts
+/// stay meaningful.
+pub fn evaluated_specs(scale: f64) -> Vec<BenchmarkSpec> {
+    vec![
+        BenchmarkSpec::iccad12().scaled(scale),
+        BenchmarkSpec::iccad16_2().scaled(scale.max(0.25)),
+        BenchmarkSpec::iccad16_3().scaled(scale.max(0.25)),
+        BenchmarkSpec::iccad16_4().scaled(scale.max(0.25)),
+    ]
+}
+
+/// Generates one benchmark, logging progress to stderr.
+pub fn generate(spec: &BenchmarkSpec, seed: u64) -> GeneratedBenchmark {
+    eprintln!(
+        "[gen] {} ({} hotspots / {} non-hotspots)…",
+        spec.name, spec.hotspots, spec.non_hotspots
+    );
+    let start = std::time::Instant::now();
+    let bench = GeneratedBenchmark::generate(spec, seed).expect("benchmark generation succeeds");
+    eprintln!("[gen] {} done in {:.1?}", spec.name, start.elapsed());
+    bench
+}

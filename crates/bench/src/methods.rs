@@ -1,0 +1,204 @@
+use hotspot_active::{
+    BatchSelector, EntropySelector, RandomSelector, SamplingConfig, SamplingFramework,
+    UncertaintySelector,
+};
+use hotspot_baselines::{PatternMatcher, QpSelector};
+use hotspot_layout::GeneratedBenchmark;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The learning-based sampling methods of Table II (and Fig. 4 / Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActiveMethod {
+    /// The paper's entropy-based sampler.
+    Ours,
+    /// Calibrated uncertainty only ("TS").
+    Ts,
+    /// The QP batch selector of \[14\].
+    Qp,
+    /// Uniform random batches.
+    Random,
+}
+
+impl ActiveMethod {
+    /// Table column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActiveMethod::Ours => "Ours",
+            ActiveMethod::Ts => "TS",
+            ActiveMethod::Qp => "QP",
+            ActiveMethod::Random => "Random",
+        }
+    }
+
+    /// Builds the corresponding batch selector.
+    pub fn selector(self) -> Box<dyn BatchSelector> {
+        match self {
+            ActiveMethod::Ours => Box::new(EntropySelector::new()),
+            ActiveMethod::Ts => Box::new(UncertaintySelector::new()),
+            ActiveMethod::Qp => Box::new(QpSelector::new()),
+            ActiveMethod::Random => Box::new(RandomSelector::new()),
+        }
+    }
+}
+
+/// One (method, benchmark) result cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Method label.
+    pub method: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Detection accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Litho-clip overhead.
+    pub litho: usize,
+    /// Measured PSHD computation time.
+    #[serde(with = "duration_secs")]
+    pub elapsed: Duration,
+}
+
+mod duration_secs {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        d.as_secs_f64().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_secs_f64(f64::deserialize(d)?))
+    }
+}
+
+/// Runs a learning-based method on a benchmark.
+///
+/// # Panics
+///
+/// Panics when the framework rejects the configuration (the harness is
+/// expected to pass consistent sizes).
+pub fn run_active_method(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+) -> MethodResult {
+    let framework = SamplingFramework::new(config.clone());
+    let mut selector = method.selector();
+    let outcome = framework
+        .run(bench, selector.as_mut(), seed)
+        .expect("framework run succeeds");
+    MethodResult {
+        method: method.label().to_owned(),
+        benchmark: bench.spec().name.clone(),
+        accuracy: outcome.metrics.accuracy,
+        litho: outcome.metrics.litho,
+        elapsed: outcome.elapsed,
+    }
+}
+
+/// Runs a learning-based method `repeats` times with consecutive seeds and
+/// returns the mean accuracy / litho / time under the method's label —
+/// CNN-style detectors are initialisation-sensitive, so the paper's tables
+/// are read as averages.
+///
+/// # Panics
+///
+/// Panics when `repeats == 0` or the framework rejects the configuration.
+pub fn run_active_method_avg(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    repeats: usize,
+) -> MethodResult {
+    assert!(repeats > 0, "repeats must be positive");
+    let (mut acc, mut litho, mut secs) = (0.0f64, 0.0f64, 0.0f64);
+    for repeat in 0..repeats {
+        let r = run_active_method(method, bench, config, seed + repeat as u64);
+        acc += r.accuracy;
+        litho += r.litho as f64;
+        secs += r.elapsed.as_secs_f64();
+    }
+    let n = repeats as f64;
+    MethodResult {
+        method: method.label().to_owned(),
+        benchmark: bench.spec().name.clone(),
+        accuracy: acc / n,
+        litho: (litho / n).round() as usize,
+        elapsed: Duration::from_secs_f64(secs / n),
+    }
+}
+
+/// Runs a pattern-matching method on a benchmark.
+pub fn run_pattern_method(matcher: PatternMatcher, bench: &GeneratedBenchmark) -> MethodResult {
+    let start = std::time::Instant::now();
+    let outcome = matcher.run(bench);
+    MethodResult {
+        method: outcome.name,
+        benchmark: bench.spec().name.clone(),
+        accuracy: outcome.accuracy,
+        litho: outcome.litho,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_layout::{BenchmarkSpec, Tech};
+
+    fn bench() -> GeneratedBenchmark {
+        let spec = BenchmarkSpec {
+            name: "harness".to_owned(),
+            tech: Tech::Euv7,
+            hotspots: 15,
+            non_hotspots: 135,
+            dup_rate: 0.2,
+            near_miss_rate: 0.3,
+        };
+        GeneratedBenchmark::generate(&spec, 4).unwrap()
+    }
+
+    #[test]
+    fn all_active_methods_run() {
+        let b = bench();
+        let mut config = SamplingConfig::for_benchmark(b.len());
+        config.iterations = 2;
+        config.initial_epochs = 20;
+        config.update_epochs = 5;
+        for method in [
+            ActiveMethod::Ours,
+            ActiveMethod::Ts,
+            ActiveMethod::Qp,
+            ActiveMethod::Random,
+        ] {
+            let result = run_active_method(method, &b, &config, 1);
+            assert_eq!(result.method, method.label());
+            assert!(result.accuracy > 0.0);
+            assert!(result.litho > 0);
+        }
+    }
+
+    #[test]
+    fn pattern_method_runs() {
+        let b = bench();
+        let result = run_pattern_method(PatternMatcher::exact(), &b);
+        assert_eq!(result.method, "PM-exact");
+        assert_eq!(result.accuracy, 1.0);
+    }
+
+    #[test]
+    fn method_result_serializes() {
+        let r = MethodResult {
+            method: "Ours".to_owned(),
+            benchmark: "B".to_owned(),
+            accuracy: 0.5,
+            litho: 10,
+            elapsed: Duration::from_millis(1500),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MethodResult = serde_json::from_str(&json).unwrap();
+        assert!((back.elapsed.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+/// Projects row-major `data` (`n × dim`) onto its top two principal
+/// components, for the Fig. 3(a) diversity scatter.
+///
+/// Components are found by power iteration on the centred covariance with
+/// deflation — adequate for visualisation and free of linear-algebra
+/// dependencies. Returns `n` `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics when `data.len()` is not a multiple of `dim` or `dim == 0`.
+pub fn project_2d(data: &[f32], dim: usize) -> Vec<(f32, f32)> {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(data.len() % dim, 0, "data is not a whole number of rows");
+    let n = data.len() / dim;
+    if n == 0 {
+        return Vec::new();
+    }
+    // Centre.
+    let mut mean = vec![0.0f64; dim];
+    for row in data.chunks_exact(dim) {
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v as f64;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let centered: Vec<f64> = data
+        .chunks_exact(dim)
+        .flat_map(|row| {
+            row.iter()
+                .zip(&mean)
+                .map(|(&v, &m)| v as f64 - m)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let pc1 = power_iteration(&centered, n, dim, None);
+    let pc2 = power_iteration(&centered, n, dim, Some(&pc1));
+
+    centered
+        .chunks_exact(dim)
+        .map(|row| {
+            let x: f64 = row.iter().zip(&pc1).map(|(&v, &c)| v * c).sum();
+            let y: f64 = row.iter().zip(&pc2).map(|(&v, &c)| v * c).sum();
+            (x as f32, y as f32)
+        })
+        .collect()
+}
+
+/// Power iteration for the leading eigenvector of `XᵀX`, optionally deflated
+/// against a previous component.
+fn power_iteration(centered: &[f64], n: usize, dim: usize, deflate: Option<&[f64]>) -> Vec<f64> {
+    // Deterministic, non-degenerate start.
+    let mut v: Vec<f64> = (0..dim).map(|i| 1.0 + (i as f64) * 0.37).collect();
+    normalize(&mut v);
+    for _ in 0..60 {
+        if let Some(prev) = deflate {
+            orthogonalize(&mut v, prev);
+        }
+        // w = Xᵀ (X v)
+        let mut w = vec![0.0f64; dim];
+        for row in centered.chunks_exact(dim) {
+            let proj: f64 = row.iter().zip(&v).map(|(&a, &b)| a * b).sum();
+            for (wi, &ri) in w.iter_mut().zip(row) {
+                *wi += proj * ri;
+            }
+        }
+        if let Some(prev) = deflate {
+            orthogonalize(&mut w, prev);
+        }
+        if w.iter().all(|&x| x.abs() < 1e-18) {
+            break; // degenerate data (e.g. single repeated row)
+        }
+        normalize(&mut w);
+        v = w;
+    }
+    let _ = n;
+    v
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-18 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+fn orthogonalize(v: &mut [f64], against: &[f64]) {
+    let dot: f64 = v.iter().zip(against).map(|(&a, &b)| a * b).sum();
+    for (vi, &ai) in v.iter_mut().zip(against) {
+        *vi -= dot * ai;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projects_to_pairs() {
+        let data: Vec<f32> = (0..30).map(|i| (i % 7) as f32).collect();
+        let p = project_2d(&data, 3);
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    fn captures_dominant_direction() {
+        // Points along the x-axis in 3-D: PC1 projection must recover their
+        // spread, PC2 nothing.
+        let mut data = Vec::new();
+        for i in 0..20 {
+            data.extend_from_slice(&[i as f32, 0.0, 0.0]);
+        }
+        let p = project_2d(&data, 3);
+        let spread_x: f32 = p.iter().map(|&(x, _)| x.abs()).sum();
+        let spread_y: f32 = p.iter().map(|&(_, y)| y.abs()).sum();
+        assert!(spread_x > 10.0 * (spread_y + 1e-6), "x {spread_x} y {spread_y}");
+    }
+
+    #[test]
+    fn components_are_orthogonal_for_planar_data() {
+        // Points spread in two directions; projections should be finite and
+        // distinct.
+        let mut data = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                data.extend_from_slice(&[i as f32, j as f32 * 2.0, 0.5]);
+            }
+        }
+        let p = project_2d(&data, 3);
+        assert!(p.iter().all(|&(x, y)| x.is_finite() && y.is_finite()));
+        let var_x: f32 = p.iter().map(|&(x, _)| x * x).sum();
+        let var_y: f32 = p.iter().map(|&(_, y)| y * y).sum();
+        assert!(var_x > 0.0 && var_y > 0.0);
+    }
+
+    #[test]
+    fn degenerate_data_does_not_crash() {
+        let data = vec![1.0f32; 12];
+        let p = project_2d(&data, 4);
+        assert_eq!(p.len(), 3);
+        assert!(p.iter().all(|&(x, y)| x.abs() < 1e-6 && y.abs() < 1e-6));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(project_2d(&[], 5).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+use std::time::Duration;
+
+/// The paper's per-litho-clip time penalty (Section IV-C): each simulated
+/// clip is charged 10 seconds, the dominant cost of a real verification
+/// flow.
+pub const LITHO_SECONDS_PER_CLIP: f64 = 10.0;
+
+/// The Fig. 6(b) end-to-end runtime model: litho-clip count × 10 s plus the
+/// measured PSHD computation time.
+pub fn runtime_seconds(litho_clips: usize, pshd_elapsed: Duration) -> f64 {
+    litho_clips as f64 * LITHO_SECONDS_PER_CLIP + pshd_elapsed.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn litho_dominates() {
+        let total = runtime_seconds(1000, Duration::from_secs(30));
+        assert!((total - 10_030.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_litho_is_pure_compute() {
+        assert!((runtime_seconds(0, Duration::from_millis(1500)) - 1.5).abs() < 1e-9);
+    }
+}

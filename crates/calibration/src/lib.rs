@@ -1,0 +1,46 @@
+//! Model calibration: temperature scaling, ECE, and reliability diagrams.
+//!
+//! Modern neural networks are over-confident (Guo et al., ICML 2017); the
+//! DAC 2021 paper's uncertainty metric (Eq. 5–6) is therefore computed on
+//! *calibrated* probabilities. This crate supplies:
+//!
+//! * [`Temperature`] / [`Temperature::fit`] — post-hoc temperature scaling:
+//!   a single scalar `T > 0` dividing the logits, chosen to minimise the
+//!   negative log-likelihood on a validation set (golden-section search on
+//!   `ln T`). Scaling never changes the argmax prediction, only the
+//!   confidence.
+//! * [`ReliabilityDiagram`] — the equal-width confidence-vs-accuracy binning
+//!   of Fig. 2, plus the expected calibration error ([`ReliabilityDiagram::
+//!   ece`]).
+//! * [`RocCurve`] — threshold-swept ROC analysis with AUC, for tuning the
+//!   detection threshold the framework predicts hotspots at.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_calibration::Temperature;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Over-confident logits: correct half the time but predicted at >99%.
+//! let logits = vec![
+//!     6.0, -6.0,   6.0, -6.0,   6.0, -6.0,   6.0, -6.0,
+//! ];
+//! let labels = vec![0usize, 1, 0, 1];
+//! let t = Temperature::fit(&logits, 2, &labels)?;
+//! assert!(t.value() > 1.0); // softened
+//! let p = t.probabilities(&logits[..2]);
+//! assert!(p[0] < 0.99);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod reliability;
+mod roc;
+mod temperature;
+
+pub use reliability::{ReliabilityBin, ReliabilityDiagram};
+pub use roc::{RocCurve, RocPoint};
+pub use temperature::{CalibrationError, Temperature};

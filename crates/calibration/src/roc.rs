@@ -1,0 +1,209 @@
+/// One operating point of a detector: the false-positive and true-positive
+/// rates at some threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Score threshold this point corresponds to (predict positive at or
+    /// above it).
+    pub threshold: f32,
+    /// False-positive rate in `[0, 1]`.
+    pub fpr: f64,
+    /// True-positive rate (recall) in `[0, 1]`.
+    pub tpr: f64,
+}
+
+/// The ROC curve of a scored binary detector, threshold-swept over every
+/// distinct score.
+///
+/// Hotspot detection picks one threshold (the paper reuses `h = 0.4`), but
+/// the full curve is what tells you whether a different trade-off was
+/// available — useful when tuning the detection threshold of
+/// `SamplingConfig`.
+///
+/// ```
+/// use hotspot_calibration::RocCurve;
+/// let scores = [0.9f32, 0.8, 0.3, 0.1];
+/// let labels = [true, true, false, false];
+/// let roc = RocCurve::from_scores(&scores, &labels);
+/// assert!((roc.auc() - 1.0).abs() < 1e-12); // perfect ranking
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+    positives: usize,
+    negatives: usize,
+}
+
+impl RocCurve {
+    /// Builds the curve from per-sample scores (higher = more positive) and
+    /// ground-truth labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ or either class is absent (an ROC curve is
+    /// undefined without both classes).
+    pub fn from_scores(scores: &[f32], labels: &[bool]) -> Self {
+        assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+        let positives = labels.iter().filter(|&&l| l).count();
+        let negatives = labels.len() - positives;
+        assert!(
+            positives > 0 && negatives > 0,
+            "ROC needs both classes ({positives} positives, {negatives} negatives)"
+        );
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut points = vec![RocPoint {
+            threshold: f32::INFINITY,
+            fpr: 0.0,
+            tpr: 0.0,
+        }];
+        let (mut tp, mut fp) = (0usize, 0usize);
+        let mut i = 0;
+        while i < order.len() {
+            // Advance through ties as a block so the curve is well-defined.
+            let threshold = scores[order[i]];
+            while i < order.len() && scores[order[i]] == threshold {
+                if labels[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                threshold,
+                fpr: fp as f64 / negatives as f64,
+                tpr: tp as f64 / positives as f64,
+            });
+        }
+        RocCurve {
+            points,
+            positives,
+            negatives,
+        }
+    }
+
+    /// The curve's operating points, from the strictest threshold to the
+    /// most permissive.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Positive-sample count.
+    pub fn positives(&self) -> usize {
+        self.positives
+    }
+
+    /// Negative-sample count.
+    pub fn negatives(&self) -> usize {
+        self.negatives
+    }
+
+    /// Area under the curve (trapezoidal rule). 1.0 = perfect ranking,
+    /// 0.5 = chance.
+    pub fn auc(&self) -> f64 {
+        let mut area = 0.0;
+        for pair in self.points.windows(2) {
+            area += (pair[1].fpr - pair[0].fpr) * (pair[1].tpr + pair[0].tpr) / 2.0;
+        }
+        area
+    }
+
+    /// The operating point at a given threshold (predict positive at or
+    /// above it).
+    pub fn at_threshold(&self, threshold: f32) -> RocPoint {
+        // Points are ordered by decreasing threshold; take the last point
+        // whose threshold is still >= the query.
+        let mut best = self.points[0];
+        for &p in &self.points[1..] {
+            if p.threshold >= threshold {
+                best = p;
+            } else {
+                break;
+            }
+        }
+        RocPoint {
+            threshold,
+            fpr: best.fpr,
+            tpr: best.tpr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_ranking_has_unit_auc() {
+        let roc = RocCurve::from_scores(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]);
+        assert!((roc.auc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_zero_auc() {
+        let roc = RocCurve::from_scores(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]);
+        assert!(roc.auc() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_is_half() {
+        // All scores tied: one diagonal segment, AUC exactly 0.5.
+        let roc = RocCurve::from_scores(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]);
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_threshold_interpolates_operating_point() {
+        let roc = RocCurve::from_scores(&[0.9, 0.6, 0.4, 0.2], &[true, false, true, false]);
+        let p = roc.at_threshold(0.5);
+        // At ≥ 0.5 we predict the first two samples positive: tp 1/2, fp 1/2.
+        assert!((p.tpr - 0.5).abs() < 1e-12);
+        assert!((p.fpr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoints_are_corners() {
+        let roc = RocCurve::from_scores(&[0.9, 0.1], &[true, false]);
+        let first = roc.points().first().unwrap();
+        let last = roc.points().last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn rejects_single_class() {
+        let _ = RocCurve::from_scores(&[0.5, 0.6], &[true, true]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_auc_in_unit_interval(
+            scores in proptest::collection::vec(0.0f32..1.0, 4..50),
+            flip in any::<u64>(),
+        ) {
+            // Derive labels from bits of `flip`, forcing both classes.
+            let mut labels: Vec<bool> = (0..scores.len()).map(|i| (flip >> (i % 64)) & 1 == 1).collect();
+            labels[0] = true;
+            let n = labels.len();
+            labels[n - 1] = false;
+            let roc = RocCurve::from_scores(&scores, &labels);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&roc.auc()));
+        }
+
+        #[test]
+        fn prop_tpr_fpr_monotone(scores in proptest::collection::vec(0.0f32..1.0, 4..40)) {
+            let labels: Vec<bool> = (0..scores.len()).map(|i| i % 2 == 0).collect();
+            let roc = RocCurve::from_scores(&scores, &labels);
+            for pair in roc.points().windows(2) {
+                prop_assert!(pair[1].fpr >= pair[0].fpr - 1e-12);
+                prop_assert!(pair[1].tpr >= pair[0].tpr - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+use hotspot_litho::LithoOracle;
+use std::collections::HashSet;
+
+/// Index bookkeeping for the active-learning split: labelled training set
+/// `L`, validation set `V`, and unlabeled pool `U` over a benchmark's clip
+/// indices.
+///
+/// Labels enter the dataset only through a metered [`LithoOracle`], so the
+/// litho-clip accounting of Eq. 2 is enforced by construction.
+#[derive(Debug, Clone)]
+pub struct ActiveDataset {
+    labeled: Vec<usize>,
+    labeled_classes: Vec<usize>,
+    validation: Vec<usize>,
+    validation_classes: Vec<usize>,
+    unlabeled: Vec<usize>,
+    unlabeled_set: HashSet<usize>,
+}
+
+impl ActiveDataset {
+    /// Builds the initial split: `initial_train` and `validation` indices are
+    /// labelled through the oracle, everything else in `0..total` becomes the
+    /// unlabeled pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index repeats across the splits or exceeds `total`.
+    pub fn new<O: LithoOracle>(
+        total: usize,
+        initial_train: &[usize],
+        validation: &[usize],
+        oracle: &mut O,
+    ) -> Self {
+        let mut seen = HashSet::with_capacity(initial_train.len() + validation.len());
+        for &i in initial_train.iter().chain(validation) {
+            assert!(i < total, "split index {i} out of range ({total} clips)");
+            assert!(seen.insert(i), "index {i} appears twice in the initial split");
+        }
+        let labeled_classes = initial_train
+            .iter()
+            .map(|&i| oracle.query(i).class_index())
+            .collect();
+        let validation_classes = validation
+            .iter()
+            .map(|&i| oracle.query(i).class_index())
+            .collect();
+        let unlabeled: Vec<usize> = (0..total).filter(|i| !seen.contains(i)).collect();
+        let unlabeled_set = unlabeled.iter().copied().collect();
+        ActiveDataset {
+            labeled: initial_train.to_vec(),
+            labeled_classes,
+            validation: validation.to_vec(),
+            validation_classes,
+            unlabeled,
+            unlabeled_set,
+        }
+    }
+
+    /// Labelled training indices.
+    pub fn labeled(&self) -> &[usize] {
+        &self.labeled
+    }
+
+    /// Class index (0/1) of each labelled clip, aligned with
+    /// [`ActiveDataset::labeled`].
+    pub fn labeled_classes(&self) -> &[usize] {
+        &self.labeled_classes
+    }
+
+    /// Validation indices.
+    pub fn validation(&self) -> &[usize] {
+        &self.validation
+    }
+
+    /// Class index of each validation clip.
+    pub fn validation_classes(&self) -> &[usize] {
+        &self.validation_classes
+    }
+
+    /// Current unlabeled pool (stable order).
+    pub fn unlabeled(&self) -> &[usize] {
+        &self.unlabeled
+    }
+
+    /// Whether `index` is still unlabeled.
+    pub fn is_unlabeled(&self, index: usize) -> bool {
+        self.unlabeled_set.contains(&index)
+    }
+
+    /// Moves clips from the unlabeled pool into the labelled set, paying for
+    /// their labels through the oracle. Returns how many were hotspots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is not currently unlabeled.
+    pub fn label_batch<O: LithoOracle>(&mut self, batch: &[usize], oracle: &mut O) -> usize {
+        let mut hotspots = 0;
+        for &i in batch {
+            assert!(
+                self.unlabeled_set.remove(&i),
+                "clip {i} is not in the unlabeled pool"
+            );
+            let label = oracle.query(i);
+            hotspots += label.is_hotspot() as usize;
+            self.labeled.push(i);
+            self.labeled_classes.push(label.class_index());
+        }
+        if !batch.is_empty() {
+            self.unlabeled.retain(|i| self.unlabeled_set.contains(i));
+        }
+        hotspots
+    }
+
+    /// Hotspots in the labelled training set (`#HS_Train` of Eq. 1).
+    pub fn train_hotspots(&self) -> usize {
+        self.labeled_classes.iter().filter(|&&c| c == 1).count()
+    }
+
+    /// Hotspots in the validation set (`#HS_Val` of Eq. 1).
+    pub fn validation_hotspots(&self) -> usize {
+        self.validation_classes.iter().filter(|&&c| c == 1).count()
+    }
+
+    /// Whether the labelled set contains both classes (needed before the
+    /// classifier can be trained meaningfully).
+    pub fn has_both_classes(&self) -> bool {
+        self.train_hotspots() > 0 && self.train_hotspots() < self.labeled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_litho::{CountingOracle, Label};
+
+    fn oracle() -> CountingOracle {
+        // Clips 0..10; indices 0, 3, 6, 9 are hotspots.
+        CountingOracle::new(
+            (0..10)
+                .map(|i| if i % 3 == 0 { Label::Hotspot } else { Label::NonHotspot })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn initial_split_pays_for_labels() {
+        let mut o = oracle();
+        let ds = ActiveDataset::new(10, &[0, 1], &[2, 3], &mut o);
+        assert_eq!(o.unique_queries(), 4);
+        assert_eq!(ds.labeled(), &[0, 1]);
+        assert_eq!(ds.labeled_classes(), &[1, 0]);
+        assert_eq!(ds.validation_classes(), &[0, 1]);
+        assert_eq!(ds.unlabeled().len(), 6);
+        assert_eq!(ds.train_hotspots(), 1);
+        assert_eq!(ds.validation_hotspots(), 1);
+    }
+
+    #[test]
+    fn label_batch_moves_and_counts() {
+        let mut o = oracle();
+        let mut ds = ActiveDataset::new(10, &[0], &[1], &mut o);
+        let hs = ds.label_batch(&[6, 7], &mut o);
+        assert_eq!(hs, 1);
+        assert_eq!(ds.labeled(), &[0, 6, 7]);
+        assert!(!ds.is_unlabeled(6));
+        assert!(ds.is_unlabeled(8));
+        assert_eq!(o.unique_queries(), 4);
+    }
+
+    #[test]
+    fn has_both_classes_tracks_composition() {
+        let mut o = oracle();
+        let mut ds = ActiveDataset::new(10, &[0], &[1], &mut o);
+        assert!(!ds.has_both_classes()); // only a hotspot so far
+        ds.label_batch(&[2], &mut o);
+        assert!(ds.has_both_classes());
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_split_index_panics() {
+        let mut o = oracle();
+        let _ = ActiveDataset::new(10, &[0, 1], &[1], &mut o);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the unlabeled pool")]
+    fn labelling_a_labeled_clip_panics() {
+        let mut o = oracle();
+        let mut ds = ActiveDataset::new(10, &[0], &[1], &mut o);
+        ds.label_batch(&[0], &mut o);
+    }
+
+    #[test]
+    fn unlabeled_order_is_stable() {
+        let mut o = oracle();
+        let mut ds = ActiveDataset::new(10, &[5], &[], &mut o);
+        ds.label_batch(&[3, 8], &mut o);
+        assert_eq!(ds.unlabeled(), &[0, 1, 2, 4, 6, 7, 9]);
+    }
+}

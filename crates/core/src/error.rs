@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Error type for the active-learning framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ActiveError {
+    /// The benchmark is too small for the configured split sizes.
+    BenchmarkTooSmall {
+        /// Clips available.
+        clips: usize,
+        /// Clips the initial split requires.
+        required: usize,
+    },
+    /// The classifier substrate failed.
+    Nn(hotspot_nn::NnError),
+    /// GMM fitting failed.
+    Gmm(hotspot_gmm::GmmError),
+    /// Temperature calibration failed.
+    Calibration(hotspot_calibration::CalibrationError),
+}
+
+impl fmt::Display for ActiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActiveError::BenchmarkTooSmall { clips, required } => write!(
+                f,
+                "benchmark of {clips} clips is smaller than the initial split of {required}"
+            ),
+            ActiveError::Nn(e) => write!(f, "classifier error: {e}"),
+            ActiveError::Gmm(e) => write!(f, "mixture-model error: {e}"),
+            ActiveError::Calibration(e) => write!(f, "calibration error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ActiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ActiveError::Nn(e) => Some(e),
+            ActiveError::Gmm(e) => Some(e),
+            ActiveError::Calibration(e) => Some(e),
+            ActiveError::BenchmarkTooSmall { .. } => None,
+        }
+    }
+}
+
+impl From<hotspot_nn::NnError> for ActiveError {
+    fn from(e: hotspot_nn::NnError) -> Self {
+        ActiveError::Nn(e)
+    }
+}
+
+impl From<hotspot_gmm::GmmError> for ActiveError {
+    fn from(e: hotspot_gmm::GmmError) -> Self {
+        ActiveError::Gmm(e)
+    }
+}
+
+impl From<hotspot_calibration::CalibrationError> for ActiveError {
+    fn from(e: hotspot_calibration::CalibrationError) -> Self {
+        ActiveError::Calibration(e)
+    }
+}

@@ -1,0 +1,457 @@
+use crate::{
+    ActiveDataset, ActiveError, BatchSelector, HotspotModel, PshdMetrics, SamplingConfig,
+    SelectionContext,
+};
+use hotspot_calibration::{ReliabilityDiagram, Temperature};
+use hotspot_gmm::{GaussianMixture, GmmConfig};
+use hotspot_layout::GeneratedBenchmark;
+use hotspot_litho::{Label, OracleStats};
+use hotspot_nn::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Telemetry of one sampling iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// Fitted softmax temperature for this iteration.
+    pub temperature: f64,
+    /// Dynamic `(ω₁, ω₂)` if the selector reports them.
+    pub weights: Option<(f64, f64)>,
+    /// Hotspots found in the sampled batch.
+    pub batch_hotspots: usize,
+    /// Labelled-set size after the iteration.
+    pub labeled_size: usize,
+    /// Final training loss of the update step.
+    pub train_loss: f64,
+}
+
+/// The result of one full PSHD run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Evaluation metrics (Eq. 1–2).
+    pub metrics: PshdMetrics,
+    /// Per-iteration telemetry.
+    pub history: Vec<IterationStats>,
+    /// Temperature used for the final detection pass.
+    pub final_temperature: f64,
+    /// Validation ECE before calibration (T = 1).
+    pub ece_before: f64,
+    /// Validation ECE after temperature scaling.
+    pub ece_after: f64,
+    /// Name of the batch selector used.
+    pub selector: String,
+    /// Wall-clock time of the PSHD computation (excluding benchmark
+    /// generation; litho cost is counted in clips, not seconds).
+    pub elapsed: Duration,
+    /// Benchmark indices of labelled clips (train + validation) — the
+    /// litho-sampled positions of Fig. 5.
+    pub sampled_indices: Vec<usize>,
+    /// Benchmark indices the detector flagged in the unlabeled pool.
+    pub predicted_hotspots: Vec<usize>,
+    /// Oracle meter snapshot (cross-checks Eq. 2's train+val component).
+    pub oracle_stats: OracleStats,
+}
+
+/// Algorithm 2 of the paper: the overall pattern-sampling and hotspot-
+/// detection flow.
+///
+/// See the [crate-level example](crate) for usage and DESIGN.md for the
+/// paper-to-code mapping.
+#[derive(Debug, Clone)]
+pub struct SamplingFramework {
+    config: SamplingConfig,
+}
+
+impl SamplingFramework {
+    /// Creates a framework with the given configuration.
+    pub fn new(config: SamplingConfig) -> Self {
+        SamplingFramework { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SamplingConfig {
+        &self.config
+    }
+
+    /// Runs the full flow on a generated benchmark with the given batch
+    /// selector, deterministically in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActiveError::BenchmarkTooSmall`] when the initial split
+    /// does not fit, and propagates substrate errors.
+    pub fn run(
+        &self,
+        bench: &GeneratedBenchmark,
+        selector: &mut dyn BatchSelector,
+        seed: u64,
+    ) -> Result<RunOutcome, ActiveError> {
+        let start = Instant::now();
+        let config = &self.config;
+        let total = bench.len();
+        if total < config.initial_split() + 2 {
+            return Err(ActiveError::BenchmarkTooSmall {
+                clips: total,
+                required: config.initial_split() + 2,
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut oracle = bench.oracle();
+
+        // Standardised DCT features for the classifier; raw density features
+        // for the mixture model. Both are unlabeled-data statistics, so no
+        // label information leaks into preprocessing.
+        let dct = bench.dct_features();
+        let (mean, std) = dct.column_stats();
+        let standardized = dct.standardized(&mean, &std);
+        let features = Matrix::from_flat(dct.rows(), dct.dim(), standardized.as_slice().to_vec());
+
+        // Algorithm 2 line 1: posterior scores from the Gaussian mixture.
+        let gmm = GaussianMixture::fit(
+            bench.density_features().as_slice(),
+            bench.density_features().dim(),
+            &GmmConfig {
+                components: config.gmm_components.min(total),
+                seed,
+                ..GmmConfig::default()
+            },
+        )?;
+        let scores = gmm.score_samples(bench.density_features().as_slice());
+        let mut by_score: Vec<usize> = (0..total).collect();
+        by_score.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Line 2: split. The lowest-likelihood (hotspot-like) clips seed the
+        // training set; the validation set is a seeded random draw from the
+        // rest (the paper leaves V₀'s construction unspecified).
+        let initial_train: Vec<usize> = by_score[..config.initial_train.min(total)].to_vec();
+        let mut remaining: Vec<usize> = by_score[config.initial_train.min(total)..].to_vec();
+        remaining.shuffle(&mut rng);
+        let validation: Vec<usize> = remaining[..config.validation.min(remaining.len())].to_vec();
+        let mut dataset = ActiveDataset::new(total, &initial_train, &validation, &mut oracle);
+
+        // The paper trains a discriminative model on L₀, which presumes both
+        // classes are present; when the GMM seed set is single-class we pay
+        // for random extra labels until it is not (or a small budget runs
+        // out). This divergence is documented here because the paper is
+        // silent on the degenerate case.
+        let mut top_up_budget = config.initial_train * 2;
+        while !dataset.has_both_classes() && top_up_budget > 0 && !dataset.unlabeled().is_empty() {
+            let pool = dataset.unlabeled();
+            let pick = pool[rng.gen_range(0..pool.len())];
+            dataset.label_batch(&[pick], &mut oracle);
+            top_up_budget -= 1;
+        }
+
+        // Lines 3–5: initialise and fit the model.
+        let mut model = HotspotModel::new(
+            features.cols(),
+            seed ^ 0xabcd_1234,
+            config.init_sigma,
+            config.learning_rate,
+            config.train_batch,
+        );
+        if !dataset.labeled().is_empty() {
+            let x = features.gather_rows(dataset.labeled());
+            model.train(&x, dataset.labeled_classes(), config.initial_epochs, seed)?;
+        }
+
+        // ECE before calibration, for the Fig. 2 comparison.
+        let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
+        let ece_before = validation_ece(&val_logits, dataset.validation_classes(), Temperature::identity());
+
+        // Lines 6–13: iterative batch sampling.
+        let mut history = Vec::with_capacity(config.iterations);
+        #[allow(unused_assignments)] // re-fitted after the loop for detection
+        let mut temperature = Temperature::identity();
+        let mut cold_batches = 0usize;
+        for iteration in 1..=config.iterations {
+            // Line 7: query pool = n lowest-GMM-likelihood unlabeled clips.
+            let query: Vec<usize> = by_score
+                .iter()
+                .copied()
+                .filter(|&i| dataset.is_unlabeled(i))
+                .take(config.query_pool)
+                .collect();
+            if query.is_empty() {
+                break;
+            }
+            // Line 8: temperature fit on the validation set.
+            temperature = self.fit_temperature(&model, &features, &dataset)?;
+            // Line 9: entropy sampling over the query set.
+            let qx = features.gather_rows(&query);
+            let (logits, embeddings) = model.predict(&qx);
+            let probabilities = temperature.probabilities_batch(logits.as_slice(), 2);
+            let ctx = SelectionContext {
+                logits: &logits,
+                probabilities: &probabilities,
+                embeddings: &embeddings,
+                k: config.batch,
+                boundary_h: config.boundary_h,
+                weight_mode: config.weight_mode,
+                ablation: config.ablation,
+                rng_seed: seed ^ iteration as u64,
+            };
+            let picked_local = selector.select(&ctx);
+            let batch: Vec<usize> = picked_local.iter().map(|&i| query[i]).collect();
+            if batch.is_empty() {
+                break;
+            }
+            // Lines 10–12: pay for labels, extend L, update the model.
+            let batch_hotspots = dataset.label_batch(&batch, &mut oracle);
+            let x = features.gather_rows(dataset.labeled());
+            let report = model.train(
+                &x,
+                dataset.labeled_classes(),
+                config.update_epochs,
+                seed ^ (iteration as u64) << 8,
+            )?;
+            let train_loss = report.final_loss();
+            history.push(IterationStats {
+                iteration,
+                temperature: temperature.value(),
+                weights: selector.last_weights(),
+                batch_hotspots,
+                labeled_size: dataset.labeled().len(),
+                train_loss,
+            });
+            // Optional termination condition: the sampler has gone cold.
+            if let Some(limit) = config.stop_after_cold_batches {
+                if batch_hotspots == 0 {
+                    cold_batches += 1;
+                    if cold_batches >= limit {
+                        break;
+                    }
+                } else {
+                    cold_batches = 0;
+                }
+            }
+        }
+
+        // Final calibration and full-chip detection on the remaining pool.
+        temperature = self.fit_temperature(&model, &features, &dataset)?;
+        let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
+        let ece_after = validation_ece(&val_logits, dataset.validation_classes(), temperature);
+
+        let pool = dataset.unlabeled().to_vec();
+        let (mut hits, mut false_alarms) = (0usize, 0usize);
+        let mut predicted_hotspots = Vec::new();
+        if !pool.is_empty() {
+            let (logits, _) = model.predict_pool(&features.gather_rows(&pool));
+            let probabilities = temperature.probabilities_batch(logits.as_slice(), 2);
+            for (row, &clip) in pool.iter().enumerate() {
+                let p_hotspot = probabilities[row * 2 + 1];
+                if p_hotspot >= config.detect_threshold {
+                    predicted_hotspots.push(clip);
+                    match bench.labels()[clip] {
+                        Label::Hotspot => hits += 1,
+                        Label::NonHotspot => false_alarms += 1,
+                    }
+                }
+            }
+        }
+
+        let metrics = PshdMetrics::compute(
+            dataset.labeled().len(),
+            dataset.validation().len(),
+            dataset.train_hotspots(),
+            dataset.validation_hotspots(),
+            hits,
+            false_alarms,
+            bench.hotspot_count(),
+        );
+        let mut sampled_indices = dataset.labeled().to_vec();
+        sampled_indices.extend_from_slice(dataset.validation());
+        Ok(RunOutcome {
+            metrics,
+            history,
+            final_temperature: temperature.value(),
+            ece_before,
+            ece_after,
+            selector: selector.name().to_owned(),
+            elapsed: start.elapsed(),
+            sampled_indices,
+            predicted_hotspots,
+            oracle_stats: oracle.stats(),
+        })
+    }
+
+    fn fit_temperature(
+        &self,
+        model: &HotspotModel,
+        features: &Matrix,
+        dataset: &ActiveDataset,
+    ) -> Result<Temperature, ActiveError> {
+        if !self.config.ablation.calibration || dataset.validation().is_empty() {
+            return Ok(Temperature::identity());
+        }
+        let (logits, _) = model.predict(&features.gather_rows(dataset.validation()));
+        Ok(Temperature::fit(
+            logits.as_slice(),
+            2,
+            dataset.validation_classes(),
+        )?)
+    }
+}
+
+/// ECE of argmax predictions on the validation set at a given temperature.
+fn validation_ece(logits: &Matrix, truth: &[usize], temperature: Temperature) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let probabilities = temperature.probabilities_batch(logits.as_slice(), 2);
+    let mut confidences = Vec::with_capacity(truth.len());
+    let mut correct = Vec::with_capacity(truth.len());
+    for (row, &t) in truth.iter().enumerate() {
+        let p = &probabilities[row * 2..row * 2 + 2];
+        let pred = (p[1] > p[0]) as usize;
+        confidences.push(p[pred] as f64);
+        correct.push(pred == t);
+    }
+    ReliabilityDiagram::from_predictions(&confidences, &correct, 10).ece()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EntropySelector, RandomSelector, UncertaintySelector};
+    use hotspot_layout::BenchmarkSpec;
+
+    fn small_bench() -> GeneratedBenchmark {
+        let spec = BenchmarkSpec {
+            name: "unit".to_owned(),
+            tech: hotspot_layout::Tech::Euv7,
+            hotspots: 30,
+            non_hotspots: 270,
+            dup_rate: 0.15,
+            near_miss_rate: 0.3,
+        };
+        GeneratedBenchmark::generate(&spec, 11).unwrap()
+    }
+
+    fn small_config(total: usize) -> SamplingConfig {
+        let mut c = SamplingConfig::for_benchmark(total);
+        c.iterations = 4;
+        c.initial_epochs = 30;
+        c.update_epochs = 10;
+        c
+    }
+
+    #[test]
+    fn full_run_produces_consistent_metrics() {
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        let outcome = framework.run(&bench, &mut EntropySelector::new(), 3).unwrap();
+        let m = &outcome.metrics;
+        assert!(m.accuracy > 0.3, "accuracy {}", m.accuracy);
+        assert!(m.accuracy <= 1.0);
+        // Eq. 2 cross-check: litho = train + val + FA, and the oracle paid
+        // exactly for train + val.
+        assert_eq!(m.litho, m.train_size + m.validation_size + m.false_alarms);
+        assert_eq!(outcome.oracle_stats.unique, m.train_size + m.validation_size);
+        assert!(!outcome.history.is_empty());
+        assert_eq!(outcome.selector, "entropy");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        let a = framework.run(&bench, &mut EntropySelector::new(), 5).unwrap();
+        let b = framework.run(&bench, &mut EntropySelector::new(), 5).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.sampled_indices, b.sampled_indices);
+    }
+
+    #[test]
+    fn different_selectors_run() {
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        for (name, selector) in [
+            ("entropy", &mut EntropySelector::new() as &mut dyn BatchSelector),
+            ("ts", &mut UncertaintySelector::new()),
+            ("random", &mut RandomSelector::new()),
+        ] {
+            let outcome = framework.run(&bench, selector, 7).unwrap();
+            assert_eq!(outcome.selector, name);
+            assert!(outcome.metrics.accuracy > 0.2, "{name}: {}", outcome.metrics.accuracy);
+        }
+    }
+
+    #[test]
+    fn calibration_reduces_or_matches_ece_on_average() {
+        // A single run can go either way; check the average over seeds.
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        let (mut before, mut after) = (0.0, 0.0);
+        for seed in 0..3 {
+            let o = framework.run(&bench, &mut EntropySelector::new(), seed).unwrap();
+            before += o.ece_before;
+            after += o.ece_after;
+        }
+        assert!(after <= before + 0.05, "ECE before {before} after {after}");
+    }
+
+    #[test]
+    fn too_small_benchmark_is_rejected() {
+        let bench = small_bench();
+        let mut config = small_config(bench.len());
+        config.initial_train = bench.len();
+        config.validation = bench.len();
+        let framework = SamplingFramework::new(config);
+        assert!(matches!(
+            framework.run(&bench, &mut EntropySelector::new(), 0),
+            Err(ActiveError::BenchmarkTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn history_tracks_growing_labeled_set() {
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        let outcome = framework.run(&bench, &mut EntropySelector::new(), 9).unwrap();
+        for pair in outcome.history.windows(2) {
+            assert!(pair[1].labeled_size > pair[0].labeled_size);
+        }
+        for stat in &outcome.history {
+            assert!(stat.temperature > 0.0);
+        }
+    }
+
+    #[test]
+    fn ablation_without_calibration_keeps_identity_temperature() {
+        let bench = small_bench();
+        let config = small_config(bench.len()).without_calibration();
+        let framework = SamplingFramework::new(config);
+        let outcome = framework.run(&bench, &mut EntropySelector::new(), 2).unwrap();
+        assert_eq!(outcome.final_temperature, 1.0);
+    }
+
+    #[test]
+    fn cold_batch_termination_shortens_the_loop() {
+        let bench = small_bench();
+        let mut config = small_config(bench.len());
+        config.iterations = 12;
+        let full = SamplingFramework::new(config.clone())
+            .run(&bench, &mut EntropySelector::new(), 4)
+            .unwrap();
+        config.stop_after_cold_batches = Some(1);
+        let stopped = SamplingFramework::new(config)
+            .run(&bench, &mut EntropySelector::new(), 4)
+            .unwrap();
+        // Identical up to the stop point, then truncated.
+        assert!(stopped.history.len() <= full.history.len());
+        for (a, b) in stopped.history.iter().zip(&full.history) {
+            assert_eq!(a, b);
+        }
+        if stopped.history.len() < full.history.len() {
+            assert_eq!(stopped.history.last().unwrap().batch_hotspots, 0);
+            assert!(stopped.metrics.litho <= full.metrics.litho);
+        }
+    }
+}

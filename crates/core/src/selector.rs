@@ -1,0 +1,329 @@
+use crate::{
+    diversity_scores, entropy_weights, normalize_scores, uncertainty_scores, AblationConfig,
+    WeightMode,
+};
+use hotspot_nn::Matrix;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Everything a batch selector may inspect about the current query set `Q`.
+///
+/// Rows of `logits` / `probabilities` / `embeddings` correspond 1:1 to query
+/// clips; returned indices are positions in this query set, not benchmark
+/// indices.
+#[derive(Debug)]
+pub struct SelectionContext<'a> {
+    /// Raw model logits of the query clips (`n × 2`).
+    pub logits: &'a Matrix,
+    /// Calibrated two-class probabilities, row-major `n × 2` (Eq. 5).
+    pub probabilities: &'a [f32],
+    /// Penultimate-layer embeddings of the query clips.
+    pub embeddings: &'a Matrix,
+    /// Batch size to select.
+    pub k: usize,
+    /// Decision boundary `h` of Eq. 6.
+    pub boundary_h: f32,
+    /// Weighting mode for combining the two scores.
+    pub weight_mode: WeightMode,
+    /// Component ablation switches.
+    pub ablation: AblationConfig,
+    /// Deterministic seed for stochastic selectors.
+    pub rng_seed: u64,
+}
+
+impl SelectionContext<'_> {
+    /// Number of query clips.
+    pub fn len(&self) -> usize {
+        self.logits.rows()
+    }
+
+    /// Whether the query set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.logits.rows() == 0
+    }
+}
+
+/// A batch-mode selection strategy: picks up to `k` query-set rows to label.
+pub trait BatchSelector: std::fmt::Debug {
+    /// Selects query-set indices (unique, at most `ctx.k`).
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> Vec<usize>;
+
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The `(ω₁, ω₂)` weights of the most recent selection, when the
+    /// strategy computes any (only the entropy selector does).
+    fn last_weights(&self) -> Option<(f64, f64)> {
+        None
+    }
+}
+
+/// Algorithm 1 of the paper: the entropy-based batch selector combining
+/// calibrated hotspot-aware uncertainty with min-distance diversity under
+/// dynamic entropy weights.
+#[derive(Debug, Default, Clone)]
+pub struct EntropySelector {
+    last_weights: Option<(f64, f64)>,
+}
+
+impl EntropySelector {
+    /// Creates the selector.
+    pub fn new() -> Self {
+        EntropySelector { last_weights: None }
+    }
+}
+
+impl BatchSelector for EntropySelector {
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> Vec<usize> {
+        if ctx.is_empty() || ctx.k == 0 {
+            return Vec::new();
+        }
+        let use_u = ctx.ablation.uncertainty;
+        let use_d = ctx.ablation.diversity;
+        let f = if use_u {
+            uncertainty_scores(ctx.probabilities, ctx.boundary_h)
+        } else {
+            vec![0.0; ctx.len()]
+        };
+        let d = if use_d {
+            diversity_scores(ctx.embeddings)
+        } else {
+            vec![0.0; ctx.len()]
+        };
+        let scores = match (use_u, use_d) {
+            (true, false) => normalize_scores(&f),
+            (false, true) => normalize_scores(&d),
+            _ => {
+                let (w1, w2) = match ctx.weight_mode {
+                    WeightMode::Entropy => entropy_weights(&f, &d),
+                    WeightMode::Fixed { omega2 } => (1.0 - omega2, omega2),
+                };
+                self.last_weights = Some((w1, w2));
+                let nf = normalize_scores(&f);
+                let nd = normalize_scores(&d);
+                nf.iter()
+                    .zip(&nd)
+                    .map(|(&a, &b)| (w1 * a as f64 + w2 * b as f64) as f32)
+                    .collect()
+            }
+        };
+        top_k(&scores, ctx.k)
+    }
+
+    fn name(&self) -> &'static str {
+        "entropy"
+    }
+
+    fn last_weights(&self) -> Option<(f64, f64)> {
+        self.last_weights
+    }
+}
+
+/// The "TS" baseline of Table II: calibrated uncertainty only (temperature
+/// scaling without the diversity term or entropy weighting).
+#[derive(Debug, Default, Clone)]
+pub struct UncertaintySelector;
+
+impl UncertaintySelector {
+    /// Creates the selector.
+    pub fn new() -> Self {
+        UncertaintySelector
+    }
+}
+
+impl BatchSelector for UncertaintySelector {
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> Vec<usize> {
+        if ctx.is_empty() || ctx.k == 0 {
+            return Vec::new();
+        }
+        let f = uncertainty_scores(ctx.probabilities, ctx.boundary_h);
+        top_k(&f, ctx.k)
+    }
+
+    fn name(&self) -> &'static str {
+        "ts"
+    }
+}
+
+/// Uniform random batch selection — the weakest sensible baseline.
+#[derive(Debug, Default, Clone)]
+pub struct RandomSelector;
+
+impl RandomSelector {
+    /// Creates the selector.
+    pub fn new() -> Self {
+        RandomSelector
+    }
+}
+
+impl BatchSelector for RandomSelector {
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> Vec<usize> {
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.rng_seed);
+        let mut indices: Vec<usize> = (0..ctx.len()).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(ctx.k);
+        indices
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Indices of the `k` largest scores, ties broken towards lower index.
+pub(crate) fn top_k(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn context<'a>(
+        logits: &'a Matrix,
+        probabilities: &'a [f32],
+        embeddings: &'a Matrix,
+        k: usize,
+    ) -> SelectionContext<'a> {
+        SelectionContext {
+            logits,
+            probabilities,
+            embeddings,
+            k,
+            boundary_h: 0.4,
+            weight_mode: WeightMode::Entropy,
+            ablation: AblationConfig::default(),
+            rng_seed: 7,
+        }
+    }
+
+    /// Four query clips: two confident non-hotspots (one a duplicate),
+    /// one boundary-hovering hotspot-like sample, one confident hotspot.
+    fn fixture() -> (Matrix, Vec<f32>, Matrix) {
+        let logits = Matrix::from_rows(&[
+            vec![3.0, -3.0],
+            vec![3.0, -3.0],
+            vec![0.1, -0.1],
+            vec![-3.0, 3.0],
+        ])
+        .unwrap();
+        let probabilities = vec![
+            0.95, 0.05, //
+            0.95, 0.05, //
+            0.55, 0.45, //
+            0.05, 0.95,
+        ];
+        let embeddings = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        (logits, probabilities, embeddings)
+    }
+
+    #[test]
+    fn entropy_selector_prefers_uncertain_and_diverse() {
+        let (logits, probs, emb) = fixture();
+        let ctx = context(&logits, &probs, &emb, 2);
+        let picked = EntropySelector::new().select(&ctx);
+        assert_eq!(picked.len(), 2);
+        // The boundary sample (2) must be picked; the duplicate pair (0, 1)
+        // must not be picked together.
+        assert!(picked.contains(&2), "{picked:?}");
+        assert!(!(picked.contains(&0) && picked.contains(&1)), "{picked:?}");
+    }
+
+    #[test]
+    fn entropy_selector_records_weights() {
+        let (logits, probs, emb) = fixture();
+        let ctx = context(&logits, &probs, &emb, 2);
+        let mut sel = EntropySelector::new();
+        let _ = sel.select(&ctx);
+        let (w1, w2) = sel.last_weights().expect("weights recorded");
+        assert!((w1 + w2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ablation_without_diversity_ranks_by_uncertainty() {
+        let (logits, probs, emb) = fixture();
+        let mut ctx = context(&logits, &probs, &emb, 1);
+        ctx.ablation.diversity = false;
+        let picked = EntropySelector::new().select(&ctx);
+        assert_eq!(picked, vec![2]);
+    }
+
+    #[test]
+    fn ablation_without_uncertainty_ranks_by_diversity() {
+        let (logits, probs, emb) = fixture();
+        let mut ctx = context(&logits, &probs, &emb, 2);
+        ctx.ablation.uncertainty = false;
+        let picked = EntropySelector::new().select(&ctx);
+        // Duplicates (0, 1) score zero diversity; the two singletons win.
+        assert!(picked.contains(&2) && picked.contains(&3), "{picked:?}");
+    }
+
+    #[test]
+    fn fixed_weights_mode_applies() {
+        let (logits, probs, emb) = fixture();
+        let mut ctx = context(&logits, &probs, &emb, 2);
+        ctx.weight_mode = WeightMode::Fixed { omega2: 1.0 };
+        let picked = EntropySelector::new().select(&ctx);
+        // ω₂ = 1 is pure diversity.
+        assert!(picked.contains(&2) && picked.contains(&3) || picked.contains(&3), "{picked:?}");
+        assert!(!(picked.contains(&0) && picked.contains(&1)));
+    }
+
+    #[test]
+    fn ts_selector_ignores_diversity() {
+        let (logits, probs, emb) = fixture();
+        let ctx = context(&logits, &probs, &emb, 2);
+        let picked = UncertaintySelector::new().select(&ctx);
+        // Top-2 by hotspot-aware uncertainty: boundary sample then the
+        // confident hotspot (both take the σ⁽⁰⁾ + h branch).
+        assert_eq!(picked, vec![2, 3]);
+    }
+
+    #[test]
+    fn random_selector_is_deterministic_per_seed() {
+        let (logits, probs, emb) = fixture();
+        let ctx = context(&logits, &probs, &emb, 2);
+        let a = RandomSelector::new().select(&ctx);
+        let b = RandomSelector::new().select(&ctx);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_query_set_selects_nothing() {
+        let logits = Matrix::zeros(0, 2);
+        let emb = Matrix::zeros(0, 3);
+        let ctx = context(&logits, &[], &emb, 3);
+        assert!(EntropySelector::new().select(&ctx).is_empty());
+        assert!(UncertaintySelector::new().select(&ctx).is_empty());
+        assert!(RandomSelector::new().select(&ctx).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_pool_returns_all() {
+        let (logits, probs, emb) = fixture();
+        let ctx = context(&logits, &probs, &emb, 99);
+        let picked = EntropySelector::new().select(&ctx);
+        assert_eq!(picked.len(), 4);
+    }
+
+    #[test]
+    fn top_k_tie_breaks_to_lower_index() {
+        assert_eq!(top_k(&[0.5, 0.9, 0.5], 2), vec![1, 0]);
+    }
+}

@@ -1,0 +1,181 @@
+/// An orthonormal 2-D type-II discrete cosine transform of fixed size.
+///
+/// The basis is precomputed at construction, so repeated transforms over
+/// thousands of clip blocks are a pair of small matrix products. The
+/// orthonormal scaling makes [`Dct2d::inverse`] the exact adjoint, giving a
+/// lossless round-trip (up to floating-point error).
+///
+/// ```
+/// use hotspot_features::Dct2d;
+/// let dct = Dct2d::new(8);
+/// let block = vec![0.5f32; 64];
+/// let coeffs = dct.transform(&block);
+/// // A constant block has all its energy in the DC coefficient.
+/// assert!((coeffs[0] - 0.5 * 8.0).abs() < 1e-5);
+/// assert!(coeffs[1].abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dct2d {
+    n: usize,
+    /// Row-major basis: `basis[k * n + i] = c(k) * cos(π (2i+1) k / 2n)`.
+    basis: Vec<f32>,
+}
+
+impl Dct2d {
+    /// Builds the transform for `n × n` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "DCT block size must be positive");
+        let mut basis = vec![0.0f32; n * n];
+        let norm0 = (1.0 / n as f64).sqrt();
+        let norm = (2.0 / n as f64).sqrt();
+        for k in 0..n {
+            let c = if k == 0 { norm0 } else { norm };
+            for i in 0..n {
+                let angle = std::f64::consts::PI * (2 * i + 1) as f64 * k as f64 / (2 * n) as f64;
+                basis[k * n + i] = (c * angle.cos()) as f32;
+            }
+        }
+        Dct2d { n, basis }
+    }
+
+    /// Block edge length.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Forward 2-D DCT of a row-major `n × n` block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block.len() != n * n`.
+    pub fn transform(&self, block: &[f32]) -> Vec<f32> {
+        let n = self.n;
+        assert_eq!(block.len(), n * n, "block size mismatch");
+        // rows: tmp = block * Bᵀ  (transform along x)
+        let mut tmp = vec![0.0f32; n * n];
+        for r in 0..n {
+            for k in 0..n {
+                let mut acc = 0.0f32;
+                for i in 0..n {
+                    acc += block[r * n + i] * self.basis[k * n + i];
+                }
+                tmp[r * n + k] = acc;
+            }
+        }
+        // cols: out = B * tmp (transform along y)
+        let mut out = vec![0.0f32; n * n];
+        for k in 0..n {
+            for c in 0..n {
+                let mut acc = 0.0f32;
+                for r in 0..n {
+                    acc += self.basis[k * n + r] * tmp[r * n + c];
+                }
+                out[k * n + c] = acc;
+            }
+        }
+        out
+    }
+
+    /// Inverse 2-D DCT (the adjoint of [`Dct2d::transform`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coeffs.len() != n * n`.
+    pub fn inverse(&self, coeffs: &[f32]) -> Vec<f32> {
+        let n = self.n;
+        assert_eq!(coeffs.len(), n * n, "coefficient size mismatch");
+        // rows: tmp = coeffs * B
+        let mut tmp = vec![0.0f32; n * n];
+        for r in 0..n {
+            for i in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += coeffs[r * n + k] * self.basis[k * n + i];
+                }
+                tmp[r * n + i] = acc;
+            }
+        }
+        // cols: out = Bᵀ * tmp
+        let mut out = vec![0.0f32; n * n];
+        for i in 0..n {
+            for c in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += self.basis[k * n + i] * tmp[k * n + c];
+                }
+                out[i * n + c] = acc;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dc_of_constant_block() {
+        let dct = Dct2d::new(4);
+        let coeffs = dct.transform(&vec![1.0f32; 16]);
+        assert!((coeffs[0] - 4.0).abs() < 1e-5);
+        for &c in &coeffs[1..] {
+            assert!(c.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let dct = Dct2d::new(4);
+        let a: Vec<f32> = (0..16).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..16).map(|i| (i as f32 * 0.3).cos()).collect();
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let ta = dct.transform(&a);
+        let tb = dct.transform(&b);
+        let tsum = dct.transform(&sum);
+        for i in 0..16 {
+            assert!((tsum[i] - ta[i] - tb[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let dct = Dct2d::new(8);
+        let block: Vec<f32> = (0..64).map(|i| ((i * 37 % 13) as f32) / 13.0).collect();
+        let coeffs = dct.transform(&block);
+        let e_in: f64 = block.iter().map(|&v| (v as f64).powi(2)).sum();
+        let e_out: f64 = coeffs.iter().map(|&v| (v as f64).powi(2)).sum();
+        assert!((e_in - e_out).abs() < 1e-3, "{e_in} vs {e_out}");
+    }
+
+    #[test]
+    #[should_panic(expected = "block size mismatch")]
+    fn wrong_size_panics() {
+        let _ = Dct2d::new(8).transform(&[0.0; 10]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(block in proptest::collection::vec(-1.0f32..1.0, 64)) {
+            let dct = Dct2d::new(8);
+            let back = dct.inverse(&dct.transform(&block));
+            for (a, b) in block.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_parseval(block in proptest::collection::vec(-1.0f32..1.0, 36)) {
+            let dct = Dct2d::new(6);
+            let coeffs = dct.transform(&block);
+            let e_in: f64 = block.iter().map(|&v| (v as f64).powi(2)).sum();
+            let e_out: f64 = coeffs.iter().map(|&v| (v as f64).powi(2)).sum();
+            prop_assert!((e_in - e_out).abs() < 1e-3);
+        }
+    }
+}

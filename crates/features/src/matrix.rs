@@ -1,0 +1,304 @@
+use crate::FeatureError;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of per-clip feature vectors.
+///
+/// Row `i` is the feature vector of clip `i`. The type is shared by the
+/// classifier input pipeline, the GMM, and the diversity metric, and carries
+/// the normalisation helpers those consumers need.
+///
+/// ```
+/// use hotspot_features::FeatureMatrix;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let m = FeatureMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.row(1), &[3.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    rows: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMatrix {
+    /// Builds a matrix from per-clip rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::RaggedRows`] when rows differ in width.
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Result<Self, FeatureError> {
+        let dim = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        let n = rows.len();
+        for row in rows {
+            if row.len() != dim {
+                return Err(FeatureError::RaggedRows {
+                    expected: dim,
+                    found: row.len(),
+                });
+            }
+            data.extend_from_slice(&row);
+        }
+        Ok(FeatureMatrix { rows: n, dim, data })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` is not a multiple of `dim` (with `dim > 0`).
+    pub fn from_flat(data: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "feature dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "flat buffer is not a whole number of rows");
+        FeatureMatrix {
+            rows: data.len() / dim,
+            dim,
+            data,
+        }
+    }
+
+    /// Number of clips (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Feature dimension (columns).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Feature vector of clip `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= rows()`.
+    pub fn row(&self, index: usize) -> &[f32] {
+        assert!(index < self.rows, "row {index} out of range ({} rows)", self.rows);
+        &self.data[index * self.dim..(index + 1) * self.dim]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterator over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Gathers a sub-matrix of the given row indices (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> FeatureMatrix {
+        let mut data = Vec::with_capacity(indices.len() * self.dim);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        FeatureMatrix {
+            rows: indices.len(),
+            dim: self.dim,
+            data,
+        }
+    }
+
+    /// Per-column mean and standard deviation, for standardisation.
+    /// Columns with zero variance report a standard deviation of 1 so that
+    /// standardising them is a no-op shift.
+    pub fn column_stats(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut mean = vec![0.0f64; self.dim];
+        for row in self.iter() {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v as f64;
+            }
+        }
+        let n = self.rows.max(1) as f64;
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; self.dim];
+        for row in self.iter() {
+            for ((s, &v), m) in var.iter_mut().zip(row).zip(&mean) {
+                *s += (v as f64 - m).powi(2);
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|&s| {
+                let sd = (s / n).sqrt();
+                if sd > 1e-12 {
+                    sd as f32
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        (mean.into_iter().map(|m| m as f32).collect(), std)
+    }
+
+    /// Returns a standardised copy: each column shifted by `mean` and scaled
+    /// by `1 / std`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the statistics vectors do not match the dimension.
+    pub fn standardized(&self, mean: &[f32], std: &[f32]) -> FeatureMatrix {
+        assert_eq!(mean.len(), self.dim, "mean length mismatch");
+        assert_eq!(std.len(), self.dim, "std length mismatch");
+        let mut data = Vec::with_capacity(self.data.len());
+        for row in self.iter() {
+            for ((&v, &m), &s) in row.iter().zip(mean).zip(std) {
+                data.push((v - m) / s);
+            }
+        }
+        FeatureMatrix {
+            rows: self.rows,
+            dim: self.dim,
+            data,
+        }
+    }
+
+    /// Returns a copy whose rows are scaled to unit Euclidean norm.
+    /// Zero rows are left as zeros.
+    pub fn l2_normalized(&self) -> FeatureMatrix {
+        let mut data = Vec::with_capacity(self.data.len());
+        for row in self.iter() {
+            let norm = row.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                data.extend(row.iter().map(|&v| (v as f64 / norm) as f32));
+            } else {
+                data.extend_from_slice(row);
+            }
+        }
+        FeatureMatrix {
+            rows: self.rows,
+            dim: self.dim,
+            data,
+        }
+    }
+}
+
+impl FromIterator<Vec<f32>> for FeatureMatrix {
+    /// Collects rows into a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rows have inconsistent widths; use
+    /// [`FeatureMatrix::from_rows`] for a fallible build.
+    fn from_iter<I: IntoIterator<Item = Vec<f32>>>(iter: I) -> Self {
+        FeatureMatrix::from_rows(iter.into_iter().collect()).expect("consistent row widths")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn matrix() -> FeatureMatrix {
+        FeatureMatrix::from_rows(vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = FeatureMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, FeatureError::RaggedRows { expected: 1, found: 2 }));
+    }
+
+    #[test]
+    fn row_access() {
+        let m = matrix();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.row(2), &[3.0, 30.0]);
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let m = matrix().gather(&[3, 0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), &[4.0, 40.0]);
+        assert_eq!(m.row(1), &[1.0, 10.0]);
+    }
+
+    #[test]
+    fn standardize_centers_columns() {
+        let m = matrix();
+        let (mean, std) = m.column_stats();
+        let s = m.standardized(&mean, &std);
+        // Column means of the standardized matrix are ~0, stds ~1.
+        let (m2, s2) = s.column_stats();
+        for v in m2 {
+            assert!(v.abs() < 1e-6);
+        }
+        for v in s2 {
+            assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_column_standardizes_to_zero() {
+        let m = FeatureMatrix::from_rows(vec![vec![5.0, 1.0], vec![5.0, 2.0]]).unwrap();
+        let (mean, std) = m.column_stats();
+        let s = m.standardized(&mean, &std);
+        assert_eq!(s.row(0)[0], 0.0);
+        assert_eq!(s.row(1)[0], 0.0);
+    }
+
+    #[test]
+    fn l2_normalize_gives_unit_rows() {
+        let m = matrix().l2_normalized();
+        for row in m.iter() {
+            let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn l2_normalize_keeps_zero_rows() {
+        let m = FeatureMatrix::from_rows(vec![vec![0.0, 0.0]]).unwrap().l2_normalized();
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_flat_round_trips() {
+        let m = FeatureMatrix::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let m: FeatureMatrix = vec![vec![1.0f32], vec![2.0]].into_iter().collect();
+        assert_eq!(m.rows(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_l2_rows_bounded(rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, 4), 1..20,
+        )) {
+            let m = FeatureMatrix::from_rows(rows).unwrap().l2_normalized();
+            for row in m.iter() {
+                let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+                prop_assert!(norm < 1.0 + 1e-4);
+            }
+        }
+    }
+}

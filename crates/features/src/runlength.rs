@@ -1,0 +1,225 @@
+use hotspot_geom::Raster;
+
+/// Default run-length histogram bin edges (inclusive upper bounds, in
+/// pixels). Chosen roughly logarithmic so that sub-resolution, marginal and
+/// comfortable feature sizes land in distinct bins at the workspace's raster
+/// pitches.
+pub const DEFAULT_RUN_BINS: [usize; 12] = [1, 2, 3, 4, 6, 8, 11, 16, 22, 32, 45, 64];
+
+/// Translation-invariant run-length histogram features of a clip raster.
+///
+/// The raster is thresholded at `threshold`; each scanline (both horizontal
+/// and vertical) is decomposed into maximal runs of metal (1s) and space
+/// (0s), and run lengths are binned into `bins` (an extra overflow bin
+/// catches longer runs). Runs touching a scanline boundary are *censored*
+/// (skipped): a wire cut by the clip border has an unknown true width, and
+/// counting it would alias wide safe wires into the narrow defect bins.
+/// The output concatenates four histograms — horizontal metal, horizontal
+/// space, vertical metal, vertical space — each normalised to sum to 1
+/// (all-zero histograms stay zero). Interior metal runs are exactly wire
+/// widths and interior space runs exactly spacings along that direction.
+///
+/// Wire widths and spacings are exactly what lithographic printability
+/// depends on, so these features give a classifier a translation-invariant
+/// view of the clip that block-DCT features (which are location-sensitive)
+/// do not provide. Density/geometry histogram features of this kind are
+/// standard in the machine-learning hotspot literature.
+///
+/// # Panics
+///
+/// Panics when `bins` is empty or not strictly increasing.
+///
+/// ```
+/// use hotspot_geom::{Raster, Rect};
+/// use hotspot_features::{run_length_histogram, DEFAULT_RUN_BINS};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut raster = Raster::zeros(Rect::new(0, 0, 100, 100)?, 10)?;
+/// raster.fill_rect(&Rect::new(0, 40, 100, 60)?, 1.0);
+/// let h = run_length_histogram(&raster, 0.5, &DEFAULT_RUN_BINS);
+/// assert_eq!(h.len(), 4 * (DEFAULT_RUN_BINS.len() + 1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_length_histogram(raster: &Raster, threshold: f32, bins: &[usize]) -> Vec<f32> {
+    assert!(!bins.is_empty(), "bins must not be empty");
+    assert!(
+        bins.windows(2).all(|w| w[0] < w[1]),
+        "bins must be strictly increasing"
+    );
+    let (w, h) = (raster.width(), raster.height());
+    let bits: Vec<bool> = raster.pixels().iter().map(|&v| v >= threshold).collect();
+    let n_bins = bins.len() + 1;
+    let mut histograms = vec![0.0f32; 4 * n_bins];
+
+    let bin_of = |len: usize| -> usize {
+        bins.iter().position(|&edge| len <= edge).unwrap_or(bins.len())
+    };
+    let mut record = |offset: usize, value: bool, len: usize| {
+        if len == 0 {
+            return;
+        }
+        let base = offset + if value { 0 } else { n_bins };
+        histograms[base + bin_of(len)] += 1.0;
+    };
+
+    // Horizontal scanlines: runs starting at column 0 or ending at the last
+    // column are censored.
+    for row in 0..h {
+        let mut run_value = bits[row * w];
+        let mut run_len = 1usize;
+        let mut interior_start = false;
+        for col in 1..w {
+            let v = bits[row * w + col];
+            if v == run_value {
+                run_len += 1;
+            } else {
+                if interior_start {
+                    record(0, run_value, run_len);
+                }
+                run_value = v;
+                run_len = 1;
+                interior_start = true;
+            }
+        }
+    }
+    // Vertical scanlines: runs touching row 0 or the last row are censored.
+    for col in 0..w {
+        let mut run_value = bits[col];
+        let mut run_len = 1usize;
+        let mut interior_start = false;
+        for row in 1..h {
+            let v = bits[row * w + col];
+            if v == run_value {
+                run_len += 1;
+            } else {
+                if interior_start {
+                    record(2 * n_bins, run_value, run_len);
+                }
+                run_value = v;
+                run_len = 1;
+                interior_start = true;
+            }
+        }
+    }
+
+    // Normalise each of the four histograms independently.
+    for quarter in histograms.chunks_mut(n_bins) {
+        let total: f32 = quarter.iter().sum();
+        if total > 0.0 {
+            for v in quarter {
+                *v /= total;
+            }
+        }
+    }
+    histograms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::Rect;
+
+    fn raster_with(rects: &[Rect]) -> Raster {
+        let mut r = Raster::zeros(Rect::new(0, 0, 200, 200).unwrap(), 10).unwrap();
+        for rect in rects {
+            r.fill_rect(rect, 1.0);
+        }
+        r
+    }
+
+    #[test]
+    fn output_length_is_four_quarters() {
+        let h = run_length_histogram(&raster_with(&[]), 0.5, &DEFAULT_RUN_BINS);
+        assert_eq!(h.len(), 4 * 13);
+    }
+
+    #[test]
+    fn empty_raster_has_no_interior_runs() {
+        // Every run of an empty raster touches the border, so all four
+        // histograms stay zero (censored).
+        let h = run_length_histogram(&raster_with(&[]), 0.5, &DEFAULT_RUN_BINS);
+        assert!(h.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn border_cut_wire_is_censored() {
+        // A wire crossing the bottom border contributes no vertical metal
+        // runs — its true width is unknown.
+        let h = run_length_histogram(
+            &raster_with(&[Rect::new(0, 0, 200, 30).unwrap()]),
+            0.5,
+            &DEFAULT_RUN_BINS,
+        );
+        let n = DEFAULT_RUN_BINS.len() + 1;
+        assert!(h[2 * n..3 * n].iter().all(|&v| v == 0.0), "{h:?}");
+    }
+
+    #[test]
+    fn wire_width_lands_in_expected_bin() {
+        // A 30 nm (3 px) horizontal wire: vertical scanlines see 3-long
+        // metal runs.
+        let h = run_length_histogram(
+            &raster_with(&[Rect::new(0, 100, 200, 130).unwrap()]),
+            0.5,
+            &DEFAULT_RUN_BINS,
+        );
+        let n = DEFAULT_RUN_BINS.len() + 1;
+        let v_metal = &h[2 * n..3 * n];
+        assert!(v_metal[2] > 0.99, "{v_metal:?}"); // bin for len 3
+    }
+
+    #[test]
+    fn translation_invariance() {
+        let a = run_length_histogram(
+            &raster_with(&[Rect::new(0, 40, 200, 70).unwrap()]),
+            0.5,
+            &DEFAULT_RUN_BINS,
+        );
+        let b = run_length_histogram(
+            &raster_with(&[Rect::new(0, 120, 200, 150).unwrap()]),
+            0.5,
+            &DEFAULT_RUN_BINS,
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn narrow_and_wide_wires_differ() {
+        let narrow = run_length_histogram(
+            &raster_with(&[Rect::new(0, 100, 200, 120).unwrap()]),
+            0.5,
+            &DEFAULT_RUN_BINS,
+        );
+        let wide = run_length_histogram(
+            &raster_with(&[Rect::new(0, 80, 200, 160).unwrap()]),
+            0.5,
+            &DEFAULT_RUN_BINS,
+        );
+        let dist: f32 = narrow.iter().zip(&wide).map(|(a, b)| (a - b).abs()).sum();
+        assert!(dist > 0.5, "histograms too similar: {dist}");
+    }
+
+    #[test]
+    fn gap_length_recorded_in_space_histogram() {
+        // Two wires with a 2 px slot: vertical space runs of length 2 exist.
+        let h = run_length_histogram(
+            &raster_with(&[
+                Rect::new(0, 40, 200, 100).unwrap(),
+                Rect::new(0, 120, 200, 180).unwrap(),
+            ]),
+            0.5,
+            &DEFAULT_RUN_BINS,
+        );
+        let n = DEFAULT_RUN_BINS.len() + 1;
+        let v_space = &h[3 * n..4 * n];
+        assert!(v_space[1] > 0.0, "{v_space:?}"); // len-2 runs present
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bins() {
+        let _ = run_length_histogram(&raster_with(&[]), 0.5, &[3, 2]);
+    }
+}

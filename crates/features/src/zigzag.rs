@@ -1,0 +1,87 @@
+/// Returns the zig-zag traversal order of an `n × n` coefficient block as
+/// row-major indices, lowest spatial frequency first.
+///
+/// This is the JPEG scan order: `(0,0), (0,1), (1,0), (2,0), (1,1), …`.
+/// Truncating a coefficient vector in this order keeps the most informative
+/// low-frequency content.
+///
+/// ```
+/// use hotspot_features::zigzag_order;
+/// let order = zigzag_order(3);
+/// assert_eq!(order, vec![0, 1, 3, 6, 4, 2, 5, 7, 8]);
+/// ```
+pub fn zigzag_order(n: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(n * n);
+    for s in 0..(2 * n).saturating_sub(1) {
+        if s % 2 == 0 {
+            // Even anti-diagonal: walk up-right (row decreasing).
+            let r0 = s.min(n - 1);
+            let mut r = r0 as isize;
+            let mut c = (s - r0) as isize;
+            while r >= 0 && (c as usize) < n {
+                order.push(r as usize * n + c as usize);
+                r -= 1;
+                c += 1;
+            }
+        } else {
+            // Odd anti-diagonal: walk down-left (row increasing).
+            let c0 = s.min(n - 1);
+            let mut c = c0 as isize;
+            let mut r = (s - c0) as isize;
+            while c >= 0 && (r as usize) < n {
+                order.push(r as usize * n + c as usize);
+                r += 1;
+                c -= 1;
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn order_for_two() {
+        assert_eq!(zigzag_order(2), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn order_for_four_starts_low_frequency() {
+        let order = zigzag_order(4);
+        assert_eq!(&order[..6], &[0, 1, 4, 8, 5, 2]);
+        assert_eq!(*order.last().unwrap(), 15);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(zigzag_order(1), vec![0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_is_permutation(n in 1usize..12) {
+            let mut order = zigzag_order(n);
+            prop_assert_eq!(order.len(), n * n);
+            order.sort_unstable();
+            for (i, &v) in order.iter().enumerate() {
+                prop_assert_eq!(v, i);
+            }
+        }
+
+        #[test]
+        fn prop_diagonal_sums_nondecreasing(n in 1usize..12) {
+            // The anti-diagonal index (r + c) never decreases along the scan.
+            let order = zigzag_order(n);
+            let mut last = 0;
+            for &idx in &order {
+                let s = idx / n + idx % n;
+                prop_assert!(s + 1 >= last + 1 || s >= last);
+                prop_assert!(s >= last || s + 1 == last + 1);
+                last = last.max(s);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Error type for geometry construction and rasterisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A rectangle was constructed with `x1 < x0` or `y1 < y0`.
+    InvertedRect {
+        /// Offending coordinates `(x0, y0, x1, y1)`.
+        coords: (i64, i64, i64, i64),
+    },
+    /// A clip core size did not fit inside the clip window.
+    CoreTooLarge {
+        /// Requested core edge length in nanometres.
+        core: i64,
+        /// Clip window edge lengths `(width, height)`.
+        window: (i64, i64),
+    },
+    /// A raster was requested with a non-positive pixel pitch.
+    InvalidPitch {
+        /// The offending pitch value.
+        pitch: i64,
+    },
+    /// A raster was requested whose pixel count overflows.
+    RasterTooLarge {
+        /// Requested raster dimensions `(width_px, height_px)`.
+        dims: (i64, i64),
+    },
+    /// A polygon vertex loop was not a valid rectilinear boundary.
+    InvalidPolygon {
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InvertedRect { coords } => write!(
+                f,
+                "rectangle has inverted extent: ({}, {}) .. ({}, {})",
+                coords.0, coords.1, coords.2, coords.3
+            ),
+            GeomError::CoreTooLarge { core, window } => write!(
+                f,
+                "core edge {} nm does not fit in {} x {} nm clip window",
+                core, window.0, window.1
+            ),
+            GeomError::InvalidPitch { pitch } => {
+                write!(f, "raster pixel pitch must be positive, got {pitch}")
+            }
+            GeomError::RasterTooLarge { dims } => {
+                write!(f, "raster of {} x {} pixels is too large", dims.0, dims.1)
+            }
+            GeomError::InvalidPolygon { detail } => {
+                write!(f, "invalid rectilinear polygon: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}

@@ -1,0 +1,46 @@
+//! Integer Manhattan geometry primitives for VLSI layout clips.
+//!
+//! This crate is the lowest layer of the `lithohd` workspace: everything a
+//! lithography-hotspot pipeline needs to describe layout *clips* — axis-aligned
+//! rectangles in integer nanometres, clip windows with a core region, and
+//! dense rasters onto which geometry is burned before feature extraction or
+//! aerial-image simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_geom::{Rect, ClipWindow, Raster};
+//!
+//! # fn main() -> Result<(), hotspot_geom::GeomError> {
+//! // A 1200 nm × 1200 nm clip whose central 600 nm × 600 nm is the core.
+//! let clip = ClipWindow::new(Rect::new(0, 0, 1200, 1200)?, 600)?;
+//! let wire = Rect::new(100, 550, 1100, 610)?;
+//! assert!(clip.core().intersects(&wire));
+//!
+//! // Burn the wire into a 10 nm/pixel raster.
+//! let mut raster = Raster::zeros_for(&clip, 10)?;
+//! raster.fill_rect(&wire, 1.0);
+//! assert!(raster.density() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod clip;
+mod error;
+mod point;
+mod polygon;
+mod raster;
+mod rect;
+
+pub use clip::ClipWindow;
+pub use error::GeomError;
+pub use point::Point;
+pub use polygon::Polygon;
+pub use raster::Raster;
+pub use rect::Rect;
+
+/// Integer coordinate type used throughout the workspace (nanometres).
+pub type Coord = i64;

@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Error type for Gaussian-mixture fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GmmError {
+    /// The data buffer is not a whole number of `dim`-sized rows.
+    BadDataShape {
+        /// Buffer length.
+        len: usize,
+        /// Declared feature dimension.
+        dim: usize,
+    },
+    /// Fewer samples than mixture components.
+    TooFewSamples {
+        /// Samples provided.
+        samples: usize,
+        /// Components requested.
+        components: usize,
+    },
+    /// A configuration value was invalid (zero components, zero dim, …).
+    BadConfig {
+        /// Description of the problem.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for GmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmmError::BadDataShape { len, dim } => {
+                write!(f, "data length {len} is not a multiple of dimension {dim}")
+            }
+            GmmError::TooFewSamples {
+                samples,
+                components,
+            } => write!(
+                f,
+                "need at least as many samples ({samples}) as components ({components})"
+            ),
+            GmmError::BadConfig { detail } => write!(f, "invalid GMM configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for GmmError {}

@@ -1,0 +1,135 @@
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Chooses `k` initial centroids from row-major `data` with the k-means++
+/// seeding strategy (Arthur & Vassilvitskii 2007): the first centre uniformly
+/// at random, each further centre with probability proportional to its
+/// squared distance from the nearest chosen centre.
+///
+/// Returns the chosen centroids as row-major `k × dim` values.
+///
+/// # Panics
+///
+/// Panics when `data` is empty, `dim` is zero, `data.len()` is not a multiple
+/// of `dim`, or fewer rows than `k` exist.
+///
+/// ```
+/// use hotspot_gmm::kmeans_plus_plus;
+/// let data = [0.0f32, 0.0, 10.0, 10.0, 0.1, 0.1, 10.1, 9.9];
+/// let centres = kmeans_plus_plus(&data, 2, 2, 42);
+/// assert_eq!(centres.len(), 4);
+/// // The two centres land in different clusters.
+/// let d = (centres[0] - centres[2]).abs() + (centres[1] - centres[3]).abs();
+/// assert!(d > 5.0);
+/// ```
+pub fn kmeans_plus_plus(data: &[f32], dim: usize, k: usize, seed: u64) -> Vec<f32> {
+    assert!(dim > 0, "dimension must be positive");
+    assert!(!data.is_empty(), "data must not be empty");
+    assert_eq!(data.len() % dim, 0, "data is not a whole number of rows");
+    let n = data.len() / dim;
+    assert!(n >= k, "need at least {k} rows, got {n}");
+    assert!(k > 0, "k must be positive");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut centres = Vec::with_capacity(k * dim);
+    let first = rng.gen_range(0..n);
+    centres.extend_from_slice(&data[first * dim..(first + 1) * dim]);
+
+    let mut dist2 = vec![f64::MAX; n];
+    for _ in 1..k {
+        let newest = &centres[centres.len() - dim..];
+        let mut total = 0.0f64;
+        for i in 0..n {
+            let row = &data[i * dim..(i + 1) * dim];
+            let d: f64 = row
+                .iter()
+                .zip(newest)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            if d < dist2[i] {
+                dist2[i] = d;
+            }
+            total += dist2[i];
+        }
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in dist2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centres.extend_from_slice(&data[chosen * dim..(chosen + 1) * dim]);
+    }
+    centres
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn picks_k_centres() {
+        let data: Vec<f32> = (0..30).map(|i| i as f32).collect();
+        let centres = kmeans_plus_plus(&data, 1, 5, 0);
+        assert_eq!(centres.len(), 5);
+    }
+
+    #[test]
+    fn centres_are_data_points() {
+        let data = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let centres = kmeans_plus_plus(&data, 2, 2, 7);
+        for c in centres.chunks(2) {
+            let found = data.chunks(2).any(|row| row == c);
+            assert!(found, "centre {c:?} is not a data row");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data: Vec<f32> = (0..100).map(|i| (i * 31 % 17) as f32).collect();
+        let a = kmeans_plus_plus(&data, 2, 4, 11);
+        let b = kmeans_plus_plus(&data, 2, 4, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_points_still_terminate() {
+        let data = vec![5.0f32; 20];
+        let centres = kmeans_plus_plus(&data, 2, 3, 1);
+        assert_eq!(centres, vec![5.0; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_rows_panics() {
+        let _ = kmeans_plus_plus(&[1.0, 2.0], 2, 2, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spread_clusters_get_separate_centres(offset in 20.0f32..100.0, seed in 0u64..20) {
+            // Two tight clusters separated by `offset` ≫ intra-cluster spread.
+            let mut data = Vec::new();
+            for i in 0..20 {
+                data.push((i % 5) as f32 * 0.01);
+                data.push((i % 3) as f32 * 0.01);
+            }
+            for i in 0..20 {
+                data.push(offset + (i % 5) as f32 * 0.01);
+                data.push(offset + (i % 3) as f32 * 0.01);
+            }
+            let centres = kmeans_plus_plus(&data, 2, 2, seed);
+            let gap = (centres[0] - centres[2]).abs() + (centres[1] - centres[3]).abs();
+            prop_assert!(gap > offset, "centres collapsed: {centres:?}");
+        }
+    }
+}

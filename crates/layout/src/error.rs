@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Error type for benchmark generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// A specification field was invalid.
+    BadSpec {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// The generator could not reach the requested label counts — the
+    /// geometry parameters do not produce the required class at a workable
+    /// rate under the lithography model.
+    GenerationStalled {
+        /// Hotspots produced so far.
+        hotspots: usize,
+        /// Non-hotspots produced so far.
+        non_hotspots: usize,
+        /// Candidate patterns tried.
+        attempts: usize,
+    },
+    /// A geometry operation failed while synthesising a clip.
+    Geometry(hotspot_geom::GeomError),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::BadSpec { detail } => write!(f, "invalid benchmark spec: {detail}"),
+            LayoutError::GenerationStalled {
+                hotspots,
+                non_hotspots,
+                attempts,
+            } => write!(
+                f,
+                "generation stalled after {attempts} attempts ({hotspots} hotspots, {non_hotspots} non-hotspots)"
+            ),
+            LayoutError::Geometry(e) => write!(f, "geometry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LayoutError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hotspot_geom::GeomError> for LayoutError {
+    fn from(e: hotspot_geom::GeomError) -> Self {
+        LayoutError::Geometry(e)
+    }
+}

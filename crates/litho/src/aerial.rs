@@ -1,0 +1,157 @@
+use crate::GaussianKernel;
+use hotspot_geom::{Raster, Rect};
+
+/// The simulated aerial intensity image of a mask raster.
+///
+/// Intensities are normalised: a fully open mask region converges to 1.0,
+/// empty regions to 0.0. Produced by [`crate::LithoSimulator::aerial_image`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AerialImage {
+    region: Rect,
+    width: usize,
+    height: usize,
+    intensity: Vec<f32>,
+}
+
+impl AerialImage {
+    /// Convolves a mask raster with the optical kernel.
+    pub fn from_mask(mask: &Raster, kernel: &GaussianKernel) -> Self {
+        let mut intensity = vec![0.0f32; mask.pixels().len()];
+        kernel.convolve_2d(mask.pixels(), &mut intensity, mask.width(), mask.height());
+        AerialImage {
+            region: mask.region(),
+            width: mask.width(),
+            height: mask.height(),
+            intensity,
+        }
+    }
+
+    /// Layout region covered by the image.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row-major intensity data (row 0 = bottom).
+    pub fn intensity(&self) -> &[f32] {
+        &self.intensity
+    }
+
+    /// Intensity at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of bounds.
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        assert!(
+            row < self.height && col < self.width,
+            "aerial image index out of bounds"
+        );
+        self.intensity[row * self.width + col]
+    }
+
+    /// Maximum intensity anywhere in the image.
+    pub fn peak(&self) -> f32 {
+        self.intensity.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Image-log-slope proxy: the maximum absolute intensity difference
+    /// between 4-neighbouring pixels. Sharper images print more reliably.
+    pub fn max_gradient(&self) -> f32 {
+        let mut g = 0.0f32;
+        for row in 0..self.height {
+            for col in 0..self.width {
+                let v = self.intensity[row * self.width + col];
+                if col + 1 < self.width {
+                    g = g.max((v - self.intensity[row * self.width + col + 1]).abs());
+                }
+                if row + 1 < self.height {
+                    g = g.max((v - self.intensity[(row + 1) * self.width + col]).abs());
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::{Raster, Rect};
+
+    fn mask_with(rects: &[Rect]) -> Raster {
+        let mut r = Raster::zeros(Rect::new(0, 0, 640, 640).unwrap(), 10).unwrap();
+        for rect in rects {
+            r.fill_rect(rect, 1.0);
+        }
+        r
+    }
+
+    #[test]
+    fn empty_mask_is_dark() {
+        let img = AerialImage::from_mask(&mask_with(&[]), &GaussianKernel::new(3.0));
+        assert_eq!(img.peak(), 0.0);
+    }
+
+    #[test]
+    fn large_pad_reaches_full_intensity() {
+        let img = AerialImage::from_mask(
+            &mask_with(&[Rect::new(0, 0, 640, 640).unwrap()]),
+            &GaussianKernel::new(3.0),
+        );
+        assert!((img.peak() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn narrow_line_peaks_below_one() {
+        // A 30 nm line blurred by a 30 nm sigma: peak falls well below open-frame.
+        let img = AerialImage::from_mask(
+            &mask_with(&[Rect::new(0, 300, 640, 330).unwrap()]),
+            &GaussianKernel::new(3.0),
+        );
+        let peak = img.peak();
+        assert!(peak > 0.1 && peak < 0.6, "peak = {peak}");
+    }
+
+    #[test]
+    fn wider_line_is_brighter() {
+        let k = GaussianKernel::new(3.0);
+        let narrow = AerialImage::from_mask(&mask_with(&[Rect::new(0, 300, 640, 340).unwrap()]), &k);
+        let wide = AerialImage::from_mask(&mask_with(&[Rect::new(0, 280, 640, 360).unwrap()]), &k);
+        assert!(wide.peak() > narrow.peak());
+    }
+
+    #[test]
+    fn gap_between_lines_gains_intensity() {
+        let k = GaussianKernel::new(3.0);
+        // 40 nm slot between two wide lines: proximity fills the gap.
+        let img = AerialImage::from_mask(
+            &mask_with(&[
+                Rect::new(0, 200, 640, 300).unwrap(),
+                Rect::new(0, 340, 640, 440).unwrap(),
+            ]),
+            &k,
+        );
+        // Sample mid-gap (y = 320 nm → row 32).
+        let mid_gap = img.at(32, 32);
+        assert!(mid_gap > 0.4, "mid-gap intensity {mid_gap}");
+    }
+
+    #[test]
+    fn max_gradient_positive_for_edges() {
+        let img = AerialImage::from_mask(
+            &mask_with(&[Rect::new(0, 0, 640, 320).unwrap()]),
+            &GaussianKernel::new(2.0),
+        );
+        assert!(img.max_gradient() > 0.01);
+    }
+}

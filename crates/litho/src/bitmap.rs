@@ -1,0 +1,341 @@
+use hotspot_geom::Raster;
+
+/// A binary image with simple morphology, used for printed contours and
+/// design-intent masks.
+///
+/// ```
+/// use hotspot_geom::{Raster, Rect};
+/// use hotspot_litho::Bitmap;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut raster = Raster::zeros(Rect::new(0, 0, 100, 100)?, 10)?;
+/// raster.fill_rect(&Rect::new(0, 0, 100, 50)?, 1.0);
+/// let bm = Bitmap::from_raster(&raster, 0.5);
+/// assert_eq!(bm.count_ones(), 50);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    bits: Vec<bool>,
+}
+
+impl Bitmap {
+    /// Builds an all-false bitmap.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Bitmap {
+            width,
+            height,
+            bits: vec![false; width * height],
+        }
+    }
+
+    /// Thresholds a raster: pixels with value `>= threshold` become true.
+    pub fn from_raster(raster: &Raster, threshold: f32) -> Self {
+        Bitmap {
+            width: raster.width(),
+            height: raster.height(),
+            bits: raster.pixels().iter().map(|&v| v >= threshold).collect(),
+        }
+    }
+
+    /// Thresholds raw row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != width * height`.
+    pub fn from_values(data: &[f32], width: usize, height: usize, threshold: f32) -> Self {
+        assert_eq!(data.len(), width * height, "bitmap size mismatch");
+        Bitmap {
+            width,
+            height,
+            bits: data.iter().map(|&v| v >= threshold).collect(),
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row-major bit data.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Bit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of bounds.
+    pub fn at(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.height && col < self.width, "bitmap index out of bounds");
+        self.bits[row * self.width + col]
+    }
+
+    /// Sets the bit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.height && col < self.width, "bitmap index out of bounds");
+        self.bits[row * self.width + col] = value;
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Morphological dilation with a Chebyshev ball of the given radius
+    /// (a `(2r+1)²` square structuring element).
+    pub fn dilated(&self, radius: usize) -> Bitmap {
+        self.morph(radius, true)
+    }
+
+    /// Morphological erosion with a Chebyshev ball of the given radius.
+    /// Pixels outside the image are treated as false, so shapes touching the
+    /// border erode from the border side too.
+    pub fn eroded(&self, radius: usize) -> Bitmap {
+        self.morph(radius, false)
+    }
+
+    fn morph(&self, radius: usize, dilate: bool) -> Bitmap {
+        if radius == 0 {
+            return self.clone();
+        }
+        let r = radius as isize;
+        // Separable: horizontal max/min pass then vertical.
+        let mut tmp = vec![false; self.bits.len()];
+        for row in 0..self.height {
+            for col in 0..self.width {
+                let mut acc = !dilate;
+                for d in -r..=r {
+                    let c = col as isize + d;
+                    let v = if c < 0 || c >= self.width as isize {
+                        false
+                    } else {
+                        self.bits[row * self.width + c as usize]
+                    };
+                    if dilate {
+                        acc |= v;
+                    } else {
+                        acc &= v;
+                    }
+                }
+                tmp[row * self.width + col] = acc;
+            }
+        }
+        let mut out = vec![false; self.bits.len()];
+        for col in 0..self.width {
+            for row in 0..self.height {
+                let mut acc = !dilate;
+                for d in -r..=r {
+                    let rr = row as isize + d;
+                    let v = if rr < 0 || rr >= self.height as isize {
+                        false
+                    } else {
+                        tmp[rr as usize * self.width + col]
+                    };
+                    if dilate {
+                        acc |= v;
+                    } else {
+                        acc &= v;
+                    }
+                }
+                out[row * self.width + col] = acc;
+            }
+        }
+        Bitmap {
+            width: self.width,
+            height: self.height,
+            bits: out,
+        }
+    }
+
+    /// Pixels set in `self` but not in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions differ.
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "bitmap dimensions differ"
+        );
+        Bitmap {
+            width: self.width,
+            height: self.height,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| a && !b)
+                .collect(),
+        }
+    }
+
+    /// Connected components of set pixels (4-connectivity). Each component is
+    /// a list of `(row, col)` pixels.
+    pub fn components(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut seen = vec![false; self.bits.len()];
+        let mut components = Vec::new();
+        for start in 0..self.bits.len() {
+            if !self.bits[start] || seen[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            seen[start] = true;
+            let mut comp = Vec::new();
+            while let Some(idx) = stack.pop() {
+                let (row, col) = (idx / self.width, idx % self.width);
+                comp.push((row, col));
+                let mut push = |r: isize, c: isize| {
+                    if r < 0 || c < 0 || r >= self.height as isize || c >= self.width as isize {
+                        return;
+                    }
+                    let i = r as usize * self.width + c as usize;
+                    if self.bits[i] && !seen[i] {
+                        seen[i] = true;
+                        stack.push(i);
+                    }
+                };
+                push(row as isize - 1, col as isize);
+                push(row as isize + 1, col as isize);
+                push(row as isize, col as isize - 1);
+                push(row as isize, col as isize + 1);
+            }
+            components.push(comp);
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bitmap_from_rows(rows: &[&str]) -> Bitmap {
+        let height = rows.len();
+        let width = rows[0].len();
+        let mut bm = Bitmap::zeros(width, height);
+        for (r, line) in rows.iter().rev().enumerate() {
+            for (c, ch) in line.chars().enumerate() {
+                bm.set(r, c, ch == '#');
+            }
+        }
+        bm
+    }
+
+    #[test]
+    fn count_ones_counts() {
+        let bm = bitmap_from_rows(&["#..", ".#.", "..#"]);
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    fn dilate_grows_square() {
+        let bm = bitmap_from_rows(&[".....", ".....", "..#..", ".....", "....."]);
+        let d = bm.dilated(1);
+        assert_eq!(d.count_ones(), 9);
+        assert!(d.at(2, 2) && d.at(1, 1) && d.at(3, 3));
+    }
+
+    #[test]
+    fn erode_shrinks_square() {
+        let bm = bitmap_from_rows(&["#####", "#####", "#####", "#####", "#####"]);
+        let e = bm.eroded(1);
+        assert_eq!(e.count_ones(), 9);
+        assert!(!e.at(0, 0));
+        assert!(e.at(2, 2));
+    }
+
+    #[test]
+    fn erode_then_dilate_is_opening() {
+        // A lone pixel disappears under opening.
+        let bm = bitmap_from_rows(&["...", ".#.", "..."]);
+        let opened = bm.eroded(1).dilated(1);
+        assert_eq!(opened.count_ones(), 0);
+    }
+
+    #[test]
+    fn and_not_subtracts() {
+        let a = bitmap_from_rows(&["##", "##"]);
+        let b = bitmap_from_rows(&["#.", "#."]);
+        assert_eq!(a.and_not(&b).count_ones(), 2);
+    }
+
+    #[test]
+    fn components_separate_diagonals() {
+        // 4-connectivity: a diagonal pair forms two components.
+        let bm = bitmap_from_rows(&["#.", ".#"]);
+        assert_eq!(bm.components().len(), 2);
+    }
+
+    #[test]
+    fn components_join_orthogonals() {
+        let bm = bitmap_from_rows(&["##", "#."]);
+        let comps = bm.components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3);
+    }
+
+    #[test]
+    fn zero_radius_morph_is_identity() {
+        let bm = bitmap_from_rows(&["#.#", ".#.", "#.#"]);
+        assert_eq!(bm.dilated(0), bm);
+        assert_eq!(bm.eroded(0), bm);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dilation_is_monotone(bits in proptest::collection::vec(any::<bool>(), 49)) {
+            let mut bm = Bitmap::zeros(7, 7);
+            for (i, &b) in bits.iter().enumerate() {
+                bm.set(i / 7, i % 7, b);
+            }
+            let d = bm.dilated(1);
+            // Dilation is extensive: every set pixel remains set.
+            for i in 0..49 {
+                if bm.bits()[i] {
+                    prop_assert!(d.bits()[i]);
+                }
+            }
+            prop_assert!(d.count_ones() >= bm.count_ones());
+        }
+
+        #[test]
+        fn prop_erosion_is_anti_extensive(bits in proptest::collection::vec(any::<bool>(), 49)) {
+            let mut bm = Bitmap::zeros(7, 7);
+            for (i, &b) in bits.iter().enumerate() {
+                bm.set(i / 7, i % 7, b);
+            }
+            let e = bm.eroded(1);
+            for i in 0..49 {
+                if e.bits()[i] {
+                    prop_assert!(bm.bits()[i]);
+                }
+            }
+            prop_assert!(e.count_ones() <= bm.count_ones());
+        }
+
+        #[test]
+        fn prop_components_partition_ones(bits in proptest::collection::vec(any::<bool>(), 36)) {
+            let mut bm = Bitmap::zeros(6, 6);
+            for (i, &b) in bits.iter().enumerate() {
+                bm.set(i / 6, i % 6, b);
+            }
+            let total: usize = bm.components().iter().map(|c| c.len()).sum();
+            prop_assert_eq!(total, bm.count_ones());
+        }
+    }
+}

@@ -1,0 +1,209 @@
+use crate::Bitmap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Edge-placement-error statistics of a printed contour against its design
+/// intent.
+///
+/// For every design edge pixel (a metal pixel with a non-metal 4-neighbour),
+/// the EPE is its Chebyshev distance to the nearest printed edge pixel —
+/// how far the printed contour wandered from where the designer drew it.
+/// The summary is what OPC and metrology flows report: mean, max, and a
+/// histogram of per-edge-pixel errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpeStats {
+    /// Design edge pixels measured.
+    pub edge_pixels: usize,
+    /// Mean EPE in pixels.
+    pub mean_px: f64,
+    /// Maximum EPE in pixels (capped at the scan radius).
+    pub max_px: usize,
+    /// Histogram: `histogram[d]` = edge pixels at EPE exactly `d`, for
+    /// `d ∈ 0..=radius`; pixels with no printed edge within the radius are
+    /// counted in the last bucket.
+    pub histogram: Vec<usize>,
+}
+
+impl EpeStats {
+    /// Fraction of design edge pixels within `tolerance` pixels of the
+    /// printed contour.
+    pub fn within(&self, tolerance: usize) -> f64 {
+        if self.edge_pixels == 0 {
+            return 1.0;
+        }
+        let ok: usize = self
+            .histogram
+            .iter()
+            .take(tolerance + 1)
+            .sum();
+        ok as f64 / self.edge_pixels as f64
+    }
+}
+
+impl fmt::Display for EpeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EPE over {} edge px: mean {:.2}, max {}, within 1 px {:.1}%",
+            self.edge_pixels,
+            self.mean_px,
+            self.max_px,
+            self.within(1) * 100.0
+        )
+    }
+}
+
+/// Measures edge-placement error of `printed` against `target` up to a scan
+/// radius (pixels farther than `radius` from any printed edge saturate).
+///
+/// # Panics
+///
+/// Panics when the bitmaps differ in size or `radius` is zero.
+pub fn epe_stats(target: &Bitmap, printed: &Bitmap, radius: usize) -> EpeStats {
+    assert_eq!(
+        (target.width(), target.height()),
+        (printed.width(), printed.height()),
+        "bitmap dimensions differ"
+    );
+    assert!(radius > 0, "scan radius must be positive");
+    let (w, h) = (target.width(), target.height());
+
+    let edge_of = |bitmap: &Bitmap| -> Vec<bool> {
+        let mut edges = vec![false; w * h];
+        for row in 0..h {
+            for col in 0..w {
+                if !bitmap.at(row, col) {
+                    continue;
+                }
+                let boundary = row == 0
+                    || col == 0
+                    || row + 1 == h
+                    || col + 1 == w
+                    || !bitmap.at(row - 1, col)
+                    || !bitmap.at(row + 1, col)
+                    || !bitmap.at(row, col - 1)
+                    || !bitmap.at(row, col + 1);
+                edges[row * w + col] = boundary;
+            }
+        }
+        edges
+    };
+    let target_edges = edge_of(target);
+    let printed_edges = edge_of(printed);
+
+    let mut histogram = vec![0usize; radius + 1];
+    let mut total = 0usize;
+    let mut sum = 0.0f64;
+    let mut max = 0usize;
+    for row in 0..h {
+        for col in 0..w {
+            if !target_edges[row * w + col] {
+                continue;
+            }
+            // Smallest Chebyshev ring containing a printed edge pixel.
+            let mut distance = radius;
+            'ring: for d in 0..radius {
+                let r0 = row.saturating_sub(d);
+                let r1 = (row + d).min(h - 1);
+                let c0 = col.saturating_sub(d);
+                let c1 = (col + d).min(w - 1);
+                for r in r0..=r1 {
+                    for c in c0..=c1 {
+                        if printed_edges[r * w + c] {
+                            distance = d;
+                            break 'ring;
+                        }
+                    }
+                }
+            }
+            histogram[distance] += 1;
+            total += 1;
+            sum += distance as f64;
+            max = max.max(distance);
+        }
+    }
+    EpeStats {
+        edge_pixels: total,
+        mean_px: if total > 0 { sum / total as f64 } else { 0.0 },
+        max_px: max,
+        histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GaussianKernel, LithoConfig, ResistModel};
+    use crate::aerial::AerialImage;
+    use hotspot_geom::{Raster, Rect};
+
+    fn bitmap_square(edge: usize, lo: usize, hi: usize) -> Bitmap {
+        let mut bm = Bitmap::zeros(edge, edge);
+        for r in lo..hi {
+            for c in lo..hi {
+                bm.set(r, c, true);
+            }
+        }
+        bm
+    }
+
+    #[test]
+    fn identical_contours_have_zero_epe() {
+        let a = bitmap_square(20, 5, 15);
+        let stats = epe_stats(&a, &a, 4);
+        assert!(stats.edge_pixels > 0);
+        assert_eq!(stats.mean_px, 0.0);
+        assert_eq!(stats.max_px, 0);
+        assert_eq!(stats.within(0), 1.0);
+    }
+
+    #[test]
+    fn uniform_shrink_gives_uniform_epe() {
+        let target = bitmap_square(20, 5, 15);
+        let printed = bitmap_square(20, 7, 13); // pulled in by 2 px
+        let stats = epe_stats(&target, &printed, 6);
+        assert!(stats.mean_px > 1.0, "{stats}");
+        assert!(stats.max_px >= 2);
+        assert!(stats.within(1) < 1.0);
+        assert_eq!(stats.within(6), 1.0);
+    }
+
+    #[test]
+    fn missing_print_saturates_at_radius() {
+        let target = bitmap_square(20, 5, 15);
+        let printed = Bitmap::zeros(20, 20);
+        let stats = epe_stats(&target, &printed, 3);
+        assert_eq!(stats.max_px, 3);
+        assert_eq!(stats.within(2), 0.0);
+    }
+
+    #[test]
+    fn real_simulation_keeps_epe_within_tolerance() {
+        // A comfortable wire through the litho model: EPE must sit within
+        // the detector's tolerance (the premise of the defect checks).
+        let config = LithoConfig::duv_28nm();
+        let mut mask = Raster::zeros(Rect::new(0, 0, 1200, 1200).unwrap(), config.pitch).unwrap();
+        mask.fill_rect(&Rect::new(0, 500, 1200, 620).unwrap(), 1.0);
+        let aerial = AerialImage::from_mask(&mask, &GaussianKernel::new(config.sigma_px()));
+        let printed = ResistModel::new(config.resist_threshold).develop(&aerial);
+        let target = Bitmap::from_raster(&mask, 0.5);
+        let stats = epe_stats(&target, &printed, 8);
+        assert!(
+            stats.within(config.epe_tolerance_px) > 0.99,
+            "printed contour drifted: {stats}"
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = bitmap_square(10, 2, 8);
+        let text = epe_stats(&a, &a, 2).to_string();
+        assert!(text.contains("mean") && text.contains("within 1 px"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn rejects_mismatched_bitmaps() {
+        let _ = epe_stats(&Bitmap::zeros(4, 4), &Bitmap::zeros(5, 5), 2);
+    }
+}

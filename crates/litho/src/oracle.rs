@@ -1,0 +1,169 @@
+use crate::Label;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A labelling oracle over an indexed clip population.
+///
+/// Active-learning experiments address clips by dataset index; the oracle
+/// answers with the lithography label and meters the cost. Implementations
+/// must be *consistent*: repeated queries of one index return the same label.
+pub trait LithoOracle {
+    /// Labels clip `index`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `index` is out of range for the
+    /// underlying dataset.
+    fn query(&mut self, index: usize) -> Label;
+
+    /// Number of *distinct* clips simulated so far — the paper's litho-clip
+    /// count. Re-querying a cached clip is free, mirroring a real flow that
+    /// stores simulation results.
+    fn unique_queries(&self) -> usize;
+
+    /// Total query calls including cache hits.
+    fn total_queries(&self) -> usize;
+}
+
+/// Aggregate statistics of an oracle's usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct OracleStats {
+    /// Distinct clips simulated (the billable litho-clip count).
+    pub unique: usize,
+    /// Total queries including cache hits.
+    pub total: usize,
+}
+
+/// A metered oracle over precomputed ground-truth labels.
+///
+/// Ground truth is established once while generating a benchmark (dataset
+/// construction); `CountingOracle` then *meters* how many of those labels an
+/// algorithm actually pays to observe — exactly the litho-simulation-overhead
+/// accounting of the paper.
+///
+/// ```
+/// use hotspot_litho::{CountingOracle, Label, LithoOracle};
+/// let mut oracle = CountingOracle::new(vec![Label::Hotspot, Label::NonHotspot]);
+/// assert_eq!(oracle.query(0), Label::Hotspot);
+/// assert_eq!(oracle.query(0), Label::Hotspot); // cache hit
+/// assert_eq!(oracle.unique_queries(), 1);
+/// assert_eq!(oracle.total_queries(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingOracle {
+    truth: Vec<Label>,
+    cache: HashMap<usize, Label>,
+    total: usize,
+}
+
+impl CountingOracle {
+    /// Creates an oracle over the given ground-truth labels.
+    pub fn new(truth: Vec<Label>) -> Self {
+        CountingOracle {
+            truth,
+            cache: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Size of the underlying population.
+    pub fn len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.truth.is_empty()
+    }
+
+    /// Snapshot of usage statistics.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            unique: self.cache.len(),
+            total: self.total,
+        }
+    }
+
+    /// Resets the meters (not the ground truth).
+    pub fn reset(&mut self) {
+        self.cache.clear();
+        self.total = 0;
+    }
+
+    /// Read-only peek at the ground truth *without* paying for a simulation.
+    /// Only evaluation code (accuracy computation) may use this; samplers
+    /// must go through [`LithoOracle::query`].
+    pub fn ground_truth(&self) -> &[Label] {
+        &self.truth
+    }
+}
+
+impl LithoOracle for CountingOracle {
+    fn query(&mut self, index: usize) -> Label {
+        assert!(
+            index < self.truth.len(),
+            "oracle query {index} out of range ({} clips)",
+            self.truth.len()
+        );
+        self.total += 1;
+        *self.cache.entry(index).or_insert(self.truth[index])
+    }
+
+    fn unique_queries(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn total_queries(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> CountingOracle {
+        CountingOracle::new(vec![
+            Label::Hotspot,
+            Label::NonHotspot,
+            Label::NonHotspot,
+            Label::Hotspot,
+        ])
+    }
+
+    #[test]
+    fn query_returns_truth() {
+        let mut o = oracle();
+        assert_eq!(o.query(0), Label::Hotspot);
+        assert_eq!(o.query(1), Label::NonHotspot);
+        assert_eq!(o.query(3), Label::Hotspot);
+    }
+
+    #[test]
+    fn unique_vs_total_accounting() {
+        let mut o = oracle();
+        o.query(0);
+        o.query(0);
+        o.query(2);
+        assert_eq!(o.unique_queries(), 2);
+        assert_eq!(o.total_queries(), 3);
+        assert_eq!(o.stats(), OracleStats { unique: 2, total: 3 });
+    }
+
+    #[test]
+    fn reset_clears_meters() {
+        let mut o = oracle();
+        o.query(1);
+        o.reset();
+        assert_eq!(o.unique_queries(), 0);
+        assert_eq!(o.total_queries(), 0);
+        assert_eq!(o.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut o = oracle();
+        let _ = o.query(99);
+    }
+}

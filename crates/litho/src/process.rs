@@ -1,0 +1,249 @@
+use crate::{Label, LithoConfig, LithoReport, LithoSimulator};
+use hotspot_geom::{Raster, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One corner of the lithography process window: a (defocus, dose) excursion
+/// from the nominal imaging condition.
+///
+/// Defocus is modelled as a blur-radius scale (> 1 = more defocused, wider
+/// point spread); dose as a resist-threshold scale (> 1 = under-exposure,
+/// features print smaller). These are the standard knobs of a
+/// focus-exposure matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessCorner {
+    /// Human-readable corner tag (`"nominal"`, `"defocus+"`, …).
+    pub name: &'static str,
+    /// Multiplier on the optical σ (1.0 = nominal focus).
+    pub sigma_scale: f64,
+    /// Multiplier on the resist threshold (1.0 = nominal dose).
+    pub threshold_scale: f32,
+}
+
+impl ProcessCorner {
+    /// The nominal condition.
+    pub fn nominal() -> Self {
+        ProcessCorner {
+            name: "nominal",
+            sigma_scale: 1.0,
+            threshold_scale: 1.0,
+        }
+    }
+
+    /// A conventional 5-corner focus-exposure window: nominal, ±10 % focus
+    /// blur, ±6 % dose.
+    pub fn standard_window() -> Vec<ProcessCorner> {
+        vec![
+            ProcessCorner::nominal(),
+            ProcessCorner {
+                name: "defocus+",
+                sigma_scale: 1.10,
+                threshold_scale: 1.0,
+            },
+            ProcessCorner {
+                name: "defocus-",
+                sigma_scale: 0.90,
+                threshold_scale: 1.0,
+            },
+            ProcessCorner {
+                name: "dose-",
+                sigma_scale: 1.0,
+                threshold_scale: 1.06,
+            },
+            ProcessCorner {
+                name: "dose+",
+                sigma_scale: 1.0,
+                threshold_scale: 0.94,
+            },
+        ]
+    }
+
+    /// The litho configuration this corner induces on a nominal one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scaled threshold leaves `(0, 1)` or the scaled sigma
+    /// is not positive.
+    pub fn apply(&self, nominal: &LithoConfig) -> LithoConfig {
+        let mut config = nominal.clone();
+        config.sigma = nominal.sigma * self.sigma_scale;
+        config.resist_threshold = nominal.resist_threshold * self.threshold_scale;
+        assert!(
+            config.sigma > 0.0,
+            "corner {} produces non-positive sigma",
+            self.name
+        );
+        assert!(
+            config.resist_threshold > 0.0 && config.resist_threshold < 1.0,
+            "corner {} pushes the resist threshold to {}",
+            self.name,
+            config.resist_threshold
+        );
+        config
+    }
+}
+
+/// The outcome of analysing one clip across a process window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessWindowReport {
+    /// Per-corner `(corner name, report)` results, in window order.
+    pub corners: Vec<(String, LithoReport)>,
+}
+
+impl ProcessWindowReport {
+    /// A clip is a *process-window hotspot* when any corner fails — the
+    /// conservative labelling a manufacturing sign-off uses.
+    pub fn label(&self) -> Label {
+        if self
+            .corners
+            .iter()
+            .any(|(_, report)| report.label() == Label::Hotspot)
+        {
+            Label::Hotspot
+        } else {
+            Label::NonHotspot
+        }
+    }
+
+    /// Names of the corners that failed.
+    pub fn failing_corners(&self) -> Vec<&str> {
+        self.corners
+            .iter()
+            .filter(|(_, report)| report.label() == Label::Hotspot)
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for ProcessWindowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())?;
+        let failing = self.failing_corners();
+        if !failing.is_empty() {
+            write!(f, " (fails: {})", failing.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyses a clip across a set of process corners.
+///
+/// Marginal geometry that survives the nominal condition often fails a
+/// focus or dose excursion first — exactly the "weak pattern" class that
+/// full-chip sign-off hunts for. This is an extension beyond the paper
+/// (which labels at nominal only); benchmark generation continues to use
+/// nominal labels.
+pub fn analyze_process_window(
+    nominal: &LithoConfig,
+    corners: &[ProcessCorner],
+    mask: &Raster,
+    core: Rect,
+) -> ProcessWindowReport {
+    let corners = corners
+        .iter()
+        .map(|corner| {
+            let sim = LithoSimulator::new(corner.apply(nominal));
+            (corner.name.to_owned(), sim.analyze(mask, core))
+        })
+        .collect();
+    ProcessWindowReport { corners }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::{Raster, Rect};
+
+    fn mask_with_track(width: i64) -> (Raster, Rect) {
+        let config = LithoConfig::duv_28nm();
+        let mut raster = Raster::zeros(Rect::new(0, 0, 1200, 1200).unwrap(), config.pitch).unwrap();
+        let y = 600 - width / 2;
+        raster
+            .fill_rect(&Rect::new(0, y, 1200, y + width).unwrap(), 1.0);
+        (raster, Rect::new(300, 300, 900, 900).unwrap())
+    }
+
+    #[test]
+    fn nominal_corner_is_identity() {
+        let nominal = LithoConfig::duv_28nm();
+        assert_eq!(ProcessCorner::nominal().apply(&nominal), nominal);
+    }
+
+    #[test]
+    fn standard_window_has_five_corners() {
+        let window = ProcessCorner::standard_window();
+        assert_eq!(window.len(), 5);
+        assert_eq!(window[0].name, "nominal");
+    }
+
+    #[test]
+    fn robust_geometry_passes_every_corner() {
+        let (mask, core) = mask_with_track(100);
+        let report = analyze_process_window(
+            &LithoConfig::duv_28nm(),
+            &ProcessCorner::standard_window(),
+            &mask,
+            core,
+        );
+        assert_eq!(report.label(), Label::NonHotspot);
+        assert!(report.failing_corners().is_empty());
+    }
+
+    #[test]
+    fn hard_defect_fails_every_corner() {
+        let (mask, core) = mask_with_track(30);
+        let report = analyze_process_window(
+            &LithoConfig::duv_28nm(),
+            &ProcessCorner::standard_window(),
+            &mask,
+            core,
+        );
+        assert_eq!(report.label(), Label::Hotspot);
+        assert!(report.failing_corners().len() >= 4, "{report}");
+    }
+
+    #[test]
+    fn marginal_geometry_fails_off_nominal_first() {
+        // Sweep widths downward until some width passes nominal but fails an
+        // excursion — the process window must be strictly tighter than the
+        // nominal condition.
+        let nominal_config = LithoConfig::duv_28nm();
+        let nominal_sim = LithoSimulator::new(nominal_config.clone());
+        let window = ProcessCorner::standard_window();
+        let mut found_marginal = false;
+        for width in (34..=60).step_by(2) {
+            let (mask, core) = mask_with_track(width);
+            let nominal_label = nominal_sim.label(&mask, core);
+            let pw = analyze_process_window(&nominal_config, &window, &mask, core);
+            if nominal_label == Label::NonHotspot && pw.label() == Label::Hotspot {
+                found_marginal = true;
+                assert!(!pw.failing_corners().contains(&"nominal"));
+            }
+        }
+        assert!(found_marginal, "no width was process-window-limited");
+    }
+
+    #[test]
+    #[should_panic(expected = "resist threshold")]
+    fn rejects_corner_outside_unit_threshold() {
+        let corner = ProcessCorner {
+            name: "absurd",
+            sigma_scale: 1.0,
+            threshold_scale: 5.0,
+        };
+        let _ = corner.apply(&LithoConfig::duv_28nm());
+    }
+
+    #[test]
+    fn display_names_failing_corners() {
+        let (mask, core) = mask_with_track(30);
+        let report = analyze_process_window(
+            &LithoConfig::duv_28nm(),
+            &ProcessCorner::standard_window(),
+            &mask,
+            core,
+        );
+        let text = report.to_string();
+        assert!(text.contains("hotspot") && text.contains("fails:"));
+    }
+}

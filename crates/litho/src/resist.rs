@@ -1,0 +1,75 @@
+use crate::{AerialImage, Bitmap};
+
+/// Constant-threshold resist model.
+///
+/// Aerial intensity at or above the threshold develops into printed resist;
+/// everything below washes away. This is the classic constant-threshold
+/// approximation used for fast printability estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResistModel {
+    threshold: f32,
+}
+
+impl ResistModel {
+    /// Creates a resist model with the given development threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is outside `(0, 1)`.
+    pub fn new(threshold: f32) -> Self {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "resist threshold must lie in (0, 1), got {threshold}"
+        );
+        ResistModel { threshold }
+    }
+
+    /// The development threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Develops an aerial image into a printed contour bitmap.
+    pub fn develop(&self, aerial: &AerialImage) -> Bitmap {
+        Bitmap::from_values(
+            aerial.intensity(),
+            aerial.width(),
+            aerial.height(),
+            self.threshold,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GaussianKernel;
+    use hotspot_geom::{Raster, Rect};
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1)")]
+    fn rejects_threshold_of_one() {
+        let _ = ResistModel::new(1.0);
+    }
+
+    #[test]
+    fn develop_thresholds_intensity() {
+        let mut mask = Raster::zeros(Rect::new(0, 0, 400, 400).unwrap(), 10).unwrap();
+        mask.fill_rect(&Rect::new(0, 0, 400, 200).unwrap(), 1.0);
+        let aerial = AerialImage::from_mask(&mask, &GaussianKernel::new(2.0));
+        let printed = ResistModel::new(0.5).develop(&aerial);
+        // Deep inside the pad the resist prints; far outside it does not.
+        assert!(printed.at(5, 20));
+        assert!(!printed.at(35, 20));
+    }
+
+    #[test]
+    fn lower_threshold_prints_more() {
+        let mut mask = Raster::zeros(Rect::new(0, 0, 400, 400).unwrap(), 10).unwrap();
+        mask.fill_rect(&Rect::new(100, 100, 300, 300).unwrap(), 1.0);
+        let aerial = AerialImage::from_mask(&mask, &GaussianKernel::new(3.0));
+        let lo = ResistModel::new(0.3).develop(&aerial);
+        let hi = ResistModel::new(0.7).develop(&aerial);
+        assert!(lo.count_ones() > hi.count_ones());
+    }
+}

@@ -1,0 +1,424 @@
+use crate::layer::check_buffers;
+use crate::{InitRng, Layer, Matrix, NnError};
+
+/// A 2-D convolution layer with stride 1 and "same" zero padding.
+///
+/// Inputs are matrices whose columns are flattened `channels × height ×
+/// width` volumes (channel-major). Spatial dimensions are fixed at
+/// construction, as is usual for fixed-size clip classifiers.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    height: usize,
+    width: usize,
+    weights: Vec<f32>, // [out_c][in_c][k][k]
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Matrix>,
+}
+
+impl Conv2d {
+    /// Creates a convolution over `height × width` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero or the kernel is even (same-padding
+    /// needs an odd kernel).
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        height: usize,
+        width: usize,
+        rng: &mut InitRng,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0 && height > 0 && width > 0,
+            "conv dimensions must be positive"
+        );
+        assert!(kernel % 2 == 1, "same-padding convolution needs an odd kernel");
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            height,
+            width,
+            weights: rng.sample_fan_in(out_channels * fan_in, fan_in),
+            bias: vec![0.0; out_channels],
+            grad_weights: vec![0.0; out_channels * fan_in],
+            grad_bias: vec![0.0; out_channels],
+            cached_input: None,
+        }
+    }
+
+    /// Flattened input volume size.
+    pub fn in_dim(&self) -> usize {
+        self.in_channels * self.height * self.width
+    }
+
+    /// Flattened output volume size (same spatial dims, `out_channels`).
+    pub fn out_dim(&self) -> usize {
+        self.out_channels * self.height * self.width
+    }
+
+    fn apply(&self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim(), "conv input size mismatch");
+        let (h, w, k) = (self.height, self.width, self.kernel);
+        let pad = k / 2;
+        let plane = h * w;
+        let mut out = Matrix::zeros(input.rows(), self.out_dim());
+        for b in 0..input.rows() {
+            let x = input.row(b);
+            let y = out.row_mut(b);
+            for oc in 0..self.out_channels {
+                let w_oc = &self.weights
+                    [oc * self.in_channels * k * k..(oc + 1) * self.in_channels * k * k];
+                let out_plane = &mut y[oc * plane..(oc + 1) * plane];
+                for (i, v) in out_plane.iter_mut().enumerate() {
+                    *v = self.bias[oc];
+                    let (oy, ox) = (i / w, i % w);
+                    let mut acc = 0.0f32;
+                    for ic in 0..self.in_channels {
+                        let x_plane = &x[ic * plane..(ic + 1) * plane];
+                        let w_ic = &w_oc[ic * k * k..(ic + 1) * k * k];
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += w_ic[ky * k + kx] * x_plane[iy as usize * w + ix as usize];
+                            }
+                        }
+                    }
+                    *v += acc;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn infer(&self, input: &Matrix) -> Matrix {
+        self.apply(input)
+    }
+
+    fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let out = self.apply(input);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward called without forward_train");
+        let (h, w, k) = (self.height, self.width, self.kernel);
+        let pad = k / 2;
+        let plane = h * w;
+        let mut grad_in = Matrix::zeros(input.rows(), self.in_dim());
+        for b in 0..input.rows() {
+            let x = input.row(b);
+            let g = grad_output.row(b);
+            let gi = grad_in.row_mut(b);
+            for oc in 0..self.out_channels {
+                let g_plane = &g[oc * plane..(oc + 1) * plane];
+                self.grad_bias[oc] += g_plane.iter().sum::<f32>();
+                for ic in 0..self.in_channels {
+                    let x_plane = &x[ic * plane..(ic + 1) * plane];
+                    let gi_plane = &mut gi[ic * plane..(ic + 1) * plane];
+                    let w_base = (oc * self.in_channels + ic) * k * k;
+                    for oy in 0..h {
+                        for ox in 0..w {
+                            let go = g_plane[oy * w + ox];
+                            if go == 0.0 {
+                                continue;
+                            }
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - pad as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - pad as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = iy as usize * w + ix as usize;
+                                    self.grad_weights[w_base + ky * k + kx] += go * x_plane[xi];
+                                    gi_plane[xi] += go * self.weights[w_base + ky * k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        visitor(&mut self.weights, &mut self.grad_weights);
+        visitor(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn kind(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn param_buffers(&self) -> Vec<&[f32]> {
+        vec![&self.weights, &self.bias]
+    }
+
+    fn load_params(&mut self, buffers: &[Vec<f32>]) -> Result<(), NnError> {
+        check_buffers("conv2d", buffers, &[self.weights.len(), self.bias.len()])?;
+        self.weights.copy_from_slice(&buffers[0]);
+        self.bias.copy_from_slice(&buffers[1]);
+        Ok(())
+    }
+}
+
+/// A 2 × 2 max-pooling layer with stride 2.
+///
+/// Spatial dimensions must be even. Columns are flattened channel-major
+/// volumes, matching [`Conv2d`].
+#[derive(Debug)]
+pub struct MaxPool2d {
+    channels: usize,
+    height: usize,
+    width: usize,
+    argmax: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a pool over `channels` maps of `height × width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions are zero or odd.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        assert!(channels > 0 && height > 0 && width > 0, "pool dimensions must be positive");
+        assert!(
+            height % 2 == 0 && width % 2 == 0,
+            "2x2 pooling needs even spatial dimensions"
+        );
+        MaxPool2d {
+            channels,
+            height,
+            width,
+            argmax: None,
+        }
+    }
+
+    /// Flattened input volume size.
+    pub fn in_dim(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Flattened output volume size.
+    pub fn out_dim(&self) -> usize {
+        self.channels * (self.height / 2) * (self.width / 2)
+    }
+
+    fn apply(&self, input: &Matrix) -> (Matrix, Vec<usize>) {
+        assert_eq!(input.cols(), self.in_dim(), "pool input size mismatch");
+        let (h, w) = (self.height, self.width);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Matrix::zeros(input.rows(), self.out_dim());
+        let mut argmax = vec![0usize; input.rows() * self.out_dim()];
+        for b in 0..input.rows() {
+            let x = input.row(b);
+            let y = out.row_mut(b);
+            for c in 0..self.channels {
+                let x_plane = &x[c * h * w..(c + 1) * h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = (2 * oy + dy) * w + 2 * ox + dx;
+                                if x_plane[idx] > best {
+                                    best = x_plane[idx];
+                                    best_idx = c * h * w + idx;
+                                }
+                            }
+                        }
+                        let o = c * oh * ow + oy * ow + ox;
+                        y[o] = best;
+                        argmax[b * self.out_dim() + o] = best_idx;
+                    }
+                }
+            }
+        }
+        (out, argmax)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn infer(&self, input: &Matrix) -> Matrix {
+        self.apply(input).0
+    }
+
+    fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let (out, argmax) = self.apply(input);
+        self.argmax = Some(argmax);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let argmax = self
+            .argmax
+            .take()
+            .expect("backward called without forward_train");
+        let mut grad_in = Matrix::zeros(grad_output.rows(), self.in_dim());
+        let od = self.out_dim();
+        for b in 0..grad_output.rows() {
+            let g = grad_output.row(b);
+            let gi = grad_in.row_mut(b);
+            for (o, &src) in argmax[b * od..(b + 1) * od].iter().enumerate() {
+                gi[src] += g[o];
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn kind(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn param_buffers(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    fn load_params(&mut self, buffers: &[Vec<f32>]) -> Result<(), NnError> {
+        if buffers.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::SnapshotMismatch {
+                detail: format!("maxpool2d has no parameters, snapshot has {}", buffers.len()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv() -> Conv2d {
+        let mut rng = InitRng::seeded(11, 0.5);
+        Conv2d::new(1, 2, 3, 4, 4, &mut rng)
+    }
+
+    #[test]
+    fn conv_output_shape() {
+        let c = conv();
+        let x = Matrix::zeros(3, 16);
+        let y = c.infer(&x);
+        assert_eq!((y.rows(), y.cols()), (3, 32));
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut rng = InitRng::seeded(1, 0.1);
+        let mut c = Conv2d::new(1, 1, 3, 4, 4, &mut rng);
+        // Centre-tap identity kernel.
+        let mut w = vec![0.0f32; 9];
+        w[4] = 1.0;
+        c.load_params(&[w, vec![0.0]]).unwrap();
+        let x = Matrix::from_rows(&[(0..16).map(|i| i as f32).collect::<Vec<_>>()]).unwrap();
+        assert_eq!(c.infer(&x), x);
+    }
+
+    #[test]
+    fn conv_numerical_gradient_check() {
+        let mut c = conv();
+        let x = Matrix::from_rows(&[(0..16).map(|i| ((i * 7 % 5) as f32 - 2.0) / 3.0).collect::<Vec<_>>()])
+            .unwrap();
+        let y = c.forward_train(&x);
+        let ones = Matrix::from_flat(1, y.cols(), vec![1.0; y.cols()]);
+        let grad_in = c.backward(&ones);
+
+        let eps = 1e-2f32;
+        let sum_out = |c: &Conv2d, x: &Matrix| -> f32 { c.infer(x).as_slice().iter().sum() };
+
+        for idx in [0usize, 4, 9, 17] {
+            let mut cp = conv();
+            cp.weights[idx] += eps;
+            let mut cm = conv();
+            cm.weights[idx] -= eps;
+            let numeric = (sum_out(&cp, &x) - sum_out(&cm, &x)) / (2.0 * eps);
+            assert!(
+                (numeric - c.grad_weights[idx]).abs() < 0.05,
+                "weight {idx}: numeric {numeric} vs analytic {}",
+                c.grad_weights[idx]
+            );
+        }
+        for i in [0usize, 5, 15] {
+            let mut xp = x.clone();
+            xp.row_mut(0)[i] += eps;
+            let mut xm = x.clone();
+            xm.row_mut(0)[i] -= eps;
+            let numeric = (sum_out(&c, &xp) - sum_out(&c, &xm)) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.at(0, i)).abs() < 0.05,
+                "input {i}: numeric {numeric} vs analytic {}",
+                grad_in.at(0, i)
+            );
+        }
+    }
+
+    #[test]
+    fn pool_takes_maxima() {
+        let p = MaxPool2d::new(1, 4, 4);
+        let x = Matrix::from_rows(&[vec![
+            1.0, 2.0, 3.0, 4.0, //
+            5.0, 6.0, 7.0, 8.0, //
+            9.0, 1.0, 2.0, 3.0, //
+            4.0, 5.0, 6.0, 7.0,
+        ]])
+        .unwrap();
+        let y = p.infer(&x);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn pool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(1, 2, 2);
+        let x = Matrix::from_rows(&[vec![1.0, 9.0, 3.0, 4.0]]).unwrap();
+        let _ = p.forward_train(&x);
+        let g = Matrix::from_rows(&[vec![5.0]]).unwrap();
+        let gi = p.backward(&g);
+        assert_eq!(gi.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even spatial dimensions")]
+    fn pool_rejects_odd_dims() {
+        let _ = MaxPool2d::new(1, 3, 4);
+    }
+
+    #[test]
+    fn conv_pool_stack_dims_compose() {
+        let mut rng = InitRng::seeded(5, 0.2);
+        let c = Conv2d::new(1, 4, 3, 8, 8, &mut rng);
+        let p = MaxPool2d::new(4, 8, 8);
+        assert_eq!(c.out_dim(), p.in_dim());
+        let x = Matrix::zeros(2, c.in_dim());
+        let y = p.infer(&c.infer(&x));
+        assert_eq!(y.cols(), p.out_dim());
+    }
+}

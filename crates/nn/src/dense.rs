@@ -1,0 +1,248 @@
+use crate::layer::check_buffers;
+use crate::{InitRng, Layer, Matrix, NnError};
+
+/// A fully-connected layer: `y = x · Wᵀ + b`.
+///
+/// Weights are stored row-major as `out_dim × in_dim`; the layout makes both
+/// the forward product and the input-gradient product cache-friendly without
+/// explicit transposes.
+///
+/// ```
+/// use hotspot_nn::{Dense, InitRng, Layer, Matrix};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = InitRng::seeded(1, 0.1);
+/// let dense = Dense::new(4, 2, &mut rng);
+/// let x = Matrix::zeros(3, 4);
+/// assert_eq!(dense.infer(&x).cols(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with fan-in-scaled `N(0, σ)` weights and zero
+    /// bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut InitRng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dense dimensions must be positive");
+        Dense {
+            in_dim,
+            out_dim,
+            weights: rng.sample_fan_in(out_dim * in_dim, in_dim),
+            bias: vec![0.0; out_dim],
+            grad_weights: vec![0.0; out_dim * in_dim],
+            grad_bias: vec![0.0; out_dim],
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Read-only weight view (`out_dim × in_dim`, row-major).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Read-only bias view.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    fn apply(&self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.in_dim,
+            "dense layer expected {} inputs, got {}",
+            self.in_dim,
+            input.cols()
+        );
+        let w = Matrix::from_flat(self.out_dim, self.in_dim, self.weights.clone());
+        let mut out = input.matmul_transpose(&w).expect("shapes checked");
+        out.add_row_bias(&self.bias);
+        out
+    }
+}
+
+impl Layer for Dense {
+    fn infer(&self, input: &Matrix) -> Matrix {
+        self.apply(input)
+    }
+
+    fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let out = self.apply(input);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward called without forward_train");
+        // ∂L/∂W = gradᵀ · x   (out_dim × in_dim)
+        let gw = grad_output
+            .transpose_matmul(&input)
+            .expect("shapes checked in forward");
+        for (g, &v) in self.grad_weights.iter_mut().zip(gw.as_slice()) {
+            *g += v;
+        }
+        for (g, v) in self.grad_bias.iter_mut().zip(grad_output.column_sums()) {
+            *g += v;
+        }
+        // ∂L/∂x = grad · W  (batch × in_dim)
+        let w = Matrix::from_flat(self.out_dim, self.in_dim, self.weights.clone());
+        grad_output.matmul(&w).expect("shapes checked")
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        visitor(&mut self.weights, &mut self.grad_weights);
+        visitor(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn kind(&self) -> &'static str {
+        "dense"
+    }
+
+    fn param_buffers(&self) -> Vec<&[f32]> {
+        vec![&self.weights, &self.bias]
+    }
+
+    fn load_params(&mut self, buffers: &[Vec<f32>]) -> Result<(), NnError> {
+        check_buffers("dense", buffers, &[self.weights.len(), self.bias.len()])?;
+        self.weights.copy_from_slice(&buffers[0]);
+        self.bias.copy_from_slice(&buffers[1]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> Dense {
+        let mut rng = InitRng::seeded(3, 0.5);
+        Dense::new(3, 2, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let d = layer();
+        let x = Matrix::zeros(5, 3);
+        let y = d.infer(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 2));
+    }
+
+    #[test]
+    fn zero_input_outputs_bias() {
+        let mut d = layer();
+        d.bias.copy_from_slice(&[1.5, -2.5]);
+        let y = d.infer(&Matrix::zeros(2, 3));
+        assert_eq!(y.row(0), &[1.5, -2.5]);
+        assert_eq!(y.row(1), &[1.5, -2.5]);
+    }
+
+    #[test]
+    fn infer_matches_forward_train() {
+        let mut d = layer();
+        let x = Matrix::from_rows(&[vec![0.1, -0.2, 0.3]]).unwrap();
+        assert_eq!(d.infer(&x), d.forward_train(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called without forward_train")]
+    fn backward_without_forward_panics() {
+        let mut d = layer();
+        let _ = d.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        // Finite-difference check of ∂(sum of outputs)/∂W and ∂/∂x.
+        let mut d = layer();
+        let x = Matrix::from_rows(&[vec![0.3, -0.7, 0.2], vec![-0.1, 0.4, 0.9]]).unwrap();
+        let y = d.forward_train(&x);
+        let ones = Matrix::from_flat(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+        let grad_in = d.backward(&ones);
+
+        let eps = 1e-3f32;
+        let sum_out = |d: &Dense, x: &Matrix| -> f32 { d.infer(x).as_slice().iter().sum() };
+
+        // Weight gradient.
+        for idx in [0usize, 2, 5] {
+            let mut dp = layer();
+            dp.weights[idx] += eps;
+            let mut dm = layer();
+            dm.weights[idx] -= eps;
+            let numeric = (sum_out(&dp, &x) - sum_out(&dm, &x)) / (2.0 * eps);
+            assert!(
+                (numeric - d.grad_weights[idx]).abs() < 1e-2,
+                "weight {idx}: numeric {numeric} vs analytic {}",
+                d.grad_weights[idx]
+            );
+        }
+
+        // Input gradient.
+        for (r, c) in [(0usize, 0usize), (1, 2)] {
+            let mut xp = x.clone();
+            xp.row_mut(r)[c] += eps;
+            let mut xm = x.clone();
+            xm.row_mut(r)[c] -= eps;
+            let numeric = (sum_out(&d, &xp) - sum_out(&d, &xm)) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.at(r, c)).abs() < 1e-2,
+                "input ({r},{c}): numeric {numeric} vs analytic {}",
+                grad_in.at(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut d = layer();
+        let x = Matrix::from_rows(&[vec![0.3, -0.7, 0.2], vec![-0.1, 0.4, 0.9]]).unwrap();
+        let _ = d.forward_train(&x);
+        let grad = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let _ = d.backward(&grad);
+        assert_eq!(d.grad_bias, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut a = layer();
+        let bufs: Vec<Vec<f32>> = a.param_buffers().into_iter().map(<[f32]>::to_vec).collect();
+        let mut b = {
+            let mut rng = InitRng::seeded(99, 0.5);
+            Dense::new(3, 2, &mut rng)
+        };
+        b.load_params(&bufs).unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert_eq!(a.forward_train(&x), b.infer(&x));
+    }
+
+    #[test]
+    fn load_params_rejects_bad_shapes() {
+        let mut d = layer();
+        assert!(d.load_params(&[vec![0.0; 5], vec![0.0; 2]]).is_err());
+        assert!(d.load_params(&[vec![0.0; 6]]).is_err());
+    }
+}

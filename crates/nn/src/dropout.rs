@@ -1,0 +1,189 @@
+use crate::{Layer, Matrix, NnError};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `rate` and survivors are scaled by `1 / (1 − rate)`;
+/// inference is the identity, so calibrated probabilities stay comparable
+/// between training and detection passes.
+///
+/// The mask stream is seeded, keeping whole experiment runs bit-exact.
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f32,
+    rng: ChaCha8Rng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is outside `[0, 1)`.
+    pub fn new(rate: f32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must lie in [0, 1), got {rate}"
+        );
+        Dropout {
+            rate,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.clone()
+    }
+
+    fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        if self.rate == 0.0 {
+            self.mask = Some(vec![1.0; input.as_slice().len()]);
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let mask: Vec<f32> = (0..input.as_slice().len())
+            .map(|_| {
+                if self.rng.gen::<f32>() < self.rate {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
+            .collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&v, &m)| v * m)
+            .collect();
+        self.mask = Some(mask);
+        Matrix::from_flat(input.rows(), input.cols(), data)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mask = self
+            .mask
+            .take()
+            .expect("backward called without forward_train");
+        assert_eq!(
+            mask.len(),
+            grad_output.as_slice().len(),
+            "dropout cache size mismatch"
+        );
+        let data = grad_output
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| g * m)
+            .collect();
+        Matrix::from_flat(grad_output.rows(), grad_output.cols(), data)
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn kind(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn param_buffers(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    fn load_params(&mut self, buffers: &[Vec<f32>]) -> Result<(), NnError> {
+        if buffers.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::SnapshotMismatch {
+                detail: format!("dropout has no parameters, snapshot has {}", buffers.len()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let layer = Dropout::new(0.5, 1);
+        let x = Matrix::from_rows(&[vec![1.0, -2.0, 3.0]]).unwrap();
+        assert_eq!(layer.infer(&x), x);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut layer = Dropout::new(0.4, 7);
+        let x = Matrix::from_flat(1, 10_000, vec![1.0; 10_000]);
+        let y = layer.forward_train(&x);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Survivors carry the inverted scale.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 1.0 / 0.6).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_gates_like_forward() {
+        let mut layer = Dropout::new(0.5, 3);
+        let x = Matrix::from_flat(1, 8, vec![1.0; 8]);
+        let y = layer.forward_train(&x);
+        let g = Matrix::from_flat(1, 8, vec![1.0; 8]);
+        let gi = layer.backward(&g);
+        for (out, grad) in y.as_slice().iter().zip(gi.as_slice()) {
+            assert_eq!(out == &0.0, grad == &0.0);
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_identity_in_training() {
+        let mut layer = Dropout::new(0.0, 1);
+        let x = Matrix::from_rows(&[vec![2.0, 3.0]]).unwrap();
+        assert_eq!(layer.forward_train(&x), x);
+    }
+
+    #[test]
+    fn masks_are_deterministic_per_seed() {
+        let x = Matrix::from_flat(1, 32, vec![1.0; 32]);
+        let mut a = Dropout::new(0.5, 9);
+        let mut b = Dropout::new(0.5, 9);
+        assert_eq!(a.forward_train(&x), b.forward_train(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rejects_rate_of_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn trains_inside_a_network() {
+        use crate::{Adam, Dense, InitRng, Relu, Sequential, SoftmaxCrossEntropy};
+        let mut rng = InitRng::seeded(2, 1.0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 16, &mut rng));
+        net.push(Relu::new());
+        net.push(Dropout::new(0.2, 5));
+        net.push(Dense::new(16, 2, &mut rng));
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]])
+            .unwrap();
+        let y = vec![1usize, 0, 1, 0];
+        let loss = SoftmaxCrossEntropy::balanced(2);
+        let mut opt = Adam::new(0.05);
+        let mut last = f64::MAX;
+        for _ in 0..200 {
+            last = net.train_batch(&x, &y, &loss, &mut opt).unwrap();
+        }
+        assert!(last < 0.5, "loss {last}");
+        assert_eq!(net.infer(&x).argmax_rows(), y);
+    }
+}

@@ -1,0 +1,116 @@
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Seedable Gaussian weight initialiser.
+///
+/// Algorithm 2 of the paper initialises the model as `w ~ N(0, σ)`; this type
+/// reproduces that with a deterministic stream so experiments are exactly
+/// repeatable across runs and platforms.
+///
+/// ```
+/// use hotspot_nn::InitRng;
+/// let mut a = InitRng::seeded(7, 0.1);
+/// let mut b = InitRng::seeded(7, 0.1);
+/// assert_eq!(a.sample(), b.sample());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InitRng {
+    rng: ChaCha8Rng,
+    sigma: f64,
+}
+
+impl InitRng {
+    /// Creates an initialiser drawing from `N(0, sigma²)` with a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sigma` is not finite and positive.
+    pub fn seeded(seed: u64, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "init sigma must be positive, got {sigma}"
+        );
+        InitRng {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            sigma,
+        }
+    }
+
+    /// The configured standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one `N(0, σ²)` sample (Box–Muller transform).
+    pub fn sample(&mut self) -> f32 {
+        // Box–Muller: u1 in (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (z * self.sigma) as f32
+    }
+
+    /// Fills a buffer with `N(0, σ²)` samples.
+    pub fn fill(&mut self, buf: &mut [f32]) {
+        for v in buf {
+            *v = self.sample();
+        }
+    }
+
+    /// Draws `n` samples scaled for a fan-in of `fan_in` (He-style scaling on
+    /// top of the base σ) — keeps deep stacks trainable while preserving the
+    /// seeded N(0, σ) contract for σ = 1.
+    pub fn sample_fan_in(&mut self, n: usize, fan_in: usize) -> Vec<f32> {
+        let scale = (2.0 / fan_in.max(1) as f64).sqrt();
+        (0..n).map(|_| (self.sample() as f64 * scale) as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = InitRng::seeded(123, 0.5);
+        let mut b = InitRng::seeded(123, 0.5);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = InitRng::seeded(1, 0.5);
+        let mut b = InitRng::seeded(2, 0.5);
+        let same = (0..50).filter(|_| a.sample() == b.sample()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let mut rng = InitRng::seeded(7, 0.3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.sample() as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.3).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn fan_in_scaling_shrinks_variance() {
+        let mut rng = InitRng::seeded(7, 1.0);
+        let wide = rng.sample_fan_in(5000, 1000);
+        let var = wide.iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / wide.len() as f64;
+        // Expect roughly 2/1000.
+        assert!(var < 0.01, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn rejects_zero_sigma() {
+        let _ = InitRng::seeded(0, 0.0);
+    }
+}

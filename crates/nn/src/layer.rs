@@ -1,0 +1,75 @@
+use crate::{Matrix, NnError};
+
+/// A differentiable network layer.
+///
+/// Layers expose two forward paths: [`Layer::infer`] is pure and thread-safe
+/// for pool-scale prediction, while [`Layer::forward_train`] caches whatever
+/// [`Layer::backward`] later needs. `backward` consumes the cached state,
+/// accumulates parameter gradients internally, and returns the gradient with
+/// respect to the layer input.
+///
+/// The trait is object-safe; networks hold `Box<dyn Layer>`.
+pub trait Layer: std::fmt::Debug + Send + Sync {
+    /// Pure forward pass (no caching); usable concurrently via `&self`.
+    fn infer(&self, input: &Matrix) -> Matrix;
+
+    /// Forward pass that caches activations for the next [`Layer::backward`].
+    fn forward_train(&mut self, input: &Matrix) -> Matrix;
+
+    /// Backward pass: consumes the cache from the last
+    /// [`Layer::forward_train`], accumulates parameter gradients, and returns
+    /// `∂loss/∂input`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called without a preceding
+    /// `forward_train`.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Visits each (parameter, gradient) buffer pair, in a stable order.
+    /// Layers without parameters do nothing.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32]));
+
+    /// Short architecture tag used by snapshots (e.g. `"dense"`).
+    fn kind(&self) -> &'static str;
+
+    /// Read-only views of the parameter buffers, in the same order as
+    /// [`Layer::visit_params`].
+    fn param_buffers(&self) -> Vec<&[f32]>;
+
+    /// Restores parameter buffers saved by [`Layer::param_buffers`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SnapshotMismatch`] when counts or lengths differ.
+    fn load_params(&mut self, buffers: &[Vec<f32>]) -> Result<(), NnError>;
+}
+
+/// Checks a snapshot buffer list against a layer's expectations; shared by
+/// the concrete `load_params` implementations.
+pub(crate) fn check_buffers(
+    kind: &str,
+    buffers: &[Vec<f32>],
+    expected: &[usize],
+) -> Result<(), NnError> {
+    if buffers.len() != expected.len() {
+        return Err(NnError::SnapshotMismatch {
+            detail: format!(
+                "{kind}: expected {} parameter buffers, snapshot has {}",
+                expected.len(),
+                buffers.len()
+            ),
+        });
+    }
+    for (i, (buf, &len)) in buffers.iter().zip(expected).enumerate() {
+        if buf.len() != len {
+            return Err(NnError::SnapshotMismatch {
+                detail: format!(
+                    "{kind}: buffer {i} expected length {len}, snapshot has {}",
+                    buf.len()
+                ),
+            });
+        }
+    }
+    Ok(())
+}

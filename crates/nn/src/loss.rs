@@ -1,0 +1,255 @@
+use crate::{Matrix, NnError};
+
+/// Softmax cross-entropy loss over logits, with optional per-class weights.
+///
+/// Hotspot datasets are heavily imbalanced (Table I of the paper: 2–6 %
+/// hotspots), so the loss supports class weighting; [`SoftmaxCrossEntropy::
+/// weighted`] scales each sample's loss and gradient by its class weight.
+///
+/// The backward gradient is computed analytically as
+/// `softmax(z) − onehot(y)` (scaled by weight / batch), which is numerically
+/// stable via the max-subtraction trick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftmaxCrossEntropy {
+    class_weights: Vec<f32>,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Uniform weights over `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes == 0`.
+    pub fn balanced(classes: usize) -> Self {
+        assert!(classes > 0, "class count must be positive");
+        SoftmaxCrossEntropy {
+            class_weights: vec![1.0; classes],
+        }
+    }
+
+    /// Explicit per-class weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty or contains a non-positive weight.
+    pub fn weighted(weights: Vec<f32>) -> Self {
+        assert!(!weights.is_empty(), "weights must not be empty");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w > 0.0),
+            "class weights must be positive"
+        );
+        SoftmaxCrossEntropy {
+            class_weights: weights,
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.class_weights.len()
+    }
+
+    /// Softmax probabilities of a logit matrix (row-wise).
+    pub fn probabilities(logits: &Matrix) -> Matrix {
+        let mut out = logits.clone();
+        for row in out.as_mut_slice().chunks_exact_mut(logits.cols()) {
+            softmax_in_place(row);
+        }
+        out
+    }
+
+    /// Computes the mean weighted loss and the gradient w.r.t. the logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LabelCountMismatch`] when `labels.len()` differs
+    /// from the batch size, [`NnError::LabelOutOfRange`] for a bad label,
+    /// [`NnError::ShapeMismatch`] when the logit width differs from the
+    /// class count, and [`NnError::EmptyBatch`] for an empty batch.
+    pub fn loss_and_grad(&self, logits: &Matrix, labels: &[usize]) -> Result<(f64, Matrix), NnError> {
+        if logits.rows() == 0 {
+            return Err(NnError::EmptyBatch);
+        }
+        if labels.len() != logits.rows() {
+            return Err(NnError::LabelCountMismatch {
+                batch: logits.rows(),
+                labels: labels.len(),
+            });
+        }
+        if logits.cols() != self.classes() {
+            return Err(NnError::ShapeMismatch {
+                op: "cross-entropy",
+                left: (logits.rows(), logits.cols()),
+                right: (1, self.classes()),
+            });
+        }
+        let n = logits.rows();
+        let c = logits.cols();
+        let mut grad = logits.clone();
+        let mut loss = 0.0f64;
+        for (i, &label) in labels.iter().enumerate() {
+            if label >= c {
+                return Err(NnError::LabelOutOfRange { label, classes: c });
+            }
+            let row = grad.row_mut(i);
+            softmax_in_place(row);
+            let weight = self.class_weights[label];
+            loss -= (row[label].max(1e-12) as f64).ln() * weight as f64;
+            row[label] -= 1.0;
+            for v in row.iter_mut() {
+                *v *= weight / n as f32;
+            }
+        }
+        Ok((loss / n as f64, grad))
+    }
+}
+
+/// Numerically stable in-place softmax of one row.
+fn softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let logits = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]).unwrap();
+        let p = SoftmaxCrossEntropy::probabilities(&logits);
+        for row in 0..2 {
+            let s: f32 = p.row(row).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn loss_of_perfect_prediction_is_small() {
+        let loss = SoftmaxCrossEntropy::balanced(2);
+        let logits = Matrix::from_rows(&[vec![20.0, -20.0]]).unwrap();
+        let (l, _) = loss.loss_and_grad(&logits, &[0]).unwrap();
+        assert!(l < 1e-6);
+    }
+
+    #[test]
+    fn loss_of_wrong_prediction_is_large() {
+        let loss = SoftmaxCrossEntropy::balanced(2);
+        let logits = Matrix::from_rows(&[vec![-10.0, 10.0]]).unwrap();
+        let (l, _) = loss.loss_and_grad(&logits, &[0]).unwrap();
+        assert!(l > 5.0);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let loss = SoftmaxCrossEntropy::balanced(4);
+        let logits = Matrix::from_rows(&[vec![0.0; 4]]).unwrap();
+        let (l, _) = loss.loss_and_grad(&logits, &[2]).unwrap();
+        assert!((l - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let loss = SoftmaxCrossEntropy::weighted(vec![1.0, 3.0]);
+        let logits = Matrix::from_rows(&[vec![0.4, -0.3], vec![-1.2, 0.7]]).unwrap();
+        let labels = [1usize, 0];
+        let (_, grad) = loss.loss_and_grad(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut lp = logits.clone();
+                lp.row_mut(r)[c] += eps;
+                let mut lm = logits.clone();
+                lm.row_mut(r)[c] -= eps;
+                let (p, _) = loss.loss_and_grad(&lp, &labels).unwrap();
+                let (m, _) = loss.loss_and_grad(&lm, &labels).unwrap();
+                let numeric = ((p - m) / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (numeric - grad.at(r, c)).abs() < 1e-3,
+                    "({r},{c}): numeric {numeric} vs analytic {}",
+                    grad.at(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_weight_scales_gradient() {
+        let flat = SoftmaxCrossEntropy::balanced(2);
+        let weighted = SoftmaxCrossEntropy::weighted(vec![1.0, 2.0]);
+        let logits = Matrix::from_rows(&[vec![0.3, -0.3]]).unwrap();
+        let (_, g1) = flat.loss_and_grad(&logits, &[1]).unwrap();
+        let (_, g2) = weighted.loss_and_grad(&logits, &[1]).unwrap();
+        for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
+            assert!((b - 2.0 * a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        let loss = SoftmaxCrossEntropy::balanced(2);
+        let logits = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            loss.loss_and_grad(&logits, &[]),
+            Err(NnError::LabelCountMismatch { .. })
+        ));
+        assert!(matches!(
+            loss.loss_and_grad(&logits, &[5]),
+            Err(NnError::LabelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            loss.loss_and_grad(&Matrix::zeros(0, 2), &[]),
+            Err(NnError::EmptyBatch)
+        ));
+        let wide = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            loss.loss_and_grad(&wide, &[0]),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_negative_weight() {
+        let _ = SoftmaxCrossEntropy::weighted(vec![1.0, -1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_softmax_invariant_to_shift(
+            logits in proptest::collection::vec(-10.0f32..10.0, 3),
+            shift in -50.0f32..50.0,
+        ) {
+            let a = Matrix::from_rows(&[logits.clone()]).unwrap();
+            let shifted: Vec<f32> = logits.iter().map(|v| v + shift).collect();
+            let b = Matrix::from_rows(&[shifted]).unwrap();
+            let pa = SoftmaxCrossEntropy::probabilities(&a);
+            let pb = SoftmaxCrossEntropy::probabilities(&b);
+            for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_grad_rows_sum_to_zero(
+            logits in proptest::collection::vec(-5.0f32..5.0, 4),
+            label in 0usize..2,
+        ) {
+            // softmax − onehot sums to zero per row (uniform weights).
+            let m = Matrix::from_flat(2, 2, logits);
+            let loss = SoftmaxCrossEntropy::balanced(2);
+            let (_, grad) = loss.loss_and_grad(&m, &[label, 1 - label]).unwrap();
+            for r in 0..2 {
+                let s: f32 = grad.row(r).iter().sum();
+                prop_assert!(s.abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+use std::collections::HashMap;
+
+/// A first-order optimiser updating parameter buffers from gradients.
+///
+/// Networks call [`Optimizer::update`] once per parameter buffer per step,
+/// identified by a stable `slot` index so stateful optimisers (momentum,
+/// Adam moments) can keep per-buffer state. Gradients are zeroed by the
+/// caller after the step.
+pub trait Optimizer: std::fmt::Debug {
+    /// Marks the beginning of an optimisation step (e.g. advances Adam's
+    /// bias-correction clock).
+    fn begin_step(&mut self);
+
+    /// Applies one update to the parameter buffer `weights` in place.
+    fn update(&mut self, slot: usize, weights: &mut [f32], grads: &[f32]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: HashMap<usize, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lr` is not finite and positive.
+    pub fn new(lr: f64) -> Self {
+        Sgd::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive learning rate or momentum outside `[0, 1)`.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self) {}
+
+    fn update(&mut self, slot: usize, weights: &mut [f32], grads: &[f32]) {
+        assert_eq!(weights.len(), grads.len(), "weight/grad length mismatch");
+        if self.momentum == 0.0 {
+            for (w, &g) in weights.iter_mut().zip(grads) {
+                *w -= (self.lr as f32) * g;
+            }
+            return;
+        }
+        let velocity = self
+            .velocity
+            .entry(slot)
+            .or_insert_with(|| vec![0.0; weights.len()]);
+        assert_eq!(velocity.len(), weights.len(), "slot reused with a different size");
+        for ((w, v), &g) in weights.iter_mut().zip(velocity.iter_mut()).zip(grads) {
+            *v = (self.momentum as f32) * *v + g;
+            *w -= (self.lr as f32) * *v;
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+/// Adam optimiser (Kingma & Ba 2015) with bias correction and optional
+/// decoupled weight decay (AdamW; Loshchilov & Hutter 2019).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    weight_decay: f64,
+    step: u64,
+    moments: HashMap<usize, (Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Adam with the given learning rate and standard β₁ = 0.9, β₂ = 0.999.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lr` is not finite and positive.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            weight_decay: 0.0,
+            step: 0,
+            moments: HashMap::new(),
+        }
+    }
+
+    /// Adam with decoupled weight decay: each step additionally shrinks
+    /// weights by `lr × decay` — the regulariser that tames over-fitting
+    /// when the labelled set is a few dozen clips.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lr` is not positive or `decay` is negative.
+    pub fn with_weight_decay(lr: f64, decay: f64) -> Self {
+        assert!(decay.is_finite() && decay >= 0.0, "weight decay must be non-negative");
+        let mut adam = Adam::new(lr);
+        adam.weight_decay = decay;
+        adam
+    }
+
+    /// The decoupled weight-decay coefficient.
+    pub fn weight_decay(&self) -> f64 {
+        self.weight_decay
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.step += 1;
+    }
+
+    fn update(&mut self, slot: usize, weights: &mut [f32], grads: &[f32]) {
+        assert_eq!(weights.len(), grads.len(), "weight/grad length mismatch");
+        let t = self.step.max(1);
+        let (m, v) = self
+            .moments
+            .entry(slot)
+            .or_insert_with(|| (vec![0.0; weights.len()], vec![0.0; weights.len()]));
+        assert_eq!(m.len(), weights.len(), "slot reused with a different size");
+        let bc1 = 1.0 - self.beta1.powi(t as i32);
+        let bc2 = 1.0 - self.beta2.powi(t as i32);
+        for i in 0..weights.len() {
+            let g = grads[i] as f64;
+            let mi = self.beta1 * m[i] as f64 + (1.0 - self.beta1) * g;
+            let vi = self.beta2 * v[i] as f64 + (1.0 - self.beta2) * g * g;
+            m[i] = mi as f32;
+            v[i] = vi as f32;
+            let m_hat = mi / bc1;
+            let v_hat = vi / bc2;
+            let mut w = weights[i] as f64;
+            w -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+            if self.weight_decay > 0.0 {
+                w -= self.lr * self.weight_decay * weights[i] as f64;
+            }
+            weights[i] = w as f32;
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        // Minimise f(w) = (w - 3)², gradient 2(w - 3).
+        let mut w = [0.0f32];
+        for _ in 0..steps {
+            opt.begin_step();
+            let g = [2.0 * (w[0] - 3.0)];
+            opt.update(0, &mut w, &g);
+        }
+        w[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = quadratic_descent(&mut opt, 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = Sgd::new(0.01);
+        let mut momentum = Sgd::with_momentum(0.01, 0.9);
+        let w_plain = quadratic_descent(&mut plain, 30);
+        let w_momentum = quadratic_descent(&mut momentum, 30);
+        assert!((w_momentum - 3.0).abs() < (w_plain - 3.0).abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let w = quadratic_descent(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the first Adam step ≈ lr * sign(g).
+        let mut opt = Adam::new(0.1);
+        opt.begin_step();
+        let mut w = [0.0f32];
+        opt.update(0, &mut w, &[0.5]);
+        assert!((w[0] + 0.1).abs() < 1e-3, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut opt = Adam::new(0.1);
+        opt.begin_step();
+        let mut a = [0.0f32];
+        let mut b = [0.0f32, 0.0];
+        opt.update(0, &mut a, &[1.0]);
+        opt.update(1, &mut b, &[1.0, -1.0]);
+        assert!(a[0] < 0.0);
+        assert!(b[0] < 0.0 && b[1] > 0.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_idle_weights() {
+        // With zero gradient, decoupled decay still pulls weights to zero.
+        let mut opt = Adam::with_weight_decay(0.1, 0.5);
+        let mut w = [4.0f32];
+        for _ in 0..100 {
+            opt.begin_step();
+            opt.update(0, &mut w, &[0.0]);
+        }
+        assert!(w[0].abs() < 0.1, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn zero_decay_matches_plain_adam() {
+        let mut plain = Adam::new(0.1);
+        let mut decayed = Adam::with_weight_decay(0.1, 0.0);
+        let mut a = [1.0f32];
+        let mut b = [1.0f32];
+        for _ in 0..20 {
+            plain.begin_step();
+            decayed.begin_step();
+            plain.update(0, &mut a, &[0.3]);
+            decayed.update(0, &mut b, &[0.3]);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_decay() {
+        let _ = Adam::with_weight_decay(0.1, -1.0);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Sgd::new(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.25);
+        assert_eq!(opt.learning_rate(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_zero_lr() {
+        let _ = Adam::new(0.0);
+    }
+}

@@ -1,0 +1,99 @@
+use crate::{Layer, Matrix, NnError};
+
+/// Rectified linear unit activation: `y = max(x, 0)` element-wise.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates the activation layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn infer(&self, input: &Matrix) -> Matrix {
+        let data = input.as_slice().iter().map(|&v| v.max(0.0)).collect();
+        Matrix::from_flat(input.rows(), input.cols(), data)
+    }
+
+    fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        self.mask = Some(input.as_slice().iter().map(|&v| v > 0.0).collect());
+        self.infer(input)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mask = self
+            .mask
+            .take()
+            .expect("backward called without forward_train");
+        assert_eq!(mask.len(), grad_output.as_slice().len(), "relu cache size mismatch");
+        let data = grad_output
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Matrix::from_flat(grad_output.rows(), grad_output.cols(), data)
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn kind(&self) -> &'static str {
+        "relu"
+    }
+
+    fn param_buffers(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    fn load_params(&mut self, buffers: &[Vec<f32>]) -> Result<(), NnError> {
+        if buffers.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::SnapshotMismatch {
+                detail: format!("relu has no parameters, snapshot has {}", buffers.len()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_negatives() {
+        let relu = Relu::new();
+        let x = Matrix::from_rows(&[vec![-1.0, 0.0, 2.5]]).unwrap();
+        assert_eq!(relu.infer(&x).as_slice(), &[0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn gradient_gated_by_sign() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_rows(&[vec![-1.0, 3.0]]).unwrap();
+        let _ = relu.forward_train(&x);
+        let g = Matrix::from_rows(&[vec![5.0, 7.0]]).unwrap();
+        assert_eq!(relu.backward(&g).as_slice(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // The subgradient at exactly zero is taken as 0.
+        let mut relu = Relu::new();
+        let x = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        let _ = relu.forward_train(&x);
+        let g = Matrix::from_rows(&[vec![4.0]]).unwrap();
+        assert_eq!(relu.backward(&g).as_slice(), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called without forward_train")]
+    fn backward_requires_forward() {
+        let mut relu = Relu::new();
+        let _ = relu.backward(&Matrix::zeros(1, 1));
+    }
+}

@@ -1,0 +1,129 @@
+use crate::{Layer, NnError};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// A serialisable capture of a network's layer kinds and weights.
+///
+/// Snapshots pair with [`crate::Sequential::snapshot`] /
+/// [`crate::Sequential::load_snapshot`]: the architecture itself is rebuilt in
+/// code (construction needs RNGs and dimensions), the snapshot carries only
+/// the learned state plus enough structure to detect mismatches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSnapshot {
+    layers: Vec<LayerSnapshot>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LayerSnapshot {
+    kind: String,
+    buffers: Vec<Vec<f32>>,
+}
+
+impl NetworkSnapshot {
+    pub(crate) fn capture(layers: &[Box<dyn Layer>]) -> Self {
+        NetworkSnapshot {
+            layers: layers
+                .iter()
+                .map(|layer| LayerSnapshot {
+                    kind: layer.kind().to_owned(),
+                    buffers: layer.param_buffers().into_iter().map(<[f32]>::to_vec).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn restore(&self, layers: &mut [Box<dyn Layer>]) -> Result<(), NnError> {
+        if layers.len() != self.layers.len() {
+            return Err(NnError::SnapshotMismatch {
+                detail: format!(
+                    "network has {} layers, snapshot has {}",
+                    layers.len(),
+                    self.layers.len()
+                ),
+            });
+        }
+        for (layer, snap) in layers.iter_mut().zip(&self.layers) {
+            if layer.kind() != snap.kind {
+                return Err(NnError::SnapshotMismatch {
+                    detail: format!("layer kind {} vs snapshot {}", layer.kind(), snap.kind),
+                });
+            }
+            layer.load_params(&snap.buffers)?;
+        }
+        Ok(())
+    }
+
+    /// Number of layers captured.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total parameter count across all layers.
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| l.buffers.iter())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Writes the snapshot as JSON. A mut reference works as the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialisation failures.
+    pub fn write_json<W: Write>(&self, writer: W) -> Result<(), std::io::Error> {
+        serde_json::to_writer(writer, self).map_err(std::io::Error::other)
+    }
+
+    /// Reads a snapshot from JSON. A mut reference works as the reader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialisation failures.
+    pub fn read_json<R: Read>(reader: R) -> Result<Self, std::io::Error> {
+        serde_json::from_reader(reader).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, InitRng, Relu, Sequential};
+
+    fn net() -> Sequential {
+        let mut rng = InitRng::seeded(2, 0.3);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 5, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(5, 2, &mut rng));
+        net
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let snap = net().snapshot();
+        // (3*5 + 5) + (5*2 + 2) = 32.
+        assert_eq!(snap.parameter_count(), 32);
+        assert_eq!(snap.layer_count(), 3);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let snap = net().snapshot();
+        let mut buf = Vec::new();
+        snap.write_json(&mut buf).unwrap();
+        let back = NetworkSnapshot::read_json(buf.as_slice()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn restore_into_same_architecture() {
+        let original = net();
+        let snap = original.snapshot();
+        let mut clone = net();
+        clone.load_snapshot(&snap).unwrap();
+        let x = crate::Matrix::from_rows(&[vec![0.5, -0.5, 1.0]]).unwrap();
+        assert_eq!(original.infer(&x), clone.infer(&x));
+    }
+}

@@ -1,0 +1,41 @@
+//! Box- and sum-constrained quadratic programming by projected gradient.
+//!
+//! The batch-sampling baseline of Yang et al. (TCAD 2020, reference \[14\] of
+//! the DAC 2021 paper) selects a batch by relaxing a binary selection vector
+//! to the *capped simplex*
+//!
+//! ```text
+//!   { s ∈ ℝⁿ : 0 ≤ sᵢ ≤ 1, Σ sᵢ = k }
+//! ```
+//!
+//! and solving `min ½ sᵀQs + cᵀs` over it. This crate implements exactly
+//! that: [`project_capped_simplex`] (Euclidean projection by bisection on
+//! the shift multiplier) and [`QpSolver`] (projected gradient descent with
+//! a spectral-norm-bounded step). The paper's *own* diversity metric avoids
+//! this machinery — which is the point of its runtime comparison (Fig. 3b) —
+//! so this crate exists to reproduce the baseline's cost and behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_qp::{QpProblem, QpSolver};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Pick k=1 of two items; the second has lower linear cost.
+//! let problem = QpProblem::new(vec![0.0, 0.0, 0.0, 0.0], vec![0.0, -1.0], 1.0)?;
+//! let solution = QpSolver::default().solve(&problem);
+//! assert!(solution.values[1] > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod problem;
+mod projection;
+mod solver;
+
+pub use problem::{QpError, QpProblem};
+pub use projection::project_capped_simplex;
+pub use solver::{QpSolution, QpSolver};

@@ -1,0 +1,199 @@
+use std::fmt;
+
+/// Error type for quadratic-program construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QpError {
+    /// The quadratic matrix is not `n × n` for the cost vector length `n`.
+    BadShape {
+        /// Quadratic buffer length.
+        q_len: usize,
+        /// Cost vector length.
+        c_len: usize,
+    },
+    /// The budget `k` is outside `[0, n]`.
+    BadBudget {
+        /// Requested budget.
+        k: f64,
+        /// Variable count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for QpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QpError::BadShape { q_len, c_len } => write!(
+                f,
+                "quadratic buffer of {q_len} entries is not square for {c_len} variables"
+            ),
+            QpError::BadBudget { k, n } => {
+                write!(f, "budget {k} outside the feasible range [0, {n}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QpError {}
+
+/// The capped-simplex quadratic program
+/// `min ½ sᵀQs + cᵀs  s.t.  0 ≤ s ≤ 1, Σs = k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpProblem {
+    q: Vec<f64>, // n × n row-major
+    c: Vec<f64>,
+    k: f64,
+}
+
+impl QpProblem {
+    /// Creates a problem from a row-major `n × n` quadratic term, a cost
+    /// vector, and the selection budget `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QpError::BadShape`] when `q.len() != c.len()²` and
+    /// [`QpError::BadBudget`] when `k ∉ [0, n]` or is not finite.
+    pub fn new(q: Vec<f64>, c: Vec<f64>, k: f64) -> Result<Self, QpError> {
+        let n = c.len();
+        if q.len() != n * n {
+            return Err(QpError::BadShape {
+                q_len: q.len(),
+                c_len: n,
+            });
+        }
+        if !k.is_finite() || k < 0.0 || k > n as f64 {
+            return Err(QpError::BadBudget { k, n });
+        }
+        Ok(QpProblem { q, c, k })
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Whether the problem has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.c.is_empty()
+    }
+
+    /// The selection budget.
+    pub fn budget(&self) -> f64 {
+        self.k
+    }
+
+    /// The quadratic matrix, row-major.
+    pub fn quadratic(&self) -> &[f64] {
+        &self.q
+    }
+
+    /// The linear cost vector.
+    pub fn linear(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Objective value `½ sᵀQs + cᵀs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s.len()` differs from the variable count.
+    pub fn objective(&self, s: &[f64]) -> f64 {
+        let n = self.len();
+        assert_eq!(s.len(), n, "solution length mismatch");
+        let mut value = 0.0;
+        for i in 0..n {
+            value += self.c[i] * s[i];
+            let row = &self.q[i * n..(i + 1) * n];
+            let mut qs = 0.0;
+            for (qij, &sj) in row.iter().zip(s) {
+                qs += qij * sj;
+            }
+            value += 0.5 * s[i] * qs;
+        }
+        value
+    }
+
+    /// Gradient `Qs + c` written into `grad`.
+    ///
+    /// Uses `(Q + Qᵀ)/2` implicitly by assuming `Q` symmetric, which the
+    /// diversity matrices in this workspace always are.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn gradient(&self, s: &[f64], grad: &mut [f64]) {
+        let n = self.len();
+        assert_eq!(s.len(), n, "solution length mismatch");
+        assert_eq!(grad.len(), n, "gradient length mismatch");
+        for i in 0..n {
+            let row = &self.q[i * n..(i + 1) * n];
+            let mut acc = self.c[i];
+            for (qij, &sj) in row.iter().zip(s) {
+                acc += qij * sj;
+            }
+            grad[i] = acc;
+        }
+    }
+
+    /// A cheap upper bound on the spectral norm of `Q` (max row 1-norm),
+    /// used to pick a stable projected-gradient step size.
+    pub fn lipschitz_bound(&self) -> f64 {
+        let n = self.len();
+        (0..n)
+            .map(|i| self.q[i * n..(i + 1) * n].iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            QpProblem::new(vec![0.0; 3], vec![0.0; 2], 1.0),
+            Err(QpError::BadShape { .. })
+        ));
+        assert!(matches!(
+            QpProblem::new(vec![0.0; 4], vec![0.0; 2], 5.0),
+            Err(QpError::BadBudget { .. })
+        ));
+        assert!(matches!(
+            QpProblem::new(vec![0.0; 4], vec![0.0; 2], f64::NAN),
+            Err(QpError::BadBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn objective_matches_manual() {
+        // Q = [[2, 0], [0, 4]], c = [1, -1], s = [1, 0.5].
+        let p = QpProblem::new(vec![2.0, 0.0, 0.0, 4.0], vec![1.0, -1.0], 1.5).unwrap();
+        let value = p.objective(&[1.0, 0.5]);
+        // ½(2·1 + 4·0.25) + (1 - 0.5) = 1.5 + 0.5.
+        assert!((value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let p = QpProblem::new(vec![2.0, 1.0, 1.0, 4.0], vec![0.5, -0.25], 1.0).unwrap();
+        let s = [0.3, 0.7];
+        let mut grad = [0.0; 2];
+        p.gradient(&s, &mut grad);
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut sp = s;
+            sp[i] += eps;
+            let mut sm = s;
+            sm[i] -= eps;
+            let numeric = (p.objective(&sp) - p.objective(&sm)) / (2.0 * eps);
+            assert!((numeric - grad[i]).abs() < 1e-5, "dim {i}");
+        }
+    }
+
+    #[test]
+    fn lipschitz_bound_dominates_rows() {
+        let p = QpProblem::new(vec![1.0, -2.0, -2.0, 0.5], vec![0.0, 0.0], 1.0).unwrap();
+        assert_eq!(p.lipschitz_bound(), 3.0);
+    }
+}

@@ -1,0 +1,138 @@
+/// Euclidean projection of `x` onto the capped simplex
+/// `{ s : 0 ≤ sᵢ ≤ 1, Σ sᵢ = k }`.
+///
+/// The projection is `sᵢ = clamp(xᵢ − τ, 0, 1)` for the unique shift `τ`
+/// making the coordinates sum to `k`; `τ` is found by bisection, which is
+/// robust and O(n log(1/ε)).
+///
+/// # Panics
+///
+/// Panics when `k` is outside `[0, x.len()]` or not finite.
+///
+/// ```
+/// use hotspot_qp::project_capped_simplex;
+/// let p = project_capped_simplex(&[10.0, 0.0, -10.0], 1.0);
+/// assert!((p[0] - 1.0).abs() < 1e-9);
+/// assert!(p[2].abs() < 1e-9);
+/// ```
+pub fn project_capped_simplex(x: &[f64], k: f64) -> Vec<f64> {
+    let n = x.len();
+    assert!(
+        k.is_finite() && (0.0..=n as f64).contains(&k),
+        "budget {k} outside [0, {n}]"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let sum_at = |tau: f64| -> f64 { x.iter().map(|&v| (v - tau).clamp(0.0, 1.0)).sum() };
+    // Bracket τ: sum_at is non-increasing in τ.
+    let max_x = x.iter().copied().fold(f64::MIN, f64::max);
+    let min_x = x.iter().copied().fold(f64::MAX, f64::min);
+    let mut lo = min_x - 1.5; // sum_at(lo) = n ≥ k
+    let mut hi = max_x + 0.5; // sum_at(hi) = 0 ≤ k
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if sum_at(mid) > k {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let tau = 0.5 * (lo + hi);
+    x.iter().map(|&v| (v - tau).clamp(0.0, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_feasible(p: &[f64], k: f64) {
+        for &v in p {
+            assert!((-1e-9..=1.0 + 1e-9).contains(&v), "coordinate {v} out of box");
+        }
+        let sum: f64 = p.iter().sum();
+        assert!((sum - k).abs() < 1e-6, "sum {sum} != {k}");
+    }
+
+    #[test]
+    fn already_feasible_is_fixed_point() {
+        let x = [0.5, 0.25, 0.25];
+        let p = project_capped_simplex(&x, 1.0);
+        for (a, b) in x.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn extreme_scores_saturate() {
+        let p = project_capped_simplex(&[100.0, 50.0, -100.0, -100.0], 2.0);
+        assert!((p[0] - 1.0).abs() < 1e-9);
+        assert!((p[1] - 1.0).abs() < 1e-9);
+        assert!(p[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_zero_gives_zeros() {
+        let p = project_capped_simplex(&[3.0, 2.0], 0.0);
+        assert!(p.iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn budget_n_gives_ones() {
+        let p = project_capped_simplex(&[-3.0, -2.0], 2.0);
+        assert!(p.iter().all(|&v| (v - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(project_capped_simplex(&[], 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_excess_budget() {
+        let _ = project_capped_simplex(&[0.0], 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_projection_is_feasible(
+            x in proptest::collection::vec(-20.0f64..20.0, 1..30),
+            frac in 0.0f64..1.0,
+        ) {
+            let k = (frac * x.len() as f64 * 100.0).round() / 100.0;
+            let k = k.min(x.len() as f64);
+            let p = project_capped_simplex(&x, k);
+            assert_feasible(&p, k);
+        }
+
+        #[test]
+        fn prop_projection_is_closest_among_perturbations(
+            x in proptest::collection::vec(-5.0f64..5.0, 2..10),
+        ) {
+            // The projection must beat simple feasible alternatives.
+            let k = (x.len() / 2) as f64;
+            let p = project_capped_simplex(&x, k);
+            let d_proj: f64 = x.iter().zip(&p).map(|(a, b)| (a - b).powi(2)).sum();
+            // Uniform feasible point.
+            let uniform = vec![k / x.len() as f64; x.len()];
+            let d_uniform: f64 = x.iter().zip(&uniform).map(|(a, b)| (a - b).powi(2)).sum();
+            prop_assert!(d_proj <= d_uniform + 1e-6);
+        }
+
+        #[test]
+        fn prop_order_preserved(x in proptest::collection::vec(-5.0f64..5.0, 2..12)) {
+            // Projection by a common shift preserves the coordinate order.
+            let k = 1.0f64.min(x.len() as f64);
+            let p = project_capped_simplex(&x, k);
+            for i in 0..x.len() {
+                for j in 0..x.len() {
+                    if x[i] > x[j] {
+                        prop_assert!(p[i] + 1e-9 >= p[j]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Using the substrate crates directly: build a layout clip by hand, run
+//! the lithography simulator on it, and inspect the aerial image, the
+//! printed contour, and any defects.
+//!
+//! ```text
+//! cargo run --release --example custom_layout
+//! ```
+
+use lithohd::geom::{ClipWindow, Raster, Rect};
+use lithohd::litho::{Bitmap, LithoConfig, LithoSimulator, ResistModel};
+
+/// Renders a bitmap as ASCII art (row 0 at the bottom, as in layout space).
+fn render(bitmap: &Bitmap, step: usize) -> String {
+    let mut out = String::new();
+    for row in (0..bitmap.height()).rev().step_by(step) {
+        for col in (0..bitmap.width()).step_by(step) {
+            out.push(if bitmap.at(row, col) { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = LithoConfig::duv_28nm();
+    let sim = LithoSimulator::new(config.clone());
+
+    // A 1200 nm clip with a 600 nm core.
+    let clip = ClipWindow::new(Rect::new(0, 0, 1200, 1200)?, 600)?;
+    let mut mask = Raster::zeros_for(&clip, config.pitch)?;
+
+    // Three comfortable wires… and one 30 nm wire through the core that has
+    // no chance of printing.
+    mask.fill_rect(&Rect::new(0, 150, 1200, 250)?, 1.0);
+    mask.fill_rect(&Rect::new(0, 420, 1200, 520)?, 1.0);
+    mask.fill_rect(&Rect::new(0, 920, 1200, 1020)?, 1.0);
+    mask.fill_rect(&Rect::new(0, 640, 1200, 670)?, 1.0);
+
+    // Inspect the optics.
+    let aerial = sim.aerial_image(&mask);
+    println!(
+        "aerial image: {}x{} px, peak intensity {:.3}, max gradient {:.3}",
+        aerial.width(),
+        aerial.height(),
+        aerial.peak(),
+        aerial.max_gradient()
+    );
+
+    // Develop the resist and compare design intent vs printed contour.
+    let resist = ResistModel::new(config.resist_threshold);
+    let printed = resist.develop(&aerial);
+    let target = Bitmap::from_raster(&mask, 0.5);
+    println!();
+    println!("design intent (left) vs printed resist (right):");
+    let left = render(&target, 4);
+    let right = render(&printed, 4);
+    for (a, b) in left.lines().zip(right.lines()) {
+        println!("{a}   {b}");
+    }
+
+    // Full defect analysis against the clip core.
+    let report = sim.analyze(&mask, clip.core());
+    println!("label: {}", report.label());
+    for defect in report.defects() {
+        println!("  defect: {defect}");
+    }
+    assert!(report.label().is_hotspot(), "the 30 nm wire must pinch");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Process-window analysis (extension beyond the paper): label clips not
+//! just at the nominal imaging condition but across a focus-exposure window,
+//! and find the geometry that is *process-window-limited* — printable at
+//! nominal, failing under an excursion.
+//!
+//! ```text
+//! cargo run --release --example process_window
+//! ```
+
+use lithohd::geom::{Raster, Rect};
+use lithohd::litho::{
+    analyze_process_window, Label, LithoConfig, LithoSimulator, ProcessCorner,
+};
+
+fn track_clip(config: &LithoConfig, width: i64) -> (Raster, Rect) {
+    let mut raster =
+        Raster::zeros(Rect::new(0, 0, 1200, 1200).expect("ordered"), config.pitch)
+            .expect("raster fits");
+    let y = 600 - width / 2;
+    raster.fill_rect(&Rect::new(0, y, 1200, y + width).expect("ordered"), 1.0);
+    (raster, Rect::new(300, 300, 900, 900).expect("ordered"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nominal = LithoConfig::duv_28nm();
+    let nominal_sim = LithoSimulator::new(nominal.clone());
+    let window = ProcessCorner::standard_window();
+
+    println!("focus-exposure window: {} corners", window.len());
+    for corner in &window {
+        println!(
+            "  {:<9} sigma x{:.2}, threshold x{:.2}",
+            corner.name, corner.sigma_scale, corner.threshold_scale
+        );
+    }
+    println!();
+    println!(
+        "{:>10} {:>12} {:>16} {}",
+        "width(nm)", "nominal", "process window", "failing corners"
+    );
+
+    let mut limited = Vec::new();
+    for width in (30..=80).step_by(4) {
+        let (mask, core) = track_clip(&nominal, width);
+        let at_nominal = nominal_sim.label(&mask, core);
+        let report = analyze_process_window(&nominal, &window, &mask, core);
+        println!(
+            "{:>10} {:>12} {:>16} {}",
+            width,
+            at_nominal,
+            report.label(),
+            report.failing_corners().join(", ")
+        );
+        if at_nominal == Label::NonHotspot && report.label() == Label::Hotspot {
+            limited.push(width);
+        }
+    }
+
+    println!();
+    println!(
+        "process-window-limited widths (print at nominal, fail an excursion): {limited:?}"
+    );
+    assert!(
+        !limited.is_empty(),
+        "expected some width to be process-window-limited"
+    );
+    Ok(())
+}

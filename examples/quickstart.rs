@@ -1,0 +1,60 @@
+//! Quickstart: generate a benchmark, run the paper's active entropy
+//! sampler, and print the PSHD metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lithohd::active::{EntropySelector, SamplingConfig, SamplingFramework};
+use lithohd::layout::{BenchmarkSpec, GeneratedBenchmark};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small ICCAD16-2-like benchmark: ~14 hotspots among 256 clips,
+    //    generated and ground-truth-labelled by the built-in lithography
+    //    simulator.
+    let spec = BenchmarkSpec::iccad16_2().scaled(0.25);
+    println!(
+        "generating {}: {} hotspots / {} non-hotspots…",
+        spec.name, spec.hotspots, spec.non_hotspots
+    );
+    let bench = GeneratedBenchmark::generate(&spec, 42)?;
+
+    // 2. Configure the sampling framework. `for_benchmark` scales the
+    //    splits, query pool and batch size to the population.
+    let config = SamplingConfig::for_benchmark(bench.len());
+    println!(
+        "active loop: |L0| = {}, |V| = {}, k = {} over {} iterations",
+        config.initial_train, config.validation, config.batch, config.iterations
+    );
+    let framework = SamplingFramework::new(config);
+
+    // 3. Run Algorithm 2 with the entropy-based batch selector (Algorithm 1).
+    let outcome = framework.run(&bench, &mut EntropySelector::new(), 7)?;
+
+    // 4. Report the paper's metrics.
+    let m = &outcome.metrics;
+    println!();
+    println!("detection accuracy : {:.2}%", m.accuracy * 100.0);
+    println!("litho-clips        : {} (train {} + val {} + false alarms {})",
+        m.litho, m.train_size, m.validation_size, m.false_alarms);
+    println!("hotspots found     : {} in training, {} in validation, {} predicted",
+        m.train_hotspots, m.validation_hotspots, m.hits);
+    println!("final temperature  : {:.3}", outcome.final_temperature);
+    println!("validation ECE     : {:.4} -> {:.4}", outcome.ece_before, outcome.ece_after);
+    println!();
+    println!("per-iteration telemetry:");
+    for stat in &outcome.history {
+        println!(
+            "  iter {:>2}: T = {:.2}, batch hotspots = {:>2}, |L| = {:>4}, loss = {:.4}{}",
+            stat.iteration,
+            stat.temperature,
+            stat.batch_hotspots,
+            stat.labeled_size,
+            stat.train_loss,
+            stat.weights
+                .map(|(w1, w2)| format!(", weights = ({w1:.2}, {w2:.2})"))
+                .unwrap_or_default()
+        );
+    }
+    Ok(())
+}

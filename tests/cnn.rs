@@ -1,0 +1,104 @@
+//! End-to-end test of the convolutional path: the paper's detector is a
+//! CNN, and while the default experiment model is the faster DCT-MLP (see
+//! DESIGN.md §2), the `hotspot-nn` substrate must support training a real
+//! CNN on real generated clips.
+
+use lithohd::layout::{BenchmarkSpec, GeneratedBenchmark, Tech};
+use lithohd::nn::{
+    Adam, Conv2d, Dense, InitRng, Matrix, MaxPool2d, Relu, Sequential, SoftmaxCrossEntropy,
+    Trainer, TrainConfig,
+};
+
+const EDGE: usize = 32;
+
+/// Rasterises a clip's core to a flat EDGE × EDGE input row.
+fn core_pixels(bench: &GeneratedBenchmark, index: usize) -> Vec<f32> {
+    let raster = bench.clip_raster(index);
+    let core = raster.crop(&bench.core()).expect("core crop exists");
+    core.resampled(EDGE, EDGE).pixels().to_vec()
+}
+
+fn cnn(seed: u64) -> Sequential {
+    let mut rng = InitRng::seeded(seed, 1.0);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(1, 6, 3, EDGE, EDGE, &mut rng));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(6, EDGE, EDGE));
+    net.push(Dense::new(6 * (EDGE / 2) * (EDGE / 2), 16, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(16, 2, &mut rng));
+    net
+}
+
+#[test]
+fn cnn_learns_hotspots_from_core_rasters() {
+    let spec = BenchmarkSpec {
+        name: "cnn".to_owned(),
+        tech: Tech::Duv28,
+        hotspots: 40,
+        non_hotspots: 120,
+        dup_rate: 0.1,
+        // No near-miss family: this test checks the conv substrate, not the
+        // active learner's hard-case behaviour.
+        near_miss_rate: 0.0,
+    };
+    let bench = GeneratedBenchmark::generate(&spec, 13).expect("generation succeeds");
+
+    let rows: Vec<Vec<f32>> = (0..bench.len()).map(|i| core_pixels(&bench, i)).collect();
+    let x = Matrix::from_rows(&rows).expect("uniform rows");
+    let y: Vec<usize> = bench.labels().iter().map(|l| l.class_index()).collect();
+
+    // Train on two thirds, evaluate on the held-out third.
+    let train: Vec<usize> = (0..bench.len()).filter(|i| i % 3 != 0).collect();
+    let test: Vec<usize> = (0..bench.len()).filter(|i| i % 3 == 0).collect();
+    let train_labels: Vec<usize> = train.iter().map(|&i| y[i]).collect();
+
+    let mut net = cnn(5);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 60,
+        batch_size: 16,
+        shuffle_seed: 1,
+        loss_target: Some(0.02),
+    });
+    let report = trainer
+        .fit(
+            &mut net,
+            &x.gather_rows(&train),
+            &train_labels,
+            &SoftmaxCrossEntropy::weighted(vec![1.0, 2.0]),
+            &mut Adam::new(3e-3),
+        )
+        .expect("training succeeds");
+    assert!(
+        report.final_loss() < report.epoch_losses[0],
+        "loss did not decrease: {:?}",
+        report.epoch_losses
+    );
+
+    let predictions = net.infer(&x.gather_rows(&test)).argmax_rows();
+    let correct = predictions
+        .iter()
+        .zip(test.iter().map(|&i| y[i]))
+        .filter(|&(&p, t)| p == t)
+        .count();
+    // The CNN sees raw geometry, so it should do clearly better than the
+    // majority-class rate (75%) on held-out clips.
+    assert!(
+        correct * 100 >= test.len() * 80,
+        "CNN held-out accuracy too low: {correct}/{}",
+        test.len()
+    );
+}
+
+#[test]
+fn cnn_embedding_feeds_diversity_metric() {
+    // The conv pipeline's penultimate features plug into the same diversity
+    // metric as the MLP's.
+    let net = cnn(7);
+    let x = Matrix::zeros(5, EDGE * EDGE);
+    let (logits, embedding) = net.infer_with_embedding(&x);
+    assert_eq!(logits.cols(), 2);
+    assert_eq!(embedding.cols(), 16);
+    let scores = lithohd::active::diversity_scores(&embedding);
+    assert_eq!(scores.len(), 5);
+}

@@ -1,0 +1,92 @@
+//! Cross-crate determinism: every stage of the pipeline must be exactly
+//! reproducible from its seeds, which is what makes the experiment harness's
+//! numbers citable.
+
+use lithohd::active::{EntropySelector, SamplingConfig, SamplingFramework};
+use lithohd::gmm::{GaussianMixture, GmmConfig};
+use lithohd::layout::{BenchmarkSpec, GeneratedBenchmark, Tech};
+
+fn spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "determinism".to_owned(),
+        tech: Tech::Duv28,
+        hotspots: 12,
+        non_hotspots: 108,
+        dup_rate: 0.2,
+        near_miss_rate: 0.3,
+    }
+}
+
+#[test]
+fn generation_is_bit_exact_across_runs() {
+    let a = GeneratedBenchmark::generate(&spec(), 31).expect("generation succeeds");
+    let b = GeneratedBenchmark::generate(&spec(), 31).expect("generation succeeds");
+    assert_eq!(a.labels(), b.labels());
+    assert_eq!(a.recipes(), b.recipes());
+    assert_eq!(a.dct_features().as_slice(), b.dct_features().as_slice());
+    assert_eq!(a.signatures(), b.signatures());
+}
+
+#[test]
+fn full_runs_are_bit_exact_across_invocations() {
+    let bench = GeneratedBenchmark::generate(&spec(), 31).expect("generation succeeds");
+    let mut config = SamplingConfig::for_benchmark(bench.len());
+    config.iterations = 3;
+    config.initial_epochs = 20;
+    config.update_epochs = 8;
+    let framework = SamplingFramework::new(config);
+    let a = framework
+        .run(&bench, &mut EntropySelector::new(), 77)
+        .expect("run succeeds");
+    let b = framework
+        .run(&bench, &mut EntropySelector::new(), 77)
+        .expect("run succeeds");
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.history, b.history);
+    assert_eq!(a.sampled_indices, b.sampled_indices);
+    assert_eq!(a.predicted_hotspots, b.predicted_hotspots);
+    assert_eq!(a.final_temperature, b.final_temperature);
+}
+
+#[test]
+fn different_seeds_change_outcomes() {
+    let bench = GeneratedBenchmark::generate(&spec(), 31).expect("generation succeeds");
+    let mut config = SamplingConfig::for_benchmark(bench.len());
+    config.iterations = 3;
+    config.initial_epochs = 20;
+    config.update_epochs = 8;
+    let framework = SamplingFramework::new(config);
+    let a = framework
+        .run(&bench, &mut EntropySelector::new(), 1)
+        .expect("run succeeds");
+    let b = framework
+        .run(&bench, &mut EntropySelector::new(), 2)
+        .expect("run succeeds");
+    assert_ne!(
+        a.sampled_indices, b.sampled_indices,
+        "different seeds should explore differently"
+    );
+}
+
+#[test]
+fn gmm_scores_are_deterministic_over_generated_features() {
+    let bench = GeneratedBenchmark::generate(&spec(), 31).expect("generation succeeds");
+    let fit = |seed| {
+        GaussianMixture::fit(
+            bench.density_features().as_slice(),
+            bench.density_features().dim(),
+            &GmmConfig {
+                components: 3,
+                seed,
+                ..GmmConfig::default()
+            },
+        )
+        .expect("fit succeeds")
+    };
+    let a = fit(5);
+    let b = fit(5);
+    assert_eq!(
+        a.score_samples(bench.density_features().as_slice()),
+        b.score_samples(bench.density_features().as_slice())
+    );
+}

@@ -1,0 +1,118 @@
+//! Physics-level integration tests: the lithography model and the benchmark
+//! generator must agree about which geometry prints, across both technology
+//! presets — the contract everything above them depends on.
+
+use lithohd::features::{run_length_histogram, FeatureExtractor, DEFAULT_RUN_BINS};
+use lithohd::geom::{ClipWindow, Raster, Rect};
+use lithohd::litho::{DefectKind, Label, LithoConfig, LithoSimulator};
+use lithohd::layout::Tech;
+
+fn clip_for(tech: Tech) -> (ClipWindow, LithoConfig) {
+    let config = tech.litho_config();
+    let edge = tech.clip_edge();
+    let clip = ClipWindow::new(Rect::new(0, 0, edge, edge).expect("edge > 0"), tech.core_edge())
+        .expect("core fits");
+    (clip, config)
+}
+
+fn track(raster: &mut Raster, edge: i64, y: i64, width: i64) {
+    raster
+        .fill_rect(&Rect::new(0, y, edge, y + width).expect("ordered"), 1.0);
+}
+
+#[test]
+fn geometry_windows_match_litho_physics() {
+    // The generator's safe/hot windows must be on the right side of the
+    // printability cliff for both technology nodes.
+    for tech in [Tech::Duv28, Tech::Euv7] {
+        let (clip, config) = clip_for(tech);
+        let sim = LithoSimulator::new(config.clone());
+        let g = tech.geometry();
+        let edge = tech.clip_edge();
+        let mid = edge / 2;
+
+        // Safe minimum width prints.
+        let mut safe = Raster::zeros_for(&clip, config.pitch).expect("raster fits");
+        track(&mut safe, edge, mid - g.safe_width.0 / 2, g.safe_width.0);
+        assert_eq!(
+            sim.label(&safe, clip.core()),
+            Label::NonHotspot,
+            "{tech:?}: safe width {} should print",
+            g.safe_width.0
+        );
+
+        // Maximum hot width pinches.
+        let mut hot = Raster::zeros_for(&clip, config.pitch).expect("raster fits");
+        track(&mut hot, edge, mid - g.hot_width.1 / 2, g.hot_width.1);
+        let report = sim.analyze(&hot, clip.core());
+        assert_eq!(report.label(), Label::Hotspot, "{tech:?}: hot width {}", g.hot_width.1);
+        assert!(report.defects().iter().any(|d| d.kind == DefectKind::Pinch));
+
+        // Safe gap resolves; maximum hot gap bridges.
+        let wide = g.safe_width.1;
+        let mut spaced = Raster::zeros_for(&clip, config.pitch).expect("raster fits");
+        track(&mut spaced, edge, mid - g.safe_gap_min - wide, wide);
+        track(&mut spaced, edge, mid, wide);
+        assert_eq!(
+            sim.label(&spaced, clip.core()),
+            Label::NonHotspot,
+            "{tech:?}: safe gap {}",
+            g.safe_gap_min
+        );
+
+        let mut bridged = Raster::zeros_for(&clip, config.pitch).expect("raster fits");
+        track(&mut bridged, edge, mid - g.hot_gap.1 - wide, wide);
+        track(&mut bridged, edge, mid, wide);
+        let report = sim.analyze(&bridged, clip.core());
+        assert_eq!(report.label(), Label::Hotspot, "{tech:?}: hot gap {}", g.hot_gap.1);
+        assert!(report.defects().iter().any(|d| d.kind == DefectKind::Bridge));
+    }
+}
+
+#[test]
+fn features_see_the_defect_structures() {
+    // A pinch wire and a safe wire must land in different run-length bins —
+    // otherwise no classifier could work.
+    let tech = Tech::Duv28;
+    let (clip, config) = clip_for(tech);
+    let g = tech.geometry();
+    let edge = tech.clip_edge();
+    let mid = edge / 2;
+
+    let histogram_for = |width: i64| {
+        let mut raster = Raster::zeros_for(&clip, config.pitch).expect("raster fits");
+        track(&mut raster, edge, mid - width / 2, width);
+        let core = raster.crop(&clip.core()).expect("core crop");
+        run_length_histogram(&core, 0.5, &DEFAULT_RUN_BINS)
+    };
+    let hot = histogram_for(g.hot_width.0);
+    let safe = histogram_for(g.safe_width.0);
+    let distance: f32 = hot.iter().zip(&safe).map(|(a, b)| (a - b).abs()).sum();
+    assert!(distance > 0.5, "hot and safe widths are indistinguishable: {distance}");
+}
+
+#[test]
+fn extractor_dimension_is_stable_across_techs() {
+    // All benchmarks share one classifier input dimension regardless of
+    // node, because features are computed on the core crop.
+    let extractor = FeatureExtractor::standard();
+    for tech in [Tech::Duv28, Tech::Euv7] {
+        let (clip, config) = clip_for(tech);
+        let raster = Raster::zeros_for(&clip, config.pitch).expect("raster fits");
+        let core = raster.crop(&clip.core());
+        // An all-empty core crop yields None; build from the full window.
+        let crop = core.unwrap_or(raster);
+        assert_eq!(extractor.extract(&crop).len(), 96);
+    }
+}
+
+#[test]
+fn aerial_intensity_is_monotone_in_mask_area() {
+    let (clip, config) = clip_for(Tech::Duv28);
+    let sim = LithoSimulator::new(config.clone());
+    let mut narrow = Raster::zeros_for(&clip, config.pitch).expect("raster fits");
+    track(&mut narrow, 1200, 580, 40);
+    let mut wide = Raster::zeros_for(&clip, config.pitch).expect("raster fits");
+    track(&mut wide, 1200, 560, 80);
+    assert!(sim.aerial_image(&wide).peak() > sim.aerial_image(&narrow).peak());
+}
