@@ -1,4 +1,4 @@
-use hotspot_active::{BatchSelector, SelectionContext};
+use hotspot_active::{record_selection, BatchSelector, SelectionContext};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -79,7 +79,11 @@ impl BatchSelector for BadgeSelector {
                 .sum()
         };
         let first = (0..n)
-            .max_by(|&a, &b| norm2(a).partial_cmp(&norm2(b)).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|&a, &b| {
+                norm2(a)
+                    .partial_cmp(&norm2(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .unwrap_or(0);
         let mut chosen = vec![first];
         let mut dist2: Vec<f64> = (0..n)
@@ -109,13 +113,14 @@ impl BatchSelector for BadgeSelector {
             if !chosen.contains(&next) {
                 chosen.push(next);
             }
-            for i in 0..n {
+            for (i, slot) in dist2.iter_mut().enumerate() {
                 let d = pair_dist2(&gradients, dim, i, next);
-                if d < dist2[i] {
-                    dist2[i] = d;
+                if d < *slot {
+                    *slot = d;
                 }
             }
         }
+        record_selection(self.name(), n, chosen.len());
         chosen
     }
 

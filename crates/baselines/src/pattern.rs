@@ -133,6 +133,7 @@ impl PatternMatcher {
     /// Runs the detector over a benchmark: cluster, simulate one
     /// representative per cluster, propagate its label.
     pub fn run(&self, bench: &GeneratedBenchmark) -> PatternMatchOutcome {
+        let _span = hotspot_telemetry::span("pm.run").with("method", self.name);
         let mut oracle = bench.oracle();
         let signatures = bench.signatures();
         let cluster_of = self.cluster(signatures);
@@ -158,13 +159,24 @@ impl PatternMatcher {
             }
         }
         let total = bench.hotspot_count();
+        let accuracy = if total == 0 {
+            1.0
+        } else {
+            correct_hotspots as f64 / total as f64
+        };
+        hotspot_telemetry::info(
+            "baselines.pattern",
+            "pattern matching complete",
+            &[
+                ("method", self.name.into()),
+                ("clusters", (n_clusters as u64).into()),
+                ("litho", (oracle.unique_queries() as u64).into()),
+                ("accuracy", accuracy.into()),
+            ],
+        );
         PatternMatchOutcome {
             name: self.name.to_owned(),
-            accuracy: if total == 0 {
-                1.0
-            } else {
-                correct_hotspots as f64 / total as f64
-            },
+            accuracy,
             litho: oracle.unique_queries(),
             clusters: n_clusters,
             sampled_indices: rep_of,
@@ -236,7 +248,11 @@ mod tests {
         assert!(a95.litho <= exact.litho);
         assert!(a90.litho <= a95.litho);
         assert!(a90.accuracy <= a95.accuracy + 1e-9);
-        assert!(a90.accuracy < 1.0, "a90 should miss something: {}", a90.accuracy);
+        assert!(
+            a90.accuracy < 1.0,
+            "a90 should miss something: {}",
+            a90.accuracy
+        );
     }
 
     #[test]

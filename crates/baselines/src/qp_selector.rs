@@ -1,4 +1,4 @@
-use hotspot_active::{bvsb_scores, BatchSelector, SelectionContext};
+use hotspot_active::{bvsb_scores, record_selection, BatchSelector, SelectionContext};
 use hotspot_nn::Matrix;
 use hotspot_qp::{QpProblem, QpSolver};
 
@@ -37,7 +37,10 @@ impl QpSelector {
     ///
     /// Panics when `lambda` is negative or not finite.
     pub fn with_lambda(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be non-negative"
+        );
         QpSelector {
             lambda,
             solver: QpSolver::default(),
@@ -84,7 +87,9 @@ impl BatchSelector for QpSelector {
         let uncertainty = bvsb_scores(&raw);
         let problem = self.build_problem(ctx.embeddings, &uncertainty, ctx.k);
         let solution = self.solver.solve(&problem);
-        solution.top_k_indices(ctx.k.min(ctx.len()))
+        let picked = solution.top_k_indices(ctx.k.min(ctx.len()));
+        record_selection(self.name(), ctx.len(), picked.len());
+        picked
     }
 
     fn name(&self) -> &'static str {

@@ -39,7 +39,11 @@ fn bench_nn(c: &mut Criterion) {
     c.bench_function("train_batch_64", |b| {
         let mut train_net = model(dim);
         let mut opt = Adam::new(1e-3);
-        b.iter(|| train_net.train_batch(&x, &labels, &loss, &mut opt).expect("train step"));
+        b.iter(|| {
+            train_net
+                .train_batch(&x, &labels, &loss, &mut opt)
+                .expect("train step")
+        });
     });
 }
 

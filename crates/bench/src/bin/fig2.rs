@@ -68,7 +68,10 @@ fn main() {
     let before = diagram(Temperature::identity());
     let after = diagram(temperature);
 
-    println!("Fig. 2: reliability diagrams (confidence vs accuracy), {}", spec.name);
+    println!(
+        "Fig. 2: reliability diagrams (confidence vs accuracy), {}",
+        spec.name
+    );
     println!();
     println!("(a) Original (T = 1)");
     println!("{before}");
@@ -100,4 +103,5 @@ fn main() {
             bins_after: to_triples(&after),
         },
     );
+    args.finish_telemetry();
 }

@@ -47,15 +47,25 @@ fn main() {
 
     // Flag the top 15% most diverse points.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let cutoff = order.len().div_ceil(7);
     let mut highlighted = vec![false; scores.len()];
     for &i in &order[..cutoff] {
         highlighted[i] = true;
     }
 
-    println!("Fig. 3(a): layout pattern diversity ({} query clips)", query.len());
-    println!("{:>10} {:>10} {:>10} {:>6}", "pc1", "pc2", "diversity", "flag");
+    println!(
+        "Fig. 3(a): layout pattern diversity ({} query clips)",
+        query.len()
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>6}",
+        "pc1", "pc2", "diversity", "flag"
+    );
     let mut points = Vec::new();
     for (i, &(px, py)) in planar.iter().enumerate() {
         let flag = if highlighted[i] { "HIGH" } else { "" };
@@ -87,4 +97,5 @@ fn main() {
         mean_of(false)
     );
     write_json(&args.out, "fig3a", &points);
+    args.finish_telemetry();
 }

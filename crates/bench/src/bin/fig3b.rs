@@ -7,8 +7,8 @@
 //! micro-benchmark of the same comparison lives in `benches/diversity.rs`.
 
 use hotspot_active::{diversity_scores, HotspotModel};
-use hotspot_bench::{generate, write_json, ExperimentArgs};
 use hotspot_baselines::QpSelector;
+use hotspot_bench::{generate, write_json, ExperimentArgs};
 use hotspot_layout::BenchmarkSpec;
 use hotspot_nn::Matrix;
 use hotspot_qp::QpSolver;
@@ -58,11 +58,17 @@ fn main() {
     }
     let qp = start.elapsed().as_secs_f64() / repeats as f64;
 
-    println!("Fig. 3(b): diversity metric runtime ({} query clips)", query.len());
+    println!(
+        "Fig. 3(b): diversity metric runtime ({} query clips)",
+        query.len()
+    );
     println!("  QP [14] : {:>10.2} x 1e-4 s", qp * 1e4);
     println!("  Ours    : {:>10.2} x 1e-4 s", ours * 1e4);
     println!("  speedup : {:>10.1}x", qp / ours);
-    assert!(qp > ours, "the min-distance metric must be faster than the QP solve");
+    assert!(
+        qp > ours,
+        "the min-distance metric must be faster than the QP solve"
+    );
 
     write_json(
         &args.out,
@@ -74,4 +80,5 @@ fn main() {
             speedup: qp / ours,
         },
     );
+    args.finish_telemetry();
 }

@@ -39,7 +39,11 @@ fn main() {
             // Accuracy level -> litho values observed at that level.
             let mut by_level: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
             let mut raw: Vec<MethodResult> = Vec::new();
-            for iterations in [base.iterations / 2, base.iterations, base.iterations * 3 / 2] {
+            for iterations in [
+                base.iterations / 2,
+                base.iterations,
+                base.iterations * 3 / 2,
+            ] {
                 let mut config = base.clone();
                 config.iterations = iterations.max(1);
                 for repeat in 0..args.repeats {
@@ -56,7 +60,9 @@ fn main() {
                 let mean = lithos.iter().sum::<f64>() / lithos.len() as f64;
                 println!(
                     "    {:>5.1}%  {:>10.1}  ({} runs)",
-                    *level as f64, mean, lithos.len()
+                    *level as f64,
+                    mean,
+                    lithos.len()
                 );
                 points.push(TradeoffPoint {
                     benchmark: spec.name.clone(),
@@ -70,4 +76,5 @@ fn main() {
         println!();
     }
     write_json(&args.out, "fig4", &points);
+    args.finish_telemetry();
 }

@@ -8,10 +8,10 @@
 //! active samplers.
 
 use hotspot_active::SamplingConfig;
-use hotspot_bench::{generate, write_json, ActiveMethod, ExperimentArgs};
 use hotspot_baselines::PatternMatcher;
-use hotspot_layout::GeneratedBenchmark;
+use hotspot_bench::{generate, write_json, ActiveMethod, ExperimentArgs};
 use hotspot_layout::BenchmarkSpec;
+use hotspot_layout::GeneratedBenchmark;
 use hotspot_litho::Label;
 use serde::Serialize;
 use std::collections::HashSet;
@@ -96,4 +96,5 @@ fn main() {
         });
     }
     write_json(&args.out, "fig5", &json);
+    args.finish_telemetry();
 }

@@ -47,7 +47,12 @@ fn main() {
         config.weight_mode = mode;
         let (mut acc, mut litho) = (0.0f64, 0.0f64);
         for repeat in 0..args.repeats {
-            let r = run_active_method(ActiveMethod::Ours, &bench, &config, args.seed + repeat as u64);
+            let r = run_active_method(
+                ActiveMethod::Ours,
+                &bench,
+                &config,
+                args.seed + repeat as u64,
+            );
             acc += r.accuracy;
             litho += r.litho as f64;
         }
@@ -61,4 +66,5 @@ fn main() {
         });
     }
     write_json(&args.out, "fig6a", &results);
+    args.finish_telemetry();
 }

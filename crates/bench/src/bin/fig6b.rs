@@ -6,11 +6,11 @@
 //! cluster far lower, with Ours cheapest.
 
 use hotspot_active::SamplingConfig;
+use hotspot_baselines::PatternMatcher;
 use hotspot_bench::{
     evaluated_specs, generate, run_active_method, run_pattern_method, runtime_seconds, write_json,
     ActiveMethod, ExperimentArgs,
 };
-use hotspot_baselines::PatternMatcher;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -51,11 +51,17 @@ fn main() {
         "Fig. 6(b): overall runtime (10 s per litho-clip + PSHD overhead, scale {})",
         args.scale
     );
-    println!("{:<10} {:>10} {:>12} {:>14}", "method", "Litho#", "PSHD (s)", "Total (s)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>14}",
+        "method", "Litho#", "PSHD (s)", "Total (s)"
+    );
     let mut results = Vec::new();
     for (method, litho, pshd) in totals {
         let total = runtime_seconds(litho, std::time::Duration::from_secs_f64(pshd));
-        println!("{:<10} {:>10} {:>12.1} {:>14.1}", method, litho, pshd, total);
+        println!(
+            "{:<10} {:>10} {:>12.1} {:>14.1}",
+            method, litho, pshd, total
+        );
         results.push(RuntimeResult {
             method,
             litho,
@@ -75,11 +81,15 @@ fn main() {
             .expect("method ran")
             .total_seconds
     };
-    assert!(total_of("PM-exact") > 1.5 * total_of("Ours"), "PM-exact must dominate");
+    assert!(
+        total_of("PM-exact") > 1.5 * total_of("Ours"),
+        "PM-exact must dominate"
+    );
     assert!(total_of("QP") >= total_of("Ours"), "QP must not beat Ours");
     assert!(
         total_of("TS") >= total_of("Ours") * 0.99,
         "TS may only undercut Ours within noise"
     );
     write_json(&args.out, "fig6b", &results);
+    args.finish_telemetry();
 }

@@ -43,7 +43,12 @@ fn main() {
         "method", "Acc(%)", "±std", "Litho#", "±std"
     );
     let mut rows = Vec::new();
-    for method in [ActiveMethod::Ours, ActiveMethod::Qp, ActiveMethod::Ts, ActiveMethod::Random] {
+    for method in [
+        ActiveMethod::Ours,
+        ActiveMethod::Qp,
+        ActiveMethod::Ts,
+        ActiveMethod::Random,
+    ] {
         let mut accuracies = Vec::with_capacity(repeats);
         let mut lithos = Vec::with_capacity(repeats);
         for repeat in 0..repeats {
@@ -83,4 +88,5 @@ fn main() {
         "Ours should not be less stable than random sampling"
     );
     write_json(&args.out, "stability", &rows);
+    args.finish_telemetry();
 }

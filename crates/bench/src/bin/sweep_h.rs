@@ -35,8 +35,14 @@ fn main() {
         let mut config = base.clone();
         config.boundary_h = h;
         config.detect_threshold = h;
-        let result = run_active_method_avg(ActiveMethod::Ours, &bench, &config, args.seed, args.repeats);
-        println!("{:>6.2} {:>10.2} {:>12}", h, result.accuracy * 100.0, result.litho);
+        let result =
+            run_active_method_avg(ActiveMethod::Ours, &bench, &config, args.seed, args.repeats);
+        println!(
+            "{:>6.2} {:>10.2} {:>12}",
+            h,
+            result.accuracy * 100.0,
+            result.litho
+        );
         points.push(SweepPoint {
             h,
             accuracy: result.accuracy,
@@ -46,13 +52,17 @@ fn main() {
 
     // The paper's operating point must not be dominated: no swept h may beat
     // h = 0.4 on accuracy by a wide margin while also costing less litho.
-    let reference = points.iter().find(|p| (p.h - 0.4).abs() < 1e-6).expect("h = 0.4 swept");
+    let reference = points
+        .iter()
+        .find(|p| (p.h - 0.4).abs() < 1e-6)
+        .expect("h = 0.4 swept");
     for p in &points {
         assert!(
-            !(p.accuracy > reference.accuracy + 0.03 && p.litho < reference.litho as f64 * 0.95),
+            !(p.accuracy > reference.accuracy + 0.03 && p.litho < reference.litho * 0.95),
             "h = {} strictly dominates the paper's choice",
             p.h
         );
     }
     write_json(&args.out, "sweep_h", &points);
+    args.finish_telemetry();
 }

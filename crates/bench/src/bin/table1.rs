@@ -13,7 +13,10 @@ fn main() {
     let specs = bench_suite(args.scale);
 
     println!("Table I: statistics of benchmarks (scale {})", args.scale);
-    println!("{:<12} {:>8} {:>10} {:>6}", "Benchmarks", "HS #", "NHS #", "Tech(nm)");
+    println!(
+        "{:<12} {:>8} {:>10} {:>6}",
+        "Benchmarks", "HS #", "NHS #", "Tech(nm)"
+    );
     let mut stats = Vec::new();
     for spec in &specs {
         let s = BenchmarkStats::from(spec);
@@ -28,7 +31,10 @@ fn main() {
     println!("verification by generation:");
     for spec in &specs {
         if spec.total() > 25_000 && args.scale < 1.0 {
-            println!("{:<12} skipped (use --scale 1.0 to generate the full population)", spec.name);
+            println!(
+                "{:<12} skipped (use --scale 1.0 to generate the full population)",
+                spec.name
+            );
             continue;
         }
         let bench = GeneratedBenchmark::generate(spec, args.seed).expect("generation succeeds");
@@ -44,4 +50,5 @@ fn main() {
     }
 
     write_json(&args.out, "table1", &stats);
+    args.finish_telemetry();
 }

@@ -6,11 +6,11 @@
 //! summary rows (ratios normalised by "Ours", as in the paper).
 
 use hotspot_active::SamplingConfig;
-use hotspot_bench::{
-    evaluated_specs, generate, ratio_row, render_table, run_active_method_avg,
-    run_pattern_method, write_json, ActiveMethod, ExperimentArgs, MethodResult, TableRow,
-};
 use hotspot_baselines::PatternMatcher;
+use hotspot_bench::{
+    evaluated_specs, generate, ratio_row, render_table, run_active_method_avg, run_pattern_method,
+    write_json, ActiveMethod, ExperimentArgs, MethodResult, TableRow,
+};
 
 const METHODS: [&str; 7] = ["PM-exact", "PM-a95", "PM-a90", "PM-e2", "TS", "QP", "Ours"];
 
@@ -32,13 +32,16 @@ fn main() {
             run_active_method_avg(ActiveMethod::Qp, &bench, &config, args.seed, args.repeats),
             run_active_method_avg(ActiveMethod::Ours, &bench, &config, args.seed, args.repeats),
         ];
-        eprintln!("[run] {}:", spec.name);
         for cell in &cells {
-            eprintln!(
-                "      {:<10} acc {:>6.2}%  litho {:>8}",
-                cell.method,
-                cell.accuracy * 100.0,
-                cell.litho
+            hotspot_telemetry::info(
+                "bench.table2",
+                "method finished",
+                &[
+                    ("benchmark", spec.name.as_str().into()),
+                    ("method", cell.method.as_str().into()),
+                    ("accuracy", cell.accuracy.into()),
+                    ("litho", (cell.litho as u64).into()),
+                ],
             );
         }
         rows.push(TableRow {
@@ -59,4 +62,5 @@ fn main() {
     );
     println!("{}", render_table(&METHODS, &rows));
     write_json(&args.out, "table2", &results);
+    args.finish_telemetry();
 }

@@ -29,15 +29,18 @@ fn main() {
             ("Full", base.clone()),
         ];
         let mut cells = Vec::new();
-        eprintln!("[run] {}:", spec.name);
         for (name, config) in variants {
             let result =
                 run_active_method_avg(ActiveMethod::Ours, &bench, &config, args.seed, args.repeats);
-            eprintln!(
-                "      {:<6} acc {:>6.2}%  litho {:>8}",
-                name,
-                result.accuracy * 100.0,
-                result.litho
+            hotspot_telemetry::info(
+                "bench.table3",
+                "ablation variant finished",
+                &[
+                    ("benchmark", spec.name.as_str().into()),
+                    ("variant", name.into()),
+                    ("accuracy", result.accuracy.into()),
+                    ("litho", (result.litho as u64).into()),
+                ],
             );
             cells.push((result.accuracy, result.litho as f64));
             results.push((name.to_owned(), result));
@@ -59,4 +62,5 @@ fn main() {
     );
     println!("{}", render_table(&COLUMNS, &rows));
     write_json(&args.out, "table3", &results);
+    args.finish_telemetry();
 }

@@ -1,11 +1,16 @@
+use hotspot_telemetry::{self as telemetry, ConsoleSink, EnvFilter, JsonlSink};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Command-line arguments shared by every experiment binary.
 ///
 /// Supported flags: `--scale <f64>` (benchmark size factor, default 0.1;
 /// 1.0 reproduces Table I cardinalities), `--seed <u64>` (default 1),
-/// `--repeats <usize>` (experiments that average over runs, default 3), and
-/// `--out <dir>` (JSON output directory, default `target/experiments`).
+/// `--repeats <usize>` (experiments that average over runs, default 3),
+/// `--out <dir>` (JSON output directory, default `target/experiments`),
+/// `--log <filter>` (console log filter overriding `LITHOHD_LOG`, e.g.
+/// `debug` or `info,gmm=trace`), `--journal <path>` (write a JSONL run
+/// journal), and `--profile` (print the span-timing tree on exit).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentArgs {
     /// Benchmark size factor.
@@ -16,6 +21,12 @@ pub struct ExperimentArgs {
     pub repeats: usize,
     /// Output directory for JSON results.
     pub out: PathBuf,
+    /// Console log filter (`--log`), overriding the `LITHOHD_LOG` variable.
+    pub log: Option<EnvFilter>,
+    /// JSONL run-journal path (`--journal`).
+    pub journal: Option<PathBuf>,
+    /// Whether to print the span-timing profile on exit (`--profile`).
+    pub profile: bool,
 }
 
 impl Default for ExperimentArgs {
@@ -25,19 +36,27 @@ impl Default for ExperimentArgs {
             seed: 1,
             repeats: 3,
             out: PathBuf::from("target/experiments"),
+            log: None,
+            journal: None,
+            profile: false,
         }
     }
 }
 
 impl ExperimentArgs {
-    /// Parses `std::env::args`, exiting with a usage message on bad input.
+    /// Parses `std::env::args` and initialises telemetry sinks, exiting
+    /// with a usage message on bad input.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(args) => args,
+            Ok(args) => {
+                args.init_telemetry();
+                args
+            }
             Err(message) => {
                 eprintln!("{message}");
                 eprintln!(
-                    "usage: <bin> [--scale <f64>] [--seed <u64>] [--repeats <usize>] [--out <dir>]"
+                    "usage: <bin> [--scale <f64>] [--seed <u64>] [--repeats <usize>] [--out <dir>] \
+                     [--log <filter>] [--journal <path>] [--profile]"
                 );
                 std::process::exit(2);
             }
@@ -60,9 +79,7 @@ impl ExperimentArgs {
             };
             match flag.as_str() {
                 "--scale" => {
-                    out.scale = value()?
-                        .parse()
-                        .map_err(|e| format!("bad --scale: {e}"))?;
+                    out.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
                     if !(out.scale > 0.0 && out.scale.is_finite()) {
                         return Err("--scale must be positive".to_owned());
                     }
@@ -81,16 +98,55 @@ impl ExperimentArgs {
                 "--out" => {
                     out.out = PathBuf::from(value()?);
                 }
+                "--log" => {
+                    out.log =
+                        Some(EnvFilter::parse(&value()?).map_err(|e| format!("bad --log: {e}"))?);
+                }
+                "--journal" => {
+                    out.journal = Some(PathBuf::from(value()?));
+                }
+                "--profile" => {
+                    out.profile = true;
+                }
                 other => return Err(format!("unknown flag: {other}")),
             }
         }
         Ok(out)
+    }
+
+    /// Registers the telemetry sinks these arguments ask for: a console
+    /// sink (filtered by `--log`, else `LITHOHD_LOG`), and a JSONL journal
+    /// when `--journal` was given.
+    pub fn init_telemetry(&self) {
+        let filter = self.log.clone().unwrap_or_else(EnvFilter::from_env);
+        telemetry::add_sink(Arc::new(ConsoleSink::new(filter)));
+        if let Some(path) = &self.journal {
+            match JsonlSink::create(path) {
+                Ok(sink) => telemetry::add_sink(Arc::new(sink)),
+                Err(e) => {
+                    eprintln!("cannot open journal {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    /// Finalises telemetry at the end of a binary: publishes the metrics
+    /// snapshot to every sink (the journal's closing record) and prints the
+    /// span-timing tree when `--profile` was given.
+    pub fn finish_telemetry(&self) {
+        telemetry::publish_snapshot();
+        if self.profile {
+            eprint!("{}", telemetry::profile_report());
+        }
+        telemetry::flush();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hotspot_telemetry::Level;
 
     fn parse(args: &[&str]) -> Result<ExperimentArgs, String> {
         ExperimentArgs::parse(args.iter().map(|s| s.to_string()))
@@ -104,11 +160,37 @@ mod tests {
 
     #[test]
     fn all_flags_parse() {
-        let args = parse(&["--scale", "0.5", "--seed", "9", "--repeats", "7", "--out", "/tmp/x"]).unwrap();
+        let args = parse(&[
+            "--scale",
+            "0.5",
+            "--seed",
+            "9",
+            "--repeats",
+            "7",
+            "--out",
+            "/tmp/x",
+            "--log",
+            "debug",
+            "--journal",
+            "/tmp/run.jsonl",
+            "--profile",
+        ])
+        .unwrap();
         assert_eq!(args.scale, 0.5);
         assert_eq!(args.seed, 9);
         assert_eq!(args.repeats, 7);
         assert_eq!(args.out, PathBuf::from("/tmp/x"));
+        assert_eq!(args.log, Some(EnvFilter::at(Level::Debug)));
+        assert_eq!(args.journal, Some(PathBuf::from("/tmp/run.jsonl")));
+        assert!(args.profile);
+    }
+
+    #[test]
+    fn log_accepts_directives() {
+        let args = parse(&["--log", "warn,gmm=trace"]).unwrap();
+        let filter = args.log.unwrap();
+        assert!(filter.enabled(Level::Trace, "gmm.em"));
+        assert!(!filter.enabled(Level::Info, "core.framework"));
     }
 
     #[test]
@@ -116,6 +198,8 @@ mod tests {
         assert!(parse(&["--scale", "-1"]).is_err());
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--repeats", "0"]).is_err());
+        assert!(parse(&["--log", "loud"]).is_err());
+        assert!(parse(&["--journal"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
     }
 }

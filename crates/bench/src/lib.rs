@@ -16,7 +16,9 @@ mod report;
 mod runtime;
 
 pub use cli::ExperimentArgs;
-pub use methods::{run_active_method, run_active_method_avg, run_pattern_method, ActiveMethod, MethodResult};
+pub use methods::{
+    run_active_method, run_active_method_avg, run_pattern_method, ActiveMethod, MethodResult,
+};
 pub use pca::project_2d;
 pub use report::{ratio_row, render_table, write_json, TableRow};
 pub use runtime::{runtime_seconds, LITHO_SECONDS_PER_CLIP};
@@ -36,14 +38,29 @@ pub fn evaluated_specs(scale: f64) -> Vec<BenchmarkSpec> {
     ]
 }
 
-/// Generates one benchmark, logging progress to stderr.
+/// Generates one benchmark, reporting progress as telemetry events.
 pub fn generate(spec: &BenchmarkSpec, seed: u64) -> GeneratedBenchmark {
-    eprintln!(
-        "[gen] {} ({} hotspots / {} non-hotspots)…",
-        spec.name, spec.hotspots, spec.non_hotspots
+    use hotspot_telemetry as telemetry;
+    let _span = telemetry::span("generate");
+    telemetry::info(
+        "bench.generate",
+        "generating benchmark",
+        &[
+            ("benchmark", spec.name.as_str().into()),
+            ("hotspots", (spec.hotspots as u64).into()),
+            ("non_hotspots", (spec.non_hotspots as u64).into()),
+        ],
     );
     let start = std::time::Instant::now();
     let bench = GeneratedBenchmark::generate(spec, seed).expect("benchmark generation succeeds");
-    eprintln!("[gen] {} done in {:.1?}", spec.name, start.elapsed());
+    telemetry::info(
+        "bench.generate",
+        "benchmark ready",
+        &[
+            ("benchmark", spec.name.as_str().into()),
+            ("clips", (bench.len() as u64).into()),
+            ("elapsed_ms", (start.elapsed().as_millis() as u64).into()),
+        ],
+    );
     bench
 }

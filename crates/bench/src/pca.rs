@@ -117,7 +117,10 @@ mod tests {
         let p = project_2d(&data, 3);
         let spread_x: f32 = p.iter().map(|&(x, _)| x.abs()).sum();
         let spread_y: f32 = p.iter().map(|&(_, y)| y.abs()).sum();
-        assert!(spread_x > 10.0 * (spread_y + 1e-6), "x {spread_x} y {spread_y}");
+        assert!(
+            spread_x > 10.0 * (spread_y + 1e-6),
+            "x {spread_x} y {spread_y}"
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub fn ratio_row(rows: &[TableRow]) -> (TableRow, TableRow) {
         .map(|&(acc, litho)| {
             (
                 if ref_acc > 0.0 { acc / ref_acc } else { 0.0 },
-                if ref_litho > 0.0 { litho / ref_litho } else { 0.0 },
+                if ref_litho > 0.0 {
+                    litho / ref_litho
+                } else {
+                    0.0
+                },
             )
         })
         .collect();
@@ -103,7 +107,11 @@ pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
     let path = dir.join(format!("{name}.json"));
     let file = std::fs::File::create(&path).expect("create experiment output file");
     serde_json::to_writer_pretty(file, value).expect("serialise experiment result");
-    eprintln!("[out] wrote {}", path.display());
+    hotspot_telemetry::info(
+        "bench.report",
+        "wrote result file",
+        &[("path", path.display().to_string().into())],
+    );
 }
 
 #[cfg(test)]

@@ -132,7 +132,12 @@ impl fmt::Display for ReliabilityDiagram {
             writeln!(
                 f,
                 "[{:.2}, {:.2})   {:>6}   {:.3}  {:.3}  {:.3}",
-                b.lower, b.upper, b.count, b.mean_confidence, b.accuracy, b.gap()
+                b.lower,
+                b.upper,
+                b.count,
+                b.mean_confidence,
+                b.accuracy,
+                b.gap()
             )?;
         }
         write!(f, "ECE = {:.4}", self.ece())

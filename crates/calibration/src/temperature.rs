@@ -34,7 +34,10 @@ impl fmt::Display for CalibrationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CalibrationError::BadLogitShape { len, classes } => {
-                write!(f, "logit buffer of {len} entries is not a multiple of {classes} classes")
+                write!(
+                    f,
+                    "logit buffer of {len} entries is not a multiple of {classes} classes"
+                )
             }
             CalibrationError::LabelCountMismatch { rows, labels } => {
                 write!(f, "{rows} logit rows but {labels} labels")
@@ -87,7 +90,7 @@ impl Temperature {
     ///
     /// Returns shape errors as described on [`CalibrationError`].
     pub fn fit(logits: &[f32], classes: usize, labels: &[usize]) -> Result<Self, CalibrationError> {
-        if classes == 0 || logits.len() % classes != 0 {
+        if classes == 0 || !logits.len().is_multiple_of(classes) {
             return Err(CalibrationError::BadLogitShape {
                 len: logits.len(),
                 classes: classes.max(1),
@@ -110,6 +113,7 @@ impl Temperature {
             });
         }
 
+        let _fit_span = hotspot_telemetry::span("calibrate").with("rows", rows as u64);
         let nll_at = |ln_t: f64| nll(logits, classes, labels, ln_t.exp());
         // Golden-section search on the (unimodal in practice) NLL curve.
         let phi = (5.0f64.sqrt() - 1.0) / 2.0;
@@ -134,9 +138,17 @@ impl Temperature {
                 fd = nll_at(d);
             }
         }
-        Ok(Temperature {
-            value: (0.5 * (a + b)).exp(),
-        })
+        let value = (0.5 * (a + b)).exp();
+        hotspot_telemetry::gauge("calibration.temperature").set(value);
+        hotspot_telemetry::debug(
+            "calibration.temperature",
+            "temperature fitted (Eq. 4)",
+            &[
+                ("temperature", value.into()),
+                ("rows", (rows as u64).into()),
+            ],
+        );
+        Ok(Temperature { value })
     }
 
     /// The scalar temperature.
@@ -162,7 +174,10 @@ impl Temperature {
     ///
     /// Panics when the buffer is not a whole number of rows.
     pub fn probabilities_batch(&self, logits: &[f32], classes: usize) -> Vec<f32> {
-        assert!(classes > 0 && logits.len() % classes == 0, "bad logit shape");
+        assert!(
+            classes > 0 && logits.len().is_multiple_of(classes),
+            "bad logit shape"
+        );
         let mut out = Vec::with_capacity(logits.len());
         for row in logits.chunks_exact(classes) {
             out.extend(self.probabilities(row));
@@ -221,8 +236,8 @@ mod tests {
         let mut labels = Vec::new();
         for _ in 0..40 {
             logits.extend_from_slice(&[0.2, -0.2]);
-            labels.push(0);
         }
+        labels.extend(std::iter::repeat_n(0, 40));
         (logits, labels)
     }
 

@@ -165,7 +165,10 @@ mod tests {
 
     #[test]
     fn cold_batch_termination_defaults_off() {
-        assert_eq!(SamplingConfig::for_benchmark(1000).stop_after_cold_batches, None);
+        assert_eq!(
+            SamplingConfig::for_benchmark(1000).stop_after_cold_batches,
+            None
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl ActiveDataset {
         let mut seen = HashSet::with_capacity(initial_train.len() + validation.len());
         for &i in initial_train.iter().chain(validation) {
             assert!(i < total, "split index {i} out of range ({total} clips)");
-            assert!(seen.insert(i), "index {i} appears twice in the initial split");
+            assert!(
+                seen.insert(i),
+                "index {i} appears twice in the initial split"
+            );
         }
         let labeled_classes = initial_train
             .iter()
@@ -137,7 +140,13 @@ mod tests {
         // Clips 0..10; indices 0, 3, 6, 9 are hotspots.
         CountingOracle::new(
             (0..10)
-                .map(|i| if i % 3 == 0 { Label::Hotspot } else { Label::NonHotspot })
+                .map(|i| {
+                    if i % 3 == 0 {
+                        Label::Hotspot
+                    } else {
+                        Label::NonHotspot
+                    }
+                })
                 .collect(),
         )
     }

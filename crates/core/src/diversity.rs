@@ -131,7 +131,12 @@ mod tests {
 
     #[test]
     fn scores_match_matrix_minimum() {
-        let e = m(&[vec![1.0, 0.2], vec![0.3, 0.9], vec![-0.8, 0.1], vec![0.5, 0.5]]);
+        let e = m(&[
+            vec![1.0, 0.2],
+            vec![0.3, 0.9],
+            vec![-0.8, 0.1],
+            vec![0.5, 0.5],
+        ]);
         let d = diversity_matrix(&e);
         let s = diversity_scores(&e);
         for i in 0..4 {

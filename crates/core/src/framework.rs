@@ -7,6 +7,7 @@ use hotspot_gmm::{GaussianMixture, GmmConfig};
 use hotspot_layout::GeneratedBenchmark;
 use hotspot_litho::{Label, OracleStats};
 use hotspot_nn::Matrix;
+use hotspot_telemetry as telemetry;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -29,6 +30,8 @@ pub struct IterationStats {
     pub labeled_size: usize,
     /// Final training loss of the update step.
     pub train_loss: f64,
+    /// Validation ECE at this iteration's fitted temperature (Eq. 3).
+    pub ece: f64,
 }
 
 /// The result of one full PSHD run.
@@ -56,6 +59,8 @@ pub struct RunOutcome {
     pub predicted_hotspots: Vec<usize>,
     /// Oracle meter snapshot (cross-checks Eq. 2's train+val component).
     pub oracle_stats: OracleStats,
+    /// Process-unique id tagging this run's telemetry events.
+    pub run_id: u64,
 }
 
 /// Algorithm 2 of the paper: the overall pattern-sampling and hotspot-
@@ -101,6 +106,24 @@ impl SamplingFramework {
                 required: config.initial_split() + 2,
             });
         }
+        let run_id = telemetry::next_run_id();
+        // The oracle-call counter is process-wide and monotonic (parallel
+        // runs share it); this run's share is the delta from here.
+        let oracle_calls_before = telemetry::counter("litho.oracle.calls").get();
+        let _run_span = telemetry::span("run")
+            .with("run_id", run_id)
+            .with("selector", selector.name());
+        telemetry::info(
+            "core.framework",
+            "run started",
+            &[
+                ("run_id", run_id.into()),
+                ("selector", selector.name().into()),
+                ("seed", seed.into()),
+                ("clips", (total as u64).into()),
+                ("iterations", (config.iterations as u64).into()),
+            ],
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut oracle = bench.oracle();
 
@@ -124,7 +147,11 @@ impl SamplingFramework {
         )?;
         let scores = gmm.score_samples(bench.density_features().as_slice());
         let mut by_score: Vec<usize> = (0..total).collect();
-        by_score.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+        by_score.sort_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         // Line 2: split. The lowest-likelihood (hotspot-like) clips seed the
         // training set; the validation set is a seeded random draw from the
@@ -163,7 +190,11 @@ impl SamplingFramework {
 
         // ECE before calibration, for the Fig. 2 comparison.
         let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
-        let ece_before = validation_ece(&val_logits, dataset.validation_classes(), Temperature::identity());
+        let ece_before = validation_ece(
+            &val_logits,
+            dataset.validation_classes(),
+            Temperature::identity(),
+        );
 
         // Lines 6–13: iterative batch sampling.
         let mut history = Vec::with_capacity(config.iterations);
@@ -171,6 +202,7 @@ impl SamplingFramework {
         let mut temperature = Temperature::identity();
         let mut cold_batches = 0usize;
         for iteration in 1..=config.iterations {
+            let _iter_span = telemetry::span("iteration").with("iteration", iteration as u64);
             // Line 7: query pool = n lowest-GMM-likelihood unlabeled clips.
             let query: Vec<usize> = by_score
                 .iter()
@@ -183,6 +215,8 @@ impl SamplingFramework {
             }
             // Line 8: temperature fit on the validation set.
             temperature = self.fit_temperature(&model, &features, &dataset)?;
+            let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
+            let ece = validation_ece(&val_logits, dataset.validation_classes(), temperature);
             // Line 9: entropy sampling over the query set.
             let qx = features.gather_rows(&query);
             let (logits, embeddings) = model.predict(&qx);
@@ -197,7 +231,10 @@ impl SamplingFramework {
                 ablation: config.ablation,
                 rng_seed: seed ^ iteration as u64,
             };
-            let picked_local = selector.select(&ctx);
+            let picked_local = {
+                let _select_span = telemetry::span("select").with("pool", query.len() as u64);
+                selector.select(&ctx)
+            };
             let batch: Vec<usize> = picked_local.iter().map(|&i| query[i]).collect();
             if batch.is_empty() {
                 break;
@@ -212,14 +249,18 @@ impl SamplingFramework {
                 seed ^ (iteration as u64) << 8,
             )?;
             let train_loss = report.final_loss();
-            history.push(IterationStats {
+            let weights = selector.last_weights();
+            let stats = IterationStats {
                 iteration,
                 temperature: temperature.value(),
-                weights: selector.last_weights(),
+                weights,
                 batch_hotspots,
                 labeled_size: dataset.labeled().len(),
                 train_loss,
-            });
+                ece,
+            };
+            emit_iteration(run_id, &stats, batch.len());
+            history.push(stats);
             // Optional termination condition: the sampler has gone cold.
             if let Some(limit) = config.stop_after_cold_batches {
                 if batch_hotspots == 0 {
@@ -241,19 +282,36 @@ impl SamplingFramework {
         let pool = dataset.unlabeled().to_vec();
         let (mut hits, mut false_alarms) = (0usize, 0usize);
         let mut predicted_hotspots = Vec::new();
-        if !pool.is_empty() {
-            let (logits, _) = model.predict_pool(&features.gather_rows(&pool));
-            let probabilities = temperature.probabilities_batch(logits.as_slice(), 2);
-            for (row, &clip) in pool.iter().enumerate() {
-                let p_hotspot = probabilities[row * 2 + 1];
-                if p_hotspot >= config.detect_threshold {
-                    predicted_hotspots.push(clip);
-                    match bench.labels()[clip] {
-                        Label::Hotspot => hits += 1,
-                        Label::NonHotspot => false_alarms += 1,
+        {
+            let _detect_span = telemetry::span("detect").with("pool", pool.len() as u64);
+            if !pool.is_empty() {
+                let (logits, _) = model.predict_pool(&features.gather_rows(&pool));
+                let probabilities = temperature.probabilities_batch(logits.as_slice(), 2);
+                for (row, &clip) in pool.iter().enumerate() {
+                    let p_hotspot = probabilities[row * 2 + 1];
+                    if p_hotspot >= config.detect_threshold {
+                        predicted_hotspots.push(clip);
+                        match bench.labels()[clip] {
+                            Label::Hotspot => hits += 1,
+                            Label::NonHotspot => false_alarms += 1,
+                        }
                     }
                 }
             }
+        }
+        // Eq. 2 bills each false alarm as one wasted verification simulation
+        // on top of the train/val labels the oracle already metered; bill
+        // the counter the same way so the journal snapshot equals Litho#.
+        telemetry::counter("litho.oracle.calls").add(false_alarms as u64);
+        if false_alarms > 0 {
+            telemetry::debug(
+                "core.framework",
+                "billed false alarms as verification simulations (Eq. 2)",
+                &[
+                    ("run_id", run_id.into()),
+                    ("false_alarms", (false_alarms as u64).into()),
+                ],
+            );
         }
 
         let metrics = PshdMetrics::compute(
@@ -267,6 +325,45 @@ impl SamplingFramework {
         );
         let mut sampled_indices = dataset.labeled().to_vec();
         sampled_indices.extend_from_slice(dataset.validation());
+        let oracle_stats = oracle.stats();
+
+        // Consistency check: this run's counter delta should equal the
+        // oracle's unique-query meter plus the billed false alarms — i.e.
+        // Litho# of Eq. 2. Concurrent runs (parallel tests) share the
+        // process-wide counter, so the delta may legitimately exceed the
+        // expectation; falling short would be an instrumentation bug.
+        let oracle_delta = telemetry::counter("litho.oracle.calls").get() - oracle_calls_before;
+        let expected_calls = (oracle_stats.unique + false_alarms) as u64;
+        debug_assert!(
+            oracle_delta >= expected_calls,
+            "litho.oracle.calls advanced by {oracle_delta}, expected at least {expected_calls}"
+        );
+        if oracle_delta != expected_calls {
+            telemetry::warn(
+                "core.framework",
+                "litho.oracle.calls delta differs from oracle stats (concurrent runs?)",
+                &[
+                    ("run_id", run_id.into()),
+                    ("delta", oracle_delta.into()),
+                    ("expected", expected_calls.into()),
+                ],
+            );
+        }
+
+        telemetry::info(
+            "core.framework",
+            "run complete",
+            &[
+                ("run_id", run_id.into()),
+                ("selector", selector.name().into()),
+                ("litho", (metrics.litho as u64).into()),
+                ("accuracy", metrics.accuracy.into()),
+                ("false_alarms", (false_alarms as u64).into()),
+                ("ece_before", ece_before.into()),
+                ("ece_after", ece_after.into()),
+                ("elapsed_ms", (start.elapsed().as_millis() as u64).into()),
+            ],
+        );
         Ok(RunOutcome {
             metrics,
             history,
@@ -277,7 +374,8 @@ impl SamplingFramework {
             elapsed: start.elapsed(),
             sampled_indices,
             predicted_hotspots,
-            oracle_stats: oracle.stats(),
+            oracle_stats,
+            run_id,
         })
     }
 
@@ -297,6 +395,26 @@ impl SamplingFramework {
             dataset.validation_classes(),
         )?)
     }
+}
+
+/// Per-iteration journal event: the Algorithm 2 loop state the paper's
+/// figures are built from (temperature → Eq. 4, ω₁/ω₂ → Eq. 13).
+fn emit_iteration(run_id: u64, stats: &IterationStats, batch_size: usize) {
+    let mut fields = vec![
+        ("run_id", telemetry::FieldValue::U64(run_id)),
+        ("iteration", (stats.iteration as u64).into()),
+        ("temperature", stats.temperature.into()),
+        ("ece", stats.ece.into()),
+        ("batch_size", (batch_size as u64).into()),
+        ("batch_hotspots", (stats.batch_hotspots as u64).into()),
+        ("labeled_size", (stats.labeled_size as u64).into()),
+        ("train_loss", stats.train_loss.into()),
+    ];
+    if let Some((w1, w2)) = stats.weights {
+        fields.push(("omega1", w1.into()));
+        fields.push(("omega2", w2.into()));
+    }
+    telemetry::info("core.framework", "iteration complete", &fields);
 }
 
 /// ECE of argmax predictions on the validation set at a given temperature.
@@ -346,14 +464,19 @@ mod tests {
     fn full_run_produces_consistent_metrics() {
         let bench = small_bench();
         let framework = SamplingFramework::new(small_config(bench.len()));
-        let outcome = framework.run(&bench, &mut EntropySelector::new(), 3).unwrap();
+        let outcome = framework
+            .run(&bench, &mut EntropySelector::new(), 3)
+            .unwrap();
         let m = &outcome.metrics;
         assert!(m.accuracy > 0.3, "accuracy {}", m.accuracy);
         assert!(m.accuracy <= 1.0);
         // Eq. 2 cross-check: litho = train + val + FA, and the oracle paid
         // exactly for train + val.
         assert_eq!(m.litho, m.train_size + m.validation_size + m.false_alarms);
-        assert_eq!(outcome.oracle_stats.unique, m.train_size + m.validation_size);
+        assert_eq!(
+            outcome.oracle_stats.unique,
+            m.train_size + m.validation_size
+        );
         assert!(!outcome.history.is_empty());
         assert_eq!(outcome.selector, "entropy");
     }
@@ -362,8 +485,12 @@ mod tests {
     fn run_is_deterministic() {
         let bench = small_bench();
         let framework = SamplingFramework::new(small_config(bench.len()));
-        let a = framework.run(&bench, &mut EntropySelector::new(), 5).unwrap();
-        let b = framework.run(&bench, &mut EntropySelector::new(), 5).unwrap();
+        let a = framework
+            .run(&bench, &mut EntropySelector::new(), 5)
+            .unwrap();
+        let b = framework
+            .run(&bench, &mut EntropySelector::new(), 5)
+            .unwrap();
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.sampled_indices, b.sampled_indices);
     }
@@ -373,13 +500,20 @@ mod tests {
         let bench = small_bench();
         let framework = SamplingFramework::new(small_config(bench.len()));
         for (name, selector) in [
-            ("entropy", &mut EntropySelector::new() as &mut dyn BatchSelector),
+            (
+                "entropy",
+                &mut EntropySelector::new() as &mut dyn BatchSelector,
+            ),
             ("ts", &mut UncertaintySelector::new()),
             ("random", &mut RandomSelector::new()),
         ] {
             let outcome = framework.run(&bench, selector, 7).unwrap();
             assert_eq!(outcome.selector, name);
-            assert!(outcome.metrics.accuracy > 0.2, "{name}: {}", outcome.metrics.accuracy);
+            assert!(
+                outcome.metrics.accuracy > 0.2,
+                "{name}: {}",
+                outcome.metrics.accuracy
+            );
         }
     }
 
@@ -390,7 +524,9 @@ mod tests {
         let framework = SamplingFramework::new(small_config(bench.len()));
         let (mut before, mut after) = (0.0, 0.0);
         for seed in 0..3 {
-            let o = framework.run(&bench, &mut EntropySelector::new(), seed).unwrap();
+            let o = framework
+                .run(&bench, &mut EntropySelector::new(), seed)
+                .unwrap();
             before += o.ece_before;
             after += o.ece_after;
         }
@@ -414,13 +550,29 @@ mod tests {
     fn history_tracks_growing_labeled_set() {
         let bench = small_bench();
         let framework = SamplingFramework::new(small_config(bench.len()));
-        let outcome = framework.run(&bench, &mut EntropySelector::new(), 9).unwrap();
+        let outcome = framework
+            .run(&bench, &mut EntropySelector::new(), 9)
+            .unwrap();
         for pair in outcome.history.windows(2) {
             assert!(pair[1].labeled_size > pair[0].labeled_size);
         }
         for stat in &outcome.history {
             assert!(stat.temperature > 0.0);
+            assert!(stat.ece >= 0.0 && stat.ece <= 1.0);
         }
+    }
+
+    #[test]
+    fn runs_get_distinct_run_ids() {
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        let a = framework
+            .run(&bench, &mut EntropySelector::new(), 5)
+            .unwrap();
+        let b = framework
+            .run(&bench, &mut EntropySelector::new(), 5)
+            .unwrap();
+        assert_ne!(a.run_id, b.run_id);
     }
 
     #[test]
@@ -428,7 +580,9 @@ mod tests {
         let bench = small_bench();
         let config = small_config(bench.len()).without_calibration();
         let framework = SamplingFramework::new(config);
-        let outcome = framework.run(&bench, &mut EntropySelector::new(), 2).unwrap();
+        let outcome = framework
+            .run(&bench, &mut EntropySelector::new(), 2)
+            .unwrap();
         assert_eq!(outcome.final_temperature, 1.0);
     }
 

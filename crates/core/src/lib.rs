@@ -55,7 +55,8 @@ pub use framework::{IterationStats, RunOutcome, SamplingFramework};
 pub use metrics::PshdMetrics;
 pub use model::HotspotModel;
 pub use selector::{
-    BatchSelector, EntropySelector, RandomSelector, SelectionContext, UncertaintySelector,
+    record_selection, BatchSelector, EntropySelector, RandomSelector, SelectionContext,
+    UncertaintySelector,
 };
 pub use uncertainty::{bvsb_scores, uncertainty_scores};
 pub use weighting::{entropy_weights, normalize_scores};

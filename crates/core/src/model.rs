@@ -29,8 +29,21 @@ impl HotspotModel {
     /// # Panics
     ///
     /// Panics when `input_dim` is zero or `sigma` is not positive.
-    pub fn new(input_dim: usize, seed: u64, sigma: f64, learning_rate: f64, train_batch: usize) -> Self {
-        HotspotModel::with_architecture(input_dim, &[64, 32], seed, sigma, learning_rate, train_batch)
+    pub fn new(
+        input_dim: usize,
+        seed: u64,
+        sigma: f64,
+        learning_rate: f64,
+        train_batch: usize,
+    ) -> Self {
+        HotspotModel::with_architecture(
+            input_dim,
+            &[64, 32],
+            seed,
+            sigma,
+            learning_rate,
+            train_batch,
+        )
     }
 
     /// Builds a model with explicit hidden-layer widths. The final hidden
@@ -50,7 +63,10 @@ impl HotspotModel {
     ) -> Self {
         assert!(input_dim > 0, "input dimension must be positive");
         assert!(!hidden.is_empty(), "need at least one hidden layer");
-        assert!(hidden.iter().all(|&w| w > 0), "hidden widths must be positive");
+        assert!(
+            hidden.iter().all(|&w| w > 0),
+            "hidden widths must be positive"
+        );
         let mut rng = InitRng::seeded(seed, sigma);
         let mut net = Sequential::new();
         let mut previous = input_dim;

@@ -108,7 +108,9 @@ impl BatchSelector for EntropySelector {
                     .collect()
             }
         };
-        top_k(&scores, ctx.k)
+        let picked = top_k(&scores, ctx.k);
+        record_selection(self.name(), ctx.len(), picked.len());
+        picked
     }
 
     fn name(&self) -> &'static str {
@@ -138,7 +140,9 @@ impl BatchSelector for UncertaintySelector {
             return Vec::new();
         }
         let f = uncertainty_scores(ctx.probabilities, ctx.boundary_h);
-        top_k(&f, ctx.k)
+        let picked = top_k(&f, ctx.k);
+        record_selection(self.name(), ctx.len(), picked.len());
+        picked
     }
 
     fn name(&self) -> &'static str {
@@ -163,12 +167,31 @@ impl BatchSelector for RandomSelector {
         let mut indices: Vec<usize> = (0..ctx.len()).collect();
         indices.shuffle(&mut rng);
         indices.truncate(ctx.k);
+        record_selection(self.name(), ctx.len(), indices.len());
         indices
     }
 
     fn name(&self) -> &'static str {
         "random"
     }
+}
+
+/// Records a completed batch selection: accumulates the pool size into the
+/// `selector.query.size` counter and emits a debug event. Selector
+/// implementations (here and in the baselines crate) call this once per
+/// [`BatchSelector::select`] so query volume is comparable across methods.
+pub fn record_selection(name: &'static str, pool: usize, picked: usize) {
+    hotspot_telemetry::counter("selector.query.size").add(pool as u64);
+    hotspot_telemetry::counter("selector.batches").incr();
+    hotspot_telemetry::debug(
+        "selector",
+        "batch selected",
+        &[
+            ("selector", name.into()),
+            ("pool", (pool as u64).into()),
+            ("picked", (picked as u64).into()),
+        ],
+    );
 }
 
 /// Indices of the `k` largest scores, ties broken towards lower index.
@@ -280,7 +303,10 @@ mod tests {
         ctx.weight_mode = WeightMode::Fixed { omega2: 1.0 };
         let picked = EntropySelector::new().select(&ctx);
         // ω₂ = 1 is pure diversity.
-        assert!(picked.contains(&2) && picked.contains(&3) || picked.contains(&3), "{picked:?}");
+        assert!(
+            picked.contains(&2) && picked.contains(&3) || picked.contains(&3),
+            "{picked:?}"
+        );
         assert!(!(picked.contains(&0) && picked.contains(&1)));
     }
 

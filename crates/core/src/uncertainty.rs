@@ -11,7 +11,11 @@
 /// assert!(scores[0] > scores[1]); // the 50/50 sample is maximally uncertain
 /// ```
 pub fn bvsb_scores(probabilities: &[f32]) -> Vec<f32> {
-    assert_eq!(probabilities.len() % 2, 0, "expected two-class probability rows");
+    assert_eq!(
+        probabilities.len() % 2,
+        0,
+        "expected two-class probability rows"
+    );
     probabilities
         .chunks_exact(2)
         .map(|p| 1.0 - (p[0] - p[1]).abs())
@@ -47,7 +51,11 @@ pub fn bvsb_scores(probabilities: &[f32]) -> Vec<f32> {
 /// assert!(scores[0] > scores[1]);
 /// ```
 pub fn uncertainty_scores(probabilities: &[f32], h: f32) -> Vec<f32> {
-    assert_eq!(probabilities.len() % 2, 0, "expected two-class probability rows");
+    assert_eq!(
+        probabilities.len() % 2,
+        0,
+        "expected two-class probability rows"
+    );
     assert!(h > 0.0 && h < 1.0, "boundary h must lie in (0, 1), got {h}");
     probabilities
         .chunks_exact(2)

@@ -96,7 +96,10 @@ mod tests {
     #[test]
     fn flat_index_gets_zero_weight() {
         let (w1, w2) = entropy_weights(&[0.7, 0.7, 0.7, 0.7], &[0.0, 0.2, 0.9, 0.4]);
-        assert!(w1 < 1e-9, "flat uncertainty should carry no weight, got {w1}");
+        assert!(
+            w1 < 1e-9,
+            "flat uncertainty should carry no weight, got {w1}"
+        );
         assert!((w2 - 1.0).abs() < 1e-9);
     }
 

@@ -111,11 +111,7 @@ mod tests {
     #[test]
     fn right_side_wire_lights_right_sectors() {
         // A vertical wire on the right half only.
-        let f = ccas_features(
-            &raster_with(&[Rect::new(300, 0, 340, 400).unwrap()]),
-            2,
-            4,
-        );
+        let f = ccas_features(&raster_with(&[Rect::new(300, 0, 340, 400).unwrap()]), 2, 4);
         // Sector 0 spans angles [0, π/2): the "right-up" wedge; sector 1 is
         // "left-up", etc. Right-side metal lands in sectors 0 and 3.
         let outer = &f[4..8];
@@ -127,30 +123,21 @@ mod tests {
     fn rotation_by_90_degrees_permutes_sectors() {
         // Horizontal wire vs vertical wire: same ring profile, shifted
         // sectors.
-        let horizontal = ccas_features(
-            &raster_with(&[Rect::new(0, 180, 400, 220).unwrap()]),
-            3,
-            4,
-        );
-        let vertical = ccas_features(
-            &raster_with(&[Rect::new(180, 0, 220, 400).unwrap()]),
-            3,
-            4,
-        );
+        let horizontal = ccas_features(&raster_with(&[Rect::new(0, 180, 400, 220).unwrap()]), 3, 4);
+        let vertical = ccas_features(&raster_with(&[Rect::new(180, 0, 220, 400).unwrap()]), 3, 4);
         for ring in 0..3 {
             let h_ring: f32 = horizontal[ring * 4..(ring + 1) * 4].iter().sum();
             let v_ring: f32 = vertical[ring * 4..(ring + 1) * 4].iter().sum();
-            assert!((h_ring - v_ring).abs() < 0.12, "ring {ring}: {h_ring} vs {v_ring}");
+            assert!(
+                (h_ring - v_ring).abs() < 0.12,
+                "ring {ring}: {h_ring} vs {v_ring}"
+            );
         }
     }
 
     #[test]
     fn values_are_bounded() {
-        let f = ccas_features(
-            &raster_with(&[Rect::new(0, 0, 400, 400).unwrap()]),
-            6,
-            10,
-        );
+        let f = ccas_features(&raster_with(&[Rect::new(0, 0, 400, 400).unwrap()]), 6, 10);
         assert!(f.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
     }
 

@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn dc_of_constant_block() {
         let dct = Dct2d::new(4);
-        let coeffs = dct.transform(&vec![1.0f32; 16]);
+        let coeffs = dct.transform(&[1.0f32; 16]);
         assert!((coeffs[0] - 4.0).abs() < 1e-5);
         for &c in &coeffs[1..] {
             assert!(c.abs() < 1e-5);

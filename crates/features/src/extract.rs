@@ -34,7 +34,7 @@ impl FeatureExtractor {
         block_edge: usize,
         coeffs_per_block: usize,
     ) -> Result<Self, FeatureError> {
-        if block_edge == 0 || raster_edge == 0 || raster_edge % block_edge != 0 {
+        if block_edge == 0 || raster_edge == 0 || !raster_edge.is_multiple_of(block_edge) {
             return Err(FeatureError::BadBlockTiling {
                 raster: raster_edge,
                 block: block_edge,
@@ -89,8 +89,7 @@ impl FeatureExtractor {
 
     /// Extracts the feature vector of one clip raster.
     pub fn extract(&self, raster: &Raster) -> Vec<f32> {
-        let working = if raster.width() == self.raster_edge && raster.height() == self.raster_edge
-        {
+        let working = if raster.width() == self.raster_edge && raster.height() == self.raster_edge {
             raster.clone()
         } else {
             raster.resampled(self.raster_edge, self.raster_edge)
@@ -178,11 +177,7 @@ mod tests {
         let mut full = Raster::zeros(Rect::new(0, 0, 1280, 1280).unwrap(), 10).unwrap();
         full.fill_rect(&Rect::new(0, 0, 1280, 1280).unwrap(), 1.0);
         let full_f = e.extract(&full);
-        let dist: f32 = left
-            .iter()
-            .zip(&full_f)
-            .map(|(a, b)| (a - b).powi(2))
-            .sum();
+        let dist: f32 = left.iter().zip(&full_f).map(|(a, b)| (a - b).powi(2)).sum();
         assert!(dist > 0.1);
     }
 

@@ -52,7 +52,11 @@ impl FeatureMatrix {
     /// Panics when `data.len()` is not a multiple of `dim` (with `dim > 0`).
     pub fn from_flat(data: Vec<f32>, dim: usize) -> Self {
         assert!(dim > 0, "feature dimension must be positive");
-        assert_eq!(data.len() % dim, 0, "flat buffer is not a whole number of rows");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "flat buffer is not a whole number of rows"
+        );
         FeatureMatrix {
             rows: data.len() / dim,
             dim,
@@ -81,7 +85,11 @@ impl FeatureMatrix {
     ///
     /// Panics when `index >= rows()`.
     pub fn row(&self, index: usize) -> &[f32] {
-        assert!(index < self.rows, "row {index} out of range ({} rows)", self.rows);
+        assert!(
+            index < self.rows,
+            "row {index} out of range ({} rows)",
+            self.rows
+        );
         &self.data[index * self.dim..(index + 1) * self.dim]
     }
 
@@ -218,7 +226,13 @@ mod tests {
     #[test]
     fn rejects_ragged_rows() {
         let err = FeatureMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err();
-        assert!(matches!(err, FeatureError::RaggedRows { expected: 1, found: 2 }));
+        assert!(matches!(
+            err,
+            FeatureError::RaggedRows {
+                expected: 1,
+                found: 2
+            }
+        ));
     }
 
     #[test]
@@ -272,7 +286,9 @@ mod tests {
 
     #[test]
     fn l2_normalize_keeps_zero_rows() {
-        let m = FeatureMatrix::from_rows(vec![vec![0.0, 0.0]]).unwrap().l2_normalized();
+        let m = FeatureMatrix::from_rows(vec![vec![0.0, 0.0]])
+            .unwrap()
+            .l2_normalized();
         assert_eq!(m.row(0), &[0.0, 0.0]);
     }
 

@@ -52,7 +52,9 @@ pub fn run_length_histogram(raster: &Raster, threshold: f32, bins: &[usize]) -> 
     let mut histograms = vec![0.0f32; 4 * n_bins];
 
     let bin_of = |len: usize| -> usize {
-        bins.iter().position(|&edge| len <= edge).unwrap_or(bins.len())
+        bins.iter()
+            .position(|&edge| len <= edge)
+            .unwrap_or(bins.len())
     };
     let mut record = |offset: usize, value: bool, len: usize| {
         if len == 0 {

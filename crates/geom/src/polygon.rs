@@ -42,7 +42,7 @@ impl Polygon {
     /// neither horizontal nor vertical, or two consecutive edges along the
     /// same axis.
     pub fn new(vertices: Vec<Point>) -> Result<Self, GeomError> {
-        if vertices.len() < 4 || vertices.len() % 2 != 0 {
+        if vertices.len() < 4 || !vertices.len().is_multiple_of(2) {
             return Err(GeomError::InvalidPolygon {
                 detail: format!(
                     "rectilinear polygon needs an even vertex count of at least 4, got {}",
@@ -96,10 +96,30 @@ impl Polygon {
 
     /// Axis-aligned bounding box.
     pub fn bbox(&self) -> Rect {
-        let x0 = self.vertices.iter().map(|p| p.x).min().expect("non-empty loop");
-        let x1 = self.vertices.iter().map(|p| p.x).max().expect("non-empty loop");
-        let y0 = self.vertices.iter().map(|p| p.y).min().expect("non-empty loop");
-        let y1 = self.vertices.iter().map(|p| p.y).max().expect("non-empty loop");
+        let x0 = self
+            .vertices
+            .iter()
+            .map(|p| p.x)
+            .min()
+            .expect("non-empty loop");
+        let x1 = self
+            .vertices
+            .iter()
+            .map(|p| p.x)
+            .max()
+            .expect("non-empty loop");
+        let y0 = self
+            .vertices
+            .iter()
+            .map(|p| p.y)
+            .min()
+            .expect("non-empty loop");
+        let y1 = self
+            .vertices
+            .iter()
+            .map(|p| p.y)
+            .max()
+            .expect("non-empty loop");
         Rect::new(x0, y0, x1, y1).expect("min <= max")
     }
 

@@ -106,7 +106,10 @@ impl Raster {
     ///
     /// Panics when the index is out of bounds.
     pub fn at(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.height && col < self.width, "raster index out of bounds");
+        assert!(
+            row < self.height && col < self.width,
+            "raster index out of bounds"
+        );
         self.data[row * self.width + col]
     }
 
@@ -116,7 +119,10 @@ impl Raster {
     ///
     /// Panics when the index is out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f32) {
-        assert!(row < self.height && col < self.width, "raster index out of bounds");
+        assert!(
+            row < self.height && col < self.width,
+            "raster index out of bounds"
+        );
         self.data[row * self.width + col] = value;
     }
 
@@ -167,7 +173,10 @@ impl Raster {
     /// averaging. Used to bring rasters to the fixed input size a feature
     /// extractor or network expects.
     pub fn resampled(&self, new_width: usize, new_height: usize) -> Raster {
-        assert!(new_width > 0 && new_height > 0, "target size must be positive");
+        assert!(
+            new_width > 0 && new_height > 0,
+            "target size must be positive"
+        );
         let mut out = Raster {
             region: self.region,
             pitch: self.pitch, // nominal; resampled pixels no longer align to pitch
@@ -197,7 +206,11 @@ impl Raster {
                         total += wx * wy;
                     }
                 }
-                out.data[row * new_width + col] = if total > 0.0 { (acc / total) as f32 } else { 0.0 };
+                out.data[row * new_width + col] = if total > 0.0 {
+                    (acc / total) as f32
+                } else {
+                    0.0
+                };
             }
         }
         out

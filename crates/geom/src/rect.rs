@@ -92,10 +92,7 @@ impl Rect {
 
     /// Centre point, rounded towards negative infinity.
     pub fn center(&self) -> Point {
-        Point::new(
-            self.x0 + self.width() / 2,
-            self.y0 + self.height() / 2,
-        )
+        Point::new(self.x0 + self.width() / 2, self.y0 + self.height() / 2)
     }
 
     /// Whether `p` lies inside the half-open extent.

@@ -64,7 +64,7 @@ impl GaussianMixture {
                 detail: "iteration count must be positive",
             });
         }
-        if data.is_empty() || data.len() % dim != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(dim) {
             return Err(GmmError::BadDataShape {
                 len: data.len(),
                 dim,
@@ -103,9 +103,14 @@ impl GaussianMixture {
         let mut variances: Vec<f64> = (0..k).flat_map(|_| global_var.iter().copied()).collect();
         let mut weights = vec![1.0 / k as f64; k];
 
+        let _fit_span = hotspot_telemetry::span("gmm.fit")
+            .with("samples", n as u64)
+            .with("components", k as u64);
         let mut resp = vec![0.0f64; n * k];
         let mut previous_ll = f64::NEG_INFINITY;
+        let mut em_iterations = 0u64;
         for _ in 0..config.max_iters {
+            em_iterations += 1;
             // E-step: responsibilities and data log-likelihood.
             let mut total_ll = 0.0f64;
             for (i, row) in data.chunks_exact(dim).enumerate() {
@@ -122,12 +127,12 @@ impl GaussianMixture {
                     max_log = max_log.max(lp);
                 }
                 let mut sum = 0.0f64;
-                for c in 0..k {
-                    r[c] = (r[c] - max_log).exp();
-                    sum += r[c];
+                for rc in r.iter_mut() {
+                    *rc = (*rc - max_log).exp();
+                    sum += *rc;
                 }
-                for c in 0..k {
-                    r[c] /= sum;
+                for rc in r.iter_mut() {
+                    *rc /= sum;
                 }
                 total_ll += max_log + sum.ln();
             }
@@ -173,6 +178,15 @@ impl GaussianMixture {
             }
             previous_ll = mean_ll;
         }
+        hotspot_telemetry::counter("gmm.em.iterations").add(em_iterations);
+        hotspot_telemetry::debug(
+            "gmm.model",
+            "EM converged",
+            &[
+                ("em_iterations", em_iterations.into()),
+                ("mean_log_likelihood", previous_ll.into()),
+            ],
+        );
 
         Ok(GaussianMixture {
             dim,
@@ -259,7 +273,11 @@ impl GaussianMixture {
     ///
     /// Panics when `data.len()` is not a multiple of the dimension.
     pub fn score_samples(&self, data: &[f32]) -> Vec<f64> {
-        assert_eq!(data.len() % self.dim, 0, "data is not a whole number of rows");
+        assert_eq!(
+            data.len() % self.dim,
+            0,
+            "data is not a whole number of rows"
+        );
         data.chunks_exact(self.dim)
             .map(|row| self.log_likelihood(row))
             .collect()
@@ -349,8 +367,15 @@ mod tests {
     #[test]
     fn single_component_matches_sample_moments() {
         let data: Vec<f32> = (0..1000).map(|i| (i % 100) as f32 / 10.0).collect();
-        let gmm = GaussianMixture::fit(&data, 1, &GmmConfig { components: 1, ..GmmConfig::default() })
-            .unwrap();
+        let gmm = GaussianMixture::fit(
+            &data,
+            1,
+            &GmmConfig {
+                components: 1,
+                ..GmmConfig::default()
+            },
+        )
+        .unwrap();
         let mean = data.iter().map(|&v| v as f64).sum::<f64>() / data.len() as f64;
         assert!((gmm.means()[0] - mean).abs() < 1e-3);
     }
@@ -371,15 +396,36 @@ mod tests {
             Err(GmmError::BadDataShape { .. })
         ));
         assert!(matches!(
-            GaussianMixture::fit(&data, 1, &GmmConfig { components: 0, ..GmmConfig::default() }),
+            GaussianMixture::fit(
+                &data,
+                1,
+                &GmmConfig {
+                    components: 0,
+                    ..GmmConfig::default()
+                }
+            ),
             Err(GmmError::BadConfig { .. })
         ));
         assert!(matches!(
-            GaussianMixture::fit(&data, 1, &GmmConfig { components: 5, ..GmmConfig::default() }),
+            GaussianMixture::fit(
+                &data,
+                1,
+                &GmmConfig {
+                    components: 5,
+                    ..GmmConfig::default()
+                }
+            ),
             Err(GmmError::TooFewSamples { .. })
         ));
         assert!(matches!(
-            GaussianMixture::fit(&data, 3, &GmmConfig { max_iters: 0, ..GmmConfig::default() }),
+            GaussianMixture::fit(
+                &data,
+                3,
+                &GmmConfig {
+                    max_iters: 0,
+                    ..GmmConfig::default()
+                }
+            ),
             Err(GmmError::BadConfig { .. })
         ));
     }

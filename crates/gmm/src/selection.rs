@@ -55,7 +55,7 @@ pub fn select_components(
         )?;
         let score = bic(&gmm, data);
         scored.push((components, score));
-        let better = best.as_ref().map_or(true, |(b, _)| score < *b);
+        let better = best.as_ref().is_none_or(|(b, _)| score < *b);
         if better {
             best = Some((score, gmm));
         }
@@ -87,8 +87,7 @@ mod tests {
     #[test]
     fn bic_prefers_the_true_component_count() {
         let data = three_cluster_data();
-        let sweep =
-            select_components(&data, 2, &[1, 2, 3, 4, 5], &GmmConfig::default()).unwrap();
+        let sweep = select_components(&data, 2, &[1, 2, 3, 4, 5], &GmmConfig::default()).unwrap();
         assert_eq!(sweep.best.components(), 3, "{:?}", sweep.candidates);
     }
 

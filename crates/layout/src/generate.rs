@@ -94,7 +94,8 @@ impl GeneratedBenchmark {
                 }
             }
             let mut accepted_dups = 0usize;
-            while accepted_dups < dup_quota && (hotspots < spec.hotspots || non_hotspots < spec.non_hotspots)
+            while accepted_dups < dup_quota
+                && (hotspots < spec.hotspots || non_hotspots < spec.non_hotspots)
             {
                 let source = fresh_indices[rng.gen_range(0..fresh_indices.len())];
                 let label = labels[source];
@@ -275,7 +276,11 @@ impl GeneratedBenchmark {
     ///
     /// Panics when `index` is out of range.
     pub fn clip_raster(&self, index: usize) -> Raster {
-        assert!(index < self.len(), "clip {index} out of range ({} clips)", self.len());
+        assert!(
+            index < self.len(),
+            "clip {index} out of range ({} clips)",
+            self.len()
+        );
         match self.recipes[index] {
             ClipRecipe::Fresh { family, seed } => synthesize(self.spec.tech, family, seed),
             ClipRecipe::Duplicate { source } => self.clip_raster(source),
@@ -348,8 +353,13 @@ fn clip_features(extractor: &FeatureExtractor, raster: &Raster, core: Rect) -> V
 
 fn core_rect(spec: &BenchmarkSpec) -> Rect {
     let lo = (spec.tech.clip_edge() - spec.tech.core_edge()) / 2;
-    Rect::new(lo, lo, lo + spec.tech.core_edge(), lo + spec.tech.core_edge())
-        .expect("core fits the clip")
+    Rect::new(
+        lo,
+        lo,
+        lo + spec.tech.core_edge(),
+        lo + spec.tech.core_edge(),
+    )
+    .expect("core fits the clip")
 }
 
 fn choose_family(
@@ -476,7 +486,10 @@ mod tests {
     fn labels_are_shuffled() {
         // Hotspots should not all sit at the front of the index space.
         let bench = GeneratedBenchmark::generate(&small_spec(), 3).unwrap();
-        let first_quarter_hs = bench.labels()[..15].iter().filter(|l| l.is_hotspot()).count();
+        let first_quarter_hs = bench.labels()[..15]
+            .iter()
+            .filter(|l| l.is_hotspot())
+            .count();
         assert!(first_quarter_hs < 12, "labels appear sorted by class");
     }
 

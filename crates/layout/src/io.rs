@@ -81,11 +81,10 @@ impl ClipFile {
                         .chunks_exact(2)
                         .map(|pair| Point::new(pair[0], pair[1]))
                         .collect();
-                    let polygon = Polygon::new(vertices).map_err(|e: GeomError| {
-                        LayoutError::BadSpec {
+                    let polygon =
+                        Polygon::new(vertices).map_err(|e: GeomError| LayoutError::BadSpec {
                             detail: format!("line {}: {e}", number + 1),
-                        }
-                    })?;
+                        })?;
                     rects.extend(polygon.to_rects());
                 }
                 _ => {
@@ -118,7 +117,11 @@ impl ClipFile {
     /// Propagates I/O failures.
     pub fn write<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
         writeln!(writer, "# lithohd clip v1")?;
-        writeln!(writer, "clip {} {} {}", self.width, self.height, self.core_edge)?;
+        writeln!(
+            writer,
+            "clip {} {} {}",
+            self.width, self.height, self.core_edge
+        )?;
         for r in &self.rects {
             writeln!(writer, "rect {} {} {} {}", r.x0(), r.y0(), r.x1(), r.y1())?;
         }

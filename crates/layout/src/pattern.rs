@@ -60,28 +60,29 @@ pub(crate) fn synthesize(tech: Tech, family: ClipFamily, seed: u64) -> Raster {
     let transpose = rng.gen_bool(0.5);
 
     let mut rects: Vec<Rect> = Vec::new();
-    let fill_up = |rects: &mut Vec<Rect>, rng: &mut ChaCha8Rng, mut y: Coord, limit: Coord, wide: bool| {
-        while y < limit {
-            let w = if wide {
-                snap(rng.gen_range(g.safe_width.0..=g.safe_width.1), g.snap)
-            } else {
-                snap(rng.gen_range(g.near_width.0..=g.near_width.1), g.snap)
-            };
-            if y + w > limit {
-                break;
+    let fill_up =
+        |rects: &mut Vec<Rect>, rng: &mut ChaCha8Rng, mut y: Coord, limit: Coord, wide: bool| {
+            while y < limit {
+                let w = if wide {
+                    snap(rng.gen_range(g.safe_width.0..=g.safe_width.1), g.snap)
+                } else {
+                    snap(rng.gen_range(g.near_width.0..=g.near_width.1), g.snap)
+                };
+                if y + w > limit {
+                    break;
+                }
+                rects.push(rect_track(edge, y, w));
+                let gap = if wide {
+                    snap(
+                        rng.gen_range(g.safe_gap_min..=g.safe_gap_min + g.safe_width.1),
+                        g.snap,
+                    )
+                } else {
+                    snap(rng.gen_range(g.near_gap.0..=g.near_gap.1), g.snap)
+                };
+                y += w + gap;
             }
-            rects.push(rect_track(edge, y, w));
-            let gap = if wide {
-                snap(
-                    rng.gen_range(g.safe_gap_min..=g.safe_gap_min + g.safe_width.1),
-                    g.snap,
-                )
-            } else {
-                snap(rng.gen_range(g.near_gap.0..=g.near_gap.1), g.snap)
-            };
-            y += w + gap;
-        }
-    };
+        };
 
     match family {
         ClipFamily::Safe | ClipFamily::NearMiss => {
@@ -107,7 +108,10 @@ pub(crate) fn synthesize(tech: Tech, family: ClipFamily, seed: u64) -> Raster {
             // Sub-printable wire with its axis inside the core band.
             let w = snap(rng.gen_range(g.hot_width.0..=g.hot_width.1), g.snap);
             let margin = tech.core_edge() / 4;
-            let y = snap(rng.gen_range(core_lo + margin..core_hi - margin - w), g.snap);
+            let y = snap(
+                rng.gen_range(core_lo + margin..core_hi - margin - w),
+                g.snap,
+            );
             rects.push(rect_track(edge, y, w));
             let buffer = snap(g.safe_gap_min + g.safe_width.1 / 2, g.snap);
             fill_up(&mut rects, &mut rng, y + w + buffer, edge, true);
@@ -119,8 +123,7 @@ pub(crate) fn synthesize(tech: Tech, family: ClipFamily, seed: u64) -> Raster {
             let w_low = snap(rng.gen_range(g.safe_width.0..=g.safe_width.1), g.snap);
             let w_high = snap(rng.gen_range(g.safe_width.0..=g.safe_width.1), g.snap);
             let margin = tech.core_edge() / 4;
-            let gap_center =
-                snap(rng.gen_range(core_lo + margin..core_hi - margin), g.snap);
+            let gap_center = snap(rng.gen_range(core_lo + margin..core_hi - margin), g.snap);
             let y_low = gap_center - gap / 2 - w_low;
             rects.push(rect_track(edge, y_low, w_low));
             rects.push(rect_track(edge, gap_center + gap - gap / 2, w_high));
@@ -144,7 +147,11 @@ pub(crate) fn synthesize(tech: Tech, family: ClipFamily, seed: u64) -> Raster {
     .expect("clip raster fits the size bound");
     let window = Rect::new(0, 0, edge, edge).expect("positive clip edge");
     for r in rects {
-        let r = if transpose { transpose_rect(&r, edge) } else { r };
+        let r = if transpose {
+            transpose_rect(&r, edge)
+        } else {
+            r
+        };
         if let Some(clipped) = r.intersection(&window) {
             raster.fill_rect(&clipped, 1.0);
         }
@@ -274,7 +281,10 @@ mod tests {
             let hot = (0..40)
                 .filter(|&s| label_of(tech, ClipFamily::Pinch, s) == Label::Hotspot)
                 .count();
-            assert!(hot >= 36, "{tech:?}: only {hot}/40 pinch clips were hotspots");
+            assert!(
+                hot >= 36,
+                "{tech:?}: only {hot}/40 pinch clips were hotspots"
+            );
         }
     }
 
@@ -284,7 +294,10 @@ mod tests {
             let hot = (0..40)
                 .filter(|&s| label_of(tech, ClipFamily::Bridge, s) == Label::Hotspot)
                 .count();
-            assert!(hot >= 36, "{tech:?}: only {hot}/40 bridge clips were hotspots");
+            assert!(
+                hot >= 36,
+                "{tech:?}: only {hot}/40 bridge clips were hotspots"
+            );
         }
     }
 

@@ -125,7 +125,8 @@ mod tests {
     #[test]
     fn wider_line_is_brighter() {
         let k = GaussianKernel::new(3.0);
-        let narrow = AerialImage::from_mask(&mask_with(&[Rect::new(0, 300, 640, 340).unwrap()]), &k);
+        let narrow =
+            AerialImage::from_mask(&mask_with(&[Rect::new(0, 300, 640, 340).unwrap()]), &k);
         let wide = AerialImage::from_mask(&mask_with(&[Rect::new(0, 280, 640, 360).unwrap()]), &k);
         assert!(wide.peak() > narrow.peak());
     }

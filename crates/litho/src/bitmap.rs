@@ -75,7 +75,10 @@ impl Bitmap {
     ///
     /// Panics when the index is out of bounds.
     pub fn at(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.height && col < self.width, "bitmap index out of bounds");
+        assert!(
+            row < self.height && col < self.width,
+            "bitmap index out of bounds"
+        );
         self.bits[row * self.width + col]
     }
 
@@ -85,7 +88,10 @@ impl Bitmap {
     ///
     /// Panics when the index is out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: bool) {
-        assert!(row < self.height && col < self.width, "bitmap index out of bounds");
+        assert!(
+            row < self.height && col < self.width,
+            "bitmap index out of bounds"
+        );
         self.bits[row * self.width + col] = value;
     }
 

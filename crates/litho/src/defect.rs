@@ -37,7 +37,11 @@ pub struct Defect {
 
 impl fmt::Display for Defect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at {} ({} px)", self.kind, self.location, self.size_px)
+        write!(
+            f,
+            "{} at {} ({} px)",
+            self.kind, self.location, self.size_px
+        )
     }
 }
 
@@ -193,7 +197,11 @@ mod tests {
         assert!(!defects.is_empty());
         for d in &defects {
             assert_eq!(d.kind, DefectKind::Pinch);
-            assert!(core().contains(d.location), "defect at {} outside core", d.location);
+            assert!(
+                core().contains(d.location),
+                "defect at {} outside core",
+                d.location
+            );
             assert!(d.size_px >= config.min_defect_px);
         }
     }
@@ -228,7 +236,10 @@ mod tests {
         mask.fill_rect(&Rect::new(100, 420, 1100, 580).unwrap(), 1.0);
         mask.fill_rect(&Rect::new(100, 610, 1100, 770).unwrap(), 1.0);
         let defects = run(&mask, core(), &config);
-        let bridge = defects.iter().find(|d| d.kind == DefectKind::Bridge).unwrap();
+        let bridge = defects
+            .iter()
+            .find(|d| d.kind == DefectKind::Bridge)
+            .unwrap();
         assert!(bridge.size_px >= config.min_defect_px);
     }
 

@@ -31,11 +31,7 @@ impl EpeStats {
         if self.edge_pixels == 0 {
             return 1.0;
         }
-        let ok: usize = self
-            .histogram
-            .iter()
-            .take(tolerance + 1)
-            .sum();
+        let ok: usize = self.histogram.iter().take(tolerance + 1).sum();
         ok as f64 / self.edge_pixels as f64
     }
 }
@@ -133,8 +129,8 @@ pub fn epe_stats(target: &Bitmap, printed: &Bitmap, radius: usize) -> EpeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{GaussianKernel, LithoConfig, ResistModel};
     use crate::aerial::AerialImage;
+    use crate::{GaussianKernel, LithoConfig, ResistModel};
     use hotspot_geom::{Raster, Rect};
 
     fn bitmap_square(edge: usize, lo: usize, hi: usize) -> Bitmap {

@@ -159,10 +159,7 @@ mod tests {
         r.fill_rect(&Rect::new(100, 590, 1100, 620).unwrap(), 1.0);
         let report = sim().analyze(&r, c.core());
         assert_eq!(report.label(), Label::Hotspot);
-        assert!(report
-            .defects()
-            .iter()
-            .any(|d| d.kind == DefectKind::Pinch));
+        assert!(report.defects().iter().any(|d| d.kind == DefectKind::Pinch));
     }
 
     #[test]

@@ -106,7 +106,23 @@ impl LithoOracle for CountingOracle {
             self.truth.len()
         );
         self.total += 1;
-        *self.cache.entry(index).or_insert(self.truth[index])
+        match self.cache.entry(index) {
+            std::collections::hash_map::Entry::Occupied(entry) => *entry.get(),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                // The process-wide counter meters billable (cache-miss)
+                // simulations only, so a journal snapshot mirrors the
+                // paper's litho-clip count rather than raw call volume.
+                // It is monotonic across oracles: per-run accounting must
+                // difference it (see `SamplingFramework::run`).
+                hotspot_telemetry::counter("litho.oracle.calls").incr();
+                hotspot_telemetry::trace(
+                    "litho.oracle",
+                    "litho simulation",
+                    &[("clip", hotspot_telemetry::FieldValue::U64(index as u64))],
+                );
+                *entry.insert(self.truth[index])
+            }
+        }
     }
 
     fn unique_queries(&self) -> usize {
@@ -147,7 +163,13 @@ mod tests {
         o.query(2);
         assert_eq!(o.unique_queries(), 2);
         assert_eq!(o.total_queries(), 3);
-        assert_eq!(o.stats(), OracleStats { unique: 2, total: 3 });
+        assert_eq!(
+            o.stats(),
+            OracleStats {
+                unique: 2,
+                total: 3
+            }
+        );
     }
 
     #[test]

@@ -158,8 +158,7 @@ mod tests {
         let config = LithoConfig::duv_28nm();
         let mut raster = Raster::zeros(Rect::new(0, 0, 1200, 1200).unwrap(), config.pitch).unwrap();
         let y = 600 - width / 2;
-        raster
-            .fill_rect(&Rect::new(0, y, 1200, y + width).unwrap(), 1.0);
+        raster.fill_rect(&Rect::new(0, y, 1200, y + width).unwrap(), 1.0);
         (raster, Rect::new(300, 300, 900, 900).unwrap())
     }
 

@@ -39,7 +39,10 @@ impl Conv2d {
             in_channels > 0 && out_channels > 0 && kernel > 0 && height > 0 && width > 0,
             "conv dimensions must be positive"
         );
-        assert!(kernel % 2 == 1, "same-padding convolution needs an odd kernel");
+        assert!(
+            kernel % 2 == 1,
+            "same-padding convolution needs an odd kernel"
+        );
         let fan_in = in_channels * kernel * kernel;
         Conv2d {
             in_channels,
@@ -207,9 +210,12 @@ impl MaxPool2d {
     ///
     /// Panics when dimensions are zero or odd.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        assert!(channels > 0 && height > 0 && width > 0, "pool dimensions must be positive");
         assert!(
-            height % 2 == 0 && width % 2 == 0,
+            channels > 0 && height > 0 && width > 0,
+            "pool dimensions must be positive"
+        );
+        assert!(
+            height.is_multiple_of(2) && width.is_multiple_of(2),
             "2x2 pooling needs even spatial dimensions"
         );
         MaxPool2d {
@@ -308,7 +314,10 @@ impl Layer for MaxPool2d {
             Ok(())
         } else {
             Err(NnError::SnapshotMismatch {
-                detail: format!("maxpool2d has no parameters, snapshot has {}", buffers.len()),
+                detail: format!(
+                    "maxpool2d has no parameters, snapshot has {}",
+                    buffers.len()
+                ),
             })
         }
     }
@@ -346,8 +355,10 @@ mod tests {
     #[test]
     fn conv_numerical_gradient_check() {
         let mut c = conv();
-        let x = Matrix::from_rows(&[(0..16).map(|i| ((i * 7 % 5) as f32 - 2.0) / 3.0).collect::<Vec<_>>()])
-            .unwrap();
+        let x = Matrix::from_rows(&[(0..16)
+            .map(|i| ((i * 7 % 5) as f32 - 2.0) / 3.0)
+            .collect::<Vec<_>>()])
+        .unwrap();
         let y = c.forward_train(&x);
         let ones = Matrix::from_flat(1, y.cols(), vec![1.0; y.cols()]);
         let grad_in = c.backward(&ones);

@@ -36,7 +36,10 @@ impl Dense {
     ///
     /// Panics when either dimension is zero.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut InitRng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "dense dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "dense dimensions must be positive"
+        );
         Dense {
             in_dim,
             out_dim,

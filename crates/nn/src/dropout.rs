@@ -129,7 +129,10 @@ mod tests {
         let mean: f32 = y.as_slice().iter().sum::<f32>() / 10_000.0;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         // Survivors carry the inverted scale.
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 1.0 / 0.6).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 1.0 / 0.6).abs() < 1e-6));
     }
 
     #[test]
@@ -174,8 +177,13 @@ mod tests {
         net.push(Relu::new());
         net.push(Dropout::new(0.2, 5));
         net.push(Dense::new(16, 2, &mut rng));
-        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]])
-            .unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+        ])
+        .unwrap();
         let y = vec![1usize, 0, 1, 0];
         let loss = SoftmaxCrossEntropy::balanced(2);
         let mut opt = Adam::new(0.05);

@@ -47,7 +47,10 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::RaggedRows { expected, found } => {
-                write!(f, "matrix rows have inconsistent widths: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "matrix rows have inconsistent widths: expected {expected}, found {found}"
+                )
             }
             NnError::ShapeMismatch { op, left, right } => write!(
                 f,
@@ -55,7 +58,10 @@ impl fmt::Display for NnError {
                 left.0, left.1, right.0, right.1
             ),
             NnError::LabelCountMismatch { batch, labels } => {
-                write!(f, "batch has {batch} rows but {labels} labels were provided")
+                write!(
+                    f,
+                    "batch has {batch} rows but {labels} labels were provided"
+                )
             }
             NnError::LabelOutOfRange { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")

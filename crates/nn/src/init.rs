@@ -63,7 +63,9 @@ impl InitRng {
     /// seeded N(0, σ) contract for σ = 1.
     pub fn sample_fan_in(&mut self, n: usize, fan_in: usize) -> Vec<f32> {
         let scale = (2.0 / fan_in.max(1) as f64).sqrt();
-        (0..n).map(|_| (self.sample() as f64 * scale) as f32).collect()
+        (0..n)
+            .map(|_| (self.sample() as f64 * scale) as f32)
+            .collect()
     }
 }
 

@@ -65,7 +65,11 @@ impl SoftmaxCrossEntropy {
     /// from the batch size, [`NnError::LabelOutOfRange`] for a bad label,
     /// [`NnError::ShapeMismatch`] when the logit width differs from the
     /// class count, and [`NnError::EmptyBatch`] for an empty batch.
-    pub fn loss_and_grad(&self, logits: &Matrix, labels: &[usize]) -> Result<(f64, Matrix), NnError> {
+    pub fn loss_and_grad(
+        &self,
+        logits: &Matrix,
+        labels: &[usize],
+    ) -> Result<(f64, Matrix), NnError> {
         if logits.rows() == 0 {
             return Err(NnError::EmptyBatch);
         }
@@ -227,7 +231,7 @@ mod tests {
             logits in proptest::collection::vec(-10.0f32..10.0, 3),
             shift in -50.0f32..50.0,
         ) {
-            let a = Matrix::from_rows(&[logits.clone()]).unwrap();
+            let a = Matrix::from_rows(std::slice::from_ref(&logits)).unwrap();
             let shifted: Vec<f32> = logits.iter().map(|v| v + shift).collect();
             let b = Matrix::from_rows(&[shifted]).unwrap();
             let pa = SoftmaxCrossEntropy::probabilities(&a);

@@ -103,7 +103,10 @@ impl Matrix {
     ///
     /// Panics when out of range.
     pub fn at(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -287,7 +290,11 @@ impl Matrix {
                 right: (other.rows, other.cols),
             });
         }
-        let cols = if self.rows == 0 { other.cols } else { self.cols };
+        let cols = if self.rows == 0 {
+            other.cols
+        } else {
+            self.cols
+        };
         let mut data = Vec::with_capacity((self.rows + other.rows) * cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
@@ -313,7 +320,12 @@ impl fmt::Display for Matrix {
         for i in 0..show {
             let row = self.row(i);
             let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:>8.4}")).collect();
-            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > show {
             writeln!(f, "  … {} more rows", self.rows - show)?;

@@ -70,7 +70,11 @@ impl Optimizer for Sgd {
             .velocity
             .entry(slot)
             .or_insert_with(|| vec![0.0; weights.len()]);
-        assert_eq!(velocity.len(), weights.len(), "slot reused with a different size");
+        assert_eq!(
+            velocity.len(),
+            weights.len(),
+            "slot reused with a different size"
+        );
         for ((w, v), &g) in weights.iter_mut().zip(velocity.iter_mut()).zip(grads) {
             *v = (self.momentum as f32) * *v + g;
             *w -= (self.lr as f32) * *v;
@@ -127,7 +131,10 @@ impl Adam {
     ///
     /// Panics when `lr` is not positive or `decay` is negative.
     pub fn with_weight_decay(lr: f64, decay: f64) -> Self {
-        assert!(decay.is_finite() && decay >= 0.0, "weight decay must be non-negative");
+        assert!(
+            decay.is_finite() && decay >= 0.0,
+            "weight decay must be non-negative"
+        );
         let mut adam = Adam::new(lr);
         adam.weight_decay = decay;
         adam

@@ -29,7 +29,11 @@ impl Layer for Relu {
             .mask
             .take()
             .expect("backward called without forward_train");
-        assert_eq!(mask.len(), grad_output.as_slice().len(), "relu cache size mismatch");
+        assert_eq!(
+            mask.len(),
+            grad_output.as_slice().len(),
+            "relu cache size mismatch"
+        );
         let data = grad_output
             .as_slice()
             .iter()

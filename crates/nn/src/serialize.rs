@@ -26,7 +26,11 @@ impl NetworkSnapshot {
                 .iter()
                 .map(|layer| LayerSnapshot {
                     kind: layer.kind().to_owned(),
-                    buffers: layer.param_buffers().into_iter().map(<[f32]>::to_vec).collect(),
+                    buffers: layer
+                        .param_buffers()
+                        .into_iter()
+                        .map(<[f32]>::to_vec)
+                        .collect(),
                 })
                 .collect(),
         }

@@ -120,6 +120,11 @@ impl Trainer {
                 labels: labels.len(),
             });
         }
+        let _train_span = hotspot_telemetry::span("nn.train")
+            .with("rows", x.rows() as u64)
+            .with("epochs", self.config.epochs as u64);
+        let epoch_counter = hotspot_telemetry::counter("nn.train.epochs");
+        let loss_histogram = hotspot_telemetry::histogram("nn.train.loss");
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.shuffle_seed);
         let mut order: Vec<usize> = (0..x.rows()).collect();
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
@@ -135,6 +140,8 @@ impl Trainer {
                 batches += 1;
             }
             let mean = total / batches.max(1) as f64;
+            epoch_counter.incr();
+            loss_histogram.record(mean);
             epoch_losses.push(mean);
             if let Some(target) = self.config.loss_target {
                 if mean < target {
@@ -143,6 +150,18 @@ impl Trainer {
                 }
             }
         }
+        hotspot_telemetry::debug(
+            "nn.trainer",
+            "training finished",
+            &[
+                ("epochs_run", (epoch_losses.len() as u64).into()),
+                (
+                    "final_loss",
+                    epoch_losses.last().copied().unwrap_or(f64::NAN).into(),
+                ),
+                ("converged_early", converged_early.into()),
+            ],
+        );
         Ok(TrainReport {
             epoch_losses,
             converged_early,
@@ -187,7 +206,13 @@ mod tests {
             ..TrainConfig::default()
         });
         let report = trainer
-            .fit(&mut model, &x, &y, &SoftmaxCrossEntropy::balanced(2), &mut Adam::new(0.02))
+            .fit(
+                &mut model,
+                &x,
+                &y,
+                &SoftmaxCrossEntropy::balanced(2),
+                &mut Adam::new(0.02),
+            )
             .unwrap();
         assert!(report.final_loss() < report.epoch_losses[0]);
         assert!(report.final_loss() < 0.2, "loss {}", report.final_loss());
@@ -204,7 +229,13 @@ mod tests {
             ..TrainConfig::default()
         });
         let report = trainer
-            .fit(&mut model, &x, &y, &SoftmaxCrossEntropy::balanced(2), &mut Adam::new(0.02))
+            .fit(
+                &mut model,
+                &x,
+                &y,
+                &SoftmaxCrossEntropy::balanced(2),
+                &mut Adam::new(0.02),
+            )
             .unwrap();
         assert!(report.converged_early);
         assert!(report.epoch_losses.len() < 500);
@@ -222,8 +253,12 @@ mod tests {
         });
         let mut a = net(4);
         let mut b = net(4);
-        let ra = trainer.fit(&mut a, &x, &y, &loss, &mut Adam::new(0.02)).unwrap();
-        let rb = trainer.fit(&mut b, &x, &y, &loss, &mut Adam::new(0.02)).unwrap();
+        let ra = trainer
+            .fit(&mut a, &x, &y, &loss, &mut Adam::new(0.02))
+            .unwrap();
+        let rb = trainer
+            .fit(&mut b, &x, &y, &loss, &mut Adam::new(0.02))
+            .unwrap();
         assert_eq!(ra.epoch_losses, rb.epoch_losses);
         assert_eq!(a.infer(&x), b.infer(&x));
     }
@@ -250,7 +285,13 @@ mod tests {
         let trainer = Trainer::new(TrainConfig::default());
         let x = Matrix::zeros(3, 2);
         let err = trainer
-            .fit(&mut model, &x, &[0], &SoftmaxCrossEntropy::balanced(2), &mut Adam::new(0.01))
+            .fit(
+                &mut model,
+                &x,
+                &[0],
+                &SoftmaxCrossEntropy::balanced(2),
+                &mut Adam::new(0.01),
+            )
             .unwrap_err();
         assert!(matches!(err, NnError::LabelCountMismatch { .. }));
     }

@@ -125,13 +125,13 @@ impl QpProblem {
         let n = self.len();
         assert_eq!(s.len(), n, "solution length mismatch");
         assert_eq!(grad.len(), n, "gradient length mismatch");
-        for i in 0..n {
+        for (i, g) in grad.iter_mut().enumerate() {
             let row = &self.q[i * n..(i + 1) * n];
             let mut acc = self.c[i];
             for (qij, &sj) in row.iter().zip(s) {
                 acc += qij * sj;
             }
-            grad[i] = acc;
+            *g = acc;
         }
     }
 
@@ -140,7 +140,12 @@ impl QpProblem {
     pub fn lipschitz_bound(&self) -> f64 {
         let n = self.len();
         (0..n)
-            .map(|i| self.q[i * n..(i + 1) * n].iter().map(|v| v.abs()).sum::<f64>())
+            .map(|i| {
+                self.q[i * n..(i + 1) * n]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
             .fold(0.0, f64::max)
     }
 }

@@ -49,7 +49,10 @@ mod tests {
 
     fn assert_feasible(p: &[f64], k: f64) {
         for &v in p {
-            assert!((-1e-9..=1.0 + 1e-9).contains(&v), "coordinate {v} out of box");
+            assert!(
+                (-1e-9..=1.0 + 1e-9).contains(&v),
+                "coordinate {v} out of box"
+            );
         }
         let sum: f64 = p.iter().sum();
         assert!((sum - k).abs() < 1e-6, "sum {sum} != {k}");

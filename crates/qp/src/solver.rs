@@ -78,7 +78,11 @@ impl QpSolver {
         for it in 0..self.max_iters {
             iterations = it + 1;
             problem.gradient(&s, &mut grad);
-            let proposal: Vec<f64> = s.iter().zip(&grad).map(|(&si, &gi)| si - step * gi).collect();
+            let proposal: Vec<f64> = s
+                .iter()
+                .zip(&grad)
+                .map(|(&si, &gi)| si - step * gi)
+                .collect();
             let next = project_capped_simplex(&proposal, k);
             let movement = s
                 .iter()
@@ -129,7 +133,11 @@ mod tests {
         let p = QpProblem::new(q, c, 2.0).unwrap();
         let sol = QpSolver::default().solve(&p);
         assert!(sol.values[2] > 0.9, "{:?}", sol.values);
-        assert!((sol.values[0] + sol.values[1] - 1.0).abs() < 0.1, "{:?}", sol.values);
+        assert!(
+            (sol.values[0] + sol.values[1] - 1.0).abs() < 0.1,
+            "{:?}",
+            sol.values
+        );
     }
 
     #[test]

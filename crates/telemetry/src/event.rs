@@ -1,0 +1,139 @@
+//! Structured events: a level, a dotted target, a message, and typed fields.
+
+use serde_json::Value;
+
+use crate::Level;
+
+/// A typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as JSON content for journal sinks.
+    pub fn to_json(&self) -> Value {
+        match self {
+            FieldValue::I64(v) => Value::I64(*v),
+            FieldValue::U64(v) => Value::U64(*v),
+            FieldValue::F64(v) => Value::F64(*v),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+        }
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.6}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! field_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+
+field_from! {
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64, isize => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Dotted origin, e.g. `core.framework` or `nn.train`.
+    pub target: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Typed key–value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// The event as a JSON object (without the journal's `type` tag).
+    pub fn to_json(&self) -> Value {
+        let mut entries = vec![
+            (
+                "level".to_string(),
+                Value::Str(self.level.as_str().to_string()),
+            ),
+            ("target".to_string(), Value::Str(self.target.to_string())),
+            ("message".to_string(), Value::Str(self.message.clone())),
+        ];
+        for (key, value) in &self.fields {
+            entries.push((key.to_string(), value.to_json()));
+        }
+        Value::Map(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_conversions_cover_common_types() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-2i32), FieldValue::I64(-2));
+        assert_eq!(FieldValue::from(0.5f32), FieldValue::F64(0.5));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".to_string()));
+    }
+
+    #[test]
+    fn event_serializes_fields() {
+        let event = Event {
+            level: Level::Info,
+            target: "core.framework",
+            message: "iteration complete".to_string(),
+            fields: vec![("iteration", 2usize.into()), ("ece", 0.125f64.into())],
+        };
+        let json = event.to_json();
+        assert_eq!(json.get("level").unwrap().as_str(), Some("info"));
+        assert_eq!(json.get("iteration").unwrap().as_u64(), Some(2));
+        assert_eq!(json.get("ece").unwrap().as_f64(), Some(0.125));
+    }
+}

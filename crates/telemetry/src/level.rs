@@ -1,0 +1,199 @@
+//! Event severity levels and the `LITHOHD_LOG` environment filter.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Severity of a telemetry event, ordered from most to least verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Fine-grained tracing (per-sample, per-EM-step detail).
+    Trace,
+    /// Diagnostic detail (per-epoch losses, selector internals).
+    Debug,
+    /// Normal progress reporting (per-iteration summaries).
+    Info,
+    /// Suspicious but recoverable conditions (accounting drift, fallbacks).
+    Warn,
+    /// Failures the run can surface but not repair.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name, as used in `LITHOHD_LOG` and journal lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when a level name is not recognised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(pub String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown log level `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for Level {
+    type Err = ParseLevelError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "trace" => Ok(Level::Trace),
+            "debug" => Ok(Level::Debug),
+            "info" => Ok(Level::Info),
+            "warn" | "warning" => Ok(Level::Warn),
+            "error" => Ok(Level::Error),
+            "off" | "none" => Ok(Level::Error), // treated as "errors only"
+            other => Err(ParseLevelError(other.to_string())),
+        }
+    }
+}
+
+/// One `target=level` directive of an [`EnvFilter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Directive {
+    /// Target prefix the directive applies to (`gmm`, `core.framework`, …).
+    prefix: String,
+    level: Level,
+}
+
+/// Filter in the style of `env_logger`/`tracing`'s `EnvFilter`, parsed from
+/// `LITHOHD_LOG`: a comma-separated list of `level` (the default) and
+/// `target=level` directives, e.g. `info,gmm=trace,nn.train=debug`.
+/// The most specific (longest) matching prefix wins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFilter {
+    default: Level,
+    directives: Vec<Directive>,
+}
+
+impl Default for EnvFilter {
+    fn default() -> Self {
+        EnvFilter {
+            default: Level::Info,
+            directives: Vec::new(),
+        }
+    }
+}
+
+impl EnvFilter {
+    /// A filter passing events at `level` and above for every target.
+    pub fn at(level: Level) -> Self {
+        EnvFilter {
+            default: level,
+            directives: Vec::new(),
+        }
+    }
+
+    /// Parses a filter string; unknown directives are reported as errors.
+    pub fn parse(text: &str) -> Result<Self, ParseLevelError> {
+        let mut filter = EnvFilter::default();
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                None => filter.default = part.parse()?,
+                Some((target, level)) => filter.directives.push(Directive {
+                    prefix: target.trim().to_string(),
+                    level: level.parse()?,
+                }),
+            }
+        }
+        // Longest prefixes first so the first match is the most specific.
+        filter
+            .directives
+            .sort_by_key(|d| std::cmp::Reverse(d.prefix.len()));
+        Ok(filter)
+    }
+
+    /// Builds the filter from the `LITHOHD_LOG` environment variable,
+    /// falling back to `info` on absence and to `warn`-everything on a
+    /// malformed value (a broken filter should not kill a run).
+    pub fn from_env() -> Self {
+        match std::env::var("LITHOHD_LOG") {
+            Ok(value) => EnvFilter::parse(&value).unwrap_or_else(|_| EnvFilter::at(Level::Warn)),
+            Err(_) => EnvFilter::default(),
+        }
+    }
+
+    /// Whether an event at `level` for `target` passes the filter.
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        for directive in &self.directives {
+            if target.starts_with(directive.prefix.as_str()) {
+                return level >= directive.level;
+            }
+        }
+        level >= self.default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("trace".parse::<Level>().unwrap(), Level::Trace);
+        assert_eq!("WARN".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!(" Error ".parse::<Level>().unwrap(), Level::Error);
+        assert!("loud".parse::<Level>().is_err());
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Info < Level::Error);
+    }
+
+    #[test]
+    fn bare_level_sets_default() {
+        let filter = EnvFilter::parse("debug").unwrap();
+        assert!(filter.enabled(Level::Debug, "anything"));
+        assert!(!filter.enabled(Level::Trace, "anything"));
+    }
+
+    #[test]
+    fn directives_override_default_per_target() {
+        let filter = EnvFilter::parse("warn,gmm=trace,core.framework=info").unwrap();
+        assert!(filter.enabled(Level::Trace, "gmm.em"));
+        assert!(filter.enabled(Level::Info, "core.framework"));
+        assert!(!filter.enabled(Level::Info, "core.selector"));
+        assert!(filter.enabled(Level::Warn, "core.selector"));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let filter = EnvFilter::parse("nn=warn,nn.train=trace").unwrap();
+        assert!(filter.enabled(Level::Trace, "nn.train.epoch"));
+        assert!(!filter.enabled(Level::Info, "nn.infer"));
+    }
+
+    #[test]
+    fn empty_and_spaced_input() {
+        let filter = EnvFilter::parse("").unwrap();
+        assert_eq!(filter, EnvFilter::default());
+        let filter = EnvFilter::parse(" info , gmm = debug ").unwrap();
+        assert!(filter.enabled(Level::Debug, "gmm"));
+        assert!(filter.enabled(Level::Info, "other"));
+    }
+
+    #[test]
+    fn malformed_parse_is_an_error() {
+        assert!(EnvFilter::parse("gmm=verbose").is_err());
+        assert!(EnvFilter::parse("blah").is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Structured telemetry for the PSHD pipeline: leveled events, RAII span
+//! timers, process-wide metrics, and pluggable sinks.
+//!
+//! The crate deliberately has no external dependencies beyond the
+//! workspace's serde layer. Everything hangs off one lazily-initialised
+//! process-global:
+//!
+//! - **Events** ([`emit`], [`info`], [`warn`], …) carry a [`Level`], a dotted
+//!   target such as `core.framework`, a message, and typed key–value fields.
+//!   They fan out to every registered [`Sink`].
+//! - **Sinks** ([`ConsoleSink`] honouring the `LITHOHD_LOG` filter,
+//!   [`JsonlSink`] writing an append-only run journal, [`MemorySink`] for
+//!   tests) are registered with [`add_sink`].
+//! - **Metrics** ([`counter`], [`gauge`], [`histogram`]) are atomics shared
+//!   process-wide; [`snapshot`] copies them and [`publish_snapshot`]
+//!   broadcasts the copy to sinks (the journal's final record).
+//! - **Spans** ([`span`]) time a scope on drop, aggregate into a
+//!   hierarchical [`ProfileTree`] (rendered by [`profile_report`] for
+//!   `--profile`), and emit a `profile` event so journals capture per-span
+//!   durations.
+//!
+//! With no sinks registered, events cost one atomic load and spans only
+//! update the profile tree — instrumented library code stays cheap for
+//! callers that never opt in.
+
+mod event;
+mod level;
+mod metrics;
+mod sink;
+mod span;
+
+pub use event::{Event, FieldValue};
+pub use level::{EnvFilter, Level, ParseLevelError};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use sink::{ConsoleSink, JsonlSink, MemorySink, Sink};
+pub use span::{ProfileTree, SpanStat, SpanTimer};
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Process-global telemetry state.
+pub(crate) struct Telemetry {
+    sinks: RwLock<Vec<Arc<dyn Sink>>>,
+    /// Cheap empty-check so uninstrumented runs skip field formatting.
+    sink_count: AtomicUsize,
+    metrics: MetricsRegistry,
+    pub(crate) profile: ProfileTree,
+    run_ids: AtomicU64,
+}
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+pub(crate) fn global() -> &'static Telemetry {
+    GLOBAL.get_or_init(|| Telemetry {
+        sinks: RwLock::new(Vec::new()),
+        sink_count: AtomicUsize::new(0),
+        metrics: MetricsRegistry::default(),
+        profile: ProfileTree::default(),
+        run_ids: AtomicU64::new(0),
+    })
+}
+
+/// Registers a sink; every subsequent event and snapshot reaches it.
+pub fn add_sink(sink: Arc<dyn Sink>) {
+    let state = global();
+    let mut sinks = state.sinks.write().expect("sink list poisoned");
+    sinks.push(sink);
+    state.sink_count.store(sinks.len(), Ordering::Release);
+}
+
+/// Removes every registered sink (flushing first). Mainly for tests and for
+/// binaries that reconfigure logging after argument parsing.
+pub fn clear_sinks() {
+    let state = global();
+    let mut sinks = state.sinks.write().expect("sink list poisoned");
+    for sink in sinks.iter() {
+        sink.flush();
+    }
+    sinks.clear();
+    state.sink_count.store(0, Ordering::Release);
+}
+
+/// Whether any sink is registered (events are dropped early otherwise).
+pub fn has_sinks() -> bool {
+    global().sink_count.load(Ordering::Acquire) > 0
+}
+
+/// Sends a structured event to every sink.
+pub fn emit(
+    level: Level,
+    target: &'static str,
+    message: &str,
+    fields: &[(&'static str, FieldValue)],
+) {
+    if !has_sinks() {
+        return;
+    }
+    let event = Event {
+        level,
+        target,
+        message: message.to_string(),
+        fields: fields.to_vec(),
+    };
+    let sinks = global().sinks.read().expect("sink list poisoned");
+    for sink in sinks.iter() {
+        sink.on_event(&event);
+    }
+}
+
+/// Emits at [`Level::Trace`].
+pub fn trace(target: &'static str, message: &str, fields: &[(&'static str, FieldValue)]) {
+    emit(Level::Trace, target, message, fields);
+}
+
+/// Emits at [`Level::Debug`].
+pub fn debug(target: &'static str, message: &str, fields: &[(&'static str, FieldValue)]) {
+    emit(Level::Debug, target, message, fields);
+}
+
+/// Emits at [`Level::Info`].
+pub fn info(target: &'static str, message: &str, fields: &[(&'static str, FieldValue)]) {
+    emit(Level::Info, target, message, fields);
+}
+
+/// Emits at [`Level::Warn`].
+pub fn warn(target: &'static str, message: &str, fields: &[(&'static str, FieldValue)]) {
+    emit(Level::Warn, target, message, fields);
+}
+
+/// Emits at [`Level::Error`].
+pub fn error(target: &'static str, message: &str, fields: &[(&'static str, FieldValue)]) {
+    emit(Level::Error, target, message, fields);
+}
+
+/// Resolves a process-wide counter by name.
+pub fn counter(name: &'static str) -> Counter {
+    global().metrics.counter(name)
+}
+
+/// Resolves a process-wide gauge by name.
+pub fn gauge(name: &'static str) -> Gauge {
+    global().metrics.gauge(name)
+}
+
+/// Resolves a process-wide histogram by name.
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    global().metrics.histogram(name)
+}
+
+/// Copies the current value of every metric.
+pub fn snapshot() -> MetricsSnapshot {
+    global().metrics.snapshot()
+}
+
+/// Snapshots all metrics, broadcasts the snapshot to every sink (journals
+/// append it as their final record), flushes, and returns it.
+pub fn publish_snapshot() -> MetricsSnapshot {
+    let snap = snapshot();
+    let sinks = global().sinks.read().expect("sink list poisoned");
+    for sink in sinks.iter() {
+        sink.on_snapshot(&snap);
+        sink.flush();
+    }
+    snap
+}
+
+/// Opens a wall-clock span; time is recorded when the returned timer drops.
+pub fn span(name: &'static str) -> SpanTimer {
+    SpanTimer::open(name)
+}
+
+/// Renders the aggregated span-timing tree (the `--profile` output).
+pub fn profile_report() -> String {
+    global().profile.render()
+}
+
+/// Aggregated stats for one span path, if recorded.
+pub fn span_stat(path: &str) -> Option<SpanStat> {
+    global().profile.stat(path)
+}
+
+/// Flushes every sink.
+pub fn flush() {
+    let sinks = global().sinks.read().expect("sink list poisoned");
+    for sink in sinks.iter() {
+        sink.flush();
+    }
+}
+
+/// Allocates a process-unique run id, letting concurrent runs (e.g. parallel
+/// tests) tag and later disentangle their journal events.
+pub fn next_run_id() -> u64 {
+    global().run_ids.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ids_are_unique() {
+        let a = next_run_id();
+        let b = next_run_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counters_are_process_wide() {
+        counter("test.lib.counter").add(2);
+        counter("test.lib.counter").incr();
+        assert!(counter("test.lib.counter").get() >= 3);
+        assert!(snapshot().counter("test.lib.counter").unwrap() >= 3);
+    }
+
+    #[test]
+    fn events_reach_registered_sinks() {
+        let sink = Arc::new(MemorySink::default());
+        add_sink(sink.clone());
+        info("test.lib", "hello", &[("answer", FieldValue::U64(42))]);
+        let seen = sink
+            .events()
+            .iter()
+            .any(|e| e.target == "test.lib" && e.message == "hello");
+        assert!(seen);
+        let snap = publish_snapshot();
+        assert!(!sink.snapshots().is_empty());
+        assert!(snap.counters.iter().all(|(name, _)| !name.is_empty()));
+    }
+}

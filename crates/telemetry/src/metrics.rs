@@ -1,0 +1,419 @@
+//! Process-wide counters, gauges, and histograms backed by atomics.
+//!
+//! Handles are cheap `Arc` clones of registry slots; recording is lock-free
+//! (locks are only taken when first resolving a name or when snapshotting).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde_json::Value;
+
+/// A monotonically increasing counter (e.g. `litho.oracle.calls`).
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (e.g. current temperature).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Stores a new value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Power-of-two bucket layout shared by all histograms: bucket `i` counts
+/// values in `[2^(i-OFFSET), 2^(i-OFFSET+1))`, covering 2⁻²⁰ up to 2²⁰ with
+/// dedicated under/overflow buckets and a bucket for exact zeros.
+const BUCKET_OFFSET: i32 = 20;
+const BUCKET_COUNT: usize = 43; // zero + underflow + 40 spans + overflow
+
+fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 {
+        return 0; // zero and negative values
+    }
+    let exponent = value.log2().floor() as i64;
+    let shifted = exponent + i64::from(BUCKET_OFFSET);
+    if shifted < 0 {
+        1 // underflow: (0, 2^-20)
+    } else if shifted >= 40 {
+        BUCKET_COUNT - 1 // overflow: [2^20, inf)
+    } else {
+        (shifted + 2) as usize
+    }
+}
+
+/// Human-readable lower bound of a bucket, used in snapshots.
+fn bucket_label(index: usize) -> String {
+    match index {
+        0 => "<=0".to_string(),
+        1 => "<2^-20".to_string(),
+        i if i == BUCKET_COUNT - 1 => ">=2^20".to_string(),
+        i => format!("2^{}", i as i32 - 2 - BUCKET_OFFSET),
+    }
+}
+
+/// A lock-free histogram over positive reals (e.g. per-iteration train loss).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    /// Sum of recorded values, stored as f64 bits updated via CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + value).to_bits())
+            });
+        let _ = self
+            .min_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (value < f64::from_bits(bits)).then(|| value.to_bits())
+            });
+        let _ = self
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (value > f64::from_bits(bits)).then(|| value.to_bits())
+            });
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn summary(&self, name: &str) -> HistogramSummary {
+        let count = self.count();
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        HistogramSummary {
+            name: name.to_string(),
+            count,
+            sum,
+            mean: if count > 0 { sum / count as f64 } else { 0.0 },
+            min: (count > 0).then(|| f64::from_bits(self.min_bits.load(Ordering::Relaxed))),
+            max: (count > 0).then(|| f64::from_bits(self.max_bits.load(Ordering::Relaxed))),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| (bucket_label(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Aggregate view of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Histogram name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Mean observation (0 when empty).
+    pub mean: f64,
+    /// Smallest observation, when any.
+    pub min: Option<f64>,
+    /// Largest observation, when any.
+    pub max: Option<f64>,
+    /// Non-empty buckets as (lower-bound label, count).
+    pub buckets: Vec<(String, u64)>,
+}
+
+/// Point-in-time copy of every registered metric.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a named counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a named gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The snapshot as a JSON object (without the journal's `type` tag).
+    pub fn to_json(&self) -> Value {
+        let counters = Value::Map(
+            self.counters
+                .iter()
+                .map(|(name, v)| (name.clone(), Value::U64(*v)))
+                .collect(),
+        );
+        let gauges = Value::Map(
+            self.gauges
+                .iter()
+                .map(|(name, v)| (name.clone(), Value::F64(*v)))
+                .collect(),
+        );
+        let histograms = Value::Map(
+            self.histograms
+                .iter()
+                .map(|h| {
+                    let mut entries = vec![
+                        ("count".to_string(), Value::U64(h.count)),
+                        ("sum".to_string(), Value::F64(h.sum)),
+                        ("mean".to_string(), Value::F64(h.mean)),
+                    ];
+                    if let Some(min) = h.min {
+                        entries.push(("min".to_string(), Value::F64(min)));
+                    }
+                    if let Some(max) = h.max {
+                        entries.push(("max".to_string(), Value::F64(max)));
+                    }
+                    entries.push((
+                        "buckets".to_string(),
+                        Value::Map(
+                            h.buckets
+                                .iter()
+                                .map(|(label, n)| (label.clone(), Value::U64(*n)))
+                                .collect(),
+                        ),
+                    ));
+                    (h.name.clone(), Value::Map(entries))
+                })
+                .collect(),
+        );
+        Value::Map(vec![
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), histograms),
+        ])
+    }
+}
+
+/// Name-to-slot registry; one per process (held by the global telemetry).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Resolves (registering on first use) a counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        Counter {
+            cell: Arc::clone(map.entry(name).or_default()),
+        }
+    }
+
+    /// Resolves (registering on first use) a gauge.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        Gauge {
+            bits: Arc::clone(
+                map.entry(name)
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+            ),
+        }
+    }
+
+    /// Resolves (registering on first use) a histogram.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        Arc::clone(
+            map.entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Copies every metric's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(name, bits)| {
+                (
+                    name.to_string(),
+                    f64::from_bits(bits.load(Ordering::Relaxed)),
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, histogram)| histogram.summary(name))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_name() {
+        let registry = MetricsRegistry::default();
+        registry.counter("a").add(3);
+        registry.counter("a").incr();
+        registry.counter("b").incr();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("a"), Some(4));
+        assert_eq!(snap.counter("b"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let registry = MetricsRegistry::default();
+        let gauge = registry.gauge("temp");
+        gauge.set(1.5);
+        gauge.set(2.25);
+        assert_eq!(registry.snapshot().gauge("temp"), Some(2.25));
+    }
+
+    #[test]
+    fn histogram_bucketing_is_power_of_two() {
+        // Exact powers of two land at the lower edge of their bucket and
+        // values just below land one bucket down.
+        assert_eq!(bucket_index(1.0), bucket_index(1.5));
+        assert_ne!(bucket_index(1.0), bucket_index(0.99));
+        assert_eq!(bucket_index(2.0), bucket_index(3.999));
+        assert_ne!(bucket_index(2.0), bucket_index(4.0));
+        // Extremes route to the sentinel buckets.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(1e-12), 1);
+        assert_eq!(bucket_index(1e12), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let registry = MetricsRegistry::default();
+        let histogram = registry.histogram("loss");
+        for v in [0.5, 0.25, 1.0, 4.0] {
+            histogram.record(v);
+        }
+        histogram.record(f64::NAN); // ignored
+        let snap = registry.snapshot();
+        let summary = &snap.histograms[0];
+        assert_eq!(summary.count, 4);
+        assert!((summary.sum - 5.75).abs() < 1e-12);
+        assert_eq!(summary.min, Some(0.25));
+        assert_eq!(summary.max, Some(4.0));
+        let total: u64 = summary.buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let registry = MetricsRegistry::default();
+        registry.counter("litho.oracle.calls").add(17);
+        registry.gauge("temperature").set(1.75);
+        registry.histogram("loss").record(0.125);
+        let json = registry.snapshot().to_json();
+        let text = serde_json::to_string(&json).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            back.get("counters")
+                .unwrap()
+                .get("litho.oracle.calls")
+                .unwrap()
+                .as_u64(),
+            Some(17)
+        );
+        assert_eq!(
+            back.get("gauges")
+                .unwrap()
+                .get("temperature")
+                .unwrap()
+                .as_f64(),
+            Some(1.75)
+        );
+        assert_eq!(
+            back.get("histograms")
+                .unwrap()
+                .get("loss")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+}

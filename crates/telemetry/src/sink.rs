@@ -1,0 +1,242 @@
+//! Pluggable event sinks: console (filtered), JSONL run journal, memory.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde_json::Value;
+
+use crate::{EnvFilter, Event, MetricsSnapshot};
+
+/// Receives every telemetry event and metrics snapshot.
+pub trait Sink: Send + Sync {
+    /// Handles one event.
+    fn on_event(&self, event: &Event);
+
+    /// Handles a metrics snapshot (journals record it; consoles may ignore).
+    fn on_snapshot(&self, _snapshot: &MetricsSnapshot) {}
+
+    /// Flushes buffered output.
+    fn flush(&self) {}
+}
+
+/// Human-readable sink writing to stderr, honouring a [`EnvFilter`]
+/// (normally built from `LITHOHD_LOG`).
+pub struct ConsoleSink {
+    filter: EnvFilter,
+}
+
+impl ConsoleSink {
+    /// Console with an explicit filter.
+    pub fn new(filter: EnvFilter) -> Self {
+        ConsoleSink { filter }
+    }
+
+    /// Console filtered by the `LITHOHD_LOG` environment variable.
+    pub fn from_env() -> Self {
+        ConsoleSink {
+            filter: EnvFilter::from_env(),
+        }
+    }
+}
+
+impl Sink for ConsoleSink {
+    fn on_event(&self, event: &Event) {
+        if !self.filter.enabled(event.level, event.target) {
+            return;
+        }
+        let mut line = format!(
+            "[{:5} {}] {}",
+            event.level.as_str(),
+            event.target,
+            event.message
+        );
+        for (key, value) in &event.fields {
+            line.push_str(&format!(" {key}={value}"));
+        }
+        eprintln!("{line}");
+    }
+
+    fn flush(&self) {
+        let _ = io::stderr().flush();
+    }
+}
+
+/// Append-only JSONL run journal: one JSON object per line, tagged
+/// `"type":"event"` or `"type":"snapshot"`, each carrying the microseconds
+/// elapsed since the journal was opened and a per-journal sequence number.
+pub struct JsonlSink {
+    writer: Mutex<JournalWriter>,
+    opened: Instant,
+}
+
+struct JournalWriter {
+    out: BufWriter<File>,
+    seq: u64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the journal file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(JournalWriter {
+                out: BufWriter::new(file),
+                seq: 0,
+            }),
+            opened: Instant::now(),
+        })
+    }
+
+    fn write_record(&self, kind: &str, mut body: Vec<(String, Value)>) {
+        let mut writer = self.writer.lock().expect("journal writer poisoned");
+        let mut entries = vec![
+            ("type".to_string(), Value::Str(kind.to_string())),
+            ("seq".to_string(), Value::U64(writer.seq)),
+            (
+                "elapsed_us".to_string(),
+                Value::U64(self.opened.elapsed().as_micros().min(u128::from(u64::MAX)) as u64),
+            ),
+        ];
+        entries.append(&mut body);
+        writer.seq += 1;
+        // Journal output is best-effort: losing a line must not kill a run.
+        if serde_json::to_writer(&mut writer.out, &Value::Map(entries)).is_ok() {
+            let _ = writer.out.write_all(b"\n");
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn on_event(&self, event: &Event) {
+        let body = match event.to_json() {
+            Value::Map(entries) => entries,
+            other => vec![("event".to_string(), other)],
+        };
+        self.write_record("event", body);
+    }
+
+    fn on_snapshot(&self, snapshot: &MetricsSnapshot) {
+        self.write_record(
+            "snapshot",
+            vec![("metrics".to_string(), snapshot.to_json())],
+        );
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .writer
+            .lock()
+            .expect("journal writer poisoned")
+            .out
+            .flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+/// Test-oriented sink retaining events and snapshots in memory.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+    snapshots: Mutex<Vec<MetricsSnapshot>>,
+}
+
+impl MemorySink {
+    /// Copies of all events received so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Copies of all snapshots received so far.
+    pub fn snapshots(&self) -> Vec<MetricsSnapshot> {
+        self.snapshots.lock().expect("memory sink poisoned").clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn on_event(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+
+    fn on_snapshot(&self, snapshot: &MetricsSnapshot) {
+        self.snapshots
+            .lock()
+            .expect("memory sink poisoned")
+            .push(snapshot.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FieldValue, Level};
+
+    fn sample_event() -> Event {
+        Event {
+            level: Level::Info,
+            target: "core.framework",
+            message: "iteration complete".to_string(),
+            fields: vec![
+                ("iteration", FieldValue::U64(3)),
+                ("temperature", FieldValue::F64(1.5)),
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_events_and_snapshots() {
+        let path =
+            std::env::temp_dir().join(format!("lithohd-journal-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.on_event(&sample_event());
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .counters
+            .push(("litho.oracle.calls".to_string(), 42));
+        sink.on_snapshot(&snapshot);
+        drop(sink); // flush
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+
+        let event: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(event.get("type").unwrap().as_str(), Some("event"));
+        assert_eq!(event.get("seq").unwrap().as_u64(), Some(0));
+        assert_eq!(event.get("iteration").unwrap().as_u64(), Some(3));
+        assert_eq!(event.get("temperature").unwrap().as_f64(), Some(1.5));
+
+        let snap: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(snap.get("type").unwrap().as_str(), Some("snapshot"));
+        assert_eq!(
+            snap.get("metrics")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("litho.oracle.calls")
+                .unwrap()
+                .as_u64(),
+            Some(42)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_sink_retains_in_order() {
+        let sink = MemorySink::default();
+        sink.on_event(&sample_event());
+        sink.on_event(&sample_event());
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.events()[0].target, "core.framework");
+    }
+}

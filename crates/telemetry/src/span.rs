@@ -1,0 +1,202 @@
+//! RAII span timers feeding a hierarchical wall-clock profile.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::{FieldValue, Level};
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregate timings for one span path (e.g. `run/iteration/gmm.fit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// How many spans closed at this path.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across those spans.
+    pub total_ns: u128,
+}
+
+/// Process-wide profile: span path → aggregated count and duration.
+#[derive(Debug, Default)]
+pub struct ProfileTree {
+    stats: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl ProfileTree {
+    /// Folds one closed span into the tree.
+    pub fn record(&self, path: &str, elapsed: Duration) {
+        let mut stats = self.stats.lock().expect("profile tree poisoned");
+        let stat = stats.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed.as_nanos();
+    }
+
+    /// Aggregated stats for an exact path.
+    pub fn stat(&self, path: &str) -> Option<SpanStat> {
+        self.stats
+            .lock()
+            .expect("profile tree poisoned")
+            .get(path)
+            .copied()
+    }
+
+    /// Number of distinct recorded paths.
+    pub fn len(&self) -> usize {
+        self.stats.lock().expect("profile tree poisoned").len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the tree as an indented table (for `--profile`).
+    pub fn render(&self) -> String {
+        let stats = self.stats.lock().expect("profile tree poisoned");
+        if stats.is_empty() {
+            return "profile: no spans recorded\n".to_string();
+        }
+        let mut out = format!(
+            "{:<48} {:>8} {:>12} {:>12}\n",
+            "span", "count", "total", "mean"
+        );
+        for (path, stat) in stats.iter() {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let label = format!("{}{}", "  ".repeat(depth), name);
+            let total = Duration::from_nanos(stat.total_ns.min(u128::from(u64::MAX)) as u64);
+            let mean = total / stat.count.max(1).min(u64::from(u32::MAX)) as u32;
+            out.push_str(&format!(
+                "{label:<48} {:>8} {:>12} {:>12}\n",
+                stat.count,
+                format!("{total:.2?}"),
+                format!("{mean:.2?}"),
+            ));
+        }
+        out
+    }
+}
+
+/// RAII wall-clock timer: opens a span on creation, and on drop folds the
+/// elapsed time into the global profile and emits a `profile` event carrying
+/// the span path, duration, and any attached fields.
+#[must_use = "a span timer measures until it is dropped"]
+#[derive(Debug)]
+pub struct SpanTimer {
+    name: &'static str,
+    depth: usize,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanTimer {
+    pub(crate) fn open(name: &'static str) -> Self {
+        let depth = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.len() - 1
+        });
+        SpanTimer {
+            name,
+            depth,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches a field reported on the span-close event.
+    pub fn with(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// The span's full path, `outer/inner/...`.
+    pub fn path(&self) -> String {
+        SPAN_STACK.with(|stack| stack.borrow()[..=self.depth].join("/"))
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        // Rebuild the path, then unwind the stack to this span's depth. The
+        // truncate (rather than a pop) keeps the stack sane even if an inner
+        // span leaked past its parent.
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack[..=self.depth.min(stack.len() - 1)].join("/");
+            stack.truncate(self.depth);
+            path
+        });
+        crate::global().profile.record(&path, elapsed);
+        let mut fields = vec![
+            ("span", FieldValue::Str(path)),
+            (
+                "duration_us",
+                FieldValue::U64(elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+            ),
+        ];
+        fields.append(&mut self.fields);
+        crate::emit(Level::Debug, "profile", self.name, &fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_aggregates_repeated_paths() {
+        let tree = ProfileTree::default();
+        tree.record("run", Duration::from_millis(10));
+        tree.record("run/iteration", Duration::from_millis(3));
+        tree.record("run/iteration", Duration::from_millis(5));
+        tree.record("run/iteration/gmm.fit", Duration::from_millis(1));
+
+        let iteration = tree.stat("run/iteration").unwrap();
+        assert_eq!(iteration.count, 2);
+        assert_eq!(iteration.total_ns, 8_000_000);
+        assert_eq!(tree.stat("run").unwrap().count, 1);
+        assert_eq!(tree.len(), 3);
+        assert!(tree.stat("missing").is_none());
+    }
+
+    #[test]
+    fn render_indents_children_under_parents() {
+        let tree = ProfileTree::default();
+        tree.record("run", Duration::from_millis(2));
+        tree.record("run/iteration", Duration::from_millis(1));
+        let rendered = tree.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[1].starts_with("run"));
+        assert!(lines[2].starts_with("  iteration"));
+        assert!(rendered.contains("count"));
+    }
+
+    #[test]
+    fn empty_tree_renders_placeholder() {
+        let tree = ProfileTree::default();
+        assert!(tree.is_empty());
+        assert!(tree.render().contains("no spans"));
+    }
+
+    #[test]
+    fn span_timers_nest_and_record() {
+        let _ = crate::global();
+        let outer = crate::span("st_outer");
+        let inner_path = {
+            let inner = crate::span("st_inner");
+            inner.path()
+        };
+        assert_eq!(inner_path, "st_outer/st_inner");
+        drop(outer);
+        let stat = crate::global().profile.stat("st_outer/st_inner").unwrap();
+        assert_eq!(stat.count, 1);
+        assert!(crate::global().profile.stat("st_outer").is_some());
+    }
+}

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Reliability on held-out clips, before and after.
     let (test_logits, _) = model.predict(&x.gather_rows(&test));
-    for (title, t) in [("raw softmax (T = 1)", Temperature::identity()), ("calibrated", temperature)] {
+    for (title, t) in [
+        ("raw softmax (T = 1)", Temperature::identity()),
+        ("calibrated", temperature),
+    ] {
         let probabilities = t.probabilities_batch(test_logits.as_slice(), 2);
         let mut confidences = Vec::new();
         let mut correct = Vec::new();
@@ -57,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Threshold-swept quality of the detector itself (temperature scaling
     // preserves the ranking, so the AUC is calibration-invariant).
     let probabilities = temperature.probabilities_batch(test_logits.as_slice(), 2);
-    let hotspot_scores: Vec<f32> = (0..test.len()).map(|row| probabilities[row * 2 + 1]).collect();
+    let hotspot_scores: Vec<f32> = (0..test.len())
+        .map(|row| probabilities[row * 2 + 1])
+        .collect();
     let truth: Vec<bool> = test.iter().map(|&i| y[i] == 1).collect();
     let roc = RocCurve::from_scores(&hotspot_scores, &truth);
     println!();

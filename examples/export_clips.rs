@@ -41,10 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         write_pgm(&raster, File::create(out.join(format!("{tag}_mask.pgm")))?)?;
         let aerial = sim.aerial_image(&raster);
         let mut intensity = raster.clone();
-        intensity
-            .pixels_mut()
-            .copy_from_slice(aerial.intensity());
-        write_pgm(&intensity, File::create(out.join(format!("{tag}_aerial.pgm")))?)?;
+        intensity.pixels_mut().copy_from_slice(aerial.intensity());
+        write_pgm(
+            &intensity,
+            File::create(out.join(format!("{tag}_aerial.pgm")))?,
+        )?;
         println!(
             "clip {index} ({tag}): label {}, wrote {tag}_mask.pgm / {tag}_aerial.pgm",
             bench.labels()[index]

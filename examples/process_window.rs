@@ -8,14 +8,11 @@
 //! ```
 
 use lithohd::geom::{Raster, Rect};
-use lithohd::litho::{
-    analyze_process_window, Label, LithoConfig, LithoSimulator, ProcessCorner,
-};
+use lithohd::litho::{analyze_process_window, Label, LithoConfig, LithoSimulator, ProcessCorner};
 
 fn track_clip(config: &LithoConfig, width: i64) -> (Raster, Rect) {
-    let mut raster =
-        Raster::zeros(Rect::new(0, 0, 1200, 1200).expect("ordered"), config.pitch)
-            .expect("raster fits");
+    let mut raster = Raster::zeros(Rect::new(0, 0, 1200, 1200).expect("ordered"), config.pitch)
+        .expect("raster fits");
     let y = 600 - width / 2;
     raster.fill_rect(&Rect::new(0, y, 1200, y + width).expect("ordered"), 1.0);
     (raster, Rect::new(300, 300, 900, 900).expect("ordered"))
@@ -35,8 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!(
-        "{:>10} {:>12} {:>16} {}",
-        "width(nm)", "nominal", "process window", "failing corners"
+        "{:>10} {:>12} {:>16} failing corners",
+        "width(nm)", "nominal", "process window"
     );
 
     let mut limited = Vec::new();
@@ -57,9 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!();
-    println!(
-        "process-window-limited widths (print at nominal, fail an excursion): {limited:?}"
-    );
+    println!("process-window-limited widths (print at nominal, fail an excursion): {limited:?}");
     assert!(
         !limited.is_empty(),
         "expected some width to be process-window-limited"

@@ -35,12 +35,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = &outcome.metrics;
     println!();
     println!("detection accuracy : {:.2}%", m.accuracy * 100.0);
-    println!("litho-clips        : {} (train {} + val {} + false alarms {})",
-        m.litho, m.train_size, m.validation_size, m.false_alarms);
-    println!("hotspots found     : {} in training, {} in validation, {} predicted",
-        m.train_hotspots, m.validation_hotspots, m.hits);
+    println!(
+        "litho-clips        : {} (train {} + val {} + false alarms {})",
+        m.litho, m.train_size, m.validation_size, m.false_alarms
+    );
+    println!(
+        "hotspots found     : {} in training, {} in validation, {} predicted",
+        m.train_hotspots, m.validation_hotspots, m.hits
+    );
     println!("final temperature  : {:.3}", outcome.final_temperature);
-    println!("validation ECE     : {:.4} -> {:.4}", outcome.ece_before, outcome.ece_after);
+    println!(
+        "validation ECE     : {:.4} -> {:.4}",
+        outcome.ece_before, outcome.ece_after
+    );
     println!();
     println!("per-iteration telemetry:");
     for stat in &outcome.history {

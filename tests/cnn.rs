@@ -6,7 +6,7 @@
 use lithohd::layout::{BenchmarkSpec, GeneratedBenchmark, Tech};
 use lithohd::nn::{
     Adam, Conv2d, Dense, InitRng, Matrix, MaxPool2d, Relu, Sequential, SoftmaxCrossEntropy,
-    Trainer, TrainConfig,
+    TrainConfig, Trainer,
 };
 
 const EDGE: usize = 32;

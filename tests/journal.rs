@@ -1,0 +1,104 @@
+//! Integration test for the telemetry run journal: a framework run with a
+//! [`JsonlSink`] attached must journal exactly one iteration record per
+//! [`RunOutcome::history`] entry, and the final metrics snapshot's
+//! `litho.oracle.calls` counter must equal the reported litho-clip count
+//! (Eq. 2: unique simulations plus false-alarm verification runs).
+//!
+//! This lives in its own test binary so the process-wide metrics registry is
+//! not shared with unrelated framework runs.
+
+use hotspot_telemetry as telemetry;
+use lithohd::active::{EntropySelector, SamplingConfig, SamplingFramework};
+use lithohd::layout::{BenchmarkSpec, GeneratedBenchmark, Tech};
+use serde_json::Value;
+use std::sync::Arc;
+
+#[test]
+fn journal_records_every_iteration_and_the_litho_count() {
+    let path = std::env::temp_dir().join(format!(
+        "lithohd-journal-integration-{}.jsonl",
+        std::process::id()
+    ));
+    let sink = telemetry::JsonlSink::create(&path).expect("journal opens");
+    telemetry::add_sink(Arc::new(sink));
+
+    let spec = BenchmarkSpec {
+        name: "journal".to_owned(),
+        tech: Tech::Euv7,
+        hotspots: 24,
+        non_hotspots: 226,
+        dup_rate: 0.2,
+        near_miss_rate: 0.3,
+    };
+    let bench = GeneratedBenchmark::generate(&spec, 11).expect("generation succeeds");
+    let mut config = SamplingConfig::for_benchmark(bench.len());
+    config.iterations = 4;
+    config.initial_epochs = 40;
+    config.update_epochs = 15;
+    let framework = SamplingFramework::new(config);
+    let outcome = framework
+        .run(&bench, &mut EntropySelector::new(), 3)
+        .expect("run succeeds");
+
+    telemetry::publish_snapshot();
+    telemetry::flush();
+    telemetry::clear_sinks();
+
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+    std::fs::remove_file(&path).ok();
+
+    let records: Vec<Value> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("journal line parses as JSON"))
+        .collect();
+    assert!(!records.is_empty(), "journal must not be empty");
+
+    // One "iteration complete" event per history entry, tagged with this
+    // run's id and carrying the paper's per-iteration quantities.
+    let iteration_events: Vec<&Value> = records
+        .iter()
+        .filter(|r| {
+            r.get("type").and_then(Value::as_str) == Some("event")
+                && r.get("message").and_then(Value::as_str) == Some("iteration complete")
+                && r.get("run_id").and_then(Value::as_u64) == Some(outcome.run_id)
+        })
+        .collect();
+    assert_eq!(
+        iteration_events.len(),
+        outcome.history.len(),
+        "one journal record per Algorithm-2 iteration"
+    );
+    for (event, stat) in iteration_events.iter().zip(&outcome.history) {
+        assert_eq!(
+            event.get("iteration").and_then(Value::as_u64),
+            Some(stat.iteration as u64)
+        );
+        assert_eq!(
+            event.get("temperature").and_then(Value::as_f64),
+            Some(stat.temperature)
+        );
+        assert_eq!(
+            event.get("labeled_size").and_then(Value::as_u64),
+            Some(stat.labeled_size as u64)
+        );
+    }
+
+    // The final snapshot's oracle counter equals the reported Litho#. This
+    // binary runs exactly one framework run, so the process-wide counter is
+    // entirely attributable to it.
+    let snapshot = records
+        .iter()
+        .rev()
+        .find(|r| r.get("type").and_then(Value::as_str) == Some("snapshot"))
+        .expect("journal ends with a metrics snapshot");
+    let litho_calls = snapshot
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("litho.oracle.calls"))
+        .and_then(Value::as_u64)
+        .expect("snapshot carries litho.oracle.calls");
+    assert_eq!(
+        litho_calls, outcome.metrics.litho as u64,
+        "journal litho.oracle.calls must equal the reported litho-clip count"
+    );
+}

@@ -39,7 +39,10 @@ fn active_pipeline_accounts_litho_exactly() {
     let m = &outcome.metrics;
     // Eq. 2 and the oracle meter must agree.
     assert_eq!(m.litho, m.train_size + m.validation_size + m.false_alarms);
-    assert_eq!(outcome.oracle_stats.unique, m.train_size + m.validation_size);
+    assert_eq!(
+        outcome.oracle_stats.unique,
+        m.train_size + m.validation_size
+    );
     // Eq. 1 is bounded by construction.
     assert!(m.accuracy <= 1.0);
     assert!(m.train_hotspots + m.validation_hotspots + m.hits <= m.total_hotspots);
@@ -89,7 +92,12 @@ fn all_selectors_complete_on_the_same_benchmark() {
         let outcome = framework
             .run(&bench, selector.as_mut(), 5)
             .expect("run succeeds");
-        assert!(outcome.metrics.accuracy > 0.3, "{}: {}", outcome.selector, outcome.metrics.accuracy);
+        assert!(
+            outcome.metrics.accuracy > 0.3,
+            "{}: {}",
+            outcome.selector,
+            outcome.metrics.accuracy
+        );
         assert!(!outcome.history.is_empty());
     }
 }

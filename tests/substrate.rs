@@ -4,20 +4,22 @@
 
 use lithohd::features::{run_length_histogram, FeatureExtractor, DEFAULT_RUN_BINS};
 use lithohd::geom::{ClipWindow, Raster, Rect};
-use lithohd::litho::{DefectKind, Label, LithoConfig, LithoSimulator};
 use lithohd::layout::Tech;
+use lithohd::litho::{DefectKind, Label, LithoConfig, LithoSimulator};
 
 fn clip_for(tech: Tech) -> (ClipWindow, LithoConfig) {
     let config = tech.litho_config();
     let edge = tech.clip_edge();
-    let clip = ClipWindow::new(Rect::new(0, 0, edge, edge).expect("edge > 0"), tech.core_edge())
-        .expect("core fits");
+    let clip = ClipWindow::new(
+        Rect::new(0, 0, edge, edge).expect("edge > 0"),
+        tech.core_edge(),
+    )
+    .expect("core fits");
     (clip, config)
 }
 
 fn track(raster: &mut Raster, edge: i64, y: i64, width: i64) {
-    raster
-        .fill_rect(&Rect::new(0, y, edge, y + width).expect("ordered"), 1.0);
+    raster.fill_rect(&Rect::new(0, y, edge, y + width).expect("ordered"), 1.0);
 }
 
 #[test]
@@ -45,7 +47,12 @@ fn geometry_windows_match_litho_physics() {
         let mut hot = Raster::zeros_for(&clip, config.pitch).expect("raster fits");
         track(&mut hot, edge, mid - g.hot_width.1 / 2, g.hot_width.1);
         let report = sim.analyze(&hot, clip.core());
-        assert_eq!(report.label(), Label::Hotspot, "{tech:?}: hot width {}", g.hot_width.1);
+        assert_eq!(
+            report.label(),
+            Label::Hotspot,
+            "{tech:?}: hot width {}",
+            g.hot_width.1
+        );
         assert!(report.defects().iter().any(|d| d.kind == DefectKind::Pinch));
 
         // Safe gap resolves; maximum hot gap bridges.
@@ -64,8 +71,16 @@ fn geometry_windows_match_litho_physics() {
         track(&mut bridged, edge, mid - g.hot_gap.1 - wide, wide);
         track(&mut bridged, edge, mid, wide);
         let report = sim.analyze(&bridged, clip.core());
-        assert_eq!(report.label(), Label::Hotspot, "{tech:?}: hot gap {}", g.hot_gap.1);
-        assert!(report.defects().iter().any(|d| d.kind == DefectKind::Bridge));
+        assert_eq!(
+            report.label(),
+            Label::Hotspot,
+            "{tech:?}: hot gap {}",
+            g.hot_gap.1
+        );
+        assert!(report
+            .defects()
+            .iter()
+            .any(|d| d.kind == DefectKind::Bridge));
     }
 }
 
@@ -88,7 +103,10 @@ fn features_see_the_defect_structures() {
     let hot = histogram_for(g.hot_width.0);
     let safe = histogram_for(g.safe_width.0);
     let distance: f32 = hot.iter().zip(&safe).map(|(a, b)| (a - b).abs()).sum();
-    assert!(distance > 0.5, "hot and safe widths are indistinguishable: {distance}");
+    assert!(
+        distance > 0.5,
+        "hot and safe widths are indistinguishable: {distance}"
+    );
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the structural API the workspace benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, benchmark groups, `bench_with_input`) with
+//! a simple timing loop: a short warm-up, then a fixed number of timed
+//! batches whose mean and min per-iteration wall time are printed. No
+//! statistics, plots, or baselines — enough to run `cargo bench` and compare
+//! orders of magnitude offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (benches here use
+/// `std::hint::black_box` directly, but the name is part of the API).
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const SAMPLE_BATCHES: u64 = 10;
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { measurement: None };
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+}
+
+/// A named collection of benchmarks; ids printed as `group/function/param`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a single named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { measurement: None };
+        f(&mut bencher);
+        report(&format!("{}/{name}", self.name), &bencher);
+        self
+    }
+
+    /// Runs one benchmark of the group against an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { measurement: None };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.label), &bencher);
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group by function name and parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing measurements for one benchmark.
+#[derive(Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+/// Runs and times the benchmark routine.
+pub struct Bencher {
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times the routine: warm-up, then [`SAMPLE_BATCHES`] timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        // Pick a batch size so each batch is at least ~1ms or 1 iteration.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..SAMPLE_BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let batch = start.elapsed();
+            let per_iter = batch / per_batch.max(1) as u32;
+            total += batch;
+            if per_iter < min {
+                min = per_iter;
+            }
+        }
+        let iters = per_batch * SAMPLE_BATCHES;
+        self.measurement = Some(Measurement {
+            mean: total / iters.max(1) as u32,
+            min,
+            iters,
+        });
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    match bencher.measurement {
+        Some(m) => println!(
+            "bench {name:<40} mean {:>12?} min {:>12?} ({} iters)",
+            m.mean, m.min, m.iters
+        ),
+        None => println!("bench {name:<40} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>());
+        });
+        group.bench_function("named", |b| b.iter(|| 2u32 * 2));
+        group.finish();
+        criterion.bench_function("plain", |b| b.iter(|| 1u32 + 1));
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Keeps the surface the workspace tests use — `proptest! { #[test] fn f(x in
+//! strategy) { ... } }`, `prop_assert!`/`prop_assert_eq!`, range strategies,
+//! `any::<T>()`, `proptest::collection::vec`, and tuple strategies — backed by
+//! a plain sampling loop instead of real proptest's shrinking machinery. Each
+//! test draws [`NUM_CASES`] inputs from a ChaCha8 stream seeded from the test
+//! name, so failures are deterministic and reproducible, just not minimised.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything tests import with `use proptest::prelude::*`.
+    pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Number of random cases each `proptest!` test runs.
+pub const NUM_CASES: usize = 64;
+
+/// Declares property tests: each `fn` runs its body [`NUM_CASES`] times with
+/// inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng); )+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__err) = __outcome {
+                        panic!(
+                            "proptest {} failed on case {}/{}: {}",
+                            stringify!($name),
+                            __case,
+                            $crate::NUM_CASES,
+                            __err,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current property-test case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property-test case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(*__left == *__right, $($fmt)+);
+    }};
+}

@@ -1,0 +1,87 @@
+//! Sequence utilities: the `SliceRandom` extension trait.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut Lcg::seed_from_u64(1));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let mut a: Vec<usize> = (0..20).collect();
+        let mut b: Vec<usize> = (0..20).collect();
+        a.shuffle(&mut Lcg::seed_from_u64(9));
+        b.shuffle(&mut Lcg::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn choose_handles_empty_and_full() {
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut Lcg(1)).is_none());
+        let one = [42u8];
+        assert_eq!(one.choose(&mut Lcg(1)), Some(&42));
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace uses `into_par_iter()`/`par_iter()` as drop-in parallel
+//! maps. This stub keeps the trait names and call sites intact but runs
+//! sequentially: each `par_*` method returns the corresponding standard
+//! iterator. Results are identical (the real code relies on order-preserving
+//! `collect`), only wall-clock parallelism is lost — an acceptable trade in
+//! an environment without the real dependency.
+
+pub mod prelude {
+    //! Everything callers import with `use rayon::prelude::*`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// By-value conversion into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    /// Item type of the iteration.
+    type Item;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Converts `self` into the iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+/// By-reference conversion into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type of the iteration (a reference).
+    type Item;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterates `self` by reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iters_match_sequential() {
+        let doubled: Vec<i32> = vec![1, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().map(|x| x + 1).sum();
+        assert_eq!(sum, 9);
+        let idx: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,386 @@
+//! Deserialization half of the mini-serde data model.
+//!
+//! Instead of real serde's visitor machinery, a [`Deserializer`] produces a
+//! self-describing [`Content`] tree (the JSON data model) and every
+//! [`Deserialize`] impl decodes from that. Derived impls route nested fields
+//! back through [`ContentDeserializer`], so user-written `with`-style helper
+//! modules keep their real-serde signatures.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + Display {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A self-describing value tree — the JSON data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object; insertion order is preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, converting in-range unsigned values.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, converting non-negative signed values.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, converting any numeric content.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::I64(v) => Some(v as f64),
+            Content::U64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, when it is one.
+    pub fn as_array(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object entries, when it is one.
+    pub fn as_object(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Content::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// A short name of the content's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// A data-format frontend: yields the full value as [`Content`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: Error;
+
+    /// Consumes the input and returns its content tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A deserializable value.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Marker alias matching real serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Replays an already-materialised [`Content`] tree as a [`Deserializer`]
+/// with a caller-chosen error type. This is what derived impls use for
+/// nested fields and what `with`-module `deserialize` functions receive.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<E: Error> std::fmt::Debug for ContentDeserializer<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContentDeserializer")
+            .field("content", &self.content)
+            .finish()
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Decodes a typed value out of a content tree.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+/// Removes `key` from derived-struct map entries, yielding [`Content::Null`]
+/// when absent (so `Option` fields default to `None` and everything else
+/// reports a type error naming the field's expectation).
+pub fn take_field(entries: &mut Vec<(String, Content)>, key: &str) -> Content {
+    match entries.iter().position(|(k, _)| k == key) {
+        Some(index) => entries.swap_remove(index).1,
+        None => Content::Null,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives and common std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let value = content
+                    .as_i64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .or_else(|| content.as_u64().and_then(|v| <$t>::try_from(v).ok()));
+                value.ok_or_else(|| {
+                    D::Error::custom(format_args!(
+                        "invalid type: expected {}, found {}",
+                        stringify!($t),
+                        content.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                content.as_f64().map(|v| v as $t).ok_or_else(|| {
+                    D::Error::custom(format_args!(
+                        "invalid type: expected {}, found {}",
+                        stringify!($t),
+                        content.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        content.as_bool().ok_or_else(|| {
+            D::Error::custom(format_args!(
+                "invalid type: expected bool, found {}",
+                content.kind()
+            ))
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format_args!(
+                "invalid type: expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Static string slices deserialize by leaking the decoded `String`. Real
+/// serde borrows from the input instead; this data model owns its strings,
+/// so a (tiny, test-only) leak is the price of keeping `&'static str` fields
+/// round-trippable.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(&*Box::leak(s.into_boxed_str())),
+            other => Err(D::Error::custom(format_args!(
+                "invalid type: expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => Err(D::Error::custom(format_args!(
+                "invalid type: expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(D::Error::custom(format_args!(
+                "invalid type: expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        from_content::<T, D::Error>(deserializer.deserialize_content()?).map(Box::new)
+    }
+}
+
+macro_rules! deserialize_tuple_impl {
+    ($(($($name:ident),+) of $len:expr;)*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            from_content::<$name, De::Error>(
+                                iter.next().expect("length checked"),
+                            )?,
+                        )+))
+                    }
+                    other => Err(De::Error::custom(format_args!(
+                        "invalid type: expected array of length {}, found {}",
+                        $len,
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_tuple_impl! {
+    (A) of 1;
+    (A, B) of 2;
+    (A, B, C) of 3;
+    (A, B, C, Z) of 4;
+}
+
+impl crate::ser::Serialize for Content {
+    fn serialize<S: crate::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use crate::ser::{SerializeSeq as _, SerializeStruct as _};
+        match self {
+            Content::Null => serializer.serialize_none(),
+            Content::Bool(b) => serializer.serialize_bool(*b),
+            Content::I64(v) => serializer.serialize_i64(*v),
+            Content::U64(v) => serializer.serialize_u64(*v),
+            Content::F64(v) => serializer.serialize_f64(*v),
+            Content::Str(s) => serializer.serialize_str(s),
+            Content::Seq(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Content::Map(entries) => {
+                // Entry keys are runtime strings; the struct serializer wants
+                // `&'static str`, so maps round-trip through per-entry
+                // single-field emission instead.
+                let mut st = serializer.serialize_struct("Content", entries.len())?;
+                for (key, value) in entries {
+                    st.serialize_dyn_field(key, value)?;
+                }
+                st.end()
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content()
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `serde` to this minimal implementation. It keeps the *shape* of the real
+//! API — `Serialize`/`Serializer` with associated `Ok`/`Error` types,
+//! compound serializers, `Deserialize<'de>`/`Deserializer<'de>` — so code
+//! written against real serde (including `#[serde(with = "...")]` helper
+//! modules) compiles unchanged. The data model is radically simplified on
+//! the deserialization side: a [`Deserializer`] yields a self-describing
+//! [`de::Content`] tree and typed values are decoded from it, which is all a
+//! JSON-only workspace needs.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// The derive macros share names with the traits, exactly like real serde.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,451 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — structs with named fields, enums
+//! with unit and struct variants, and the `#[serde(with = "module")]` field
+//! attribute — by walking the raw `proc_macro` token stream directly (the
+//! build environment has no `syn`/`quote`). Unsupported shapes (generics,
+//! tuple structs, tuple variants, other serde attributes) produce a
+//! `compile_error!` naming the limitation rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` field: name, type text, optional `with` module.
+struct Field {
+    name: String,
+    ty: String,
+    with: Option<String>,
+}
+
+/// A parsed enum variant; `fields: None` means a unit variant.
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Parser {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        match self.peek() {
+            Some(TokenTree::Ident(id)) if id.to_string() == word => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ch => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!(
+                "expected identifier, found {:?}",
+                other.map(|t| t.to_string())
+            )),
+        }
+    }
+
+    /// Skips leading attributes, returning the `with` module of a
+    /// `#[serde(with = "module")]` attribute when present. Any other
+    /// `#[serde(...)]` content is rejected so unsupported behaviour fails
+    /// loudly at compile time.
+    fn skip_attrs(&mut self) -> Result<Option<String>, String> {
+        let mut with = None;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.bump();
+            let group = match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                _ => return Err("expected `[...]` after `#`".into()),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                _ => return Err("malformed #[serde(...)] attribute".into()),
+            };
+            let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+            match arg_tokens.first() {
+                Some(TokenTree::Ident(key)) if key.to_string() == "with" => {
+                    let literal = match (arg_tokens.get(1), arg_tokens.get(2)) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            lit.to_string()
+                        }
+                        _ => return Err("expected #[serde(with = \"module\")]".into()),
+                    };
+                    with = Some(literal.trim_matches('"').to_string());
+                }
+                _ => {
+                    return Err(format!(
+                        "unsupported serde attribute #[serde({})]; this offline derive only knows `with`",
+                        args.stream()
+                    ))
+                }
+            }
+        }
+        Ok(with)
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut parser = Parser::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let with = parser.skip_attrs()?;
+        if parser.peek().is_none() {
+            break;
+        }
+        if parser.eat_ident("pub") {
+            // Consume a restriction like `pub(crate)` when present.
+            if matches!(parser.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                parser.bump();
+            }
+        }
+        let name = parser.expect_ident()?;
+        if !parser.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        // Capture the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        let mut ty_tokens: Vec<String> = Vec::new();
+        while let Some(token) = parser.peek() {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    ',' if depth == 0 => break,
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            ty_tokens.push(token.to_string());
+            parser.bump();
+        }
+        parser.eat_punct(',');
+        fields.push(Field {
+            name,
+            ty: ty_tokens.join(" "),
+            with,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut parser = Parser::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        parser.skip_attrs()?;
+        if parser.peek().is_none() {
+            break;
+        }
+        let name = parser.expect_ident()?;
+        let fields = match parser.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                parser.bump();
+                Some(parse_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple variant `{name}` is not supported by the offline serde derive"
+                ));
+            }
+            _ => None,
+        };
+        parser.eat_punct(',');
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_input(stream: TokenStream) -> Result<Input, String> {
+    let mut parser = Parser::new(stream);
+    parser.skip_attrs()?;
+    if parser.eat_ident("pub")
+        && matches!(parser.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+    {
+        parser.bump();
+    }
+    let is_enum = if parser.eat_ident("struct") {
+        false
+    } else if parser.eat_ident("enum") {
+        true
+    } else {
+        return Err("expected `struct` or `enum`".into());
+    };
+    let name = parser.expect_ident()?;
+    if matches!(parser.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the offline serde derive"
+        ));
+    }
+    let body = match parser.bump() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "tuple struct `{name}` is not supported by the offline serde derive"
+            ));
+        }
+        _ => return Err(format!("expected `{{ ... }}` body for `{name}`")),
+    };
+    let kind = if is_enum {
+        Kind::Enum(parse_variants(body)?)
+    } else {
+        Kind::Struct(parse_fields(body)?)
+    };
+    Ok(Input { name, kind })
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({:?});", message)
+        .parse()
+        .expect("compile_error tokens")
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut out = format!(
+                "let mut __s = serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for field in fields {
+                let fname = &field.name;
+                if let Some(with) = &field.with {
+                    // Wrapper whose Serialize defers to the user's module,
+                    // preserving real serde's `with` semantics.
+                    out.push_str(&format!(
+                        "{{\n\
+                         struct __SerdeWith<'__a>(&'__a {ty});\n\
+                         impl<'__a> serde::ser::Serialize for __SerdeWith<'__a> {{\n\
+                         fn serialize<__S2: serde::ser::Serializer>(&self, __serializer: __S2) -> Result<__S2::Ok, __S2::Error> {{\n\
+                         {with}::serialize(self.0, __serializer)\n\
+                         }}\n\
+                         }}\n\
+                         serde::ser::SerializeStruct::serialize_field(&mut __s, \"{fname}\", &__SerdeWith(&self.{fname}))?;\n\
+                         }}\n",
+                        ty = field.ty,
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "serde::ser::SerializeStruct::serialize_field(&mut __s, \"{fname}\", &self.{fname})?;\n"
+                    ));
+                }
+            }
+            out.push_str("serde::ser::SerializeStruct::end(__s)\n");
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {index}u32, \"{vname}\"),\n"
+                    )),
+                    Some(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = format!(
+                            "let mut __sv = serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {})?;\n",
+                            fields.len()
+                        );
+                        for field in fields {
+                            let fname = &field.name;
+                            inner.push_str(&format!(
+                                "serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{fname}\", {fname})?;\n"
+                            ));
+                        }
+                        inner.push_str("serde::ser::SerializeStructVariant::end(__sv)\n");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n{inner}}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S) -> Result<__S::Ok, __S::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_field_decoders(fields: &[Field], map_var: &str) -> String {
+    let mut out = String::new();
+    for field in fields {
+        let fname = &field.name;
+        if let Some(with) = &field.with {
+            out.push_str(&format!(
+                "{fname}: {with}::deserialize(serde::de::ContentDeserializer::<__D::Error>::new(serde::de::take_field(&mut {map_var}, \"{fname}\")))?,\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{fname}: serde::de::from_content::<_, __D::Error>(serde::de::take_field(&mut {map_var}, \"{fname}\"))?,\n"
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let decoders = gen_field_decoders(fields, "__map");
+            format!(
+                "match serde::de::Deserializer::deserialize_content(__deserializer)? {{\n\
+                 serde::de::Content::Map(mut __map) => {{\n\
+                 let _ = &mut __map;\n\
+                 Ok({name} {{\n{decoders}}})\n\
+                 }}\n\
+                 __other => Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+                 \"invalid type for {name}: expected object, found {{}}\", __other.kind()))),\n\
+                 }}\n"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    None => unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n")),
+                    Some(fields) => {
+                        let decoders = gen_field_decoders(fields, "__fields");
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\n\
+                             serde::de::Content::Map(mut __fields) => {{\n\
+                             let _ = &mut __fields;\n\
+                             Ok({name}::{vname} {{\n{decoders}}})\n\
+                             }}\n\
+                             __bad => Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+                             \"invalid value for variant `{vname}` of {name}: expected object, found {{}}\", __bad.kind()))),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match serde::de::Deserializer::deserialize_content(__deserializer)? {{\n\
+                 serde::de::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+                 \"unknown variant `{{}}` for {name}\", __other))),\n\
+                 }},\n\
+                 serde::de::Content::Map(mut __map) => {{\n\
+                 if __map.len() != 1 {{\n\
+                 return Err(<__D::Error as serde::de::Error>::custom(\n\
+                 \"expected single-key object for enum {name}\"));\n\
+                 }}\n\
+                 let (__tag, __inner) = __map.pop().expect(\"length checked\");\n\
+                 let _ = &__inner;\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+                 \"unknown variant `{{}}` for {name}\", __other))),\n\
+                 }}\n\
+                 }}\n\
+                 __other => Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+                 \"invalid type for enum {name}: expected string or object, found {{}}\", __other.kind()))),\n\
+                 }}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D) -> Result<Self, __D::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+/// Derives `serde::Serialize` for structs with named fields and for enums
+/// with unit/struct variants.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde derive codegen error: {e}"))),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives `serde::Deserialize` for structs with named fields and for enums
+/// with unit/struct variants.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde derive codegen error: {e}"))),
+        Err(message) => compile_error(&message),
+    }
+}

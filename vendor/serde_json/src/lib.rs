@@ -1,0 +1,689 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! A complete JSON writer/parser over the mini-serde data model in
+//! `vendor/serde`: compact and pretty serialization with full string
+//! escaping, and a recursive-descent parser producing [`Value`]
+//! (`serde::de::Content`) trees with `\uXXXX` decoding and i64/u64/f64
+//! number disambiguation. Non-finite floats serialize as `null`, matching
+//! real serde_json's default behaviour.
+
+use std::io::{self, Read, Write};
+
+use serde::de::{Content, DeserializeOwned};
+use serde::ser::{
+    Serialize, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTuple, Serializer,
+};
+
+/// JSON values are the deserialization content tree itself.
+pub type Value = Content;
+
+/// Errors from JSON serialization or parsing.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(err: io::Error) -> Self {
+        Error::new(err.to_string())
+    }
+}
+
+/// Convenience alias matching real serde_json.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let bytes = to_vec(value)?;
+    String::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Serializes `value` as a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut bytes = Vec::new();
+    to_writer_pretty(&mut bytes, value)?;
+    String::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    to_writer(&mut bytes, value)?;
+    Ok(bytes)
+}
+
+/// Writes `value` as compact JSON into `writer`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    value.serialize(JsonSerializer {
+        out: &mut writer,
+        pretty: false,
+        indent: 0,
+    })
+}
+
+/// Writes `value` as pretty-printed JSON into `writer`.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    value.serialize(JsonSerializer {
+        out: &mut writer,
+        pretty: true,
+        indent: 0,
+    })
+}
+
+fn write_escaped(out: &mut dyn Write, text: &str) -> Result<()> {
+    out.write_all(b"\"")?;
+    for ch in text.chars() {
+        match ch {
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_all(b"\"")?;
+    Ok(())
+}
+
+fn write_f64(out: &mut dyn Write, v: f64) -> Result<()> {
+    if v.is_finite() {
+        write!(out, "{v}")?;
+    } else {
+        out.write_all(b"null")?;
+    }
+    Ok(())
+}
+
+struct JsonSerializer<'a> {
+    out: &'a mut dyn Write,
+    pretty: bool,
+    indent: usize,
+}
+
+/// Shared compound state for sequences, tuples, structs, and variants.
+pub struct Compound<'a> {
+    out: &'a mut dyn Write,
+    pretty: bool,
+    /// Indentation level *inside* the brackets.
+    indent: usize,
+    first: bool,
+    close: &'static [u8],
+}
+
+impl<'a> Compound<'a> {
+    fn separator(&mut self) -> Result<()> {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.write_all(b",")?;
+        }
+        if self.pretty {
+            self.out.write_all(b"\n")?;
+            for _ in 0..self.indent {
+                self.out.write_all(b"  ")?;
+            }
+        }
+        Ok(())
+    }
+
+    fn element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.separator()?;
+        value.serialize(JsonSerializer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent,
+        })
+    }
+
+    fn field<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) -> Result<()> {
+        self.separator()?;
+        write_escaped(self.out, key)?;
+        self.out.write_all(if self.pretty { b": " } else { b":" })?;
+        value.serialize(JsonSerializer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent,
+        })
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pretty && !self.first {
+            self.out.write_all(b"\n")?;
+            for _ in 1..self.indent {
+                self.out.write_all(b"  ")?;
+            }
+        }
+        self.out.write_all(self.close)?;
+        Ok(())
+    }
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.out.write_all(if v { b"true" } else { b"false" })?;
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<()> {
+        write!(self.out, "{v}")?;
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<()> {
+        write!(self.out, "{v}")?;
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<()> {
+        write_f64(self.out, v)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        write_escaped(self.out, v)
+    }
+
+    fn serialize_unit(self) -> Result<()> {
+        self.out.write_all(b"null")?;
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.out.write_all(b"null")?;
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<()> {
+        write_escaped(self.out, variant)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>> {
+        self.out.write_all(b"[")?;
+        Ok(Compound {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent + 1,
+            first: true,
+            close: b"]",
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>> {
+        self.out.write_all(b"{")?;
+        Ok(Compound {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent + 1,
+            first: true,
+            close: b"}",
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>> {
+        // Externally tagged: {"Variant":{...}}
+        self.out.write_all(b"{")?;
+        write_escaped(self.out, variant)?;
+        self.out
+            .write_all(if self.pretty { b": {" } else { b":{" })?;
+        Ok(Compound {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent + 1,
+            first: true,
+            close: b"}}",
+        })
+    }
+}
+
+impl SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish()
+    }
+}
+
+impl SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.field(key, value)
+    }
+
+    fn serialize_dyn_field<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) -> Result<()> {
+        self.field(key, value)
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish()
+    }
+}
+
+impl SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.field(key, value)
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses a typed value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
+    let content = parse_content(text)?;
+    serde::de::from_content(content)
+}
+
+/// Parses a typed value from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(text)
+}
+
+/// Parses a typed value from a JSON reader.
+pub fn from_reader<R: Read, T: DeserializeOwned>(mut reader: R) -> Result<T> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    from_str(&text)
+}
+
+fn parse_content(text: &str) -> Result<Content> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Content::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| Error::new("invalid \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy a run of plain bytes in one go (valid UTF-8 passes through).
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| Error::new("truncated escape sequence"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let mut code = self.parse_hex4()?;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: require a \uXXXX low surrogate.
+                                if self.eat_keyword("\\u") {
+                                    let low = self.parse_hex4()?;
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    } else {
+                                        return Err(Error::new("invalid low surrogate"));
+                                    }
+                                } else {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42i64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string("hi \"there\"\n").unwrap(), r#""hi \"there\"\n""#);
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn round_trips_collections() {
+        let v = vec![1u32, 2, 3];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        let back: Vec<u32> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+
+        let pair: (f64, bool) = (0.5, true);
+        let back: (f64, bool) = from_str(&to_string(&pair).unwrap()).unwrap();
+        assert_eq!(back, pair);
+    }
+
+    #[test]
+    fn parses_nested_value() {
+        let value: Value = from_str(r#"{"a": [1, 2.5, "xA"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(value.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            value.get("a").unwrap().as_array().unwrap()[2].as_str(),
+            Some("xA")
+        );
+        assert!(value.get("b").unwrap().get("c").unwrap().is_null());
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let value: Value = from_str(r#"{"k":[1,{"m":true}],"s":"t"}"#).unwrap();
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn number_disambiguation() {
+        let v: Value = from_str("9223372036854775807").unwrap();
+        assert_eq!(v.as_i64(), Some(i64::MAX));
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v: Value = from_str("1e3").unwrap();
+        assert_eq!(v.as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
