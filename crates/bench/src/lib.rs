@@ -17,7 +17,8 @@ mod runtime;
 
 pub use cli::ExperimentArgs;
 pub use methods::{
-    run_active_method, run_active_method_avg, run_pattern_method, ActiveMethod, MethodResult,
+    run_active_method, run_active_method_avg, run_active_method_faulty, run_pattern_method,
+    ActiveMethod, FaultyMethodResult, MethodResult,
 };
 pub use pca::project_2d;
 pub use report::{ratio_row, render_table, write_json, TableRow};

@@ -4,6 +4,7 @@ use hotspot_active::{
 };
 use hotspot_baselines::{PatternMatcher, QpSelector};
 use hotspot_layout::GeneratedBenchmark;
+use hotspot_litho::{FaultRates, FaultyOracle, RetryOracle, RetryPolicy, VirtualClock};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -130,6 +131,78 @@ pub fn run_active_method_avg(
     }
 }
 
+/// One cell of the `faults` robustness sweep: a method run against a
+/// seeded fault-injecting oracle behind the retry/quorum layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultyMethodResult {
+    /// Method label.
+    pub method: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Injected transient-failure rate.
+    pub transient: f64,
+    /// Injected silent label-flip rate.
+    pub flip: f64,
+    /// Quorum votes per label (1 = no quorum).
+    pub quorum: usize,
+    /// Detection accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Litho-clip overhead (Eq. 2, quorum re-simulations included).
+    pub litho: usize,
+    /// Billable re-simulations beyond the labelled sets.
+    pub extra_simulations: usize,
+    /// Oracle retries absorbed by the backoff policy.
+    pub retries: usize,
+    /// Queries abandoned after exhausting the retry budget.
+    pub giveups: usize,
+    /// Labels that never arrived (clips returned to the pool).
+    pub label_failures: usize,
+    /// Whether the run degraded (see `RunFaultStats::is_degraded`).
+    pub degraded: bool,
+}
+
+/// Runs a learning-based method on a benchmark through a fault-injecting
+/// oracle wrapped in retry/backoff (virtual clock — no wall-clock sleeps)
+/// and, when `quorum > 1`, quorum re-labelling.
+///
+/// # Panics
+///
+/// Panics when the rates are invalid or the framework rejects the
+/// configuration.
+pub fn run_active_method_faulty(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    rates: FaultRates,
+    quorum: usize,
+) -> FaultyMethodResult {
+    let framework = SamplingFramework::new(config.clone());
+    let mut selector = method.selector();
+    let flaky = FaultyOracle::new(bench.oracle(), rates, seed ^ 0xfa17_fa17);
+    let mut oracle = RetryOracle::with_clock(flaky, RetryPolicy::default(), VirtualClock::new());
+    if quorum > 1 {
+        oracle = oracle.with_quorum(quorum);
+    }
+    let outcome = framework
+        .run_with_oracle(bench, selector.as_mut(), seed, &mut oracle)
+        .expect("degradation-aware framework run succeeds");
+    FaultyMethodResult {
+        method: method.label().to_owned(),
+        benchmark: bench.spec().name.clone(),
+        transient: rates.transient,
+        flip: rates.flip,
+        quorum: quorum.max(1),
+        accuracy: outcome.metrics.accuracy,
+        litho: outcome.metrics.litho,
+        extra_simulations: outcome.metrics.extra_simulations,
+        retries: outcome.fault_stats.oracle_retries,
+        giveups: outcome.fault_stats.oracle_giveups,
+        label_failures: outcome.fault_stats.label_failures,
+        degraded: outcome.degraded,
+    }
+}
+
 /// Runs a pattern-matching method on a benchmark.
 pub fn run_pattern_method(matcher: PatternMatcher, bench: &GeneratedBenchmark) -> MethodResult {
     let start = std::time::Instant::now();
@@ -178,6 +251,28 @@ mod tests {
             assert!(result.accuracy > 0.0);
             assert!(result.litho > 0);
         }
+    }
+
+    #[test]
+    fn faulty_method_runs_and_accounts() {
+        let b = bench();
+        let mut config = SamplingConfig::for_benchmark(b.len());
+        config.iterations = 2;
+        config.initial_epochs = 20;
+        config.update_epochs = 5;
+        let rates = FaultRates {
+            transient: 0.2,
+            flip: 0.02,
+            ..FaultRates::default()
+        };
+        let r = run_active_method_faulty(ActiveMethod::Ours, &b, &config, 1, rates, 3);
+        assert!(r.litho > 0);
+        assert_eq!(r.quorum, 3);
+        assert!(r.retries > 0, "20% transient should force retries");
+        assert!(r.extra_simulations > 0, "quorum votes should bill");
+        // The same seed reproduces the same degraded run bit-for-bit.
+        let again = run_active_method_faulty(ActiveMethod::Ours, &b, &config, 1, rates, 3);
+        assert_eq!(r, again);
     }
 
     #[test]

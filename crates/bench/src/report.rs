@@ -163,7 +163,9 @@ mod tests {
 
     #[test]
     fn write_json_roundtrip() {
-        let dir = std::env::temp_dir().join("hotspot-bench-test");
+        // Key the directory on the pid so concurrent `cargo test` processes
+        // (e.g. a CI retry racing a stale run) never share the output file.
+        let dir = std::env::temp_dir().join(format!("hotspot-bench-test-{}", std::process::id()));
         write_json(&dir, "unit", &vec![1, 2, 3]);
         let text = std::fs::read_to_string(dir.join("unit.json")).unwrap();
         assert!(text.contains('1'));

@@ -1,5 +1,27 @@
-use hotspot_litho::LithoOracle;
+use hotspot_litho::{LithoOracle, OracleError};
 use std::collections::HashSet;
+
+/// The outcome of a fallible labelling pass ([`ActiveDataset::try_new`],
+/// [`ActiveDataset::try_label_batch`]): which clips were labelled, how many
+/// were hotspots, and which queries the oracle gave up on.
+#[derive(Debug, Clone, Default)]
+pub struct LabelBatchReport {
+    /// Hotspots among the successfully labelled clips.
+    pub hotspots: usize,
+    /// Clips that were labelled (moved into `L` or `V`).
+    pub labeled: Vec<usize>,
+    /// Clips whose labels never arrived, with the terminal error. They stay
+    /// in (or return to) the unlabeled pool — Algorithm 2 does not discard
+    /// unselected query samples, and a failed label is treated the same way.
+    pub failures: Vec<(usize, OracleError)>,
+}
+
+impl LabelBatchReport {
+    /// Whether every requested label arrived.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
 
 /// Index bookkeeping for the active-learning split: labelled training set
 /// `L`, validation set `V`, and unlabeled pool `U` over a benchmark's clip
@@ -25,12 +47,34 @@ impl ActiveDataset {
     /// # Panics
     ///
     /// Panics when an index repeats across the splits or exceeds `total`.
-    pub fn new<O: LithoOracle>(
+    pub fn new<O: LithoOracle + ?Sized>(
         total: usize,
         initial_train: &[usize],
         validation: &[usize],
         oracle: &mut O,
     ) -> Self {
+        let (dataset, report) = Self::try_new(total, initial_train, validation, oracle);
+        if let Some((_, error)) = report.failures.first() {
+            panic!("{error}");
+        }
+        dataset
+    }
+
+    /// Fallible variant of [`ActiveDataset::new`]: split members whose oracle
+    /// query fails are *not* labelled — they land in the unlabeled pool and
+    /// are reported in the returned [`LabelBatchReport`], so a degraded run
+    /// can proceed with the split members that did label.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index repeats across the splits or exceeds `total`
+    /// (caller bugs, not oracle faults).
+    pub fn try_new<O: LithoOracle + ?Sized>(
+        total: usize,
+        initial_train: &[usize],
+        validation: &[usize],
+        oracle: &mut O,
+    ) -> (Self, LabelBatchReport) {
         let mut seen = HashSet::with_capacity(initial_train.len() + validation.len());
         for &i in initial_train.iter().chain(validation) {
             assert!(i < total, "split index {i} out of range ({total} clips)");
@@ -39,24 +83,52 @@ impl ActiveDataset {
                 "index {i} appears twice in the initial split"
             );
         }
-        let labeled_classes = initial_train
-            .iter()
-            .map(|&i| oracle.query(i).class_index())
-            .collect();
-        let validation_classes = validation
-            .iter()
-            .map(|&i| oracle.query(i).class_index())
-            .collect();
+        let mut report = LabelBatchReport::default();
+        let mut labeled = Vec::with_capacity(initial_train.len());
+        let mut labeled_classes = Vec::with_capacity(initial_train.len());
+        for &i in initial_train {
+            match oracle.try_query(i) {
+                Ok(label) => {
+                    report.hotspots += label.is_hotspot() as usize;
+                    report.labeled.push(i);
+                    labeled.push(i);
+                    labeled_classes.push(label.class_index());
+                }
+                Err(error) => {
+                    seen.remove(&i);
+                    report.failures.push((i, error));
+                }
+            }
+        }
+        let mut validation_kept = Vec::with_capacity(validation.len());
+        let mut validation_classes = Vec::with_capacity(validation.len());
+        for &i in validation {
+            match oracle.try_query(i) {
+                Ok(label) => {
+                    report.hotspots += label.is_hotspot() as usize;
+                    report.labeled.push(i);
+                    validation_kept.push(i);
+                    validation_classes.push(label.class_index());
+                }
+                Err(error) => {
+                    seen.remove(&i);
+                    report.failures.push((i, error));
+                }
+            }
+        }
         let unlabeled: Vec<usize> = (0..total).filter(|i| !seen.contains(i)).collect();
         let unlabeled_set = unlabeled.iter().copied().collect();
-        ActiveDataset {
-            labeled: initial_train.to_vec(),
-            labeled_classes,
-            validation: validation.to_vec(),
-            validation_classes,
-            unlabeled,
-            unlabeled_set,
-        }
+        (
+            ActiveDataset {
+                labeled,
+                labeled_classes,
+                validation: validation_kept,
+                validation_classes,
+                unlabeled,
+                unlabeled_set,
+            },
+            report,
+        )
     }
 
     /// Labelled training indices.
@@ -96,22 +168,52 @@ impl ActiveDataset {
     /// # Panics
     ///
     /// Panics when an index is not currently unlabeled.
-    pub fn label_batch<O: LithoOracle>(&mut self, batch: &[usize], oracle: &mut O) -> usize {
-        let mut hotspots = 0;
+    pub fn label_batch<O: LithoOracle + ?Sized>(
+        &mut self,
+        batch: &[usize],
+        oracle: &mut O,
+    ) -> usize {
+        let report = self.try_label_batch(batch, oracle);
+        if let Some((_, error)) = report.failures.first() {
+            panic!("{error}");
+        }
+        report.hotspots
+    }
+
+    /// Fallible variant of [`ActiveDataset::label_batch`]: clips whose label
+    /// never arrives stay in the unlabeled pool (they may be re-selected and
+    /// re-tried on a later iteration) and are reported as failures, letting
+    /// the caller proceed with the partial batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is not currently unlabeled (a caller bug).
+    pub fn try_label_batch<O: LithoOracle + ?Sized>(
+        &mut self,
+        batch: &[usize],
+        oracle: &mut O,
+    ) -> LabelBatchReport {
+        let mut report = LabelBatchReport::default();
         for &i in batch {
             assert!(
-                self.unlabeled_set.remove(&i),
+                self.unlabeled_set.contains(&i),
                 "clip {i} is not in the unlabeled pool"
             );
-            let label = oracle.query(i);
-            hotspots += label.is_hotspot() as usize;
-            self.labeled.push(i);
-            self.labeled_classes.push(label.class_index());
+            match oracle.try_query(i) {
+                Ok(label) => {
+                    self.unlabeled_set.remove(&i);
+                    report.hotspots += label.is_hotspot() as usize;
+                    report.labeled.push(i);
+                    self.labeled.push(i);
+                    self.labeled_classes.push(label.class_index());
+                }
+                Err(error) => report.failures.push((i, error)),
+            }
         }
-        if !batch.is_empty() {
+        if !report.labeled.is_empty() {
             self.unlabeled.retain(|i| self.unlabeled_set.contains(i));
         }
-        hotspots
+        report
     }
 
     /// Hotspots in the labelled training set (`#HS_Train` of Eq. 1).
@@ -134,7 +236,7 @@ impl ActiveDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hotspot_litho::{CountingOracle, Label};
+    use hotspot_litho::{CountingOracle, FaultRates, FaultyOracle, Label};
 
     fn oracle() -> CountingOracle {
         // Clips 0..10; indices 0, 3, 6, 9 are hotspots.
@@ -206,5 +308,46 @@ mod tests {
         let mut ds = ActiveDataset::new(10, &[5], &[], &mut o);
         ds.label_batch(&[3, 8], &mut o);
         assert_eq!(ds.unlabeled(), &[0, 1, 2, 4, 6, 7, 9]);
+    }
+
+    fn broken_oracle(clips: &[usize]) -> FaultyOracle<CountingOracle> {
+        FaultyOracle::new(oracle(), FaultRates::default(), 0)
+            .with_permanent_failures(clips.iter().copied())
+    }
+
+    #[test]
+    fn try_new_returns_failed_split_members_to_the_pool() {
+        let mut o = broken_oracle(&[1, 3]);
+        let (ds, report) = ActiveDataset::try_new(10, &[0, 1], &[2, 3], &mut o);
+        assert_eq!(ds.labeled(), &[0]);
+        assert_eq!(ds.validation(), &[2]);
+        assert_eq!(report.labeled, &[0, 2]);
+        assert_eq!(report.failures.len(), 2);
+        assert!(ds.is_unlabeled(1) && ds.is_unlabeled(3));
+        assert_eq!(ds.unlabeled().len(), 8);
+    }
+
+    #[test]
+    fn try_label_batch_keeps_failed_clips_unlabeled() {
+        let mut o = broken_oracle(&[7]);
+        let (mut ds, _) = ActiveDataset::try_new(10, &[0], &[1], &mut o);
+        let report = ds.try_label_batch(&[6, 7, 8], &mut o);
+        assert_eq!(report.labeled, &[6, 8]);
+        assert_eq!(report.hotspots, 1); // clip 6 is a hotspot
+        assert_eq!(report.failures.len(), 1);
+        assert!(!report.is_complete());
+        assert!(ds.is_unlabeled(7), "failed clip stays in the pool");
+        assert_eq!(ds.labeled(), &[0, 6, 8]);
+        // The failed clip can be re-attempted later without panicking.
+        let again = ds.try_label_batch(&[7], &mut o);
+        assert_eq!(again.failures.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "permanent simulation failure")]
+    fn infallible_label_batch_panics_on_oracle_faults() {
+        let mut o = broken_oracle(&[9]);
+        let (mut ds, _) = ActiveDataset::try_new(10, &[0], &[1], &mut o);
+        let _ = ds.label_batch(&[9], &mut o);
     }
 }

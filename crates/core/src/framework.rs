@@ -5,7 +5,7 @@ use crate::{
 use hotspot_calibration::{ReliabilityDiagram, Temperature};
 use hotspot_gmm::{GaussianMixture, GmmConfig};
 use hotspot_layout::GeneratedBenchmark;
-use hotspot_litho::{Label, OracleStats};
+use hotspot_litho::{Label, LithoOracle, OracleStats};
 use hotspot_nn::Matrix;
 use hotspot_telemetry as telemetry;
 use rand::seq::SliceRandom;
@@ -32,6 +32,42 @@ pub struct IterationStats {
     pub train_loss: f64,
     /// Validation ECE at this iteration's fitted temperature (Eq. 3).
     pub ece: f64,
+    /// Batch members whose label never arrived; they were returned to the
+    /// unlabeled pool and the iteration proceeded with the partial batch.
+    pub failed_labels: usize,
+}
+
+/// Fault-handling telemetry of one full run: what the degradation-aware
+/// Algorithm-2 loop absorbed instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RunFaultStats {
+    /// Labelling attempts that terminally failed; the affected clips were
+    /// returned to the unlabeled pool (initial split, top-up, and batch
+    /// members combined).
+    pub label_failures: usize,
+    /// Oracle retries absorbed during this run (retry-wrapper meter delta).
+    pub oracle_retries: usize,
+    /// Oracle giveups during this run (retry-wrapper meter delta).
+    pub oracle_giveups: usize,
+    /// Quorum votes cast during this run.
+    pub quorum_votes: usize,
+    /// Training updates rolled back because the loss went non-finite.
+    pub nan_rollbacks: usize,
+    /// Temperature fits that failed and fell back to `T = 1`.
+    pub temperature_fallbacks: usize,
+}
+
+impl RunFaultStats {
+    /// Whether the run had to degrade: labels were lost, a training update
+    /// was rolled back, or calibration fell back to the identity
+    /// temperature. Absorbed retries and quorum votes alone do not degrade
+    /// a run — they only cost simulations.
+    pub fn is_degraded(&self) -> bool {
+        self.label_failures > 0
+            || self.oracle_giveups > 0
+            || self.nan_rollbacks > 0
+            || self.temperature_fallbacks > 0
+    }
 }
 
 /// The result of one full PSHD run.
@@ -57,10 +93,16 @@ pub struct RunOutcome {
     pub sampled_indices: Vec<usize>,
     /// Benchmark indices the detector flagged in the unlabeled pool.
     pub predicted_hotspots: Vec<usize>,
-    /// Oracle meter snapshot (cross-checks Eq. 2's train+val component).
+    /// This run's oracle-meter delta (cross-checks Eq. 2: `unique` equals
+    /// train + val labels plus billable quorum re-simulations).
     pub oracle_stats: OracleStats,
     /// Process-unique id tagging this run's telemetry events.
     pub run_id: u64,
+    /// What the fault-tolerance layer absorbed during this run.
+    pub fault_stats: RunFaultStats,
+    /// Whether the run degraded (lost labels, rolled back a divergent
+    /// update, or fell back to `T = 1`); see [`RunFaultStats::is_degraded`].
+    pub degraded: bool,
 }
 
 /// Algorithm 2 of the paper: the overall pattern-sampling and hotspot-
@@ -85,7 +127,8 @@ impl SamplingFramework {
     }
 
     /// Runs the full flow on a generated benchmark with the given batch
-    /// selector, deterministically in `seed`.
+    /// selector, deterministically in `seed`, against the benchmark's own
+    /// fault-free metered oracle.
     ///
     /// # Errors
     ///
@@ -96,6 +139,37 @@ impl SamplingFramework {
         bench: &GeneratedBenchmark,
         selector: &mut dyn BatchSelector,
         seed: u64,
+    ) -> Result<RunOutcome, ActiveError> {
+        self.run_with_oracle(bench, selector, seed, &mut bench.oracle())
+    }
+
+    /// Runs the full flow against an explicit oracle — the degradation-aware
+    /// entry point for fault-tolerant deployments (wrap the benchmark oracle
+    /// in [`hotspot_litho::FaultyOracle`] / [`hotspot_litho::RetryOracle`]).
+    ///
+    /// The loop does not die on oracle faults: batch members whose label
+    /// terminally fails are returned to the unlabeled pool (Algorithm 2
+    /// keeps unselected query samples, and a failed label is treated the
+    /// same way), the iteration proceeds with the partial batch, a
+    /// non-finite training loss rolls the model back to its last good
+    /// snapshot, and a failed temperature fit falls back to `T = 1`. The
+    /// outcome's [`RunOutcome::fault_stats`] and [`RunOutcome::degraded`]
+    /// report what was absorbed.
+    ///
+    /// For exact per-run Eq. 2 accounting pass a fresh oracle (or accept
+    /// that [`RunOutcome::oracle_stats`] is the meter *delta* over this
+    /// run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActiveError::BenchmarkTooSmall`] when the initial split
+    /// does not fit, and propagates substrate errors.
+    pub fn run_with_oracle<O: LithoOracle + ?Sized>(
+        &self,
+        bench: &GeneratedBenchmark,
+        selector: &mut dyn BatchSelector,
+        seed: u64,
+        oracle: &mut O,
     ) -> Result<RunOutcome, ActiveError> {
         let start = Instant::now();
         let config = &self.config;
@@ -109,7 +183,7 @@ impl SamplingFramework {
         let run_id = telemetry::next_run_id();
         // The oracle-call counter is process-wide and monotonic (parallel
         // runs share it); this run's share is the delta from here.
-        let oracle_calls_before = telemetry::counter("litho.oracle.calls").get();
+        let oracle_calls_before = telemetry::counter(telemetry::names::ORACLE_CALLS).get();
         let _run_span = telemetry::span("run")
             .with("run_id", run_id)
             .with("selector", selector.name());
@@ -125,7 +199,10 @@ impl SamplingFramework {
             ],
         );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut oracle = bench.oracle();
+        // Likewise the oracle's own meter may carry history from earlier
+        // runs; everything this run bills is the delta from here.
+        let stats_before = oracle.stats();
+        let mut fault_stats = RunFaultStats::default();
 
         // Standardised DCT features for the classifier; raw density features
         // for the mixture model. Both are unlabeled-data statistics, so no
@@ -160,7 +237,20 @@ impl SamplingFramework {
         let mut remaining: Vec<usize> = by_score[config.initial_train.min(total)..].to_vec();
         remaining.shuffle(&mut rng);
         let validation: Vec<usize> = remaining[..config.validation.min(remaining.len())].to_vec();
-        let mut dataset = ActiveDataset::new(total, &initial_train, &validation, &mut oracle);
+        let (mut dataset, split_report) =
+            ActiveDataset::try_new(total, &initial_train, &validation, oracle);
+        if !split_report.is_complete() {
+            fault_stats.label_failures += split_report.failures.len();
+            telemetry::warn(
+                "core.framework",
+                "initial split degraded: failed labels returned to the pool",
+                &[
+                    ("run_id", run_id.into()),
+                    ("failed", (split_report.failures.len() as u64).into()),
+                    ("labeled", (split_report.labeled.len() as u64).into()),
+                ],
+            );
+        }
 
         // The paper trains a discriminative model on L₀, which presumes both
         // classes are present; when the GMM seed set is single-class we pay
@@ -171,7 +261,8 @@ impl SamplingFramework {
         while !dataset.has_both_classes() && top_up_budget > 0 && !dataset.unlabeled().is_empty() {
             let pool = dataset.unlabeled();
             let pick = pool[rng.gen_range(0..pool.len())];
-            dataset.label_batch(&[pick], &mut oracle);
+            let report = dataset.try_label_batch(&[pick], oracle);
+            fault_stats.label_failures += report.failures.len();
             top_up_budget -= 1;
         }
 
@@ -185,7 +276,15 @@ impl SamplingFramework {
         );
         if !dataset.labeled().is_empty() {
             let x = features.gather_rows(dataset.labeled());
-            model.train(&x, dataset.labeled_classes(), config.initial_epochs, seed)?;
+            guarded_train(
+                &mut model,
+                &x,
+                dataset.labeled_classes(),
+                config.initial_epochs,
+                seed,
+                run_id,
+                &mut fault_stats,
+            )?;
         }
 
         // ECE before calibration, for the Fig. 2 comparison.
@@ -214,7 +313,8 @@ impl SamplingFramework {
                 break;
             }
             // Line 8: temperature fit on the validation set.
-            temperature = self.fit_temperature(&model, &features, &dataset)?;
+            temperature =
+                self.fit_temperature_guarded(&model, &features, &dataset, run_id, &mut fault_stats);
             let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
             let ece = validation_ece(&val_logits, dataset.validation_classes(), temperature);
             // Line 9: entropy sampling over the query set.
@@ -239,16 +339,44 @@ impl SamplingFramework {
             if batch.is_empty() {
                 break;
             }
-            // Lines 10–12: pay for labels, extend L, update the model.
-            let batch_hotspots = dataset.label_batch(&batch, &mut oracle);
-            let x = features.gather_rows(dataset.labeled());
-            let report = model.train(
-                &x,
-                dataset.labeled_classes(),
-                config.update_epochs,
-                seed ^ (iteration as u64) << 8,
-            )?;
-            let train_loss = report.final_loss();
+            // Lines 10–12: pay for labels, extend L, update the model. A
+            // label that never arrives does not abort the run: the clip
+            // stays in the pool and the iteration proceeds with the partial
+            // batch.
+            let report = dataset.try_label_batch(&batch, oracle);
+            let batch_hotspots = report.hotspots;
+            let failed_labels = report.failures.len();
+            if failed_labels > 0 {
+                fault_stats.label_failures += failed_labels;
+                telemetry::warn(
+                    "core.framework",
+                    "batch labels lost; proceeding with partial batch",
+                    &[
+                        ("run_id", run_id.into()),
+                        ("iteration", (iteration as u64).into()),
+                        ("failed", (failed_labels as u64).into()),
+                        ("labeled", (report.labeled.len() as u64).into()),
+                    ],
+                );
+            }
+            let train_loss = if report.labeled.is_empty() {
+                // The whole batch failed: nothing new to fit, skip the
+                // update and carry the previous loss forward for the stats.
+                history
+                    .last()
+                    .map_or(0.0, |s: &IterationStats| s.train_loss)
+            } else {
+                let x = features.gather_rows(dataset.labeled());
+                guarded_train(
+                    &mut model,
+                    &x,
+                    dataset.labeled_classes(),
+                    config.update_epochs,
+                    seed ^ (iteration as u64) << 8,
+                    run_id,
+                    &mut fault_stats,
+                )?
+            };
             let weights = selector.last_weights();
             let stats = IterationStats {
                 iteration,
@@ -258,6 +386,7 @@ impl SamplingFramework {
                 labeled_size: dataset.labeled().len(),
                 train_loss,
                 ece,
+                failed_labels,
             };
             emit_iteration(run_id, &stats, batch.len());
             history.push(stats);
@@ -275,7 +404,8 @@ impl SamplingFramework {
         }
 
         // Final calibration and full-chip detection on the remaining pool.
-        temperature = self.fit_temperature(&model, &features, &dataset)?;
+        temperature =
+            self.fit_temperature_guarded(&model, &features, &dataset, run_id, &mut fault_stats);
         let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
         let ece_after = validation_ece(&val_logits, dataset.validation_classes(), temperature);
 
@@ -302,7 +432,7 @@ impl SamplingFramework {
         // Eq. 2 bills each false alarm as one wasted verification simulation
         // on top of the train/val labels the oracle already metered; bill
         // the counter the same way so the journal snapshot equals Litho#.
-        telemetry::counter("litho.oracle.calls").add(false_alarms as u64);
+        telemetry::counter(telemetry::names::ORACLE_CALLS).add(false_alarms as u64);
         if false_alarms > 0 {
             telemetry::debug(
                 "core.framework",
@@ -314,25 +444,45 @@ impl SamplingFramework {
             );
         }
 
-        let metrics = PshdMetrics::compute(
+        // This run's billable simulations, as metered by the oracle itself.
+        // Quorum re-labelling votes bill beyond the train/val labels; those
+        // extra simulations fold into Eq. 2 so Litho# stays honest under a
+        // fault-tolerant oracle.
+        let oracle_stats = oracle.stats().delta_since(&stats_before);
+        let extra_simulations = oracle_stats
+            .unique
+            .saturating_sub(dataset.labeled().len() + dataset.validation().len());
+        // Eq. 1 counts labelled-set hotspots against *ground truth*, not the
+        // labels the oracle reported: a simulated clip is physically revealed
+        // even when a fault corrupted the recorded label (the dataset's
+        // observed tallies could otherwise exceed the benchmark total under
+        // silent flips). Identical to the observed counts in a fault-free run.
+        let truth_hotspots = |indices: &[usize]| {
+            indices
+                .iter()
+                .filter(|&&i| bench.labels()[i] == Label::Hotspot)
+                .count()
+        };
+        let metrics = PshdMetrics::compute_with_extra(
             dataset.labeled().len(),
             dataset.validation().len(),
-            dataset.train_hotspots(),
-            dataset.validation_hotspots(),
+            truth_hotspots(dataset.labeled()),
+            truth_hotspots(dataset.validation()),
             hits,
             false_alarms,
             bench.hotspot_count(),
+            extra_simulations,
         );
         let mut sampled_indices = dataset.labeled().to_vec();
         sampled_indices.extend_from_slice(dataset.validation());
-        let oracle_stats = oracle.stats();
 
         // Consistency check: this run's counter delta should equal the
         // oracle's unique-query meter plus the billed false alarms — i.e.
         // Litho# of Eq. 2. Concurrent runs (parallel tests) share the
         // process-wide counter, so the delta may legitimately exceed the
         // expectation; falling short would be an instrumentation bug.
-        let oracle_delta = telemetry::counter("litho.oracle.calls").get() - oracle_calls_before;
+        let oracle_delta =
+            telemetry::counter(telemetry::names::ORACLE_CALLS).get() - oracle_calls_before;
         let expected_calls = (oracle_stats.unique + false_alarms) as u64;
         debug_assert!(
             oracle_delta >= expected_calls,
@@ -350,6 +500,11 @@ impl SamplingFramework {
             );
         }
 
+        fault_stats.oracle_retries = oracle_stats.retries;
+        fault_stats.oracle_giveups = oracle_stats.giveups;
+        fault_stats.quorum_votes = oracle_stats.quorum_votes;
+        let degraded = fault_stats.is_degraded();
+
         telemetry::info(
             "core.framework",
             "run complete",
@@ -361,6 +516,11 @@ impl SamplingFramework {
                 ("false_alarms", (false_alarms as u64).into()),
                 ("ece_before", ece_before.into()),
                 ("ece_after", ece_after.into()),
+                ("degraded", degraded.into()),
+                ("label_failures", (fault_stats.label_failures as u64).into()),
+                ("oracle_retries", (fault_stats.oracle_retries as u64).into()),
+                ("oracle_giveups", (fault_stats.oracle_giveups as u64).into()),
+                ("quorum_votes", (fault_stats.quorum_votes as u64).into()),
                 ("elapsed_ms", (start.elapsed().as_millis() as u64).into()),
             ],
         );
@@ -376,7 +536,37 @@ impl SamplingFramework {
             predicted_hotspots,
             oracle_stats,
             run_id,
+            fault_stats,
+            degraded,
         })
+    }
+
+    /// [`SamplingFramework::fit_temperature`] with a degradation guard: a
+    /// failed fit (e.g. a diverged model producing non-finite logits) falls
+    /// back to the identity temperature `T = 1` instead of aborting the run.
+    fn fit_temperature_guarded(
+        &self,
+        model: &HotspotModel,
+        features: &Matrix,
+        dataset: &ActiveDataset,
+        run_id: u64,
+        fault_stats: &mut RunFaultStats,
+    ) -> Temperature {
+        match self.fit_temperature(model, features, dataset) {
+            Ok(temperature) => temperature,
+            Err(error) => {
+                fault_stats.temperature_fallbacks += 1;
+                telemetry::warn(
+                    "core.framework",
+                    "temperature fit failed; falling back to T = 1",
+                    &[
+                        ("run_id", run_id.into()),
+                        ("error", error.to_string().into()),
+                    ],
+                );
+                Temperature::identity()
+            }
+        }
     }
 
     fn fit_temperature(
@@ -397,6 +587,45 @@ impl SamplingFramework {
     }
 }
 
+/// Trains with a divergence guard: when the update produces a non-finite
+/// loss, the model rolls back to its pre-update weights (the last good
+/// snapshot) and the last finite epoch loss is reported instead, so NaN
+/// never reaches the stats or the JSONL journal.
+#[allow(clippy::too_many_arguments)]
+fn guarded_train(
+    model: &mut HotspotModel,
+    x: &Matrix,
+    classes: &[usize],
+    epochs: usize,
+    shuffle_seed: u64,
+    run_id: u64,
+    fault_stats: &mut RunFaultStats,
+) -> Result<f64, ActiveError> {
+    let before = model.snapshot();
+    let report = model.train(x, classes, epochs, shuffle_seed)?;
+    let loss = report.final_loss();
+    if loss.is_finite() {
+        return Ok(loss);
+    }
+    fault_stats.nan_rollbacks += 1;
+    model.restore(&before)?;
+    telemetry::warn(
+        "core.framework",
+        "training diverged (non-finite loss); rolled back to last good weights",
+        &[
+            ("run_id", run_id.into()),
+            ("epochs", (epochs as u64).into()),
+        ],
+    );
+    Ok(report
+        .epoch_losses
+        .iter()
+        .copied()
+        .rev()
+        .find(|l| l.is_finite())
+        .unwrap_or(0.0))
+}
+
 /// Per-iteration journal event: the Algorithm 2 loop state the paper's
 /// figures are built from (temperature → Eq. 4, ω₁/ω₂ → Eq. 13).
 fn emit_iteration(run_id: u64, stats: &IterationStats, batch_size: usize) {
@@ -409,6 +638,7 @@ fn emit_iteration(run_id: u64, stats: &IterationStats, batch_size: usize) {
         ("batch_hotspots", (stats.batch_hotspots as u64).into()),
         ("labeled_size", (stats.labeled_size as u64).into()),
         ("train_loss", stats.train_loss.into()),
+        ("failed_labels", (stats.failed_labels as u64).into()),
     ];
     if let Some((w1, w2)) = stats.weights {
         fields.push(("omega1", w1.into()));
@@ -479,6 +709,71 @@ mod tests {
         );
         assert!(!outcome.history.is_empty());
         assert_eq!(outcome.selector, "entropy");
+        // A fault-free oracle leaves no degradation trace.
+        assert!(!outcome.degraded);
+        assert_eq!(outcome.fault_stats, RunFaultStats::default());
+        assert_eq!(m.extra_simulations, 0);
+    }
+
+    #[test]
+    fn faulty_run_completes_deterministically_with_exact_accounting() {
+        use hotspot_litho::{FaultRates, FaultyOracle, RetryOracle, RetryPolicy, VirtualClock};
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        let run = |seed: u64| {
+            let rates = FaultRates {
+                transient: 0.2,
+                flip: 0.02,
+                ..FaultRates::default()
+            };
+            let flaky = FaultyOracle::new(bench.oracle(), rates, 77);
+            let mut oracle =
+                RetryOracle::with_clock(flaky, RetryPolicy::default(), VirtualClock::new())
+                    .with_quorum(3);
+            framework
+                .run_with_oracle(&bench, &mut EntropySelector::new(), seed, &mut oracle)
+                .unwrap()
+        };
+        let a = run(3);
+        let b = run(3);
+        assert_eq!(a.metrics, b.metrics, "faulty runs must be bit-identical");
+        assert_eq!(a.sampled_indices, b.sampled_indices);
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert!(a.fault_stats.oracle_retries > 0, "{:?}", a.fault_stats);
+        assert!(a.fault_stats.quorum_votes > 0, "{:?}", a.fault_stats);
+        // Eq. 2 under quorum: every billable re-simulation is accounted for.
+        let m = &a.metrics;
+        assert_eq!(
+            m.litho,
+            m.train_size + m.validation_size + m.false_alarms + m.extra_simulations
+        );
+        assert_eq!(
+            a.oracle_stats.unique,
+            m.train_size + m.validation_size + m.extra_simulations
+        );
+    }
+
+    #[test]
+    fn permanent_failures_return_clips_to_the_pool_and_degrade() {
+        use hotspot_litho::{FaultRates, FaultyOracle, RetryOracle, RetryPolicy, VirtualClock};
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        let broken: Vec<usize> = (0..bench.len()).step_by(7).collect();
+        let flaky = FaultyOracle::new(bench.oracle(), FaultRates::default(), 5)
+            .with_permanent_failures(broken.iter().copied());
+        let mut oracle =
+            RetryOracle::with_clock(flaky, RetryPolicy::no_retries(), VirtualClock::new());
+        let outcome = framework
+            .run_with_oracle(&bench, &mut EntropySelector::new(), 3, &mut oracle)
+            .unwrap();
+        assert!(outcome.degraded);
+        assert!(outcome.fault_stats.label_failures > 0);
+        assert!(outcome.fault_stats.oracle_giveups > 0);
+        for i in &outcome.sampled_indices {
+            assert!(!broken.contains(i), "broken clip {i} got a label");
+        }
+        let failed: usize = outcome.history.iter().map(|s| s.failed_labels).sum();
+        assert!(failed <= outcome.fault_stats.label_failures);
     }
 
     #[test]

@@ -48,10 +48,10 @@ mod uncertainty;
 mod weighting;
 
 pub use config::{AblationConfig, SamplingConfig, WeightMode};
-pub use dataset::ActiveDataset;
+pub use dataset::{ActiveDataset, LabelBatchReport};
 pub use diversity::{diversity_matrix, diversity_scores};
 pub use error::ActiveError;
-pub use framework::{IterationStats, RunOutcome, SamplingFramework};
+pub use framework::{IterationStats, RunFaultStats, RunOutcome, SamplingFramework};
 pub use metrics::PshdMetrics;
 pub use model::HotspotModel;
 pub use selector::{

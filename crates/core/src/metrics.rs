@@ -6,9 +6,11 @@ use std::fmt;
 /// * `accuracy = (#HS_Train + #HS_Val + #Hits) / #HS_Total` — hotspots that
 ///   were either paid for during sampling or correctly predicted at
 ///   detection time, over all hotspots in the benchmark.
-/// * `litho = #Tr + #Val + #FA` — every clip that had to be lithography-
-///   simulated: the training set, the validation set, and each false alarm
-///   (which a real flow must verify).
+/// * `litho = #Tr + #Val + #FA + #Extra` — every simulation that had to be
+///   paid for: the training set, the validation set, each false alarm
+///   (which a real flow must verify), and any extra billable re-simulations
+///   (quorum re-labelling votes under a fault-tolerant oracle; zero in a
+///   fault-free run).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PshdMetrics {
     /// Detection accuracy in `[0, 1]` (Eq. 1).
@@ -29,6 +31,9 @@ pub struct PshdMetrics {
     pub train_size: usize,
     /// Validation-set size.
     pub validation_size: usize,
+    /// Extra billable re-simulations beyond the labelled sets and false
+    /// alarms (quorum votes under a fault-tolerant oracle).
+    pub extra_simulations: usize,
 }
 
 impl PshdMetrics {
@@ -48,6 +53,35 @@ impl PshdMetrics {
         false_alarms: usize,
         total_hotspots: usize,
     ) -> Self {
+        Self::compute_with_extra(
+            train_size,
+            validation_size,
+            train_hotspots,
+            validation_hotspots,
+            hits,
+            false_alarms,
+            total_hotspots,
+            0,
+        )
+    }
+
+    /// [`PshdMetrics::compute`] with `extra_simulations` additional billable
+    /// re-simulations folded into Eq. 2 (quorum re-labelling votes).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`PshdMetrics::compute`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_with_extra(
+        train_size: usize,
+        validation_size: usize,
+        train_hotspots: usize,
+        validation_hotspots: usize,
+        hits: usize,
+        false_alarms: usize,
+        total_hotspots: usize,
+        extra_simulations: usize,
+    ) -> Self {
         let found = train_hotspots + validation_hotspots + hits;
         assert!(
             found <= total_hotspots || total_hotspots == 0,
@@ -60,7 +94,7 @@ impl PshdMetrics {
         };
         PshdMetrics {
             accuracy,
-            litho: train_size + validation_size + false_alarms,
+            litho: train_size + validation_size + false_alarms + extra_simulations,
             hits,
             false_alarms,
             train_hotspots,
@@ -68,6 +102,7 @@ impl PshdMetrics {
             total_hotspots,
             train_size,
             validation_size,
+            extra_simulations,
         }
     }
 }
@@ -122,5 +157,16 @@ mod tests {
         let m = PshdMetrics::compute(10, 5, 2, 1, 2, 3, 10);
         let s = m.to_string();
         assert!(s.contains("acc") && s.contains("litho 18"));
+    }
+
+    #[test]
+    fn quorum_votes_bill_into_litho() {
+        let m = PshdMetrics::compute_with_extra(100, 50, 10, 5, 25, 7, 50, 40);
+        assert_eq!(m.litho, 197);
+        assert_eq!(m.extra_simulations, 40);
+        assert_eq!(
+            m.accuracy,
+            PshdMetrics::compute(100, 50, 10, 5, 25, 7, 50).accuracy
+        );
     }
 }

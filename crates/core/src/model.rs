@@ -1,7 +1,7 @@
 use crate::ActiveError;
 use hotspot_nn::{
-    Adam, Dense, InitRng, Matrix, Relu, Sequential, SoftmaxCrossEntropy, TrainConfig, TrainReport,
-    Trainer,
+    Adam, Dense, InitRng, Matrix, NetworkSnapshot, Relu, Sequential, SoftmaxCrossEntropy,
+    TrainConfig, TrainReport, Trainer,
 };
 
 /// The hotspot classifier: a DCT-feature MLP with a 32-dimensional
@@ -143,6 +143,25 @@ impl HotspotModel {
         Ok(report)
     }
 
+    /// Captures the current weights, for divergence rollback: a training
+    /// step that produces a non-finite loss can be undone by restoring the
+    /// last good snapshot.
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        self.net.snapshot()
+    }
+
+    /// Restores weights captured by [`HotspotModel::snapshot`]. The Adam
+    /// state is kept — after a divergence the next update re-estimates its
+    /// moments from fresh gradients anyway.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot/architecture mismatches.
+    pub fn restore(&mut self, snapshot: &NetworkSnapshot) -> Result<(), ActiveError> {
+        self.net.load_snapshot(snapshot)?;
+        Ok(())
+    }
+
     /// Raw logits and penultimate embeddings of a clip batch.
     pub fn predict(&self, x: &Matrix) -> (Matrix, Matrix) {
         self.net.infer_with_embedding(x)
@@ -247,6 +266,21 @@ mod tests {
         let (b, eb) = model.predict_pool(&x);
         assert_eq!(a, b);
         assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back_training() {
+        let (x, y) = toy_data();
+        let mut model = HotspotModel::new(3, 1, 1.0, 1e-2, 16);
+        model.train(&x, &y, 10, 0).unwrap();
+        let snap = model.snapshot();
+        let (before, _) = model.predict(&x);
+        model.train(&x, &y, 10, 1).unwrap();
+        let (after, _) = model.predict(&x);
+        assert_ne!(before, after, "training must move the weights");
+        model.restore(&snap).unwrap();
+        let (restored, _) = model.predict(&x);
+        assert_eq!(before, restored, "restore must reproduce the snapshot");
     }
 
     #[test]

@@ -1,37 +1,202 @@
 use crate::Label;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why an oracle query failed.
+///
+/// A production flow fronts a simulation job farm where queries fail
+/// transiently, exceed deadlines, or come back corrupted; the taxonomy below
+/// is what a retry policy ([`crate::RetryOracle`]) needs to decide whether a
+/// failure is worth re-attempting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OracleError {
+    /// The simulation job failed for an ephemeral reason (farm hiccup,
+    /// preempted worker). Retryable.
+    Transient {
+        /// The queried clip.
+        index: usize,
+    },
+    /// The simulation exceeded its deadline. Retryable — a later attempt may
+    /// land on a faster worker.
+    Timeout {
+        /// The queried clip.
+        index: usize,
+    },
+    /// A result arrived but failed integrity checks. Retryable — the
+    /// underlying simulation is deterministic, only the transport corrupted.
+    CorruptedLabel {
+        /// The queried clip.
+        index: usize,
+    },
+    /// The clip can never be simulated (malformed geometry, poisoned job).
+    /// Not retryable.
+    Permanent {
+        /// The queried clip.
+        index: usize,
+    },
+    /// The index does not address a clip of the population. Not retryable —
+    /// this is a caller bug, not a farm fault.
+    OutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Population size.
+        len: usize,
+    },
+}
+
+impl OracleError {
+    /// The clip index the failed query addressed.
+    pub fn index(&self) -> usize {
+        match *self {
+            OracleError::Transient { index }
+            | OracleError::Timeout { index }
+            | OracleError::CorruptedLabel { index }
+            | OracleError::Permanent { index }
+            | OracleError::OutOfRange { index, .. } => index,
+        }
+    }
+
+    /// Whether a retry can plausibly succeed ([`OracleError::Transient`],
+    /// [`OracleError::Timeout`], [`OracleError::CorruptedLabel`]).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            OracleError::Transient { .. }
+                | OracleError::Timeout { .. }
+                | OracleError::CorruptedLabel { .. }
+        )
+    }
+
+    /// Short machine-readable tag for telemetry fields.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OracleError::Transient { .. } => "transient",
+            OracleError::Timeout { .. } => "timeout",
+            OracleError::CorruptedLabel { .. } => "corrupted_label",
+            OracleError::Permanent { .. } => "permanent",
+            OracleError::OutOfRange { .. } => "out_of_range",
+        }
+    }
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Transient { index } => {
+                write!(f, "transient simulation failure on clip {index}")
+            }
+            OracleError::Timeout { index } => write!(f, "simulation timeout on clip {index}"),
+            OracleError::CorruptedLabel { index } => {
+                write!(f, "corrupted label detected for clip {index}")
+            }
+            OracleError::Permanent { index } => {
+                write!(f, "permanent simulation failure on clip {index}")
+            }
+            OracleError::OutOfRange { index, len } => {
+                write!(f, "oracle query {index} out of range ({len} clips)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
 
 /// A labelling oracle over an indexed clip population.
 ///
 /// Active-learning experiments address clips by dataset index; the oracle
-/// answers with the lithography label and meters the cost. Implementations
-/// must be *consistent*: repeated queries of one index return the same label.
+/// answers with the lithography label and meters the cost. Fault-free
+/// implementations are *consistent* (repeated queries of one index return
+/// the same label); fault-injecting wrappers such as [`crate::FaultyOracle`]
+/// deliberately break that contract, which is what the quorum mode of
+/// [`crate::RetryOracle`] defends against.
 pub trait LithoOracle {
-    /// Labels clip `index`.
+    /// Labels clip `index`, or reports why the simulation failed.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::OutOfRange`] when `index` does not address a clip;
+    /// fault-injecting or remote oracles may return any other variant.
+    fn try_query(&mut self, index: usize) -> Result<Label, OracleError>;
+
+    /// Labels clip `index` — the legacy infallible path, re-expressed in
+    /// terms of [`LithoOracle::try_query`].
     ///
     /// # Panics
     ///
-    /// Implementations may panic when `index` is out of range for the
-    /// underlying dataset.
-    fn query(&mut self, index: usize) -> Label;
+    /// Panics when `try_query` fails: out-of-range indices, or an
+    /// unrecovered fault from a fallible implementation. Fault-tolerant
+    /// callers must use `try_query` instead.
+    fn query(&mut self, index: usize) -> Label {
+        match self.try_query(index) {
+            Ok(label) => label,
+            Err(error) => panic!("{error}"),
+        }
+    }
 
-    /// Number of *distinct* clips simulated so far — the paper's litho-clip
-    /// count. Re-querying a cached clip is free, mirroring a real flow that
-    /// stores simulation results.
+    /// Re-simulates clip `index` bypassing any result cache, billing a fresh
+    /// simulation. Quorum voting uses this to obtain independent labels for
+    /// a suspect clip.
+    ///
+    /// The default forwards to [`LithoOracle::try_query`], which is correct
+    /// for cacheless implementations.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LithoOracle::try_query`].
+    fn resimulate(&mut self, index: usize) -> Result<Label, OracleError> {
+        self.try_query(index)
+    }
+
+    /// Billable simulations so far: distinct clips simulated plus
+    /// cache-bypassing re-simulations — the paper's litho-clip count.
+    /// Re-querying a cached clip is free, mirroring a real flow that stores
+    /// simulation results.
     fn unique_queries(&self) -> usize;
 
     /// Total query calls including cache hits.
     fn total_queries(&self) -> usize;
+
+    /// Snapshot of usage statistics. Wrappers that retry or vote fold their
+    /// own meters into the snapshot.
+    fn stats(&self) -> OracleStats {
+        OracleStats {
+            unique: self.unique_queries(),
+            total: self.total_queries(),
+            ..OracleStats::default()
+        }
+    }
 }
 
 /// Aggregate statistics of an oracle's usage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct OracleStats {
-    /// Distinct clips simulated (the billable litho-clip count).
+    /// Billable simulations (distinct clips plus cache-bypassing
+    /// re-simulations) — the litho-clip count of Eq. 2.
     pub unique: usize,
     /// Total queries including cache hits.
     pub total: usize,
+    /// Failed attempts absorbed by a retry wrapper.
+    pub retries: usize,
+    /// Queries abandoned after exhausting retries or hitting a permanent
+    /// fault.
+    pub giveups: usize,
+    /// Labels cast as quorum votes.
+    pub quorum_votes: usize,
+}
+
+impl OracleStats {
+    /// Per-run statistics: the component-wise difference `self - earlier`.
+    /// Saturates at zero, so a stale `earlier` snapshot cannot underflow.
+    pub fn delta_since(&self, earlier: &OracleStats) -> OracleStats {
+        OracleStats {
+            unique: self.unique.saturating_sub(earlier.unique),
+            total: self.total.saturating_sub(earlier.total),
+            retries: self.retries.saturating_sub(earlier.retries),
+            giveups: self.giveups.saturating_sub(earlier.giveups),
+            quorum_votes: self.quorum_votes.saturating_sub(earlier.quorum_votes),
+        }
+    }
 }
 
 /// A metered oracle over precomputed ground-truth labels.
@@ -54,6 +219,7 @@ pub struct CountingOracle {
     truth: Vec<Label>,
     cache: HashMap<usize, Label>,
     total: usize,
+    resimulations: usize,
 }
 
 impl CountingOracle {
@@ -63,6 +229,7 @@ impl CountingOracle {
             truth,
             cache: HashMap::new(),
             total: 0,
+            resimulations: 0,
         }
     }
 
@@ -76,18 +243,11 @@ impl CountingOracle {
         self.truth.is_empty()
     }
 
-    /// Snapshot of usage statistics.
-    pub fn stats(&self) -> OracleStats {
-        OracleStats {
-            unique: self.cache.len(),
-            total: self.total,
-        }
-    }
-
     /// Resets the meters (not the ground truth).
     pub fn reset(&mut self) {
         self.cache.clear();
         self.total = 0;
+        self.resimulations = 0;
     }
 
     /// Read-only peek at the ground truth *without* paying for a simulation.
@@ -96,17 +256,24 @@ impl CountingOracle {
     pub fn ground_truth(&self) -> &[Label] {
         &self.truth
     }
+
+    fn check_range(&self, index: usize) -> Result<(), OracleError> {
+        if index < self.truth.len() {
+            Ok(())
+        } else {
+            Err(OracleError::OutOfRange {
+                index,
+                len: self.truth.len(),
+            })
+        }
+    }
 }
 
 impl LithoOracle for CountingOracle {
-    fn query(&mut self, index: usize) -> Label {
-        assert!(
-            index < self.truth.len(),
-            "oracle query {index} out of range ({} clips)",
-            self.truth.len()
-        );
+    fn try_query(&mut self, index: usize) -> Result<Label, OracleError> {
+        self.check_range(index)?;
         self.total += 1;
-        match self.cache.entry(index) {
+        Ok(match self.cache.entry(index) {
             std::collections::hash_map::Entry::Occupied(entry) => *entry.get(),
             std::collections::hash_map::Entry::Vacant(entry) => {
                 // The process-wide counter meters billable (cache-miss)
@@ -114,7 +281,7 @@ impl LithoOracle for CountingOracle {
                 // paper's litho-clip count rather than raw call volume.
                 // It is monotonic across oracles: per-run accounting must
                 // difference it (see `SamplingFramework::run`).
-                hotspot_telemetry::counter("litho.oracle.calls").incr();
+                hotspot_telemetry::counter(hotspot_telemetry::names::ORACLE_CALLS).incr();
                 hotspot_telemetry::trace(
                     "litho.oracle",
                     "litho simulation",
@@ -122,11 +289,26 @@ impl LithoOracle for CountingOracle {
                 );
                 *entry.insert(self.truth[index])
             }
-        }
+        })
+    }
+
+    fn resimulate(&mut self, index: usize) -> Result<Label, OracleError> {
+        self.check_range(index)?;
+        self.total += 1;
+        // A cache-bypassing re-simulation is a fresh billable job even when
+        // the clip was simulated before; the result cache is left untouched.
+        self.resimulations += 1;
+        hotspot_telemetry::counter(hotspot_telemetry::names::ORACLE_CALLS).incr();
+        hotspot_telemetry::trace(
+            "litho.oracle",
+            "litho re-simulation",
+            &[("clip", hotspot_telemetry::FieldValue::U64(index as u64))],
+        );
+        Ok(self.truth[index])
     }
 
     fn unique_queries(&self) -> usize {
-        self.cache.len()
+        self.cache.len() + self.resimulations
     }
 
     fn total_queries(&self) -> usize {
@@ -167,7 +349,8 @@ mod tests {
             o.stats(),
             OracleStats {
                 unique: 2,
-                total: 3
+                total: 3,
+                ..OracleStats::default()
             }
         );
     }
@@ -176,6 +359,7 @@ mod tests {
     fn reset_clears_meters() {
         let mut o = oracle();
         o.query(1);
+        o.resimulate(1).unwrap();
         o.reset();
         assert_eq!(o.unique_queries(), 0);
         assert_eq!(o.total_queries(), 0);
@@ -187,5 +371,68 @@ mod tests {
     fn out_of_range_panics() {
         let mut o = oracle();
         let _ = o.query(99);
+    }
+
+    #[test]
+    fn try_query_reports_out_of_range() {
+        let mut o = oracle();
+        assert_eq!(
+            o.try_query(99),
+            Err(OracleError::OutOfRange { index: 99, len: 4 })
+        );
+        assert_eq!(
+            o.resimulate(99),
+            Err(OracleError::OutOfRange { index: 99, len: 4 })
+        );
+        // A rejected query bills nothing.
+        assert_eq!(o.total_queries(), 0);
+        assert_eq!(o.unique_queries(), 0);
+    }
+
+    #[test]
+    fn resimulation_bills_a_fresh_simulation() {
+        let mut o = oracle();
+        assert_eq!(o.query(0), Label::Hotspot);
+        assert_eq!(o.resimulate(0).unwrap(), Label::Hotspot);
+        assert_eq!(o.resimulate(0).unwrap(), Label::Hotspot);
+        // One cache miss + two re-simulations, all billable.
+        assert_eq!(o.unique_queries(), 3);
+        assert_eq!(o.total_queries(), 3);
+    }
+
+    #[test]
+    fn error_taxonomy_retryability() {
+        assert!(OracleError::Transient { index: 0 }.is_retryable());
+        assert!(OracleError::Timeout { index: 0 }.is_retryable());
+        assert!(OracleError::CorruptedLabel { index: 0 }.is_retryable());
+        assert!(!OracleError::Permanent { index: 0 }.is_retryable());
+        assert!(!OracleError::OutOfRange { index: 0, len: 1 }.is_retryable());
+        assert_eq!(OracleError::Timeout { index: 7 }.index(), 7);
+        assert_eq!(OracleError::Permanent { index: 7 }.kind(), "permanent");
+    }
+
+    #[test]
+    fn stats_delta_saturates() {
+        let a = OracleStats {
+            unique: 5,
+            total: 8,
+            retries: 2,
+            giveups: 1,
+            quorum_votes: 3,
+        };
+        let b = OracleStats {
+            unique: 3,
+            total: 4,
+            retries: 2,
+            giveups: 0,
+            quorum_votes: 0,
+        };
+        let d = a.delta_since(&b);
+        assert_eq!(d.unique, 2);
+        assert_eq!(d.total, 4);
+        assert_eq!(d.retries, 0);
+        assert_eq!(d.giveups, 1);
+        assert_eq!(d.quorum_votes, 3);
+        assert_eq!(b.delta_since(&a).unique, 0);
     }
 }

@@ -1,0 +1,97 @@
+//! Property tests for the retry/backoff layer: for any policy parameters
+//! and seed, backoff delays are monotone non-decreasing and capped at the
+//! configured maximum, and a query never spends more attempts than the
+//! policy allows.
+
+use hotspot_litho::{
+    CountingOracle, FaultRates, FaultyOracle, Label, LithoOracle, RetryOracle, RetryPolicy,
+    VirtualClock,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn policy(
+    max_attempts: usize,
+    base_ms: u64,
+    max_ms: u64,
+    multiplier: f64,
+    jitter: f64,
+    seed: u64,
+) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_delay_ms: base_ms,
+        max_delay_ms: max_ms,
+        multiplier,
+        jitter,
+        seed,
+    }
+}
+
+proptest! {
+    #[test]
+    fn delays_are_monotone_and_capped(
+        seed in any::<u64>(),
+        base_ms in 0u64..500,
+        extra_ms in 0u64..5_000,
+        multiplier in 1.0f64..4.0,
+        jitter in 0.0f64..2.0,
+    ) {
+        // `jitter` deliberately overshoots the valid range; the policy must
+        // clamp it to `multiplier - 1` to keep monotonicity.
+        let max_ms = base_ms + extra_ms;
+        let p = policy(16, base_ms, max_ms, multiplier, jitter, seed);
+        let cap = Duration::from_millis(max_ms);
+        let delays: Vec<Duration> = (0..16).map(|a| p.delay(a)).collect();
+        for (i, pair) in delays.windows(2).enumerate() {
+            prop_assert!(
+                pair[1] >= pair[0],
+                "delay shrank at attempt {}: {:?}",
+                i + 1,
+                delays
+            );
+        }
+        for d in &delays {
+            prop_assert!(*d <= cap, "delay {d:?} above the {cap:?} cap");
+        }
+    }
+
+    #[test]
+    fn attempt_count_never_exceeds_the_policy_bound(
+        seed in any::<u64>(),
+        max_attempts in 1usize..8,
+        transient in 0.0f64..1.0,
+        timeout_share in 0.0f64..1.0,
+    ) {
+        // Split the failure mass between transient and timeout faults.
+        let timeout = (1.0 - transient) * timeout_share * 0.5;
+        let rates = FaultRates { transient, timeout, ..FaultRates::default() };
+        let truth = CountingOracle::new(vec![Label::Hotspot; 16]);
+        let flaky = FaultyOracle::new(truth, rates, seed);
+        let mut oracle = RetryOracle::with_clock(
+            flaky,
+            policy(max_attempts, 10, 1_000, 2.0, 0.5, seed),
+            VirtualClock::new(),
+        );
+        for clip in 0..16usize {
+            let retries_before = oracle.retries();
+            let _ = oracle.try_query(clip);
+            let attempts = 1 + (oracle.retries() - retries_before);
+            prop_assert!(
+                attempts <= max_attempts,
+                "clip {clip} used {attempts} attempts under a bound of {max_attempts}"
+            );
+        }
+        // Every retry waited exactly once, on the virtual clock.
+        prop_assert_eq!(oracle.clock().sleeps().len(), oracle.retries());
+    }
+
+    #[test]
+    fn delay_is_deterministic_in_seed_and_attempt(
+        seed in any::<u64>(),
+        attempt in 0usize..32,
+    ) {
+        let p = policy(8, 25, 4_000, 2.0, 0.9, seed);
+        prop_assert_eq!(p.delay(attempt), p.delay(attempt));
+    }
+}

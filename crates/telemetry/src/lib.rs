@@ -26,6 +26,7 @@
 mod event;
 mod level;
 mod metrics;
+pub mod names;
 mod sink;
 mod span;
 

@@ -1,0 +1,25 @@
+//! Well-known metric names shared across the workspace.
+//!
+//! Counters are resolved by `&'static str` name ([`crate::counter`]); these
+//! constants keep the producers (litho oracle wrappers, framework) and the
+//! consumers (journal assertions, experiment binaries) agreeing on spelling.
+
+/// Billable lithography simulations: cache-miss oracle queries plus
+/// cache-bypassing re-simulations (quorum votes, false-alarm verification).
+/// A journal snapshot of this counter is the paper's `Litho#` (Eq. 2).
+pub const ORACLE_CALLS: &str = "litho.oracle.calls";
+
+/// Failed oracle attempts that were retried (transient/timeout/corruption
+/// faults absorbed by a retry policy). Not billable: a failed simulation
+/// job returns no label.
+pub const ORACLE_RETRIES: &str = "litho.oracle.retries";
+
+/// Queries abandoned after exhausting the retry budget or hitting a
+/// permanent fault; the framework returns such clips to the unlabeled pool.
+pub const ORACLE_GIVEUPS: &str = "litho.oracle.giveups";
+
+/// Labels cast as quorum votes when re-simulation voting is enabled.
+pub const ORACLE_QUORUM_VOTES: &str = "litho.oracle.quorum_votes";
+
+/// Faults injected by a `FaultyOracle` (tests and robustness experiments).
+pub const ORACLE_FAULTS_INJECTED: &str = "litho.oracle.faults_injected";

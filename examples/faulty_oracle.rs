@@ -1,0 +1,61 @@
+//! Fault tolerance: run the sampler against a lithography oracle whose
+//! simulation jobs fail 10% of the time, behind seeded retry/backoff.
+//!
+//! The fault schedule is deterministic in the injector's seed, the retry
+//! layer sleeps on a virtual clock (the example finishes instantly), and
+//! the run degrades gracefully instead of dying: a label that never
+//! arrives returns its clip to the unlabeled pool.
+//!
+//! ```text
+//! cargo run --release --example faulty_oracle
+//! ```
+
+use lithohd::active::{EntropySelector, SamplingConfig, SamplingFramework};
+use lithohd::layout::{BenchmarkSpec, GeneratedBenchmark};
+use lithohd::litho::{FaultRates, FaultyOracle, RetryOracle, RetryPolicy, VirtualClock};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The same small ICCAD16-2-like benchmark as the quickstart.
+    let spec = BenchmarkSpec::iccad16_2().scaled(0.25);
+    println!(
+        "generating {}: {} hotspots / {} non-hotspots…",
+        spec.name, spec.hotspots, spec.non_hotspots
+    );
+    let bench = GeneratedBenchmark::generate(&spec, 42)?;
+
+    // 2. Wrap the benchmark's metered oracle in a deterministic fault
+    //    injector (10% of simulation jobs fail transiently) and a bounded
+    //    exponential-backoff retry layer. Failed jobs bill nothing; only
+    //    delivered labels count toward Litho#.
+    let rates = FaultRates::transient_only(0.10);
+    let flaky = FaultyOracle::new(bench.oracle(), rates, 2024);
+    let mut oracle = RetryOracle::with_clock(flaky, RetryPolicy::default(), VirtualClock::new());
+
+    // 3. Run Algorithm 2 through the degradation-aware entry point.
+    let config = SamplingConfig::for_benchmark(bench.len());
+    let framework = SamplingFramework::new(config);
+    let outcome = framework.run_with_oracle(&bench, &mut EntropySelector::new(), 7, &mut oracle)?;
+
+    // 4. Report what the fault-tolerance layer absorbed.
+    let m = &outcome.metrics;
+    println!();
+    println!("detection accuracy : {:.2}%", m.accuracy * 100.0);
+    println!(
+        "litho-clips        : {} (train {} + val {} + false alarms {} + extra {})",
+        m.litho, m.train_size, m.validation_size, m.false_alarms, m.extra_simulations
+    );
+    let f = &outcome.fault_stats;
+    println!("faults injected    : {}", oracle.inner().injected().total());
+    println!(
+        "retries absorbed   : {} (backoff slept {:?} of virtual time)",
+        f.oracle_retries,
+        oracle.clock().total_slept()
+    );
+    println!("labels lost        : {}", f.label_failures);
+    println!("degraded           : {}", outcome.degraded);
+    println!(
+        "note: every billable simulation is metered — {} unique = train {} + val {} + extra {}",
+        outcome.oracle_stats.unique, m.train_size, m.validation_size, m.extra_simulations
+    );
+    Ok(())
+}

@@ -99,7 +99,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times the routine: warm-up, then [`SAMPLE_BATCHES`] timed batches.
+    /// Times the routine: warm-up, then `SAMPLE_BATCHES` timed batches.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         for _ in 0..WARMUP_ITERS {
             black_box(routine());

@@ -41,7 +41,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy producing `Vec`s of a given element strategy; build with [`vec`].
+/// Strategy producing `Vec`s of a given element strategy; build with [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
