@@ -1,0 +1,458 @@
+//! `lithohd-report` — journal analytics and the bench regression gate.
+//!
+//! Three subcommands over JSONL run journals (written with `--journal`):
+//!
+//! * `report <journal.jsonl>` — render a Markdown report: per-run headline
+//!   table, per-iteration trajectories with sparklines (temperature, ECE,
+//!   batch yield, train loss, entropy weights), fault counters, and span
+//!   latency quantiles.
+//! * `diff <a.jsonl> <b.jsonl>` — per-method, per-metric deltas between two
+//!   journals.
+//! * `gate <journal.jsonl> <baseline.json> [--tolerance-acc <pts>]
+//!   [--tolerance-litho <pct>] [--tolerance-time <factor>]` — compare the
+//!   journal against a committed `BENCH_*.json` baseline and exit nonzero
+//!   on regression (accuracy drop beyond the tolerance, Litho# growth
+//!   beyond the tolerance, or — opt-in — wall-time blowup).
+//!
+//! Exit codes: `0` success / gate passed, `1` gate regression, `2` usage or
+//! I/O error.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use hotspot_bench::journal::{
+    evaluate_gate, load_baseline, method_for_selector, percentile, GateTolerances, Journal,
+    RunRecord,
+};
+
+const USAGE: &str = "usage: lithohd-report <command>\n\
+  report <journal.jsonl>                 render a Markdown report\n\
+  diff <a.jsonl> <b.jsonl>               per-metric deltas between journals\n\
+  gate <journal.jsonl> <baseline.json>   regression gate against a baseline\n\
+       [--tolerance-acc <points>]        allowed accuracy drop (default 0.5)\n\
+       [--tolerance-litho <percent>]     allowed Litho# increase (default 0)\n\
+       [--tolerance-time <factor>]       allowed wall-time factor (off by default)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("report") => cmd_report(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("gate") => cmd_gate(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read_journal(path: &str) -> Result<Journal, String> {
+    Journal::read(path).map_err(|e| format!("cannot read journal {path}: {e}"))
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err(USAGE.to_string());
+    };
+    let journal = read_journal(path)?;
+    print!("{}", render_report(path, &journal));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let [path_a, path_b] = args else {
+        return Err(USAGE.to_string());
+    };
+    let a = read_journal(path_a)?;
+    let b = read_journal(path_b)?;
+    print!("{}", render_diff(path_a, &a, path_b, &b));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_gate(args: &[String]) -> Result<ExitCode, String> {
+    let mut positional = Vec::new();
+    let mut tolerances = GateTolerances::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--tolerance-acc" => {
+                tolerances.accuracy_points = value("--tolerance-acc")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance-acc: {e}"))?;
+            }
+            "--tolerance-litho" => {
+                tolerances.litho_percent = value("--tolerance-litho")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance-litho: {e}"))?;
+            }
+            "--tolerance-time" => {
+                tolerances.time_factor = Some(
+                    value("--tolerance-time")?
+                        .parse()
+                        .map_err(|e| format!("bad --tolerance-time: {e}"))?,
+                );
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [journal_path, baseline_path] = positional.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let journal = read_journal(journal_path)?;
+    let baseline = load_baseline(baseline_path)?;
+    let outcome = evaluate_gate(&journal, &baseline, &tolerances);
+
+    println!("# Regression gate: `{journal_path}` vs `{baseline_path}`");
+    println!();
+    println!("| method | metric | baseline | measured | bound | status |");
+    println!("|---|---|---:|---:|---:|---|");
+    for check in &outcome.checks {
+        let status = if check.ok { "ok" } else { "**REGRESSION**" };
+        println!(
+            "| {} | {} | {} | {} | {} | {status} |",
+            check.method,
+            check.metric,
+            fmt_metric(check.metric, check.baseline),
+            fmt_metric(check.metric, check.measured),
+            fmt_metric(check.metric, check.bound),
+        );
+    }
+    for error in &outcome.errors {
+        println!();
+        println!("**error:** {error}");
+    }
+    println!();
+    if outcome.passed() {
+        println!("gate: PASS");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("gate: FAIL");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Formats a gate value in the metric's natural unit.
+fn fmt_metric(metric: &str, value: f64) -> String {
+    match metric {
+        "accuracy" => format!("{:.2}%", value * 100.0),
+        "litho" => format!("{value:.1}"),
+        _ => format!("{value:.2}s"),
+    }
+}
+
+const SPARK: [char; 8] = [
+    '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}',
+];
+
+/// Renders a series as a Unicode sparkline (empty string for no data).
+fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (Some(min), Some(max)) = (
+        finite.iter().copied().reduce(f64::min),
+        finite.iter().copied().reduce(f64::max),
+    ) else {
+        return String::new();
+    };
+    let span = (max - min).max(f64::EPSILON);
+    values
+        .iter()
+        .map(|v| {
+            if !v.is_finite() {
+                return '?';
+            }
+            let level = ((v - min) / span * (SPARK.len() - 1) as f64).round() as usize;
+            SPARK[level.min(SPARK.len() - 1)]
+        })
+        .collect()
+}
+
+fn fmt_opt(value: Option<f64>, unit_scale: f64) -> String {
+    value.map_or_else(|| "-".to_string(), |v| format!("{:.3}", v * unit_scale))
+}
+
+fn render_report(path: &str, journal: &Journal) -> String {
+    let mut out = String::new();
+    let runs = journal.runs();
+    let iterations = journal.iterations();
+
+    let _ = writeln!(out, "# Run report: `{path}`");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{} records ({} skipped line{}), {} run{}, {} iteration event{}.",
+        journal.records.len(),
+        journal.skipped_lines,
+        if journal.skipped_lines == 1 { "" } else { "s" },
+        runs.len(),
+        if runs.len() == 1 { "" } else { "s" },
+        iterations.len(),
+        if iterations.len() == 1 { "" } else { "s" },
+    );
+
+    if !runs.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Runs");
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "| run | method | accuracy | litho | false alarms | ECE before → after | degraded | elapsed |"
+        );
+        let _ = writeln!(out, "|---:|---|---:|---:|---:|---|---|---:|");
+        for run in &runs {
+            let method = method_for_selector(&run.selector).unwrap_or(run.selector.as_str());
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.2}% | {} | {} | {:.4} → {:.4} | {} | {:.2}s |",
+                run.run_id,
+                method,
+                run.accuracy * 100.0,
+                run.litho,
+                run.false_alarms,
+                run.ece_before,
+                run.ece_after,
+                if run.degraded { "yes" } else { "no" },
+                run.elapsed_ms as f64 / 1000.0,
+            );
+        }
+        if let Some(faults) = render_fault_lines(&runs) {
+            let _ = writeln!(out);
+            out.push_str(&faults);
+        }
+    }
+
+    // Per-run iteration trajectories.
+    let mut by_run: BTreeMap<u64, Vec<&hotspot_bench::journal::IterationRecord>> = BTreeMap::new();
+    for iteration in &iterations {
+        by_run.entry(iteration.run_id).or_default().push(iteration);
+    }
+    for (run_id, rows) in &by_run {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Iterations (run {run_id})");
+        let _ = writeln!(out);
+        let temp: Vec<f64> = rows.iter().map(|r| r.temperature).collect();
+        let ece: Vec<f64> = rows.iter().map(|r| r.ece).collect();
+        let loss: Vec<f64> = rows.iter().map(|r| r.train_loss).collect();
+        let _ = writeln!(out, "- temperature `{}`", sparkline(&temp));
+        let _ = writeln!(out, "- ECE         `{}`", sparkline(&ece));
+        let _ = writeln!(out, "- train loss  `{}`", sparkline(&loss));
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "| iter | temperature | ECE | batch | hotspots | labeled | loss | failed | ω1 | ω2 |"
+        );
+        let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+        for row in rows {
+            let (w1, w2) = row
+                .omega
+                .map_or(("-".to_string(), "-".to_string()), |(w1, w2)| {
+                    (format!("{w1:.3}"), format!("{w2:.3}"))
+                });
+            let _ = writeln!(
+                out,
+                "| {} | {:.4} | {:.4} | {} | {} | {} | {:.4} | {} | {} | {} |",
+                row.iteration,
+                row.temperature,
+                row.ece,
+                row.batch_size,
+                row.batch_hotspots,
+                row.labeled_size,
+                row.train_loss,
+                row.failed_labels,
+                w1,
+                w2,
+            );
+        }
+    }
+
+    if let Some(snapshot) = journal.final_snapshot() {
+        if !snapshot.counters.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "## Counters");
+            let _ = writeln!(out);
+            let _ = writeln!(out, "| counter | value |");
+            let _ = writeln!(out, "|---|---:|");
+            for (name, value) in &snapshot.counters {
+                let _ = writeln!(out, "| `{name}` | {value} |");
+            }
+        }
+        if !snapshot.gauges.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "## Gauges");
+            let _ = writeln!(out);
+            let _ = writeln!(out, "| gauge | value |");
+            let _ = writeln!(out, "|---|---:|");
+            for (name, value) in &snapshot.gauges {
+                let _ = writeln!(out, "| `{name}` | {value:.4} |");
+            }
+        }
+        if !snapshot.histograms.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "## Histograms");
+            let _ = writeln!(out);
+            let _ = writeln!(out, "| histogram | count | mean | p50 | p95 | p99 | max |");
+            let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|");
+            for (name, h) in &snapshot.histograms {
+                let _ = writeln!(
+                    out,
+                    "| `{name}` | {} | {:.4} | {} | {} | {} | {} |",
+                    h.count,
+                    h.mean,
+                    fmt_opt(h.p50, 1.0),
+                    fmt_opt(h.p95, 1.0),
+                    fmt_opt(h.p99, 1.0),
+                    fmt_opt(h.max, 1.0),
+                );
+            }
+        }
+    }
+
+    let spans = journal.span_durations_us();
+    if !spans.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Span latencies (ms)");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| span | count | mean | p50 | p95 | p99 |");
+        let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
+        for (span, durations) in &spans {
+            let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+            let _ = writeln!(
+                out,
+                "| `{span}` | {} | {:.3} | {} | {} | {} |",
+                durations.len(),
+                mean / 1000.0,
+                fmt_opt(percentile(durations, 0.50), 1e-3),
+                fmt_opt(percentile(durations, 0.95), 1e-3),
+                fmt_opt(percentile(durations, 0.99), 1e-3),
+            );
+        }
+    }
+    out
+}
+
+/// Renders the fault meters of the runs that saw any fault, or `None` when
+/// every run was fault-free.
+fn render_fault_lines(runs: &[RunRecord]) -> Option<String> {
+    let mut out = String::new();
+    for run in runs {
+        if run.label_failures + run.oracle_retries + run.oracle_giveups + run.quorum_votes == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "- run {}: {} retries, {} giveups, {} label failures, {} quorum votes",
+            run.run_id,
+            run.oracle_retries,
+            run.oracle_giveups,
+            run.label_failures,
+            run.quorum_votes,
+        );
+    }
+    (!out.is_empty()).then(|| format!("Fault activity:\n\n{out}"))
+}
+
+/// Per-method mean (accuracy, litho, seconds) over a journal's runs.
+fn method_means(journal: &Journal) -> BTreeMap<String, (f64, f64, f64)> {
+    let mut sums: BTreeMap<String, (f64, f64, f64, usize)> = BTreeMap::new();
+    for run in journal.runs() {
+        let method =
+            method_for_selector(&run.selector).map_or_else(|| run.selector.clone(), str::to_string);
+        let entry = sums.entry(method).or_insert((0.0, 0.0, 0.0, 0));
+        entry.0 += run.accuracy;
+        entry.1 += run.litho as f64;
+        entry.2 += run.elapsed_ms as f64 / 1000.0;
+        entry.3 += 1;
+    }
+    sums.into_iter()
+        .map(|(method, (acc, litho, secs, n))| {
+            let n = n as f64;
+            (method, (acc / n, litho / n, secs / n))
+        })
+        .collect()
+}
+
+fn render_diff(path_a: &str, a: &Journal, path_b: &str, b: &Journal) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Journal diff: `{path_a}` vs `{path_b}`");
+    let _ = writeln!(out);
+    let means_a = method_means(a);
+    let means_b = method_means(b);
+    let methods: Vec<&String> = means_a.keys().chain(means_b.keys()).collect();
+    let mut seen = Vec::new();
+    let _ = writeln!(out, "| method | metric | a | b | delta |");
+    let _ = writeln!(out, "|---|---|---:|---:|---:|");
+    for method in methods {
+        if seen.contains(&method) {
+            continue;
+        }
+        seen.push(method);
+        match (means_a.get(method), means_b.get(method)) {
+            (Some(&(acc_a, litho_a, secs_a)), Some(&(acc_b, litho_b, secs_b))) => {
+                let _ = writeln!(
+                    out,
+                    "| {method} | accuracy | {:.2}% | {:.2}% | {:+.2}pp |",
+                    acc_a * 100.0,
+                    acc_b * 100.0,
+                    (acc_b - acc_a) * 100.0,
+                );
+                let _ = writeln!(
+                    out,
+                    "| {method} | litho | {litho_a:.1} | {litho_b:.1} | {:+.1} |",
+                    litho_b - litho_a,
+                );
+                let _ = writeln!(
+                    out,
+                    "| {method} | wall_time | {secs_a:.2}s | {secs_b:.2}s | {:+.2}s |",
+                    secs_b - secs_a,
+                );
+            }
+            (Some(_), None) => {
+                let _ = writeln!(out, "| {method} | - | present | missing | - |");
+            }
+            (None, Some(_)) => {
+                let _ = writeln!(out, "| {method} | - | missing | present | - |");
+            }
+            (None, None) => {}
+        }
+    }
+
+    // Span-latency deltas where both journals timed the same span.
+    let spans_a = a.span_durations_us();
+    let spans_b = b.span_durations_us();
+    let shared: Vec<&String> = spans_a
+        .keys()
+        .filter(|k| spans_b.contains_key(*k))
+        .collect();
+    if !shared.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Span p95 deltas (ms)");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| span | a | b | delta |");
+        let _ = writeln!(out, "|---|---:|---:|---:|");
+        for span in shared {
+            let (Some(pa), Some(pb)) = (
+                percentile(&spans_a[span], 0.95),
+                percentile(&spans_b[span], 0.95),
+            ) else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "| `{span}` | {:.3} | {:.3} | {:+.3} |",
+                pa / 1000.0,
+                pb / 1000.0,
+                (pb - pa) / 1000.0,
+            );
+        }
+    }
+    out
+}

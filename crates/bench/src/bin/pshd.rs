@@ -1,0 +1,57 @@
+//! `pshd` — seeds and refreshes the committed bench baseline.
+//!
+//! Runs the four learning-based samplers (Ours, TS, QP, Random) on the
+//! ICCAD12-style benchmark and writes `BENCH_pshd.json` — the
+//! accuracy / Litho# / wall-time trajectory `lithohd-report gate` (and the
+//! CI `gate` job) compares later runs against. Runs are seeded, so the same
+//! `--scale`/`--seed`/`--repeats` reproduce the same accuracy and Litho#
+//! (wall time varies with the machine; the gate ignores it by default).
+//!
+//! Regenerate the committed baseline with:
+//!
+//! ```text
+//! cargo run --release --bin pshd -- --scale 0.02 --seed 1 --repeats 1 --out .
+//! ```
+
+use hotspot_active::SamplingConfig;
+use hotspot_bench::{
+    generate, render_table, run_active_method_avg, write_json, ActiveMethod, ExperimentArgs,
+    MethodResult, TableRow,
+};
+use hotspot_layout::BenchmarkSpec;
+
+const METHODS: [ActiveMethod; 4] = [
+    ActiveMethod::Ours,
+    ActiveMethod::Ts,
+    ActiveMethod::Qp,
+    ActiveMethod::Random,
+];
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let spec = BenchmarkSpec::iccad12().scaled(args.scale);
+    let bench = generate(&spec, args.seed);
+    let config = SamplingConfig::for_benchmark(bench.len());
+
+    let results: Vec<MethodResult> = METHODS
+        .iter()
+        .map(|&method| run_active_method_avg(method, &bench, &config, args.seed, args.repeats))
+        .collect();
+
+    let labels: Vec<&str> = METHODS.iter().map(|m| m.label()).collect();
+    let rows = vec![TableRow {
+        label: spec.name.clone(),
+        cells: results
+            .iter()
+            .map(|r| (r.accuracy, r.litho as f64))
+            .collect(),
+        percent: true,
+    }];
+    println!(
+        "PSHD baseline (scale {}, seed {}, {} repeats)",
+        args.scale, args.seed, args.repeats
+    );
+    println!("{}", render_table(&labels, &rows));
+    write_json(&args.out, "BENCH_pshd", &results);
+    args.finish_telemetry();
+}

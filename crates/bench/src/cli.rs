@@ -1,6 +1,14 @@
-use hotspot_telemetry::{self as telemetry, ConsoleSink, EnvFilter, JsonlSink};
+use hotspot_telemetry::{self as telemetry, ConsoleSink, EnvFilter, JsonlSink, MetricsServer};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The `--metrics-addr` HTTP server for the lifetime of the binary; stashed
+/// globally because [`ExperimentArgs`] stays `Clone + PartialEq` while the
+/// server handle is neither.
+fn metrics_server() -> &'static Mutex<Option<MetricsServer>> {
+    static SERVER: OnceLock<Mutex<Option<MetricsServer>>> = OnceLock::new();
+    SERVER.get_or_init(|| Mutex::new(None))
+}
 
 /// Command-line arguments shared by every experiment binary.
 ///
@@ -10,7 +18,9 @@ use std::sync::Arc;
 /// `--out <dir>` (JSON output directory, default `target/experiments`),
 /// `--log <filter>` (console log filter overriding `LITHOHD_LOG`, e.g.
 /// `debug` or `info,gmm=trace`), `--journal <path>` (write a JSONL run
-/// journal), and `--profile` (print the span-timing tree on exit).
+/// journal), `--metrics-addr <ip:port>` (serve live Prometheus metrics over
+/// HTTP for the duration of the run), and `--profile` (print the
+/// span-timing tree on exit).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentArgs {
     /// Benchmark size factor.
@@ -25,6 +35,9 @@ pub struct ExperimentArgs {
     pub log: Option<EnvFilter>,
     /// JSONL run-journal path (`--journal`).
     pub journal: Option<PathBuf>,
+    /// Address to serve live `/metrics` on (`--metrics-addr`), e.g.
+    /// `127.0.0.1:9184`; port `0` picks a free port (logged at startup).
+    pub metrics_addr: Option<String>,
     /// Whether to print the span-timing profile on exit (`--profile`).
     pub profile: bool,
 }
@@ -38,6 +51,7 @@ impl Default for ExperimentArgs {
             out: PathBuf::from("target/experiments"),
             log: None,
             journal: None,
+            metrics_addr: None,
             profile: false,
         }
     }
@@ -56,7 +70,7 @@ impl ExperimentArgs {
                 eprintln!("{message}");
                 eprintln!(
                     "usage: <bin> [--scale <f64>] [--seed <u64>] [--repeats <usize>] [--out <dir>] \
-                     [--log <filter>] [--journal <path>] [--profile]"
+                     [--log <filter>] [--journal <path>] [--metrics-addr <ip:port>] [--profile]"
                 );
                 std::process::exit(2);
             }
@@ -105,6 +119,9 @@ impl ExperimentArgs {
                 "--journal" => {
                     out.journal = Some(PathBuf::from(value()?));
                 }
+                "--metrics-addr" => {
+                    out.metrics_addr = Some(value()?);
+                }
                 "--profile" => {
                     out.profile = true;
                 }
@@ -115,8 +132,9 @@ impl ExperimentArgs {
     }
 
     /// Registers the telemetry sinks these arguments ask for: a console
-    /// sink (filtered by `--log`, else `LITHOHD_LOG`), and a JSONL journal
-    /// when `--journal` was given.
+    /// sink (filtered by `--log`, else `LITHOHD_LOG`), a JSONL journal when
+    /// `--journal` was given, and a live `/metrics` HTTP server when
+    /// `--metrics-addr` was given.
     pub fn init_telemetry(&self) {
         let filter = self.log.clone().unwrap_or_else(EnvFilter::from_env);
         telemetry::add_sink(Arc::new(ConsoleSink::new(filter)));
@@ -129,17 +147,37 @@ impl ExperimentArgs {
                 }
             }
         }
+        if let Some(addr) = &self.metrics_addr {
+            match telemetry::serve_metrics(addr) {
+                Ok(server) => {
+                    eprintln!("serving metrics on http://{}/metrics", server.local_addr());
+                    *metrics_server().lock().expect("metrics server poisoned") = Some(server);
+                }
+                Err(e) => {
+                    eprintln!("cannot serve metrics on {addr}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
     }
 
     /// Finalises telemetry at the end of a binary: publishes the metrics
-    /// snapshot to every sink (the journal's closing record) and prints the
-    /// span-timing tree when `--profile` was given.
+    /// snapshot to every sink (the journal's closing record), prints the
+    /// span-timing tree when `--profile` was given, and shuts down the
+    /// `--metrics-addr` server.
     pub fn finish_telemetry(&self) {
         telemetry::publish_snapshot();
         if self.profile {
             eprint!("{}", telemetry::profile_report());
         }
         telemetry::flush();
+        if let Some(mut server) = metrics_server()
+            .lock()
+            .expect("metrics server poisoned")
+            .take()
+        {
+            server.shutdown();
+        }
     }
 }
 
@@ -173,6 +211,8 @@ mod tests {
             "debug",
             "--journal",
             "/tmp/run.jsonl",
+            "--metrics-addr",
+            "127.0.0.1:0",
             "--profile",
         ])
         .unwrap();
@@ -182,6 +222,7 @@ mod tests {
         assert_eq!(args.out, PathBuf::from("/tmp/x"));
         assert_eq!(args.log, Some(EnvFilter::at(Level::Debug)));
         assert_eq!(args.journal, Some(PathBuf::from("/tmp/run.jsonl")));
+        assert_eq!(args.metrics_addr, Some("127.0.0.1:0".to_string()));
         assert!(args.profile);
     }
 
@@ -200,6 +241,7 @@ mod tests {
         assert!(parse(&["--repeats", "0"]).is_err());
         assert!(parse(&["--log", "loud"]).is_err());
         assert!(parse(&["--journal"]).is_err());
+        assert!(parse(&["--metrics-addr"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
     }
 }

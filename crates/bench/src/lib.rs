@@ -10,6 +10,7 @@
 #![deny(missing_debug_implementations)]
 
 mod cli;
+pub mod journal;
 mod methods;
 mod pca;
 mod report;

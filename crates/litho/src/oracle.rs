@@ -281,13 +281,17 @@ impl LithoOracle for CountingOracle {
                 // paper's litho-clip count rather than raw call volume.
                 // It is monotonic across oracles: per-run accounting must
                 // difference it (see `SamplingFramework::run`).
+                let started = std::time::Instant::now();
                 hotspot_telemetry::counter(hotspot_telemetry::names::ORACLE_CALLS).incr();
                 hotspot_telemetry::trace(
                     "litho.oracle",
                     "litho simulation",
                     &[("clip", hotspot_telemetry::FieldValue::U64(index as u64))],
                 );
-                *entry.insert(self.truth[index])
+                let label = *entry.insert(self.truth[index]);
+                hotspot_telemetry::histogram(hotspot_telemetry::names::ORACLE_SECONDS)
+                    .record(started.elapsed().as_secs_f64());
+                label
             }
         })
     }
@@ -298,13 +302,17 @@ impl LithoOracle for CountingOracle {
         // A cache-bypassing re-simulation is a fresh billable job even when
         // the clip was simulated before; the result cache is left untouched.
         self.resimulations += 1;
+        let started = std::time::Instant::now();
         hotspot_telemetry::counter(hotspot_telemetry::names::ORACLE_CALLS).incr();
         hotspot_telemetry::trace(
             "litho.oracle",
             "litho re-simulation",
             &[("clip", hotspot_telemetry::FieldValue::U64(index as u64))],
         );
-        Ok(self.truth[index])
+        let label = self.truth[index];
+        hotspot_telemetry::histogram(hotspot_telemetry::names::ORACLE_SECONDS)
+            .record(started.elapsed().as_secs_f64());
+        Ok(label)
     }
 
     fn unique_queries(&self) -> usize {

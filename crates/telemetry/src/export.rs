@@ -1,0 +1,189 @@
+//! Prometheus text exposition of a [`MetricsSnapshot`].
+//!
+//! The mapping is mechanical so scrape configs can be written from the
+//! `names` constants alone: every dotted metric name is sanitised to the
+//! Prometheus grammar (`litho.oracle.calls` → `litho_oracle_calls`),
+//! counters export as `counter`, gauges as `gauge`, and each histogram
+//! expands into `_count` / `_sum` / `_min` / `_max` / `_mean` plus the
+//! estimated `_p50` / `_p95` / `_p99` quantile series.
+
+use std::fmt::Write as _;
+
+use crate::MetricsSnapshot;
+
+/// Sanitises a dotted metric name into the Prometheus identifier grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every other character becomes `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if matches!(out.chars().next(), None | Some('0'..='9')) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Prometheus floats: finite values print in Rust's shortest round-trip
+/// form, which the exposition grammar accepts; non-finite map to the
+/// spec's `NaN` / `+Inf` / `-Inf` spellings.
+fn prometheus_value(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value.is_infinite() {
+        if value > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+fn push_series(out: &mut String, name: &str, kind: &str, value: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (`text/plain; version=0.0.4`), ending with a trailing newline.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        push_series(
+            &mut out,
+            &prometheus_name(name),
+            "counter",
+            &value.to_string(),
+        );
+    }
+    for (name, value) in &snapshot.gauges {
+        push_series(
+            &mut out,
+            &prometheus_name(name),
+            "gauge",
+            &prometheus_value(*value),
+        );
+    }
+    for histogram in &snapshot.histograms {
+        let base = prometheus_name(&histogram.name);
+        push_series(
+            &mut out,
+            &format!("{base}_count"),
+            "counter",
+            &histogram.count.to_string(),
+        );
+        push_series(
+            &mut out,
+            &format!("{base}_sum"),
+            "gauge",
+            &prometheus_value(histogram.sum),
+        );
+        push_series(
+            &mut out,
+            &format!("{base}_mean"),
+            "gauge",
+            &prometheus_value(histogram.mean),
+        );
+        for (suffix, value) in [
+            ("min", histogram.min),
+            ("max", histogram.max),
+            ("p50", histogram.p50),
+            ("p95", histogram.p95),
+            ("p99", histogram.p99),
+        ] {
+            if let Some(v) = value {
+                push_series(
+                    &mut out,
+                    &format!("{base}_{suffix}"),
+                    "gauge",
+                    &prometheus_value(v),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistogramSummary;
+
+    #[test]
+    fn names_sanitise_to_the_prometheus_grammar() {
+        assert_eq!(prometheus_name("litho.oracle.calls"), "litho_oracle_calls");
+        assert_eq!(prometheus_name("span.nn.train-loss"), "span_nn_train_loss");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("already_fine:ok"), "already_fine:ok");
+    }
+
+    #[test]
+    fn snapshot_renders_counters_gauges_and_quantiles() {
+        let snapshot = MetricsSnapshot {
+            counters: vec![("litho.oracle.calls".to_string(), 42)],
+            gauges: vec![("calibration.temperature".to_string(), 1.25)],
+            histograms: vec![HistogramSummary {
+                name: "nn.train.loss".to_string(),
+                count: 3,
+                sum: 1.5,
+                mean: 0.5,
+                min: Some(0.25),
+                max: Some(1.0),
+                p50: Some(0.5),
+                p95: Some(0.9),
+                p99: Some(1.0),
+                buckets: vec![("2^-2".to_string(), 3)],
+            }],
+        };
+        let text = render_prometheus(&snapshot);
+        assert!(text.contains("# TYPE litho_oracle_calls counter\n"));
+        assert!(text.contains("litho_oracle_calls 42\n"));
+        assert!(text.contains("calibration_temperature 1.25\n"));
+        assert!(text.contains("nn_train_loss_count 3\n"));
+        assert!(text.contains("nn_train_loss_p99 1\n"));
+        assert!(text.contains("nn_train_loss_p95 0.9\n"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn empty_quantiles_are_omitted() {
+        let snapshot = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![HistogramSummary {
+                name: "empty".to_string(),
+                count: 0,
+                sum: 0.0,
+                mean: 0.0,
+                min: None,
+                max: None,
+                p50: None,
+                p95: None,
+                p99: None,
+                buckets: vec![],
+            }],
+        };
+        let text = render_prometheus(&snapshot);
+        assert!(text.contains("empty_count 0\n"));
+        assert!(!text.contains("empty_p99"));
+    }
+
+    #[test]
+    fn non_finite_values_use_spec_spellings() {
+        let snapshot = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![
+                ("a".to_string(), f64::NAN),
+                ("b".to_string(), f64::INFINITY),
+            ],
+            histograms: vec![],
+        };
+        let text = render_prometheus(&snapshot);
+        assert!(text.contains("a NaN\n"));
+        assert!(text.contains("b +Inf\n"));
+    }
+}

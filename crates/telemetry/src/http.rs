@@ -1,0 +1,199 @@
+//! Minimal std-only HTTP endpoint exposing the live metrics registry.
+//!
+//! [`serve_metrics`] binds a TCP listener and answers two routes from a
+//! background thread, so any bench binary or serving process can be scraped
+//! mid-run by Prometheus (or plain `curl`):
+//!
+//! - `GET /metrics` — the current [`crate::snapshot`] rendered by
+//!   [`crate::render_prometheus`] (`text/plain; version=0.0.4`);
+//! - `GET /healthz` — `ok`, for liveness probes.
+//!
+//! The returned [`MetricsServer`] is a shutdown handle: dropping it (or
+//! calling [`MetricsServer::shutdown`]) stops the accept loop and joins the
+//! thread, so tests and `--metrics-addr` binaries exit cleanly.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::export::render_prometheus;
+
+/// How long one request may take to arrive/drain before the connection is
+/// dropped; keeps a stalled scraper from wedging the single accept loop.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Handle to a running metrics endpoint (see [`serve_metrics`]).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address — useful with port `0`, where the OS picks one.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Idempotent;
+    /// also invoked on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop only re-checks the flag per connection; poke it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts the `/metrics` + `/healthz` endpoint on `addr` (e.g.
+/// `127.0.0.1:9184`, or port `0` to let the OS choose) and serves it from a
+/// background thread until the returned handle shuts down.
+///
+/// # Errors
+///
+/// Propagates the bind failure (address in use, permission denied, …).
+pub fn serve_metrics(addr: &str) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("lithohd-metrics".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => handle_connection(stream),
+                    Err(_) => continue,
+                }
+            }
+        })?;
+    crate::info(
+        "telemetry.http",
+        "serving metrics",
+        &[("addr", addr.to_string().into())],
+    );
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Reads the request head (through the blank line) and answers one request;
+/// every response closes the connection.
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => return, // timeout or reset: drop without answering
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = route(method, path);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        );
+    }
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(&crate::snapshot()),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: lithohd\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        crate::counter("http.test.counter").add(5);
+        crate::gauge("http.test.gauge").set(2.5);
+        let mut server = serve_metrics("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("http_test_counter 5"));
+        assert!(metrics.contains("http_test_gauge 2.5"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"));
+        assert!(health.ends_with("ok\n"));
+
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let server = serve_metrics("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+    }
+}

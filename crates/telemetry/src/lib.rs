@@ -24,6 +24,8 @@
 //! callers that never opt in.
 
 mod event;
+mod export;
+mod http;
 mod level;
 mod metrics;
 pub mod names;
@@ -31,6 +33,8 @@ mod sink;
 mod span;
 
 pub use event::{Event, FieldValue};
+pub use export::{prometheus_name, render_prometheus};
+pub use http::{serve_metrics, MetricsServer};
 pub use level::{EnvFilter, Level, ParseLevelError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use sink::{ConsoleSink, JsonlSink, MemorySink, Sink};
@@ -134,17 +138,17 @@ pub fn error(target: &'static str, message: &str, fields: &[(&'static str, Field
 }
 
 /// Resolves a process-wide counter by name.
-pub fn counter(name: &'static str) -> Counter {
+pub fn counter(name: &str) -> Counter {
     global().metrics.counter(name)
 }
 
 /// Resolves a process-wide gauge by name.
-pub fn gauge(name: &'static str) -> Gauge {
+pub fn gauge(name: &str) -> Gauge {
     global().metrics.gauge(name)
 }
 
 /// Resolves a process-wide histogram by name.
-pub fn histogram(name: &'static str) -> Arc<Histogram> {
+pub fn histogram(name: &str) -> Arc<Histogram> {
     global().metrics.histogram(name)
 }
 

@@ -81,6 +81,51 @@ fn bucket_label(index: usize) -> String {
     }
 }
 
+/// `[lower, upper)` value range of a bucket. The zero bucket is the
+/// degenerate `[0, 0]`, the overflow bucket is unbounded above.
+fn bucket_bounds(index: usize) -> (f64, f64) {
+    match index {
+        0 => (0.0, 0.0),
+        1 => (0.0, (-BUCKET_OFFSET as f64).exp2()),
+        i if i == BUCKET_COUNT - 1 => ((f64::from(BUCKET_OFFSET)).exp2(), f64::INFINITY),
+        i => {
+            let exp = i as i32 - 2 - BUCKET_OFFSET;
+            (f64::from(exp).exp2(), f64::from(exp + 1).exp2())
+        }
+    }
+}
+
+/// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) from fixed power-of-two bucket
+/// counts by linear interpolation inside the covering bucket, clamped into
+/// the observed `[min, max]` range. Returns `None` on an empty histogram.
+fn quantile_from_buckets(counts: &[u64], q: f64, min: f64, max: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || !q.is_finite() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = (q * total as f64).ceil().max(1.0);
+    let mut cumulative = 0.0;
+    for (index, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let next = cumulative + n as f64;
+        if next >= target {
+            let (lo, hi) = bucket_bounds(index);
+            let estimate = if hi.is_finite() {
+                lo + (hi - lo) * (target - cumulative) / n as f64
+            } else {
+                // Overflow bucket: the tracked maximum is the best bound.
+                max
+            };
+            return Some(estimate.clamp(min, max));
+        }
+        cumulative = next;
+    }
+    Some(max)
+}
+
 /// A lock-free histogram over positive reals (e.g. per-iteration train loss).
 #[derive(Debug)]
 pub struct Histogram {
@@ -132,6 +177,21 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Estimates the `q`-quantile of the recorded distribution from the
+    /// fixed power-of-two buckets (`None` when nothing was recorded). The
+    /// estimate interpolates linearly inside the covering bucket, so its
+    /// relative error is bounded by the bucket width (a factor of two).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        quantile_from_buckets(&counts, q, min, max)
+    }
+
     fn summary(&self, name: &str) -> HistogramSummary {
         let count = self.count();
         let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
@@ -142,6 +202,9 @@ impl Histogram {
             mean: if count > 0 { sum / count as f64 } else { 0.0 },
             min: (count > 0).then(|| f64::from_bits(self.min_bits.load(Ordering::Relaxed))),
             max: (count > 0).then(|| f64::from_bits(self.max_bits.load(Ordering::Relaxed))),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
             buckets: self
                 .buckets
                 .iter()
@@ -170,6 +233,12 @@ pub struct HistogramSummary {
     pub min: Option<f64>,
     /// Largest observation, when any.
     pub max: Option<f64>,
+    /// Estimated median, when any observations were recorded.
+    pub p50: Option<f64>,
+    /// Estimated 95th percentile, when any observations were recorded.
+    pub p95: Option<f64>,
+    /// Estimated 99th percentile, when any observations were recorded.
+    pub p99: Option<f64>,
     /// Non-empty buckets as (lower-bound label, count).
     pub buckets: Vec<(String, u64)>,
 }
@@ -228,6 +297,11 @@ impl MetricsSnapshot {
                     if let Some(max) = h.max {
                         entries.push(("max".to_string(), Value::F64(max)));
                     }
+                    for (key, quantile) in [("p50", h.p50), ("p95", h.p95), ("p99", h.p99)] {
+                        if let Some(v) = quantile {
+                            entries.push((key.to_string(), Value::F64(v)));
+                        }
+                    }
                     entries.push((
                         "buckets".to_string(),
                         Value::Map(
@@ -250,38 +324,41 @@ impl MetricsSnapshot {
 }
 
 /// Name-to-slot registry; one per process (held by the global telemetry).
+///
+/// Keys are owned strings so dynamically composed names (e.g. per-span
+/// duration histograms) register as easily as the `names` constants.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
-    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
-    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl MetricsRegistry {
     /// Resolves (registering on first use) a counter.
-    pub fn counter(&self, name: &'static str) -> Counter {
+    pub fn counter(&self, name: &str) -> Counter {
         let mut map = self.counters.lock().expect("counter registry poisoned");
         Counter {
-            cell: Arc::clone(map.entry(name).or_default()),
+            cell: Arc::clone(map.entry(name.to_string()).or_default()),
         }
     }
 
     /// Resolves (registering on first use) a gauge.
-    pub fn gauge(&self, name: &'static str) -> Gauge {
+    pub fn gauge(&self, name: &str) -> Gauge {
         let mut map = self.gauges.lock().expect("gauge registry poisoned");
         Gauge {
             bits: Arc::clone(
-                map.entry(name)
+                map.entry(name.to_string())
                     .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
             ),
         }
     }
 
     /// Resolves (registering on first use) a histogram.
-    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = self.histograms.lock().expect("histogram registry poisoned");
         Arc::clone(
-            map.entry(name)
+            map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
         )
     }
@@ -378,6 +455,69 @@ mod tests {
         assert_eq!(summary.max, Some(4.0));
         let total: u64 = summary.buckets.iter().map(|(_, n)| n).sum();
         assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_distribution() {
+        let registry = MetricsRegistry::default();
+        let histogram = registry.histogram("latency");
+        for v in 1..=1000 {
+            histogram.record(f64::from(v));
+        }
+        // Linear interpolation inside power-of-two buckets keeps the
+        // estimate well within one bucket width of the true quantile.
+        let p50 = histogram.quantile(0.50).unwrap();
+        let p95 = histogram.quantile(0.95).unwrap();
+        let p99 = histogram.quantile(0.99).unwrap();
+        assert!((p50 - 500.0).abs() < 60.0, "p50 estimate {p50}");
+        assert!((p95 - 950.0).abs() < 80.0, "p95 estimate {p95}");
+        assert!((p99 - 990.0).abs() < 80.0, "p99 estimate {p99}");
+        assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone");
+        assert!(p99 <= 1000.0, "estimates clamp to the observed maximum");
+        let summary = &registry.snapshot().histograms[0];
+        assert_eq!(summary.p50, Some(p50));
+        assert_eq!(summary.p99, Some(p99));
+    }
+
+    #[test]
+    fn quantiles_of_a_constant_distribution_are_exact() {
+        let registry = MetricsRegistry::default();
+        let histogram = registry.histogram("constant");
+        for _ in 0..100 {
+            histogram.record(7.0);
+        }
+        // All mass in one bucket; clamping to [min, max] pins the estimate.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(histogram.quantile(q), Some(7.0));
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_heavy_tail_reach_the_tail_bucket() {
+        let registry = MetricsRegistry::default();
+        let histogram = registry.histogram("tail");
+        for _ in 0..99 {
+            histogram.record(1.0);
+        }
+        histogram.record(1024.0);
+        let p50 = histogram.quantile(0.5).unwrap();
+        let p99 = histogram.quantile(0.99).unwrap();
+        assert!(p50 < 2.0, "median stays in the body, got {p50}");
+        assert!(
+            histogram.quantile(1.0).unwrap() >= 1024.0,
+            "max quantile reaches the outlier"
+        );
+        assert!(p99 <= 1024.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let registry = MetricsRegistry::default();
+        let histogram = registry.histogram("empty");
+        assert_eq!(histogram.quantile(0.5), None);
+        let summary = &registry.snapshot().histograms[0];
+        assert_eq!(summary.p50, None);
+        assert_eq!(summary.p99, None);
     }
 
     #[test]

@@ -23,3 +23,16 @@ pub const ORACLE_QUORUM_VOTES: &str = "litho.oracle.quorum_votes";
 
 /// Faults injected by a `FaultyOracle` (tests and robustness experiments).
 pub const ORACLE_FAULTS_INJECTED: &str = "litho.oracle.faults_injected";
+
+/// Histogram of wall-clock seconds per billable lithography simulation
+/// (cache misses and re-simulations); its p50/p95/p99 are the oracle's
+/// tail-latency series in `/metrics` and `lithohd-report`.
+pub const ORACLE_SECONDS: &str = "litho.oracle.seconds";
+
+/// Histogram name for one span's wall-clock seconds: `span.<name>.seconds`
+/// (e.g. `span.nn.train.seconds`). Every closed [`crate::span`] records
+/// into it, so `/metrics` exposes per-stage tail latencies as
+/// `span_<name>_seconds_p99` without journal post-processing.
+pub fn span_seconds(span: &str) -> String {
+    format!("span.{span}.seconds")
+}

@@ -106,6 +106,10 @@ impl JsonlSink {
         if serde_json::to_writer(&mut writer.out, &Value::Map(entries)).is_ok() {
             let _ = writer.out.write_all(b"\n");
         }
+        // Flush per record, not only on drop: a killed or scraped-mid-run
+        // process must still leave a journal readable up to its last line
+        // (at worst one truncated trailing line, which parsers skip).
+        let _ = writer.out.flush();
     }
 }
 
@@ -228,6 +232,24 @@ mod tests {
                 .as_u64(),
             Some(42)
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_flushes_after_every_record() {
+        let path = std::env::temp_dir().join(format!(
+            "lithohd-journal-flush-test-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.on_event(&sample_event());
+        // Without dropping (flushing) the sink, the record must already be
+        // on disk — a killed process leaves a readable journal.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let parsed: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed.get("type").unwrap().as_str(), Some("event"));
+        drop(sink);
         std::fs::remove_file(&path).ok();
     }
 

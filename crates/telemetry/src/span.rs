@@ -134,6 +134,12 @@ impl Drop for SpanTimer {
             path
         });
         crate::global().profile.record(&path, elapsed);
+        // Feed the per-span duration histogram so live scrapes (`/metrics`)
+        // see tail latencies without waiting for journal post-processing.
+        crate::global()
+            .metrics
+            .histogram(&crate::names::span_seconds(self.name))
+            .record(elapsed.as_secs_f64());
         let mut fields = vec![
             ("span", FieldValue::Str(path)),
             (
@@ -183,6 +189,16 @@ mod tests {
         let tree = ProfileTree::default();
         assert!(tree.is_empty());
         assert!(tree.render().contains("no spans"));
+    }
+
+    #[test]
+    fn span_drop_records_a_duration_histogram() {
+        {
+            let _span = crate::span("st_histogram");
+        }
+        let histogram = crate::histogram(&crate::names::span_seconds("st_histogram"));
+        assert!(histogram.count() >= 1);
+        assert!(histogram.quantile(0.99).is_some());
     }
 
     #[test]

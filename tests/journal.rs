@@ -4,13 +4,17 @@
 //! `litho.oracle.calls` counter must equal the reported litho-clip count
 //! (Eq. 2: unique simulations plus false-alarm verification runs).
 //!
+//! Journal lines are decoded with the shared [`hotspot_bench::journal`]
+//! parser — the same code path `lithohd-report` uses — so the test also
+//! pins the parser to the framework's journal schema.
+//!
 //! This lives in its own test binary so the process-wide metrics registry is
 //! not shared with unrelated framework runs.
 
+use hotspot_bench::journal::Journal;
 use hotspot_telemetry as telemetry;
 use lithohd::active::{EntropySelector, SamplingConfig, SamplingFramework};
 use lithohd::layout::{BenchmarkSpec, GeneratedBenchmark, Tech};
-use serde_json::Value;
 use std::sync::Arc;
 
 #[test]
@@ -44,61 +48,60 @@ fn journal_records_every_iteration_and_the_litho_count() {
     telemetry::flush();
     telemetry::clear_sinks();
 
-    let text = std::fs::read_to_string(&path).expect("journal readable");
+    let journal = Journal::read(&path).expect("journal readable");
     std::fs::remove_file(&path).ok();
 
-    let records: Vec<Value> = text
-        .lines()
-        .map(|line| serde_json::from_str(line).expect("journal line parses as JSON"))
-        .collect();
-    assert!(!records.is_empty(), "journal must not be empty");
+    assert!(!journal.records.is_empty(), "journal must not be empty");
+    assert_eq!(
+        journal.skipped_lines, 0,
+        "a cleanly closed journal has no unreadable lines"
+    );
 
     // One "iteration complete" event per history entry, tagged with this
     // run's id and carrying the paper's per-iteration quantities.
-    let iteration_events: Vec<&Value> = records
-        .iter()
-        .filter(|r| {
-            r.get("type").and_then(Value::as_str) == Some("event")
-                && r.get("message").and_then(Value::as_str) == Some("iteration complete")
-                && r.get("run_id").and_then(Value::as_u64) == Some(outcome.run_id)
-        })
+    let iterations: Vec<_> = journal
+        .iterations()
+        .into_iter()
+        .filter(|record| record.run_id == outcome.run_id)
         .collect();
     assert_eq!(
-        iteration_events.len(),
+        iterations.len(),
         outcome.history.len(),
         "one journal record per Algorithm-2 iteration"
     );
-    for (event, stat) in iteration_events.iter().zip(&outcome.history) {
-        assert_eq!(
-            event.get("iteration").and_then(Value::as_u64),
-            Some(stat.iteration as u64)
-        );
-        assert_eq!(
-            event.get("temperature").and_then(Value::as_f64),
-            Some(stat.temperature)
-        );
-        assert_eq!(
-            event.get("labeled_size").and_then(Value::as_u64),
-            Some(stat.labeled_size as u64)
-        );
+    for (record, stat) in iterations.iter().zip(&outcome.history) {
+        assert_eq!(record.iteration, stat.iteration as u64);
+        assert_eq!(record.temperature, stat.temperature);
+        assert_eq!(record.labeled_size, stat.labeled_size as u64);
     }
+
+    // The typed run record mirrors the outcome's headline metrics.
+    let run = journal
+        .runs()
+        .into_iter()
+        .find(|run| run.run_id == outcome.run_id)
+        .expect("journal has the run's completion event");
+    assert_eq!(run.accuracy, outcome.metrics.accuracy);
+    assert_eq!(run.litho, outcome.metrics.litho as u64);
 
     // The final snapshot's oracle counter equals the reported Litho#. This
     // binary runs exactly one framework run, so the process-wide counter is
     // entirely attributable to it.
-    let snapshot = records
-        .iter()
-        .rev()
-        .find(|r| r.get("type").and_then(Value::as_str) == Some("snapshot"))
+    let snapshot = journal
+        .final_snapshot()
         .expect("journal ends with a metrics snapshot");
-    let litho_calls = snapshot
-        .get("metrics")
-        .and_then(|m| m.get("counters"))
-        .and_then(|c| c.get("litho.oracle.calls"))
-        .and_then(Value::as_u64)
-        .expect("snapshot carries litho.oracle.calls");
     assert_eq!(
-        litho_calls, outcome.metrics.litho as u64,
+        snapshot.counters.get("litho.oracle.calls").copied(),
+        Some(outcome.metrics.litho as u64),
         "journal litho.oracle.calls must equal the reported litho-clip count"
     );
+
+    // The oracle's latency histogram saw every billable simulation and
+    // carries quantile estimates for the exporter.
+    let latency = snapshot
+        .histograms
+        .get("litho.oracle.seconds")
+        .expect("snapshot carries the oracle latency histogram");
+    assert!(latency.count >= outcome.oracle_stats.unique as u64);
+    assert!(latency.p99.is_some());
 }

@@ -9,14 +9,17 @@
 //! without panicking, bit-identically for a fixed seed, and lands within
 //! two accuracy points of the fault-free run at the same scale.
 //!
+//! Journal lines are decoded with the shared [`hotspot_bench::journal`]
+//! parser — the same code path `lithohd-report` uses.
+//!
 //! This lives in its own test binary so the process-wide metrics registry is
 //! not shared with unrelated framework runs.
 
+use hotspot_bench::journal::Journal;
 use hotspot_telemetry as telemetry;
 use lithohd::active::{EntropySelector, RunOutcome, SamplingConfig, SamplingFramework};
 use lithohd::layout::{BenchmarkSpec, GeneratedBenchmark, Tech};
 use lithohd::litho::{FaultRates, FaultyOracle, RetryOracle, RetryPolicy, VirtualClock};
-use serde_json::Value;
 use std::sync::Arc;
 
 fn bench_and_framework() -> (GeneratedBenchmark, SamplingFramework) {
@@ -75,7 +78,7 @@ fn faulty_run_journals_fault_meters_and_exact_billing() {
     telemetry::flush();
     telemetry::clear_sinks();
 
-    let text = std::fs::read_to_string(&path).expect("journal readable");
+    let journal = Journal::read(&path).expect("journal readable");
     std::fs::remove_file(&path).ok();
 
     // Determinism: the same seed reproduces the same degraded run.
@@ -112,52 +115,30 @@ fn faulty_run_journals_fault_meters_and_exact_billing() {
         outcome.oracle_stats.unique + outcome.metrics.false_alarms
     );
 
-    let records: Vec<Value> = text
-        .lines()
-        .map(|line| serde_json::from_str(line).expect("journal line parses as JSON"))
-        .collect();
-
     // The "run complete" event journals the fault meters and degraded flag.
-    let complete = records
-        .iter()
-        .find(|r| {
-            r.get("message").and_then(Value::as_str) == Some("run complete")
-                && r.get("run_id").and_then(Value::as_u64) == Some(outcome.run_id)
-        })
+    let run = journal
+        .runs()
+        .into_iter()
+        .find(|run| run.run_id == outcome.run_id)
         .expect("journal has the faulty run's completion event");
     assert_eq!(
-        complete.get("oracle_retries").and_then(Value::as_u64),
-        Some(outcome.fault_stats.oracle_retries as u64)
+        run.oracle_retries,
+        outcome.fault_stats.oracle_retries as u64
     );
     assert_eq!(
-        complete.get("oracle_giveups").and_then(Value::as_u64),
-        Some(outcome.fault_stats.oracle_giveups as u64)
+        run.oracle_giveups,
+        outcome.fault_stats.oracle_giveups as u64
     );
-    assert_eq!(
-        complete.get("quorum_votes").and_then(Value::as_u64),
-        Some(outcome.fault_stats.quorum_votes as u64)
-    );
-    assert_eq!(
-        complete.get("degraded").and_then(Value::as_bool),
-        Some(outcome.degraded)
-    );
+    assert_eq!(run.quorum_votes, outcome.fault_stats.quorum_votes as u64);
+    assert_eq!(run.degraded, outcome.degraded);
 
     // The snapshot's counters carry the fault-layer meters, and the billable
     // counter accounts for every run in this process exactly: each run's
     // unique simulations plus its billed false alarms.
-    let snapshot = records
-        .iter()
-        .rev()
-        .find(|r| r.get("type").and_then(Value::as_str) == Some("snapshot"))
+    let snapshot = journal
+        .final_snapshot()
         .expect("journal ends with a metrics snapshot");
-    let counter = |name: &str| {
-        snapshot
-            .get("metrics")
-            .and_then(|m| m.get("counters"))
-            .and_then(|c| c.get(name))
-            .and_then(Value::as_u64)
-            .unwrap_or(0)
-    };
+    let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
     let expected_calls: u64 = [&clean, &outcome, &again]
         .iter()
         .map(|o| (o.oracle_stats.unique + o.metrics.false_alarms) as u64)

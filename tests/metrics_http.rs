@@ -1,0 +1,102 @@
+//! Acceptance test for the live metrics exporter: while a framework run is
+//! resident in the process, a plain TCP `GET /metrics` against the real
+//! HTTP server must return valid Prometheus text exposition containing the
+//! `litho_oracle_calls` counter and at least one `_p99` quantile series,
+//! `/healthz` must answer, and shutdown must release the port.
+//!
+//! This lives in its own test binary so the process-wide metrics registry is
+//! not shared with unrelated framework runs.
+
+use hotspot_telemetry as telemetry;
+use lithohd::active::{EntropySelector, SamplingConfig, SamplingFramework};
+use lithohd::layout::{BenchmarkSpec, GeneratedBenchmark, Tech};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Issues one HTTP/1.0 request and returns the raw response text.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("metrics server accepts");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").expect("request writes");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response reads");
+    response
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text_during_a_run() {
+    let mut server = telemetry::serve_metrics("127.0.0.1:0").expect("server binds");
+    let addr = server.local_addr();
+
+    let spec = BenchmarkSpec {
+        name: "metrics-http".to_owned(),
+        tech: Tech::Euv7,
+        hotspots: 15,
+        non_hotspots: 135,
+        dup_rate: 0.2,
+        near_miss_rate: 0.3,
+    };
+    let bench = GeneratedBenchmark::generate(&spec, 7).expect("generation succeeds");
+    let mut config = SamplingConfig::for_benchmark(bench.len());
+    config.iterations = 2;
+    config.initial_epochs = 20;
+    config.update_epochs = 5;
+    let framework = SamplingFramework::new(config);
+    let outcome = framework
+        .run(&bench, &mut EntropySelector::new(), 5)
+        .expect("run succeeds");
+
+    let response = http_get(addr, "/metrics");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "Prometheus content type, got: {head}"
+    );
+
+    // The billable-simulation counter is live and already reflects the run.
+    let calls_line = body
+        .lines()
+        .find(|line| line.starts_with("litho_oracle_calls "))
+        .expect("body carries litho_oracle_calls");
+    let value: f64 = calls_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .expect("counter value parses");
+    assert!(
+        value >= outcome.metrics.litho as f64,
+        "litho_oracle_calls {value} must cover the run's Litho# {}",
+        outcome.metrics.litho
+    );
+
+    // Tail-latency series: the oracle histogram exports a p99 estimate.
+    assert!(
+        body.lines()
+            .any(|line| line.starts_with("litho_oracle_seconds_p99 ")),
+        "body must carry a _p99 series"
+    );
+    // Every sample line is `name value` with a finite-or-spelled value.
+    for line in body.lines().filter(|l| !l.starts_with('#')) {
+        let mut parts = line.split_whitespace();
+        let (name, value) = (parts.next(), parts.next());
+        assert!(name.is_some() && value.is_some(), "malformed line: {line}");
+        assert_eq!(parts.next(), None, "trailing tokens: {line}");
+    }
+
+    let health = http_get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"));
+    assert!(health.ends_with("ok\n"));
+
+    let missing = http_get(addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"));
+
+    server.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "shutdown must release the port"
+    );
+}
