@@ -1,7 +1,7 @@
 use hotspot_layout::{GeneratedBenchmark, Signature};
 use hotspot_litho::{Label, LithoOracle};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Matching mode of the pattern-matching baseline \[2\].
@@ -133,7 +133,8 @@ impl PatternMatcher {
     /// Runs the detector over a benchmark: cluster, simulate one
     /// representative per cluster, propagate its label.
     pub fn run(&self, bench: &GeneratedBenchmark) -> PatternMatchOutcome {
-        let _span = hotspot_telemetry::span("pm.run").with("method", self.name);
+        let _span = hotspot_telemetry::span(hotspot_telemetry::names::SPAN_PM_RUN)
+            .with("method", self.name);
         let mut oracle = bench.oracle();
         let signatures = bench.signatures();
         let cluster_of = self.cluster(signatures);
@@ -197,7 +198,7 @@ impl PatternMatcher {
 
 /// Clusters by exact key equality.
 fn key_cluster<I: Iterator<Item = u64>>(keys: I) -> Vec<usize> {
-    let mut ids: HashMap<u64, usize> = HashMap::new();
+    let mut ids: BTreeMap<u64, usize> = BTreeMap::new();
     let mut out = Vec::new();
     for key in keys {
         let next = ids.len();

@@ -18,7 +18,9 @@ fn metrics_server() -> &'static Mutex<Option<MetricsServer>> {
 /// `--out <dir>` (JSON output directory, default `target/experiments`),
 /// `--log <filter>` (console log filter overriding `LITHOHD_LOG`, e.g.
 /// `debug` or `info,gmm=trace`), `--journal <path>` (write a JSONL run
-/// journal), `--metrics-addr <ip:port>` (serve live Prometheus metrics over
+/// journal), `--canonical-journal` (withhold all wall-clock data from the
+/// journal so identically-seeded runs write byte-identical files),
+/// `--metrics-addr <ip:port>` (serve live Prometheus metrics over
 /// HTTP for the duration of the run), and `--profile` (print the
 /// span-timing tree on exit).
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +37,9 @@ pub struct ExperimentArgs {
     pub log: Option<EnvFilter>,
     /// JSONL run-journal path (`--journal`).
     pub journal: Option<PathBuf>,
+    /// Whether the journal withholds wall-clock data
+    /// (`--canonical-journal`) so equal seeds give byte-identical files.
+    pub canonical_journal: bool,
     /// Address to serve live `/metrics` on (`--metrics-addr`), e.g.
     /// `127.0.0.1:9184`; port `0` picks a free port (logged at startup).
     pub metrics_addr: Option<String>,
@@ -51,6 +56,7 @@ impl Default for ExperimentArgs {
             out: PathBuf::from("target/experiments"),
             log: None,
             journal: None,
+            canonical_journal: false,
             metrics_addr: None,
             profile: false,
         }
@@ -70,7 +76,8 @@ impl ExperimentArgs {
                 eprintln!("{message}");
                 eprintln!(
                     "usage: <bin> [--scale <f64>] [--seed <u64>] [--repeats <usize>] [--out <dir>] \
-                     [--log <filter>] [--journal <path>] [--metrics-addr <ip:port>] [--profile]"
+                     [--log <filter>] [--journal <path>] [--canonical-journal] \
+                     [--metrics-addr <ip:port>] [--profile]"
                 );
                 std::process::exit(2);
             }
@@ -119,6 +126,9 @@ impl ExperimentArgs {
                 "--journal" => {
                     out.journal = Some(PathBuf::from(value()?));
                 }
+                "--canonical-journal" => {
+                    out.canonical_journal = true;
+                }
                 "--metrics-addr" => {
                     out.metrics_addr = Some(value()?);
                 }
@@ -139,7 +149,12 @@ impl ExperimentArgs {
         let filter = self.log.clone().unwrap_or_else(EnvFilter::from_env);
         telemetry::add_sink(Arc::new(ConsoleSink::new(filter)));
         if let Some(path) = &self.journal {
-            match JsonlSink::create(path) {
+            let sink = if self.canonical_journal {
+                JsonlSink::create_canonical(path)
+            } else {
+                JsonlSink::create(path)
+            };
+            match sink {
                 Ok(sink) => telemetry::add_sink(Arc::new(sink)),
                 Err(e) => {
                     eprintln!("cannot open journal {}: {e}", path.display());
@@ -151,6 +166,7 @@ impl ExperimentArgs {
             match telemetry::serve_metrics(addr) {
                 Ok(server) => {
                     eprintln!("serving metrics on http://{}/metrics", server.local_addr());
+                    // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
                     *metrics_server().lock().expect("metrics server poisoned") = Some(server);
                 }
                 Err(e) => {
@@ -173,6 +189,7 @@ impl ExperimentArgs {
         telemetry::flush();
         if let Some(mut server) = metrics_server()
             .lock()
+            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
             .expect("metrics server poisoned")
             .take()
         {
@@ -211,6 +228,7 @@ mod tests {
             "debug",
             "--journal",
             "/tmp/run.jsonl",
+            "--canonical-journal",
             "--metrics-addr",
             "127.0.0.1:0",
             "--profile",
@@ -222,6 +240,7 @@ mod tests {
         assert_eq!(args.out, PathBuf::from("/tmp/x"));
         assert_eq!(args.log, Some(EnvFilter::at(Level::Debug)));
         assert_eq!(args.journal, Some(PathBuf::from("/tmp/run.jsonl")));
+        assert!(args.canonical_journal);
         assert_eq!(args.metrics_addr, Some("127.0.0.1:0".to_string()));
         assert!(args.profile);
     }

@@ -6,6 +6,7 @@
 //! runners, plain-text table rendering, JSON result output, and the Fig. 6(b)
 //! runtime model (10 s penalty per litho-clip plus measured PSHD seconds).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
@@ -43,7 +44,7 @@ pub fn evaluated_specs(scale: f64) -> Vec<BenchmarkSpec> {
 /// Generates one benchmark, reporting progress as telemetry events.
 pub fn generate(spec: &BenchmarkSpec, seed: u64) -> GeneratedBenchmark {
     use hotspot_telemetry as telemetry;
-    let _span = telemetry::span("generate");
+    let _span = telemetry::span(telemetry::names::SPAN_GENERATE);
     telemetry::info(
         "bench.generate",
         "generating benchmark",
@@ -53,6 +54,7 @@ pub fn generate(spec: &BenchmarkSpec, seed: u64) -> GeneratedBenchmark {
             ("non_hotspots", (spec.non_hotspots as u64).into()),
         ],
     );
+    // lithohd-lint: allow(determinism-clock) — generation time feeds a telemetry event only
     let start = std::time::Instant::now();
     let bench = GeneratedBenchmark::generate(spec, seed).expect("benchmark generation succeeds");
     telemetry::info(

@@ -88,6 +88,7 @@ pub fn run_active_method(
     let mut selector = method.selector();
     let outcome = framework
         .run(bench, selector.as_mut(), seed)
+        // lithohd-lint: allow(panic-safety) — documented: the harness passes validated configurations
         .expect("framework run succeeds");
     MethodResult {
         method: method.label().to_owned(),
@@ -186,6 +187,7 @@ pub fn run_active_method_faulty(
     }
     let outcome = framework
         .run_with_oracle(bench, selector.as_mut(), seed, &mut oracle)
+        // lithohd-lint: allow(panic-safety) — documented: the harness passes validated configurations
         .expect("degradation-aware framework run succeeds");
     FaultyMethodResult {
         method: method.label().to_owned(),
@@ -205,6 +207,7 @@ pub fn run_active_method_faulty(
 
 /// Runs a pattern-matching method on a benchmark.
 pub fn run_pattern_method(matcher: PatternMatcher, bench: &GeneratedBenchmark) -> MethodResult {
+    // lithohd-lint: allow(determinism-clock) — method wall time is a reported measurement, not control flow
     let start = std::time::Instant::now();
     let outcome = matcher.run(bench);
     MethodResult {

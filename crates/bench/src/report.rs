@@ -103,9 +103,12 @@ pub fn ratio_row(rows: &[TableRow]) -> (TableRow, TableRow) {
 ///
 /// Panics on I/O failure — experiment binaries want loud failures.
 pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    // lithohd-lint: allow(panic-safety) — documented: experiment binaries want loud I/O failures
     std::fs::create_dir_all(dir).expect("create experiment output directory");
     let path = dir.join(format!("{name}.json"));
+    // lithohd-lint: allow(panic-safety) — documented: experiment binaries want loud I/O failures
     let file = std::fs::File::create(&path).expect("create experiment output file");
+    // lithohd-lint: allow(panic-safety) — documented: experiment binaries want loud I/O failures
     serde_json::to_writer_pretty(file, value).expect("serialise experiment result");
     hotspot_telemetry::info(
         "bench.report",

@@ -1,0 +1,53 @@
+//! Byte-identical-journal determinism: two separate `pshd` processes with
+//! the same seed and `--canonical-journal` must produce journal files that
+//! are equal byte for byte. This is stronger than the outcome-level
+//! determinism tests — every event, field, and metric in the telemetry
+//! stream (minus wall-clock measurements, which canonical mode withholds)
+//! has to replay identically.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_pshd(out: &Path, journal: &Path) {
+    let status = Command::new(env!("CARGO_BIN_EXE_pshd"))
+        .args(["--scale", "0.005", "--seed", "7", "--repeats", "1", "--out"])
+        .arg(out)
+        .arg("--journal")
+        .arg(journal)
+        .arg("--canonical-journal")
+        .status()
+        .expect("spawn pshd");
+    assert!(status.success(), "pshd exited with {status}");
+}
+
+#[test]
+fn identically_seeded_runs_write_byte_identical_canonical_journals() {
+    let dir =
+        std::env::temp_dir().join(format!("lithohd-canonical-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let first = dir.join("run1.jsonl");
+    let second = dir.join("run2.jsonl");
+    run_pshd(&dir, &first);
+    run_pshd(&dir, &second);
+
+    let a = std::fs::read(&first).expect("read first journal");
+    let b = std::fs::read(&second).expect("read second journal");
+    assert!(!a.is_empty(), "canonical journal must not be empty");
+    assert_eq!(
+        a, b,
+        "identically-seeded canonical journals differ — a nondeterministic \
+         source (wall clock, hash order, ambient RNG) leaked into telemetry"
+    );
+
+    // Canonical mode must actually withhold wall-clock data.
+    let text = String::from_utf8(a).expect("journal is UTF-8");
+    assert!(text.lines().count() > 10, "journal suspiciously short");
+    for banned in ["elapsed_us", "elapsed_ms", "duration_us", ".seconds"] {
+        assert!(
+            !text.contains(banned),
+            "canonical journal leaked wall-clock marker {banned:?}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -113,7 +113,8 @@ impl Temperature {
             });
         }
 
-        let _fit_span = hotspot_telemetry::span("calibrate").with("rows", rows as u64);
+        let _fit_span = hotspot_telemetry::span(hotspot_telemetry::names::SPAN_CALIBRATE)
+            .with("rows", rows as u64);
         let nll_at = |ln_t: f64| nll(logits, classes, labels, ln_t.exp());
         // Golden-section search on the (unimodal in practice) NLL curve.
         let phi = (5.0f64.sqrt() - 1.0) / 2.0;
@@ -139,7 +140,7 @@ impl Temperature {
             }
         }
         let value = (0.5 * (a + b)).exp();
-        hotspot_telemetry::gauge("calibration.temperature").set(value);
+        hotspot_telemetry::gauge(hotspot_telemetry::names::CALIBRATION_TEMPERATURE).set(value);
         hotspot_telemetry::debug(
             "calibration.temperature",
             "temperature fitted (Eq. 4)",

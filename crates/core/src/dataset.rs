@@ -1,5 +1,5 @@
 use hotspot_litho::{LithoOracle, OracleError};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The outcome of a fallible labelling pass ([`ActiveDataset::try_new`],
 /// [`ActiveDataset::try_label_batch`]): which clips were labelled, how many
@@ -36,7 +36,7 @@ pub struct ActiveDataset {
     validation: Vec<usize>,
     validation_classes: Vec<usize>,
     unlabeled: Vec<usize>,
-    unlabeled_set: HashSet<usize>,
+    unlabeled_set: BTreeSet<usize>,
 }
 
 impl ActiveDataset {
@@ -55,6 +55,7 @@ impl ActiveDataset {
     ) -> Self {
         let (dataset, report) = Self::try_new(total, initial_train, validation, oracle);
         if let Some((_, error)) = report.failures.first() {
+            // lithohd-lint: allow(panic-safety) — documented panicking convenience API; fallible twin is `try_new`
             panic!("{error}");
         }
         dataset
@@ -75,7 +76,7 @@ impl ActiveDataset {
         validation: &[usize],
         oracle: &mut O,
     ) -> (Self, LabelBatchReport) {
-        let mut seen = HashSet::with_capacity(initial_train.len() + validation.len());
+        let mut seen = BTreeSet::new();
         for &i in initial_train.iter().chain(validation) {
             assert!(i < total, "split index {i} out of range ({total} clips)");
             assert!(
@@ -175,6 +176,7 @@ impl ActiveDataset {
     ) -> usize {
         let report = self.try_label_batch(batch, oracle);
         if let Some((_, error)) = report.failures.first() {
+            // lithohd-lint: allow(panic-safety) — documented panicking convenience API; fallible twin is `try_label_batch`
             panic!("{error}");
         }
         report.hotspots

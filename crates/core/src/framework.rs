@@ -171,6 +171,7 @@ impl SamplingFramework {
         seed: u64,
         oracle: &mut O,
     ) -> Result<RunOutcome, ActiveError> {
+        // lithohd-lint: allow(determinism-clock) — wall-clock run duration is reported, never branched on
         let start = Instant::now();
         let config = &self.config;
         let total = bench.len();
@@ -184,7 +185,7 @@ impl SamplingFramework {
         // The oracle-call counter is process-wide and monotonic (parallel
         // runs share it); this run's share is the delta from here.
         let oracle_calls_before = telemetry::counter(telemetry::names::ORACLE_CALLS).get();
-        let _run_span = telemetry::span("run")
+        let _run_span = telemetry::span(telemetry::names::SPAN_RUN)
             .with("run_id", run_id)
             .with("selector", selector.name());
         telemetry::info(
@@ -301,7 +302,8 @@ impl SamplingFramework {
         let mut temperature = Temperature::identity();
         let mut cold_batches = 0usize;
         for iteration in 1..=config.iterations {
-            let _iter_span = telemetry::span("iteration").with("iteration", iteration as u64);
+            let _iter_span = telemetry::span(telemetry::names::SPAN_ITERATION)
+                .with("iteration", iteration as u64);
             // Line 7: query pool = n lowest-GMM-likelihood unlabeled clips.
             let query: Vec<usize> = by_score
                 .iter()
@@ -332,7 +334,8 @@ impl SamplingFramework {
                 rng_seed: seed ^ iteration as u64,
             };
             let picked_local = {
-                let _select_span = telemetry::span("select").with("pool", query.len() as u64);
+                let _select_span =
+                    telemetry::span(telemetry::names::SPAN_SELECT).with("pool", query.len() as u64);
                 selector.select(&ctx)
             };
             let batch: Vec<usize> = picked_local.iter().map(|&i| query[i]).collect();
@@ -413,7 +416,8 @@ impl SamplingFramework {
         let (mut hits, mut false_alarms) = (0usize, 0usize);
         let mut predicted_hotspots = Vec::new();
         {
-            let _detect_span = telemetry::span("detect").with("pool", pool.len() as u64);
+            let _detect_span =
+                telemetry::span(telemetry::names::SPAN_DETECT).with("pool", pool.len() as u64);
             if !pool.is_empty() {
                 let (logits, _) = model.predict_pool(&features.gather_rows(&pool));
                 let probabilities = temperature.probabilities_batch(logits.as_slice(), 2);

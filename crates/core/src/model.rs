@@ -108,6 +108,7 @@ impl HotspotModel {
         let n = labels.len() as f32;
         let n1 = labels.iter().filter(|&&l| l == 1).count() as f32;
         let n0 = n - n1;
+        // lithohd-lint: allow(float-eq) — exact zero-norm guard; any nonzero norm must take the divide
         if n0 == 0.0 || n1 == 0.0 {
             return vec![1.0, 1.0];
         }

@@ -181,8 +181,8 @@ impl BatchSelector for RandomSelector {
 /// implementations (here and in the baselines crate) call this once per
 /// [`BatchSelector::select`] so query volume is comparable across methods.
 pub fn record_selection(name: &'static str, pool: usize, picked: usize) {
-    hotspot_telemetry::counter("selector.query.size").add(pool as u64);
-    hotspot_telemetry::counter("selector.batches").incr();
+    hotspot_telemetry::counter(hotspot_telemetry::names::SELECTOR_QUERY_SIZE).add(pool as u64);
+    hotspot_telemetry::counter(hotspot_telemetry::names::SELECTOR_BATCHES).incr();
     hotspot_telemetry::debug(
         "selector",
         "batch selected",

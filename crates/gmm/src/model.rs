@@ -103,7 +103,7 @@ impl GaussianMixture {
         let mut variances: Vec<f64> = (0..k).flat_map(|_| global_var.iter().copied()).collect();
         let mut weights = vec![1.0 / k as f64; k];
 
-        let _fit_span = hotspot_telemetry::span("gmm.fit")
+        let _fit_span = hotspot_telemetry::span(hotspot_telemetry::names::SPAN_GMM_FIT)
             .with("samples", n as u64)
             .with("components", k as u64);
         let mut resp = vec![0.0f64; n * k];
@@ -178,7 +178,7 @@ impl GaussianMixture {
             }
             previous_ll = mean_ll;
         }
-        hotspot_telemetry::counter("gmm.em.iterations").add(em_iterations);
+        hotspot_telemetry::counter(hotspot_telemetry::names::GMM_EM_ITERATIONS).add(em_iterations);
         hotspot_telemetry::debug(
             "gmm.model",
             "EM converged",

@@ -1,0 +1,192 @@
+//! Grandfathering: a committed `lint-baseline.json` records known findings
+//! so the gate only blocks *new* violations while the backlog burns down.
+//!
+//! Entries are keyed by `(rule, path, trimmed line text)` rather than line
+//! numbers, so unrelated edits that shift code up or down do not invalidate
+//! the baseline; only adding a new violating line (or copying an existing
+//! one) raises the count above the grandfathered amount.
+
+use crate::rules::Finding;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// One grandfathered finding group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Trimmed text of the violating line.
+    pub excerpt: String,
+    /// How many findings share this key.
+    pub count: usize,
+}
+
+/// The committed grandfather list.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Grandfathered finding groups, sorted by (rule, path, excerpt).
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Reasonless suppressions are never grandfathered: they are always fresh
+/// violations, whatever the baseline says.
+fn baselinable(finding: &Finding) -> bool {
+    finding.rule != "suppression-reason"
+}
+
+fn key(finding: &Finding) -> (String, String, String) {
+    (
+        finding.rule.clone(),
+        finding.path.clone(),
+        finding.excerpt.clone(),
+    )
+}
+
+impl Baseline {
+    /// Builds a baseline from the current findings.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for finding in findings.iter().filter(|f| baselinable(f)) {
+            *counts.entry(key(finding)).or_insert(0) += 1;
+        }
+        Baseline {
+            version: 1,
+            entries: counts
+                .into_iter()
+                .map(|((rule, path, excerpt), count)| BaselineEntry {
+                    rule,
+                    path,
+                    excerpt,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total grandfathered finding count.
+    pub fn total(&self) -> usize {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Splits findings into `(new, grandfathered)` against this baseline.
+    /// Within one key, the first `count` findings are grandfathered and the
+    /// rest are new.
+    pub fn partition<'a>(&self, findings: &'a [Finding]) -> (Vec<&'a Finding>, Vec<&'a Finding>) {
+        let mut budget: BTreeMap<(String, String, String), usize> = self
+            .entries
+            .iter()
+            .map(|e| ((e.rule.clone(), e.path.clone(), e.excerpt.clone()), e.count))
+            .collect();
+        let mut new = Vec::new();
+        let mut grandfathered = Vec::new();
+        for finding in findings {
+            if !baselinable(finding) {
+                new.push(finding);
+                continue;
+            }
+            match budget.get_mut(&key(finding)) {
+                Some(remaining) if *remaining > 0 => {
+                    *remaining -= 1;
+                    grandfathered.push(finding);
+                }
+                _ => new.push(finding),
+            }
+        }
+        (new, grandfathered)
+    }
+
+    /// Reads a baseline file.
+    pub fn read(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))
+    }
+
+    /// Writes the baseline as pretty JSON (stable order for clean diffs).
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn finding(rule: &str, path: &str, line: u32, excerpt: &str) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            severity: Severity::Warning,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+            suppression_reason: None,
+        }
+    }
+
+    #[test]
+    fn partition_survives_line_drift() {
+        let old = [finding("panic-safety", "src/a.rs", 10, "x.unwrap();")];
+        let baseline = Baseline::from_findings(&old);
+        // Same violation, different line number after unrelated edits.
+        let current = [finding("panic-safety", "src/a.rs", 42, "x.unwrap();")];
+        let (new, grandfathered) = baseline.partition(&current);
+        assert!(new.is_empty());
+        assert_eq!(grandfathered.len(), 1);
+    }
+
+    #[test]
+    fn extra_copies_of_a_known_violation_are_new() {
+        let old = [finding("panic-safety", "src/a.rs", 1, "x.unwrap();")];
+        let baseline = Baseline::from_findings(&old);
+        let current = [
+            finding("panic-safety", "src/a.rs", 1, "x.unwrap();"),
+            finding("panic-safety", "src/a.rs", 9, "x.unwrap();"),
+        ];
+        let (new, grandfathered) = baseline.partition(&current);
+        assert_eq!(grandfathered.len(), 1);
+        assert_eq!(new.len(), 1);
+    }
+
+    #[test]
+    fn reasonless_suppressions_are_never_grandfathered() {
+        let old = [finding("suppression-reason", "src/a.rs", 1, "")];
+        let baseline = Baseline::from_findings(&old);
+        assert_eq!(baseline.total(), 0, "must not enter the baseline");
+        let current = [finding("suppression-reason", "src/a.rs", 1, "")];
+        let (new, _) = baseline.partition(&current);
+        assert_eq!(new.len(), 1);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let baseline = Baseline::from_findings(&[
+            finding("float-eq", "src/b.rs", 2, "a == 1.0"),
+            finding("float-eq", "src/b.rs", 3, "a == 1.0"),
+            finding(
+                "hash-order",
+                "src/a.rs",
+                1,
+                "use std::collections::HashMap;",
+            ),
+        ]);
+        let dir = std::env::temp_dir().join(format!("lithohd-lint-bl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        baseline.write(&path).unwrap();
+        let back = Baseline::read(&path).unwrap();
+        assert_eq!(back, baseline);
+        assert_eq!(back.total(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

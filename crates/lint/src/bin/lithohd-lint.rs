@@ -1,0 +1,326 @@
+//! `lithohd-lint` — the workspace static-analysis gate.
+//!
+//! ```text
+//! lithohd-lint check [--baseline <file>] [--json] [--root <dir>] [paths…]
+//! lithohd-lint baseline [--output <file>] [--root <dir>]
+//! lithohd-lint explain <rule>
+//! lithohd-lint rules
+//! ```
+//!
+//! `check` scans the workspace (or the explicitly listed files, which are
+//! always scanned at library strictness — that is how the known-bad test
+//! fixtures are exercised) and exits 1 on new violations, 0 when clean
+//! against the baseline, 2 on usage or I/O errors.
+
+use hotspot_lint::baseline::Baseline;
+use hotspot_lint::rules::{self, CheckReport, Finding, NameRegistry, Severity};
+use hotspot_lint::workspace;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const REGISTRY_REL_PATH: &str = "crates/telemetry/src/names.rs";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("baseline") => run_baseline(&args[1..]),
+        Some("explain") => run_explain(&args[1..]),
+        Some("rules") => run_rules(),
+        _ => {
+            eprintln!(
+                "usage: lithohd-lint <check|baseline|explain|rules> …\n\
+                 \n\
+                 check [--baseline <file>] [--json] [--root <dir>] [paths…]\n\
+                 \x20   scan the workspace (or the given files, at library strictness)\n\
+                 \x20   and exit 1 on violations new relative to the baseline\n\
+                 baseline [--output <file>] [--root <dir>]\n\
+                 \x20   write the current findings as the grandfather list\n\
+                 explain <rule>\n\
+                 \x20   describe one rule: what it catches, why, how to fix\n\
+                 rules\n\
+                 \x20   list the rule catalog"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct CheckArgs {
+    baseline: Option<PathBuf>,
+    json: bool,
+    root: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
+    let mut parsed = CheckArgs {
+        baseline: None,
+        json: false,
+        root: None,
+        paths: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                parsed.baseline = Some(PathBuf::from(
+                    iter.next().ok_or("--baseline expects a path")?,
+                ));
+            }
+            "--json" => parsed.json = true,
+            "--root" => {
+                parsed.root = Some(PathBuf::from(iter.next().ok_or("--root expects a path")?));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
+            path => parsed.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(parsed)
+}
+
+fn resolve_root(explicit: Option<&Path>) -> Result<PathBuf, String> {
+    if let Some(root) = explicit {
+        return Ok(root.to_path_buf());
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    workspace::find_root(&cwd)
+        .ok_or_else(|| "no workspace root found (run inside the repo or pass --root)".to_string())
+}
+
+fn load_registry(root: &Path) -> Option<NameRegistry> {
+    let path = root.join(REGISTRY_REL_PATH);
+    let source = std::fs::read_to_string(path).ok()?;
+    Some(NameRegistry::parse(REGISTRY_REL_PATH, &source))
+}
+
+/// Scans either the whole workspace or the explicit paths.
+fn scan(root: &Path, explicit: &[PathBuf]) -> Result<CheckReport, String> {
+    let registry = load_registry(root);
+    if explicit.is_empty() {
+        let files = workspace::discover(root).map_err(|e| format!("discovery failed: {e}"))?;
+        rules::check_on_disk(root, &files, registry.as_ref(), false)
+    } else {
+        // Explicit paths are scanned at library strictness, and without the
+        // registry's cross-file bookkeeping (a lone fixture file would
+        // otherwise report every registered name as unused).
+        rules::check_on_disk(root, explicit, None, true)
+    }
+    .map_err(|e| format!("scan failed: {e}"))
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let parsed = match parse_check_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("lithohd-lint check: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match resolve_root(parsed.root.as_deref()) {
+        Ok(root) => root,
+        Err(message) => {
+            eprintln!("lithohd-lint check: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match scan(&root, &parsed.paths) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("lithohd-lint check: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match &parsed.baseline {
+        Some(path) => match Baseline::read(&root.join(path)) {
+            Ok(baseline) => Some(baseline),
+            Err(e) => {
+                eprintln!("lithohd-lint check: cannot read baseline: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let empty = Baseline::default();
+    let (new, grandfathered) = baseline
+        .as_ref()
+        .unwrap_or(&empty)
+        .partition(&report.findings);
+
+    if parsed.json {
+        print_json(&report, &new, &grandfathered);
+    } else {
+        print_human(&report, &new, &grandfathered, baseline.is_some());
+    }
+    if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn print_human(
+    report: &CheckReport,
+    new: &[&Finding],
+    grandfathered: &[&Finding],
+    had_baseline: bool,
+) {
+    for finding in new {
+        println!(
+            "{}:{}: [{}] {}: {}",
+            finding.path,
+            finding.line,
+            finding.severity.label(),
+            finding.rule,
+            finding.message
+        );
+        if !finding.excerpt.is_empty() {
+            println!("    {}", finding.excerpt);
+        }
+    }
+    let errors = new.iter().filter(|f| f.severity == Severity::Error).count();
+    println!(
+        "lithohd-lint: {} file(s) scanned, {} new violation(s) ({} error(s), {} warning(s)), \
+         {} grandfathered, {} suppressed",
+        report.files_scanned,
+        new.len(),
+        errors,
+        new.len() - errors,
+        grandfathered.len(),
+        report.suppressed.len(),
+    );
+    if !report.suppressed.is_empty() {
+        println!("suppressions in effect:");
+        for finding in &report.suppressed {
+            println!(
+                "    {}:{}: {} — {}",
+                finding.path,
+                finding.line,
+                finding.rule,
+                finding.suppression_reason.as_deref().unwrap_or("")
+            );
+        }
+    }
+    if had_baseline && new.is_empty() {
+        println!("clean against the baseline");
+    }
+}
+
+/// The machine-readable `--json` report shape.
+#[derive(serde::Serialize)]
+struct JsonReport {
+    files_scanned: usize,
+    new_violations: Vec<Finding>,
+    grandfathered: Vec<Finding>,
+    suppressed: Vec<Finding>,
+}
+
+fn print_json(report: &CheckReport, new: &[&Finding], grandfathered: &[&Finding]) {
+    let body = JsonReport {
+        files_scanned: report.files_scanned,
+        new_violations: new.iter().map(|f| (*f).clone()).collect(),
+        grandfathered: grandfathered.iter().map(|f| (*f).clone()).collect(),
+        suppressed: report.suppressed.clone(),
+    };
+    match serde_json::to_string_pretty(&body) {
+        Ok(text) => println!("{text}"),
+        Err(e) => eprintln!("lithohd-lint check: cannot serialize report: {e}"),
+    }
+}
+
+fn run_baseline(args: &[String]) -> ExitCode {
+    let mut output = PathBuf::from("lint-baseline.json");
+    let mut root_arg: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--output" => match iter.next() {
+                Some(path) => output = PathBuf::from(path),
+                None => {
+                    eprintln!("lithohd-lint baseline: --output expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match iter.next() {
+                Some(path) => root_arg = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("lithohd-lint baseline: --root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("lithohd-lint baseline: unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match resolve_root(root_arg.as_deref()) {
+        Ok(root) => root,
+        Err(message) => {
+            eprintln!("lithohd-lint baseline: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match scan(&root, &[]) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("lithohd-lint baseline: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = Baseline::from_findings(&report.findings);
+    let path = root.join(&output);
+    if let Err(e) = baseline.write(&path) {
+        eprintln!(
+            "lithohd-lint baseline: cannot write {}: {e}",
+            path.display()
+        );
+        return ExitCode::from(2);
+    }
+    println!(
+        "lithohd-lint: wrote {} ({} grandfathered finding(s) across {} key(s))",
+        path.display(),
+        baseline.total(),
+        baseline.entries.len(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_explain(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("usage: lithohd-lint explain <rule>");
+        return ExitCode::from(2);
+    };
+    match rules::rule_info(name) {
+        Some(rule) => {
+            println!("{} [{}]", rule.name, rule.severity.label());
+            println!("{}", rule.summary);
+            println!();
+            println!("{}", rule.explain);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "unknown rule `{name}`; known rules: {}",
+                rules::RULES
+                    .iter()
+                    .map(|r| r.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_rules() -> ExitCode {
+    for rule in rules::RULES {
+        println!(
+            "{:<24} [{:<7}] {}",
+            rule.name,
+            rule.severity.label(),
+            rule.summary
+        );
+    }
+    ExitCode::SUCCESS
+}

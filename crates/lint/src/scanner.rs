@@ -1,0 +1,485 @@
+//! A lossless Rust token scanner.
+//!
+//! The scanner splits a source file into contiguous byte ranges whose
+//! concatenation reproduces the input exactly. It understands the lexical
+//! shapes that matter for reliable pattern matching — line comments, nested
+//! block comments, string/char/byte/raw-string literals, raw identifiers,
+//! lifetimes, numbers — so rules never fire on text inside a comment or a
+//! string. It is *not* a parser: it has no grammar, only lexemes.
+//!
+//! Unterminated literals and comments are tolerated (the token runs to end
+//! of input); the scanner never panics on arbitrary bytes, a property pinned
+//! by a proptest in `tests/scanner_props.rs`.
+
+/// Lexical class of one [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` to end of line (the newline is not included).
+    LineComment,
+    /// `/* … */`, nesting-aware; unterminated comments run to end of input.
+    BlockComment,
+    /// `"…"`, `b"…"`, or `c"…"` with escapes.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` with any number of hashes.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'label` / `'lifetime` (a quote not closing as a char literal).
+    Lifetime,
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// Numeric literal, including `0xff`, `1_000`, `2.5`, `1.5e3`, `3f64`.
+    Number,
+    /// Any single remaining character (operators, brackets, `#`, …).
+    Punct,
+}
+
+/// One lexeme: a kind plus the byte range it covers in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+
+    /// Whether the token is comment or whitespace (no lexical significance).
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+struct Cursor<'a> {
+    source: &'a str,
+    /// Byte offset of the next unread character.
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(source: &'a str) -> Self {
+        Cursor {
+            source,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.source[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, nth: usize) -> Option<char> {
+        self.source[self.pos..].chars().nth(nth)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while matches!(self.peek(), Some(c) if pred(c)) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || !c.is_ascii()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || !c.is_ascii()
+}
+
+/// Scans `source` into a lossless token stream: the concatenation of all
+/// token texts equals the input byte-for-byte.
+pub fn scan(source: &str) -> Vec<Token> {
+    let mut cursor = Cursor::new(source);
+    let mut tokens = Vec::new();
+    while let Some(first) = cursor.peek() {
+        let start = cursor.pos;
+        let line = cursor.line;
+        let kind = scan_one(&mut cursor, first);
+        debug_assert!(cursor.pos > start, "scanner must always make progress");
+        tokens.push(Token {
+            kind,
+            start,
+            end: cursor.pos,
+            line,
+        });
+    }
+    tokens
+}
+
+fn scan_one(cursor: &mut Cursor<'_>, first: char) -> TokenKind {
+    match first {
+        c if c.is_whitespace() => {
+            cursor.eat_while(char::is_whitespace);
+            TokenKind::Whitespace
+        }
+        '/' => match cursor.peek_at(1) {
+            Some('/') => {
+                cursor.eat_while(|c| c != '\n');
+                TokenKind::LineComment
+            }
+            Some('*') => {
+                cursor.bump();
+                cursor.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cursor.peek(), cursor.peek_at(1)) {
+                        (Some('/'), Some('*')) => {
+                            cursor.bump();
+                            cursor.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            cursor.bump();
+                            cursor.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cursor.bump();
+                        }
+                        (None, _) => break, // unterminated: run to EOF
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            _ => {
+                cursor.bump();
+                TokenKind::Punct
+            }
+        },
+        '"' => scan_string(cursor),
+        '\'' => scan_quote(cursor),
+        // Possible literal prefixes: r"", r#""#, b"", b'', br"", rb is not
+        // a thing, c"" (C strings). A prefix not followed by its quote is an
+        // ordinary identifier.
+        'r' | 'b' | 'c' => scan_prefixed(cursor, first),
+        c if is_ident_start(c) => {
+            cursor.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        c if c.is_ascii_digit() => scan_number(cursor),
+        _ => {
+            cursor.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// A `"…"` body after any prefix: escapes skip the next character.
+fn scan_string(cursor: &mut Cursor<'_>) -> TokenKind {
+    cursor.bump(); // opening quote
+    loop {
+        match cursor.bump() {
+            Some('\\') => {
+                cursor.bump();
+            }
+            Some('"') | None => break,
+            Some(_) => {}
+        }
+    }
+    TokenKind::Str
+}
+
+/// A quote that is either a char literal or a lifetime/label.
+fn scan_quote(cursor: &mut Cursor<'_>) -> TokenKind {
+    cursor.bump(); // the quote
+    match cursor.peek() {
+        // `'\n'`, `'\''`, `'\u{1F600}'`: escape means char literal.
+        Some('\\') => {
+            cursor.bump();
+            cursor.bump(); // the escaped character
+                           // Multi-character escapes (`\u{…}`, `\x41`) run to the quote.
+            cursor.eat_while(|c| c != '\'' && c != '\n');
+            cursor.bump(); // closing quote (or newline on malformed input)
+            TokenKind::Char
+        }
+        // `'a'`: one character then a closing quote.
+        Some(c) if cursor.peek_at(1) == Some('\'') && c != '\'' => {
+            cursor.bump();
+            cursor.bump();
+            TokenKind::Char
+        }
+        // `''` is malformed; treat the pair as an empty char literal.
+        Some('\'') => {
+            cursor.bump();
+            TokenKind::Char
+        }
+        // `'label`, `'static`.
+        Some(c) if is_ident_start(c) => {
+            cursor.eat_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        _ => TokenKind::Lifetime,
+    }
+}
+
+/// `r`/`b`/`c` that may prefix a literal, else an identifier.
+fn scan_prefixed(cursor: &mut Cursor<'_>, first: char) -> TokenKind {
+    // Count what follows the prefix without consuming.
+    let rest: Vec<char> = {
+        let mut it = cursor.source[cursor.pos..].chars();
+        it.next(); // the prefix char itself
+        it.take(2).collect()
+    };
+    match (first, rest.first().copied()) {
+        // b'x' byte char.
+        ('b', Some('\'')) => {
+            cursor.bump(); // b
+            scan_quote(cursor)
+        }
+        // b"…" / c"…" byte and C strings.
+        ('b', Some('"')) | ('c', Some('"')) => {
+            cursor.bump();
+            scan_string(cursor)
+        }
+        // r"…" / r#…, br"…" / br#….
+        ('r', Some('"')) | ('r', Some('#')) => scan_raw(cursor, 1),
+        ('b', Some('r')) if matches!(rest.get(1), Some('"') | Some('#')) => scan_raw(cursor, 2),
+        _ => {
+            cursor.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+    }
+}
+
+/// Raw string after `prefix_len` prefix characters (`r` or `br`): counts the
+/// opening hashes, then runs to a quote followed by that many hashes. A raw
+/// *identifier* (`r#type`) has exactly one hash followed by an ident start,
+/// not a quote, and is classified [`TokenKind::Ident`].
+fn scan_raw(cursor: &mut Cursor<'_>, prefix_len: usize) -> TokenKind {
+    for _ in 0..prefix_len {
+        cursor.bump();
+    }
+    let mut hashes = 0usize;
+    while cursor.peek() == Some('#') {
+        cursor.bump();
+        hashes += 1;
+    }
+    if cursor.peek() != Some('"') {
+        // `r#type` raw identifier (or stray `r#`): lex as an identifier.
+        cursor.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+    cursor.bump(); // opening quote
+    'body: loop {
+        match cursor.bump() {
+            None => break 'body, // unterminated: run to EOF
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if cursor.peek() == Some('#') {
+                        cursor.bump();
+                        seen += 1;
+                    } else {
+                        continue 'body; // not the closer; keep scanning
+                    }
+                }
+                break 'body;
+            }
+            Some(_) => {}
+        }
+    }
+    TokenKind::RawStr
+}
+
+/// A numeric literal. Handles `0x…`, `1_000u64`, `2.5`, `1.5e-3f32`. The
+/// trailing-dot method call (`1.max(2)`) and range (`0..n`) forms keep the
+/// dot out of the number.
+fn scan_number(cursor: &mut Cursor<'_>) -> TokenKind {
+    cursor.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    // Fractional part only when the dot is followed by a digit (so `1..2`
+    // and `1.max(2)` stay three tokens).
+    if cursor.peek() == Some('.') && matches!(cursor.peek_at(1), Some(c) if c.is_ascii_digit()) {
+        cursor.bump();
+        cursor.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        // Signed exponent: `1.5e-3` (an unsigned exponent was already
+        // consumed by the alphanumeric run above, leaving us on the sign).
+        if matches!(cursor.peek(), Some('+') | Some('-'))
+            && preceding_is_exponent(cursor)
+            && matches!(cursor.peek_at(1), Some(c) if c.is_ascii_digit())
+        {
+            cursor.bump();
+            cursor.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        }
+    }
+    TokenKind::Number
+}
+
+/// Whether the character just consumed was an exponent marker (`e`/`E`).
+fn preceding_is_exponent(cursor: &Cursor<'_>) -> bool {
+    cursor.source[..cursor.pos]
+        .chars()
+        .next_back()
+        .is_some_and(|c| c == 'e' || c == 'E')
+}
+
+/// Whether a [`TokenKind::Number`] token's text reads as a float literal
+/// (contains a fractional dot or an explicit `f32`/`f64` suffix).
+pub fn number_is_float(text: &str) -> bool {
+    text.contains('.') || text.ends_with("f32") || text.ends_with("f64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, &str)> {
+        scan(source)
+            .into_iter()
+            .map(|t| (t.kind, t.text(source)))
+            .collect()
+    }
+
+    fn round_trips(source: &str) {
+        let joined: String = scan(source).iter().map(|t| t.text(source)).collect();
+        assert_eq!(joined, source);
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("let x = a.unwrap();");
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap")));
+        assert!(toks.contains(&(TokenKind::Punct, ";")));
+        round_trips("let x = a.unwrap();");
+    }
+
+    #[test]
+    fn line_comment_hides_contents() {
+        let src = "// thread_rng() \"quoted\" here\nlet x = 1;";
+        let toks = kinds(src);
+        assert_eq!(
+            toks[0],
+            (TokenKind::LineComment, "// thread_rng() \"quoted\" here")
+        );
+        assert!(!toks[1..]
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "thread_rng"));
+        round_trips(src);
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let src = "/* outer /* inner unwrap() */ still comment */ x";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.ends_with("still comment */"));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "x"));
+        round_trips(src);
+    }
+
+    #[test]
+    fn strings_hide_contents_and_escapes() {
+        let src = r#"let s = "call unwrap() \" and panic!";"#;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+        round_trips(src);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"thread_rng() "inner" unwrap()"#;"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("thread_rng")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "thread_rng"));
+        round_trips(src);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type")));
+        round_trips("let r#type = 1;");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokenKind::Char, "'x'")));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'")));
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let toks = kinds("let a = 1.5e-3; let b = 0xff; let c = 1..10; let d = 2f64;");
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3")));
+        assert!(toks.contains(&(TokenKind::Number, "0xff")));
+        assert!(toks.contains(&(TokenKind::Number, "1")));
+        assert!(toks.contains(&(TokenKind::Number, "10")));
+        assert!(toks.contains(&(TokenKind::Number, "2f64")));
+        assert!(number_is_float("1.5e-3"));
+        assert!(number_is_float("2f64"));
+        assert!(!number_is_float("0xff"));
+        round_trips("let a = 1.5e-3; let b = 0xff; let c = 1..10;");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"bytes unwrap()\"; let b = b'x'; let c = br#\"raw unwrap()\"#;";
+        let toks = kinds(src);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+        assert!(toks.contains(&(TokenKind::Char, "b'x'")));
+        round_trips(src);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b\"", "r#"] {
+            round_trips(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\nc";
+        let toks: Vec<Token> = scan(src).into_iter().filter(|t| !t.is_trivia()).collect();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn multibyte_characters_keep_boundaries() {
+        let src = "let café = \"héllo\"; // commenté\n'é'";
+        round_trips(src);
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Ident, "café")));
+        assert!(toks.contains(&(TokenKind::Char, "'é'")));
+    }
+}

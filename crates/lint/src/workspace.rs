@@ -1,0 +1,87 @@
+//! Workspace file discovery: which `.rs` files the default `check` scans.
+//!
+//! Scanned roots are `crates/`, `src/`, `tests/`, and `examples/` under the
+//! workspace root. `vendor/` is excluded by design — those crates are
+//! in-repo stand-ins for external dependencies and keep upstream API shapes
+//! (including panicking ones); `target/` is build output; directories named
+//! `fixtures` hold deliberately-bad inputs for the linter's own tests and
+//! are only scanned when passed explicitly.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git", ".github"];
+
+/// Roots (relative to the workspace root) that `check` walks by default.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Locates the workspace root: the nearest ancestor of `start` containing a
+/// `Cargo.toml` with a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(current) = dir {
+        let manifest = current.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(current.to_path_buf());
+            }
+        }
+        dir = current.parent();
+    }
+    None
+}
+
+/// All `.rs` files the default check scans, sorted for deterministic output.
+pub fn discover(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_this_workspace_and_skips_vendor_and_fixtures() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let files = discover(&root).expect("discovery succeeds");
+        assert!(!files.is_empty());
+        let as_strings: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(as_strings.iter().any(|p| p.ends_with("src/scanner.rs")));
+        assert!(!as_strings.iter().any(|p| p.contains("/vendor/")));
+        assert!(!as_strings.iter().any(|p| p.contains("/target/")));
+        assert!(!as_strings.iter().any(|p| p.contains("/fixtures/")));
+        // Sorted, so output ordering never depends on readdir order.
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end tests of the `lithohd-lint` binary: the known-bad fixture
+//! must fail loudly (exit 1, expected rules named), and `explain`/`rules`
+//! must describe the catalog.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lithohd-lint"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn lithohd-lint")
+}
+
+#[test]
+fn known_bad_fixture_fails_with_the_expected_rules() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad.rs");
+    let out = lint(&["check", fixture.to_str().expect("utf-8 path")]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "determinism-rng",
+        "determinism-clock",
+        "float-eq",
+        "panic-safety",
+        "hash-order",
+        "suppression-reason",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad.rs");
+    let out = lint(&["check", "--json", fixture.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1));
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
+    let new = report
+        .get("new_violations")
+        .and_then(|v| v.as_array())
+        .expect("new_violations array");
+    assert!(
+        new.len() >= 6,
+        "expected >= 6 violations, got {}",
+        new.len()
+    );
+    assert_eq!(
+        report.get("files_scanned").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+}
+
+#[test]
+fn explain_describes_each_rule() {
+    for rule in ["determinism-rng", "telemetry-names", "forbid-unsafe"] {
+        let out = lint(&["explain", rule]);
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(rule), "{stdout}");
+        assert!(stdout.len() > 80, "explanation too short:\n{stdout}");
+    }
+    let unknown = lint(&["explain", "no-such-rule"]);
+    assert_eq!(unknown.status.code(), Some(2));
+}
+
+#[test]
+fn rules_lists_the_catalog() {
+    let out = lint(&["rules"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "determinism-rng",
+        "determinism-clock",
+        "hash-order",
+        "panic-safety",
+        "float-eq",
+        "telemetry-names",
+        "forbid-unsafe",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Known-bad fixture for the linter's own tests. Every construct below is
+//! a deliberate violation; the CLI test asserts `lithohd-lint check` on
+//! this file exits nonzero and names the expected rules. Never compiled.
+
+use rand::thread_rng;
+use std::collections::HashMap;
+
+fn ambient_randomness() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+fn float_equality(x: f64) -> bool {
+    x == 0.3
+}
+
+fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn panics(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+fn hash_order() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+fn unreasoned_suppression(v: Option<u64>) -> u64 {
+    // lithohd-lint: allow(panic-safety)
+    v.expect("no reason given above, so this still counts")
+}

@@ -1,0 +1,77 @@
+//! Property tests for the lossless scanner: on arbitrary input — valid
+//! Rust or byte soup — scanning must never panic, and the token stream must
+//! tile the input exactly (contiguous, gap-free byte offsets whose texts
+//! concatenate back to the source).
+
+use hotspot_lint::scanner::{scan, TokenKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn assert_lossless(source: &str) {
+    let tokens = scan(source);
+    let mut cursor = 0usize;
+    let mut rebuilt = String::with_capacity(source.len());
+    for token in &tokens {
+        assert_eq!(
+            token.start, cursor,
+            "token {:?} does not start where the previous one ended",
+            token.kind
+        );
+        assert!(token.end > token.start, "empty token {:?}", token.kind);
+        rebuilt.push_str(token.text(source));
+        cursor = token.end;
+    }
+    assert_eq!(cursor, source.len(), "tokens do not cover the input");
+    assert_eq!(rebuilt, source, "concatenated tokens differ from the input");
+}
+
+/// Lexically interesting fragments: every delimiter the scanner special-
+/// cases, deliberately unbalanced so concatenations hit unterminated and
+/// nested shapes.
+const FRAGMENTS: &[&str] = &[
+    "fn", "let", "unwrap", "()", "{", "}", "\"", "'", "\\", "//", "/*", "*/", "r#\"", "\"#", "b'",
+    "0.5", "1e-9", "1e", "==", "!=", "x", " ", "\n", "\t", "é", "∑", "r#type", "c\"s\"", "'a",
+    "b\"", "#", "r##\"", "\"##",
+];
+
+proptest! {
+    #[test]
+    fn arbitrary_unicode_never_panics_and_round_trips(
+        points in vec(any::<u32>(), 0..200),
+    ) {
+        let source: String = points
+            .iter()
+            .map(|&p| char::from_u32(p % 0x0011_0000).unwrap_or('\u{FFFD}'))
+            .collect();
+        assert_lossless(&source);
+    }
+
+    #[test]
+    fn rust_flavoured_soup_round_trips(
+        picks in vec(0usize..FRAGMENTS.len(), 0..40),
+    ) {
+        let source: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        assert_lossless(&source);
+    }
+}
+
+#[test]
+fn token_kinds_cover_comments_strings_and_numbers() {
+    let src = "// c\n/* b */ \"s\" 'c' 1.5 ident";
+    let kinds: Vec<TokenKind> = scan(src)
+        .into_iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Whitespace))
+        .map(|t| t.kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokenKind::LineComment,
+            TokenKind::BlockComment,
+            TokenKind::Str,
+            TokenKind::Char,
+            TokenKind::Number,
+            TokenKind::Ident,
+        ]
+    );
+}

@@ -14,7 +14,7 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-attempt fault probabilities of a [`FaultyOracle`].
 ///
@@ -92,7 +92,7 @@ pub struct FaultyOracle<O> {
     rates: FaultRates,
     seed: u64,
     permanent: BTreeSet<usize>,
-    attempts: HashMap<usize, u64>,
+    attempts: BTreeMap<usize, u64>,
     injected: FaultInjectionStats,
 }
 
@@ -113,7 +113,7 @@ impl<O: LithoOracle> FaultyOracle<O> {
             rates,
             seed,
             permanent: BTreeSet::new(),
-            attempts: HashMap::new(),
+            attempts: BTreeMap::new(),
             injected: FaultInjectionStats::default(),
         }
     }

@@ -1,6 +1,6 @@
 use crate::Label;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Why an oracle query failed.
@@ -130,6 +130,7 @@ pub trait LithoOracle {
     fn query(&mut self, index: usize) -> Label {
         match self.try_query(index) {
             Ok(label) => label,
+            // lithohd-lint: allow(panic-safety) — documented legacy path; fault-tolerant callers use `try_query`
             Err(error) => panic!("{error}"),
         }
     }
@@ -217,7 +218,7 @@ impl OracleStats {
 #[derive(Debug, Clone)]
 pub struct CountingOracle {
     truth: Vec<Label>,
-    cache: HashMap<usize, Label>,
+    cache: BTreeMap<usize, Label>,
     total: usize,
     resimulations: usize,
 }
@@ -227,7 +228,7 @@ impl CountingOracle {
     pub fn new(truth: Vec<Label>) -> Self {
         CountingOracle {
             truth,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             total: 0,
             resimulations: 0,
         }
@@ -274,13 +275,14 @@ impl LithoOracle for CountingOracle {
         self.check_range(index)?;
         self.total += 1;
         Ok(match self.cache.entry(index) {
-            std::collections::hash_map::Entry::Occupied(entry) => *entry.get(),
-            std::collections::hash_map::Entry::Vacant(entry) => {
+            std::collections::btree_map::Entry::Occupied(entry) => *entry.get(),
+            std::collections::btree_map::Entry::Vacant(entry) => {
                 // The process-wide counter meters billable (cache-miss)
                 // simulations only, so a journal snapshot mirrors the
                 // paper's litho-clip count rather than raw call volume.
                 // It is monotonic across oracles: per-run accounting must
                 // difference it (see `SamplingFramework::run`).
+                // lithohd-lint: allow(determinism-clock) — oracle latency histogram is observability, not logic
                 let started = std::time::Instant::now();
                 hotspot_telemetry::counter(hotspot_telemetry::names::ORACLE_CALLS).incr();
                 hotspot_telemetry::trace(
@@ -302,6 +304,7 @@ impl LithoOracle for CountingOracle {
         // A cache-bypassing re-simulation is a fresh billable job even when
         // the clip was simulated before; the result cache is left untouched.
         self.resimulations += 1;
+        // lithohd-lint: allow(determinism-clock) — oracle latency histogram is observability, not logic
         let started = std::time::Instant::now();
         hotspot_telemetry::counter(hotspot_telemetry::names::ORACLE_CALLS).incr();
         hotspot_telemetry::trace(

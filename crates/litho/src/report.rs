@@ -34,6 +34,7 @@ impl Label {
         match index {
             0 => Label::NonHotspot,
             1 => Label::Hotspot,
+            // lithohd-lint: allow(panic-safety) — documented contract: class indices of a binary task are 0 or 1
             _ => panic!("binary label index must be 0 or 1, got {index}"),
         }
     }

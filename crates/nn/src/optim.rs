@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A first-order optimiser updating parameter buffers from gradients.
 ///
@@ -26,7 +26,7 @@ pub trait Optimizer: std::fmt::Debug {
 pub struct Sgd {
     lr: f64,
     momentum: f64,
-    velocity: HashMap<usize, Vec<f32>>,
+    velocity: BTreeMap<usize, Vec<f32>>,
 }
 
 impl Sgd {
@@ -50,7 +50,7 @@ impl Sgd {
         Sgd {
             lr,
             momentum,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 }
@@ -101,7 +101,7 @@ pub struct Adam {
     epsilon: f64,
     weight_decay: f64,
     step: u64,
-    moments: HashMap<usize, (Vec<f32>, Vec<f32>)>,
+    moments: BTreeMap<usize, (Vec<f32>, Vec<f32>)>,
 }
 
 impl Adam {
@@ -119,7 +119,7 @@ impl Adam {
             epsilon: 1e-8,
             weight_decay: 0.0,
             step: 0,
-            moments: HashMap::new(),
+            moments: BTreeMap::new(),
         }
     }
 

@@ -120,11 +120,11 @@ impl Trainer {
                 labels: labels.len(),
             });
         }
-        let _train_span = hotspot_telemetry::span("nn.train")
+        let _train_span = hotspot_telemetry::span(hotspot_telemetry::names::SPAN_NN_TRAIN)
             .with("rows", x.rows() as u64)
             .with("epochs", self.config.epochs as u64);
-        let epoch_counter = hotspot_telemetry::counter("nn.train.epochs");
-        let loss_histogram = hotspot_telemetry::histogram("nn.train.loss");
+        let epoch_counter = hotspot_telemetry::counter(hotspot_telemetry::names::NN_TRAIN_EPOCHS);
+        let loss_histogram = hotspot_telemetry::histogram(hotspot_telemetry::names::NN_TRAIN_LOSS);
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.shuffle_seed);
         let mut order: Vec<usize> = (0..x.rows()).collect();
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);

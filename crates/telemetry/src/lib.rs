@@ -23,6 +23,8 @@
 //! update the profile tree — instrumented library code stays cheap for
 //! callers that never opt in.
 
+#![forbid(unsafe_code)]
+
 mod event;
 mod export;
 mod http;

@@ -219,7 +219,7 @@ impl Histogram {
 }
 
 /// Aggregate view of one histogram at snapshot time.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct HistogramSummary {
     /// Histogram name.
     pub name: String,

@@ -29,10 +29,94 @@ pub const ORACLE_FAULTS_INJECTED: &str = "litho.oracle.faults_injected";
 /// tail-latency series in `/metrics` and `lithohd-report`.
 pub const ORACLE_SECONDS: &str = "litho.oracle.seconds";
 
+/// Span over one full active-sampling run (`PSHDFramework::run`).
+pub const SPAN_RUN: &str = "run";
+
+/// Span over one sampling iteration inside a run.
+pub const SPAN_ITERATION: &str = "iteration";
+
+/// Span over one selector query (scoring + batch selection).
+pub const SPAN_SELECT: &str = "select";
+
+/// Span over the final full-pool detection pass.
+pub const SPAN_DETECT: &str = "detect";
+
+/// Span over one benchmark-layout generation (`GeneratedBenchmark`).
+pub const SPAN_GENERATE: &str = "generate";
+
+/// Span over one neural-network training session.
+pub const SPAN_NN_TRAIN: &str = "nn.train";
+
+/// Epochs completed across all training sessions in the process.
+pub const NN_TRAIN_EPOCHS: &str = "nn.train.epochs";
+
+/// Histogram of per-epoch mean training loss.
+pub const NN_TRAIN_LOSS: &str = "nn.train.loss";
+
+/// Span over one pattern-matching baseline run.
+pub const SPAN_PM_RUN: &str = "pm.run";
+
+/// Span over one temperature-calibration fit (Eq. 5).
+pub const SPAN_CALIBRATE: &str = "calibrate";
+
+/// The fitted softmax temperature `T` after the latest calibration.
+pub const CALIBRATION_TEMPERATURE: &str = "calibration.temperature";
+
+/// Unlabeled clips scored across all selector queries.
+pub const SELECTOR_QUERY_SIZE: &str = "selector.query.size";
+
+/// Selector batches drawn (one per sampling iteration).
+pub const SELECTOR_BATCHES: &str = "selector.batches";
+
+/// Span over one Gaussian-mixture fit (model-count sweep included).
+pub const SPAN_GMM_FIT: &str = "gmm.fit";
+
+/// EM iterations executed across all GMM fits.
+pub const GMM_EM_ITERATIONS: &str = "gmm.em.iterations";
+
+/// Every registered name, for registry-integrity tests and tooling.
+pub const ALL: &[&str] = &[
+    ORACLE_CALLS,
+    ORACLE_RETRIES,
+    ORACLE_GIVEUPS,
+    ORACLE_QUORUM_VOTES,
+    ORACLE_FAULTS_INJECTED,
+    ORACLE_SECONDS,
+    SPAN_RUN,
+    SPAN_ITERATION,
+    SPAN_SELECT,
+    SPAN_DETECT,
+    SPAN_GENERATE,
+    SPAN_NN_TRAIN,
+    NN_TRAIN_EPOCHS,
+    NN_TRAIN_LOSS,
+    SPAN_PM_RUN,
+    SPAN_CALIBRATE,
+    CALIBRATION_TEMPERATURE,
+    SELECTOR_QUERY_SIZE,
+    SELECTOR_BATCHES,
+    SPAN_GMM_FIT,
+    GMM_EM_ITERATIONS,
+];
+
 /// Histogram name for one span's wall-clock seconds: `span.<name>.seconds`
 /// (e.g. `span.nn.train.seconds`). Every closed [`crate::span`] records
 /// into it, so `/metrics` exposes per-stage tail latencies as
 /// `span_<name>_seconds_p99` without journal post-processing.
 pub fn span_seconds(span: &str) -> String {
     format!("span.{span}.seconds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn registered_names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate telemetry name: {name}");
+        }
+        assert_eq!(seen.len(), ALL.len());
+    }
 }

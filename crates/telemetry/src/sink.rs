@@ -67,10 +67,22 @@ impl Sink for ConsoleSink {
 /// Append-only JSONL run journal: one JSON object per line, tagged
 /// `"type":"event"` or `"type":"snapshot"`, each carrying the microseconds
 /// elapsed since the journal was opened and a per-journal sequence number.
+///
+/// [`JsonlSink::create_canonical`] opens the journal in *canonical* mode:
+/// every wall-clock measurement is withheld (the `elapsed_us` header,
+/// `profile` span-close events, `elapsed_ms`/`duration_us` event fields,
+/// and `.seconds` latency histograms in snapshots), so two runs of the same
+/// binary with the same seed produce byte-identical journal files. The
+/// determinism suite diffs exactly that.
 pub struct JsonlSink {
     writer: Mutex<JournalWriter>,
     opened: Instant,
+    canonical: bool,
 }
+
+/// Event fields withheld in canonical mode: wall-clock durations measured
+/// by instrumented code, never derived from the seeded computation.
+const WALL_CLOCK_FIELDS: &[&str] = &["elapsed_us", "elapsed_ms", "duration_us"];
 
 struct JournalWriter {
     out: BufWriter<File>,
@@ -80,6 +92,17 @@ struct JournalWriter {
 impl JsonlSink {
     /// Creates (truncating) the journal file.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open(path, false)
+    }
+
+    /// Creates (truncating) the journal file in canonical mode: all
+    /// wall-clock data is withheld so identically-seeded runs write
+    /// byte-identical journals.
+    pub fn create_canonical(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open(path, true)
+    }
+
+    fn open(path: impl AsRef<Path>, canonical: bool) -> io::Result<Self> {
         let file = File::create(path)?;
         Ok(JsonlSink {
             writer: Mutex::new(JournalWriter {
@@ -87,6 +110,7 @@ impl JsonlSink {
                 seq: 0,
             }),
             opened: Instant::now(),
+            canonical,
         })
     }
 
@@ -95,11 +119,15 @@ impl JsonlSink {
         let mut entries = vec![
             ("type".to_string(), Value::Str(kind.to_string())),
             ("seq".to_string(), Value::U64(writer.seq)),
-            (
+        ];
+        if self.canonical {
+            body.retain(|(key, _)| !WALL_CLOCK_FIELDS.contains(&key.as_str()));
+        } else {
+            entries.push((
                 "elapsed_us".to_string(),
                 Value::U64(self.opened.elapsed().as_micros().min(u128::from(u64::MAX)) as u64),
-            ),
-        ];
+            ));
+        }
         entries.append(&mut body);
         writer.seq += 1;
         // Journal output is best-effort: losing a line must not kill a run.
@@ -115,6 +143,10 @@ impl JsonlSink {
 
 impl Sink for JsonlSink {
     fn on_event(&self, event: &Event) {
+        // Span-close profile events are pure wall-clock measurements.
+        if self.canonical && event.target == "profile" {
+            return;
+        }
         let body = match event.to_json() {
             Value::Map(entries) => entries,
             other => vec![("event".to_string(), other)],
@@ -123,10 +155,16 @@ impl Sink for JsonlSink {
     }
 
     fn on_snapshot(&self, snapshot: &MetricsSnapshot) {
-        self.write_record(
-            "snapshot",
-            vec![("metrics".to_string(), snapshot.to_json())],
-        );
+        let metrics = if self.canonical {
+            let mut canonical = snapshot.clone();
+            canonical
+                .histograms
+                .retain(|h| !h.name.ends_with(".seconds"));
+            canonical.to_json()
+        } else {
+            snapshot.to_json()
+        };
+        self.write_record("snapshot", vec![("metrics".to_string(), metrics)]);
     }
 
     fn flush(&self) {
@@ -250,6 +288,65 @@ mod tests {
         let parsed: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
         assert_eq!(parsed.get("type").unwrap().as_str(), Some("event"));
         drop(sink);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn canonical_journal_withholds_all_wall_clock_data() {
+        let path = std::env::temp_dir().join(format!(
+            "lithohd-journal-canonical-test-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create_canonical(&path).unwrap();
+        // A profile event must be dropped entirely.
+        sink.on_event(&Event {
+            level: Level::Debug,
+            target: "profile",
+            message: "nn.train".to_string(),
+            fields: vec![("duration_us", FieldValue::U64(1500))],
+        });
+        // A normal event keeps its fields except wall-clock durations.
+        sink.on_event(&Event {
+            level: Level::Info,
+            target: "core.framework",
+            message: "run complete".to_string(),
+            fields: vec![
+                ("run_id", FieldValue::U64(0)),
+                ("elapsed_ms", FieldValue::U64(2500)),
+            ],
+        });
+        // Latency histograms are withheld from snapshots; counters stay.
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .counters
+            .push(("litho.oracle.calls".to_string(), 42));
+        snapshot.histograms.push(crate::HistogramSummary {
+            name: "litho.oracle.seconds".to_string(),
+            ..Default::default()
+        });
+        sink.on_snapshot(&snapshot);
+        drop(sink);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("elapsed_us"), "{text}");
+        assert!(!text.contains("elapsed_ms"), "{text}");
+        assert!(!text.contains("duration_us"), "{text}");
+        assert!(!text.contains(".seconds"), "{text}");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "profile event must be dropped: {text}");
+        let event: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(event.get("run_id").unwrap().as_u64(), Some(0));
+        let snap: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(
+            snap.get("metrics")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("litho.oracle.calls")
+                .unwrap()
+                .as_u64(),
+            Some(42)
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -34,6 +34,8 @@
 //!
 //! See `examples/quickstart.rs` for the full sampling loop.
 
+#![forbid(unsafe_code)]
+
 pub use hotspot_active as active;
 pub use hotspot_baselines as baselines;
 pub use hotspot_calibration as calibration;

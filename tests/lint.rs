@@ -1,0 +1,63 @@
+//! The workspace must stay lint-clean: `cargo test` runs the same check as
+//! the CI `lint` job — every `lithohd-lint` finding is either fixed,
+//! suppressed inline with a reason, or grandfathered in the committed
+//! `lint-baseline.json`. New violations fail this test with the exact
+//! file:line output `lithohd-lint check` would print.
+
+use hotspot_lint::workspace::{discover, find_root};
+use hotspot_lint::{check_on_disk, Baseline, NameRegistry};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_against_the_committed_baseline() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let registry_path = root.join("crates/telemetry/src/names.rs");
+    let registry_source =
+        std::fs::read_to_string(&registry_path).expect("telemetry name registry exists");
+    let registry = NameRegistry::parse("crates/telemetry/src/names.rs", &registry_source);
+
+    let files = discover(&root).expect("workspace discovery");
+    assert!(
+        files.len() > 100,
+        "suspiciously few files discovered: {}",
+        files.len()
+    );
+    let report =
+        check_on_disk(&root, &files, Some(&registry), false).expect("workspace scan succeeds");
+
+    let baseline = Baseline::read(&root.join("lint-baseline.json"))
+        .expect("committed lint-baseline.json is readable");
+    let (new, _grandfathered) = baseline.partition(&report.findings);
+    assert!(
+        new.is_empty(),
+        "{} new lint violation(s); fix, suppress with a reason, or re-baseline:\n{}",
+        new.len(),
+        new.iter()
+            .map(|f| format!(
+                "  {}:{}: [{}] {}: {}",
+                f.path,
+                f.line,
+                f.severity.label(),
+                f.rule,
+                f.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_inline_suppression_carries_a_reason() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let files = discover(&root).expect("workspace discovery");
+    let report = check_on_disk(&root, &files, None, false).expect("workspace scan succeeds");
+    for finding in &report.suppressed {
+        let reason = finding.suppression_reason.as_deref().unwrap_or("");
+        assert!(
+            reason.len() >= 10,
+            "suppression at {}:{} has no substantive reason",
+            finding.path,
+            finding.line
+        );
+    }
+}
