@@ -16,7 +16,8 @@
 
 use hotspot_active::SamplingConfig;
 use hotspot_bench::{
-    generate, run_active_method, run_active_method_faulty, write_json, ActiveMethod,
+    generate, run_active_method, run_active_method_checkpointed, run_active_method_faulty,
+    run_active_method_faulty_checkpointed, write_json, ActiveMethod, CheckpointedSequence,
     ExperimentArgs, FaultyMethodResult,
 };
 use hotspot_layout::BenchmarkSpec;
@@ -40,8 +41,14 @@ fn main() {
     let spec = BenchmarkSpec::iccad16_2().scaled(args.scale.max(0.25));
     let bench = generate(&spec, args.seed);
     let config = SamplingConfig::for_benchmark(bench.len());
+    let mut sequence = CheckpointedSequence::from_args(&args);
 
-    let baseline = run_active_method(ActiveMethod::Ours, &bench, &config, args.seed);
+    let baseline = match sequence.as_mut() {
+        Some(seq) => {
+            run_active_method_checkpointed(ActiveMethod::Ours, &bench, &config, args.seed, seq)
+        }
+        None => run_active_method(ActiveMethod::Ours, &bench, &config, args.seed),
+    };
     println!(
         "baseline ({}): acc {:.2}%  litho {}",
         bench.spec().name,
@@ -58,13 +65,13 @@ fn main() {
     let transient_sweep: Vec<FaultyMethodResult> = TRANSIENT_RATES
         .iter()
         .map(|&transient| {
-            let r = run_active_method_faulty(
-                ActiveMethod::Ours,
+            let r = run_faulty(
                 &bench,
                 &config,
                 args.seed,
                 FaultRates::transient_only(transient),
                 1,
+                &mut sequence,
             );
             print_row(&r, transient);
             r
@@ -72,48 +79,8 @@ fn main() {
         .collect();
 
     // Axis 2: silent label flips, with and without quorum re-labelling.
-    let flip_sweep = |quorum: usize| -> Vec<FaultyMethodResult> {
-        println!(
-            "\nlabel-flip sweep ({})",
-            if quorum > 1 {
-                "3-vote quorum re-labelling"
-            } else {
-                "no quorum — flips go undetected"
-            }
-        );
-        println!(
-            "{:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            "flip", "acc%", "litho", "extra", "retries", "lost"
-        );
-        FLIP_RATES
-            .iter()
-            .map(|&flip| {
-                let r = run_active_method_faulty(
-                    ActiveMethod::Ours,
-                    &bench,
-                    &config,
-                    args.seed,
-                    FaultRates {
-                        flip,
-                        ..FaultRates::default()
-                    },
-                    quorum,
-                );
-                println!(
-                    "{:>10.2} {:>8.2} {:>8} {:>8} {:>8} {:>8}",
-                    flip,
-                    r.accuracy * 100.0,
-                    r.litho,
-                    r.extra_simulations,
-                    r.retries,
-                    r.label_failures
-                );
-                r
-            })
-            .collect()
-    };
-    let flip_sweep_raw = flip_sweep(1);
-    let flip_sweep_quorum = flip_sweep(3);
+    let flip_sweep_raw = flip_sweep(&bench, &config, &args, 1, &mut sequence);
+    let flip_sweep_quorum = flip_sweep(&bench, &config, &args, 3, &mut sequence);
 
     write_json(
         &args.out,
@@ -127,6 +94,75 @@ fn main() {
         },
     );
     args.finish_telemetry();
+}
+
+fn run_faulty(
+    bench: &hotspot_layout::GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    rates: FaultRates,
+    quorum: usize,
+    sequence: &mut Option<CheckpointedSequence>,
+) -> FaultyMethodResult {
+    match sequence.as_mut() {
+        Some(seq) => run_active_method_faulty_checkpointed(
+            ActiveMethod::Ours,
+            bench,
+            config,
+            seed,
+            rates,
+            quorum,
+            seq,
+        ),
+        None => run_active_method_faulty(ActiveMethod::Ours, bench, config, seed, rates, quorum),
+    }
+}
+
+fn flip_sweep(
+    bench: &hotspot_layout::GeneratedBenchmark,
+    config: &SamplingConfig,
+    args: &ExperimentArgs,
+    quorum: usize,
+    sequence: &mut Option<CheckpointedSequence>,
+) -> Vec<FaultyMethodResult> {
+    println!(
+        "\nlabel-flip sweep ({})",
+        if quorum > 1 {
+            "3-vote quorum re-labelling"
+        } else {
+            "no quorum — flips go undetected"
+        }
+    );
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "flip", "acc%", "litho", "extra", "retries", "lost"
+    );
+    FLIP_RATES
+        .iter()
+        .map(|&flip| {
+            let r = run_faulty(
+                bench,
+                config,
+                args.seed,
+                FaultRates {
+                    flip,
+                    ..FaultRates::default()
+                },
+                quorum,
+                sequence,
+            );
+            println!(
+                "{:>10.2} {:>8.2} {:>8} {:>8} {:>8} {:>8}",
+                flip,
+                r.accuracy * 100.0,
+                r.litho,
+                r.extra_simulations,
+                r.retries,
+                r.label_failures
+            );
+            r
+        })
+        .collect()
 }
 
 fn print_row(r: &FaultyMethodResult, rate: f64) {

@@ -12,11 +12,18 @@
 //! ```text
 //! cargo run --release --bin pshd -- --scale 0.02 --seed 1 --repeats 1 --out .
 //! ```
+//!
+//! With `--checkpoint-dir <dir>` the harness persists crash-safe run-state
+//! checkpoints every `--checkpoint-every` iterations; `--resume` continues
+//! an interrupted invocation from the newest valid checkpoint without
+//! re-billing a single litho simulation, reproducing the uninterrupted
+//! run's metrics (and, under `--canonical-journal`, its journal bytes)
+//! exactly.
 
 use hotspot_active::SamplingConfig;
 use hotspot_bench::{
-    generate, render_table, run_active_method_avg, write_json, ActiveMethod, ExperimentArgs,
-    MethodResult, TableRow,
+    generate, render_table, run_active_method_avg, run_active_method_avg_checkpointed, write_json,
+    ActiveMethod, CheckpointedSequence, ExperimentArgs, MethodResult, TableRow,
 };
 use hotspot_layout::BenchmarkSpec;
 
@@ -33,9 +40,20 @@ fn main() {
     let bench = generate(&spec, args.seed);
     let config = SamplingConfig::for_benchmark(bench.len());
 
+    let mut sequence = CheckpointedSequence::from_args(&args);
     let results: Vec<MethodResult> = METHODS
         .iter()
-        .map(|&method| run_active_method_avg(method, &bench, &config, args.seed, args.repeats))
+        .map(|&method| match sequence.as_mut() {
+            Some(seq) => run_active_method_avg_checkpointed(
+                method,
+                &bench,
+                &config,
+                args.seed,
+                args.repeats,
+                seq,
+            ),
+            None => run_active_method_avg(method, &bench, &config, args.seed, args.repeats),
+        })
         .collect();
 
     let labels: Vec<&str> = METHODS.iter().map(|m| m.label()).collect();

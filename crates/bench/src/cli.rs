@@ -1,4 +1,6 @@
-use hotspot_telemetry::{self as telemetry, ConsoleSink, EnvFilter, JsonlSink, MetricsServer};
+use hotspot_telemetry::{
+    self as telemetry, ConsoleSink, EnvFilter, JournalPosition, JsonlSink, MetricsServer,
+};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -8,6 +10,23 @@ use std::sync::{Arc, Mutex, OnceLock};
 fn metrics_server() -> &'static Mutex<Option<MetricsServer>> {
     static SERVER: OnceLock<Mutex<Option<MetricsServer>>> = OnceLock::new();
     SERVER.get_or_init(|| Mutex::new(None))
+}
+
+/// The `--journal` sink for the lifetime of the binary, kept reachable so
+/// the checkpoint layer can ask for the journal's durable byte position at
+/// save time and write the `resume` header record on restore.
+fn journal_slot() -> &'static Mutex<Option<Arc<JsonlSink>>> {
+    static JOURNAL: OnceLock<Mutex<Option<Arc<JsonlSink>>>> = OnceLock::new();
+    JOURNAL.get_or_init(|| Mutex::new(None))
+}
+
+/// The active `--journal` sink, if one is open.
+pub(crate) fn journal_sink() -> Option<Arc<JsonlSink>> {
+    journal_slot()
+        .lock()
+        // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
+        .expect("journal slot poisoned")
+        .clone()
 }
 
 /// Command-line arguments shared by every experiment binary.
@@ -21,8 +40,13 @@ fn metrics_server() -> &'static Mutex<Option<MetricsServer>> {
 /// journal), `--canonical-journal` (withhold all wall-clock data from the
 /// journal so identically-seeded runs write byte-identical files),
 /// `--metrics-addr <ip:port>` (serve live Prometheus metrics over
-/// HTTP for the duration of the run), and `--profile` (print the
-/// span-timing tree on exit).
+/// HTTP for the duration of the run), `--profile` (print the
+/// span-timing tree on exit), `--checkpoint-dir <dir>` (persist crash-safe
+/// run-state checkpoints), `--checkpoint-every <n>` (iterations between
+/// checkpoints, default 1), `--resume` (continue from the newest valid
+/// checkpoint instead of starting over), and
+/// `--crash-after-checkpoints <n>` (kill the process right after the Nth
+/// checkpoint commit — the crash injector for resume testing).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentArgs {
     /// Benchmark size factor.
@@ -45,6 +69,19 @@ pub struct ExperimentArgs {
     pub metrics_addr: Option<String>,
     /// Whether to print the span-timing profile on exit (`--profile`).
     pub profile: bool,
+    /// Checkpoint directory (`--checkpoint-dir`); enables durable run-state
+    /// persistence via `hotspot-store`.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Save a checkpoint every N framework iterations
+    /// (`--checkpoint-every`, default 1 when a checkpoint dir is given).
+    pub checkpoint_every: usize,
+    /// Resume from the newest valid checkpoint in `--checkpoint-dir`
+    /// (`--resume`).
+    pub resume: bool,
+    /// Kill the process (exit code 3) immediately after the Nth checkpoint
+    /// commit (`--crash-after-checkpoints`) — the crash injector the
+    /// resume-determinism suite drives.
+    pub crash_after_checkpoints: Option<usize>,
 }
 
 impl Default for ExperimentArgs {
@@ -59,6 +96,10 @@ impl Default for ExperimentArgs {
             canonical_journal: false,
             metrics_addr: None,
             profile: false,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+            crash_after_checkpoints: None,
         }
     }
 }
@@ -77,7 +118,8 @@ impl ExperimentArgs {
                 eprintln!(
                     "usage: <bin> [--scale <f64>] [--seed <u64>] [--repeats <usize>] [--out <dir>] \
                      [--log <filter>] [--journal <path>] [--canonical-journal] \
-                     [--metrics-addr <ip:port>] [--profile]"
+                     [--metrics-addr <ip:port>] [--profile] [--checkpoint-dir <dir>] \
+                     [--checkpoint-every <n>] [--resume] [--crash-after-checkpoints <n>]"
                 );
                 std::process::exit(2);
             }
@@ -135,8 +177,34 @@ impl ExperimentArgs {
                 "--profile" => {
                     out.profile = true;
                 }
+                "--checkpoint-dir" => {
+                    out.checkpoint_dir = Some(PathBuf::from(value()?));
+                }
+                "--checkpoint-every" => {
+                    out.checkpoint_every = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                    if out.checkpoint_every == 0 {
+                        return Err("--checkpoint-every must be positive".to_owned());
+                    }
+                }
+                "--resume" => {
+                    out.resume = true;
+                }
+                "--crash-after-checkpoints" => {
+                    out.crash_after_checkpoints = Some(
+                        value()?
+                            .parse()
+                            .map_err(|e| format!("bad --crash-after-checkpoints: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag: {other}")),
             }
+        }
+        if out.checkpoint_dir.is_none() && (out.resume || out.crash_after_checkpoints.is_some()) {
+            return Err(
+                "--resume and --crash-after-checkpoints require --checkpoint-dir".to_owned(),
+            );
         }
         Ok(out)
     }
@@ -148,19 +216,13 @@ impl ExperimentArgs {
     pub fn init_telemetry(&self) {
         let filter = self.log.clone().unwrap_or_else(EnvFilter::from_env);
         telemetry::add_sink(Arc::new(ConsoleSink::new(filter)));
-        if let Some(path) = &self.journal {
-            let sink = if self.canonical_journal {
-                JsonlSink::create_canonical(path)
-            } else {
-                JsonlSink::create(path)
-            };
-            match sink {
-                Ok(sink) => telemetry::add_sink(Arc::new(sink)),
-                Err(e) => {
-                    eprintln!("cannot open journal {}: {e}", path.display());
-                    std::process::exit(2);
-                }
-            }
+        if self.journal.is_some() && !self.resume {
+            // A resuming process defers the journal: it must first restore
+            // the checkpoint (events before its saved journal position
+            // already survive in the file), regenerate the benchmark
+            // without double-journalling those events, truncate, and only
+            // then start appending — see `open_journal_resumed`.
+            self.open_journal(false, None);
         }
         if let Some(addr) = &self.metrics_addr {
             match telemetry::serve_metrics(addr) {
@@ -173,6 +235,49 @@ impl ExperimentArgs {
                     eprintln!("cannot serve metrics on {addr}: {e}");
                     std::process::exit(2);
                 }
+            }
+        }
+    }
+
+    /// Opens the `--journal` sink for a resumed run: the file is truncated
+    /// back to the checkpoint's durable [`JournalPosition`] (records the
+    /// crashed process wrote after its last save must not survive twice —
+    /// the resumed run re-emits them), then opened in append mode so the
+    /// continuation extends the surviving prefix. No-op without
+    /// `--journal`.
+    pub fn open_journal_resumed(&self, position: Option<JournalPosition>) {
+        if self.journal.is_some() {
+            self.open_journal(true, position);
+        }
+    }
+
+    fn open_journal(&self, append: bool, truncate_to: Option<JournalPosition>) {
+        // lithohd-lint: allow(panic-safety) — `open_journal` is only called with `journal` set
+        let path = self.journal.as_ref().expect("journal path present");
+        if let Some(position) = truncate_to {
+            if let Ok(file) = std::fs::File::options().write(true).open(path) {
+                if let Err(e) = file.set_len(position.bytes) {
+                    eprintln!("cannot truncate journal {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        let sink = match (self.canonical_journal, append) {
+            (true, true) => JsonlSink::create_canonical_append(path),
+            (true, false) => JsonlSink::create_canonical(path),
+            (false, true) => JsonlSink::append(path),
+            (false, false) => JsonlSink::create(path),
+        };
+        match sink {
+            Ok(sink) => {
+                let sink = Arc::new(sink);
+                // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
+                *journal_slot().lock().expect("journal slot poisoned") = Some(Arc::clone(&sink));
+                telemetry::add_sink(sink);
+            }
+            Err(e) => {
+                eprintln!("cannot open journal {}: {e}", path.display());
+                std::process::exit(2);
             }
         }
     }
@@ -232,6 +337,13 @@ mod tests {
             "--metrics-addr",
             "127.0.0.1:0",
             "--profile",
+            "--checkpoint-dir",
+            "/tmp/ckpt",
+            "--checkpoint-every",
+            "2",
+            "--resume",
+            "--crash-after-checkpoints",
+            "4",
         ])
         .unwrap();
         assert_eq!(args.scale, 0.5);
@@ -243,6 +355,10 @@ mod tests {
         assert!(args.canonical_journal);
         assert_eq!(args.metrics_addr, Some("127.0.0.1:0".to_string()));
         assert!(args.profile);
+        assert_eq!(args.checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
+        assert_eq!(args.checkpoint_every, 2);
+        assert!(args.resume);
+        assert_eq!(args.crash_after_checkpoints, Some(4));
     }
 
     #[test]
@@ -262,5 +378,8 @@ mod tests {
         assert!(parse(&["--journal"]).is_err());
         assert!(parse(&["--metrics-addr"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--checkpoint-every", "0"]).is_err());
+        assert!(parse(&["--resume"]).is_err(), "--resume needs a dir");
+        assert!(parse(&["--crash-after-checkpoints", "1"]).is_err());
     }
 }

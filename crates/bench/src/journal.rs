@@ -261,6 +261,17 @@ impl Journal {
         Some(stats)
     }
 
+    /// Every `"type":"resume"` header record — written when a checkpointed
+    /// run continues an interrupted journal — as `(iteration, checkpoint)`
+    /// pairs in journal order. Canonical journals never contain these.
+    pub fn resumes(&self) -> Vec<(u64, u64)> {
+        self.records
+            .iter()
+            .filter(|r| get_str(r, "type") == Some("resume"))
+            .filter_map(|r| Some((get_u64(r, "iteration")?, get_u64(r, "checkpoint")?)))
+            .collect()
+    }
+
     /// Wall-clock microseconds of every closed span, grouped by span path
     /// (from the `profile` events journals capture at span close).
     pub fn span_durations_us(&self) -> BTreeMap<String, Vec<f64>> {
@@ -504,6 +515,21 @@ mod tests {
 
         let spans = journal.span_durations_us();
         assert_eq!(spans.get("run/iteration/nn.train").unwrap(), &vec![1500.0]);
+    }
+
+    #[test]
+    fn resume_records_are_tolerated_and_typed() {
+        let text = concat!(
+            r#"{"type":"resume","seq":5,"iteration":3,"checkpoint":12}"#,
+            "\n",
+            r#"{"type":"event","seq":6,"target":"core.framework","message":"run complete","run_id":7,"selector":"entropy","accuracy":0.95,"litho":120,"elapsed_ms":10}"#,
+            "\n",
+        );
+        let journal = Journal::parse_str(text);
+        assert_eq!(journal.skipped_lines, 0);
+        assert_eq!(journal.resumes(), vec![(3, 12)]);
+        // Typed event extraction is unaffected by the interleaved header.
+        assert_eq!(journal.runs().len(), 1);
     }
 
     #[test]

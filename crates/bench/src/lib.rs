@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod checkpoint;
 mod cli;
 pub mod journal;
 mod methods;
@@ -17,10 +18,15 @@ mod pca;
 mod report;
 mod runtime;
 
+pub use checkpoint::{
+    run_active_method_avg_checkpointed, run_active_method_checkpointed,
+    run_active_method_faulty_checkpointed, CheckpointedSequence, RunRecord, CRASH_EXIT_CODE,
+};
 pub use cli::ExperimentArgs;
 pub use methods::{
-    run_active_method, run_active_method_avg, run_active_method_faulty, run_pattern_method,
-    ActiveMethod, FaultyMethodResult, MethodResult,
+    run_active_method, run_active_method_avg, run_active_method_faulty,
+    run_active_method_faulty_hooked, run_active_method_hooked, run_pattern_method, ActiveMethod,
+    FaultyMethodResult, MethodResult,
 };
 pub use pca::project_2d;
 pub use report::{ratio_row, render_table, write_json, TableRow};

@@ -1,6 +1,6 @@
 use hotspot_active::{
-    BatchSelector, EntropySelector, RandomSelector, SamplingConfig, SamplingFramework,
-    UncertaintySelector,
+    BatchSelector, CheckpointHook, EntropySelector, NoCheckpoint, RandomSelector, SamplingConfig,
+    SamplingFramework, UncertaintySelector,
 };
 use hotspot_baselines::{PatternMatcher, QpSelector};
 use hotspot_layout::GeneratedBenchmark;
@@ -84,10 +84,26 @@ pub fn run_active_method(
     config: &SamplingConfig,
     seed: u64,
 ) -> MethodResult {
+    run_active_method_hooked(method, bench, config, seed, &mut NoCheckpoint)
+}
+
+/// [`run_active_method`] with durable-run support: the hook receives a
+/// checkpoint at each iteration boundary and may supply one to resume from.
+///
+/// # Panics
+///
+/// Panics when the framework rejects the configuration or the checkpoint.
+pub fn run_active_method_hooked(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    hook: &mut dyn CheckpointHook,
+) -> MethodResult {
     let framework = SamplingFramework::new(config.clone());
     let mut selector = method.selector();
     let outcome = framework
-        .run(bench, selector.as_mut(), seed)
+        .run_with_oracle_checkpointed(bench, selector.as_mut(), seed, &mut bench.oracle(), hook)
         // lithohd-lint: allow(panic-safety) — documented: the harness passes validated configurations
         .expect("framework run succeeds");
     MethodResult {
@@ -178,6 +194,36 @@ pub fn run_active_method_faulty(
     rates: FaultRates,
     quorum: usize,
 ) -> FaultyMethodResult {
+    run_active_method_faulty_hooked(
+        method,
+        bench,
+        config,
+        seed,
+        rates,
+        quorum,
+        &mut NoCheckpoint,
+    )
+}
+
+/// [`run_active_method_faulty`] with durable-run support — the fault
+/// schedule is a pure function of (seed, clip, attempt) and the fault/retry
+/// meters ride along in the checkpoint, so a resumed faulty run reproduces
+/// the uninterrupted one exactly.
+///
+/// # Panics
+///
+/// Panics when the rates are invalid or the framework rejects the
+/// configuration or the checkpoint.
+#[allow(clippy::too_many_arguments)]
+pub fn run_active_method_faulty_hooked(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    rates: FaultRates,
+    quorum: usize,
+    hook: &mut dyn CheckpointHook,
+) -> FaultyMethodResult {
     let framework = SamplingFramework::new(config.clone());
     let mut selector = method.selector();
     let flaky = FaultyOracle::new(bench.oracle(), rates, seed ^ 0xfa17_fa17);
@@ -186,7 +232,7 @@ pub fn run_active_method_faulty(
         oracle = oracle.with_quorum(quorum);
     }
     let outcome = framework
-        .run_with_oracle(bench, selector.as_mut(), seed, &mut oracle)
+        .run_with_oracle_checkpointed(bench, selector.as_mut(), seed, &mut oracle, hook)
         // lithohd-lint: allow(panic-safety) — documented: the harness passes validated configurations
         .expect("degradation-aware framework run succeeds");
     FaultyMethodResult {

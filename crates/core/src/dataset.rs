@@ -1,3 +1,4 @@
+use crate::ActiveError;
 use hotspot_litho::{LithoOracle, OracleError};
 use std::collections::BTreeSet;
 
@@ -130,6 +131,68 @@ impl ActiveDataset {
             },
             report,
         )
+    }
+
+    /// Rebuilds a dataset from persisted parts (checkpoint restore). The
+    /// unlabeled pool is not an input: it is recomputed as the ascending
+    /// complement of `labeled ∪ validation` over `0..total`, which is exactly
+    /// the invariant the labelling paths maintain (the pool starts ascending
+    /// and `retain` preserves order).
+    ///
+    /// No oracle is involved — the class vectors are trusted as already paid
+    /// for, so restoring a checkpoint never re-bills litho simulations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActiveError::Checkpoint`] when the parts are inconsistent:
+    /// mismatched index/class lengths, an out-of-range index, a class other
+    /// than 0/1, or an index appearing twice.
+    pub fn from_parts(
+        total: usize,
+        labeled: Vec<usize>,
+        labeled_classes: Vec<usize>,
+        validation: Vec<usize>,
+        validation_classes: Vec<usize>,
+    ) -> Result<Self, ActiveError> {
+        let bad = |detail: String| ActiveError::Checkpoint { detail };
+        if labeled.len() != labeled_classes.len() {
+            return Err(bad(format!(
+                "labeled indices/classes length mismatch: {} vs {}",
+                labeled.len(),
+                labeled_classes.len()
+            )));
+        }
+        if validation.len() != validation_classes.len() {
+            return Err(bad(format!(
+                "validation indices/classes length mismatch: {} vs {}",
+                validation.len(),
+                validation_classes.len()
+            )));
+        }
+        let mut seen = BTreeSet::new();
+        for &i in labeled.iter().chain(&validation) {
+            if i >= total {
+                return Err(bad(format!("index {i} out of range ({total} clips)")));
+            }
+            if !seen.insert(i) {
+                return Err(bad(format!("index {i} appears twice in the split")));
+            }
+        }
+        for &c in labeled_classes.iter().chain(&validation_classes) {
+            if c > 1 {
+                return Err(bad(format!("class index {c} is not a binary label")));
+            }
+        }
+        let unlabeled: Vec<usize> = (0..total).filter(|i| !seen.contains(i)).collect();
+        let unlabeled_set = unlabeled.iter().copied().collect();
+        Ok(ActiveDataset {
+            labeled,
+            labeled_classes,
+            validation,
+            validation_classes,
+            unlabeled,
+            unlabeled_set,
+        })
     }
 
     /// Labelled training indices.
@@ -310,6 +373,39 @@ mod tests {
         let mut ds = ActiveDataset::new(10, &[5], &[], &mut o);
         ds.label_batch(&[3, 8], &mut o);
         assert_eq!(ds.unlabeled(), &[0, 1, 2, 4, 6, 7, 9]);
+    }
+
+    #[test]
+    fn from_parts_reconstructs_a_labelled_dataset_without_the_oracle() {
+        let mut o = oracle();
+        let mut ds = ActiveDataset::new(10, &[5], &[2], &mut o);
+        ds.label_batch(&[3, 8], &mut o);
+        let rebuilt = ActiveDataset::from_parts(
+            10,
+            ds.labeled().to_vec(),
+            ds.labeled_classes().to_vec(),
+            ds.validation().to_vec(),
+            ds.validation_classes().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.labeled(), ds.labeled());
+        assert_eq!(rebuilt.labeled_classes(), ds.labeled_classes());
+        assert_eq!(rebuilt.validation(), ds.validation());
+        assert_eq!(rebuilt.validation_classes(), ds.validation_classes());
+        assert_eq!(rebuilt.unlabeled(), ds.unlabeled());
+        assert_eq!(o.unique_queries(), 4, "from_parts must not re-bill");
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        // Length mismatch.
+        assert!(ActiveDataset::from_parts(10, vec![0], vec![], vec![], vec![]).is_err());
+        // Out of range.
+        assert!(ActiveDataset::from_parts(10, vec![10], vec![0], vec![], vec![]).is_err());
+        // Duplicate across splits.
+        assert!(ActiveDataset::from_parts(10, vec![1], vec![0], vec![1], vec![0]).is_err());
+        // Non-binary class.
+        assert!(ActiveDataset::from_parts(10, vec![1], vec![2], vec![], vec![]).is_err());
     }
 
     fn broken_oracle(clips: &[usize]) -> FaultyOracle<CountingOracle> {

@@ -17,6 +17,12 @@ pub enum ActiveError {
     Gmm(hotspot_gmm::GmmError),
     /// Temperature calibration failed.
     Calibration(hotspot_calibration::CalibrationError),
+    /// A checkpoint could not be saved, or a resumed checkpoint does not
+    /// match the run it is being applied to.
+    Checkpoint {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ActiveError {
@@ -29,6 +35,7 @@ impl fmt::Display for ActiveError {
             ActiveError::Nn(e) => write!(f, "classifier error: {e}"),
             ActiveError::Gmm(e) => write!(f, "mixture-model error: {e}"),
             ActiveError::Calibration(e) => write!(f, "calibration error: {e}"),
+            ActiveError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
         }
     }
 }
@@ -39,7 +46,7 @@ impl std::error::Error for ActiveError {
             ActiveError::Nn(e) => Some(e),
             ActiveError::Gmm(e) => Some(e),
             ActiveError::Calibration(e) => Some(e),
-            ActiveError::BenchmarkTooSmall { .. } => None,
+            ActiveError::BenchmarkTooSmall { .. } | ActiveError::Checkpoint { .. } => None,
         }
     }
 }

@@ -1,6 +1,6 @@
 use crate::{
-    ActiveDataset, ActiveError, BatchSelector, HotspotModel, PshdMetrics, SamplingConfig,
-    SelectionContext,
+    ActiveDataset, ActiveError, BatchSelector, CheckpointHook, DatasetCheckpoint, HotspotModel,
+    NoCheckpoint, PshdMetrics, RunCheckpoint, SamplingConfig, SelectionContext,
 };
 use hotspot_calibration::{ReliabilityDiagram, Temperature};
 use hotspot_gmm::{GaussianMixture, GmmConfig};
@@ -171,6 +171,33 @@ impl SamplingFramework {
         seed: u64,
         oracle: &mut O,
     ) -> Result<RunOutcome, ActiveError> {
+        self.run_with_oracle_checkpointed(bench, selector, seed, oracle, &mut NoCheckpoint)
+    }
+
+    /// [`SamplingFramework::run_with_oracle`] with durable-run support: the
+    /// [`CheckpointHook`] is offered a [`RunCheckpoint`] at each iteration
+    /// boundary and may supply one to resume from.
+    ///
+    /// A resumed run skips the whole pre-loop phase — no re-billed split
+    /// labels, no duplicate journal events — and continues bit-identically
+    /// to the uninterrupted run: same selections, same metrics, same Eq. 2
+    /// Litho#. The framework validates that the checkpoint matches this
+    /// run's seed and benchmark shape, and that the oracle accepts its
+    /// persisted cache, refusing to resume otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SamplingFramework::run_with_oracle`] returns, plus
+    /// [`ActiveError::Checkpoint`] for mismatched or unusable resume state
+    /// and whatever [`CheckpointHook::save`] propagates.
+    pub fn run_with_oracle_checkpointed<O: LithoOracle + ?Sized>(
+        &self,
+        bench: &GeneratedBenchmark,
+        selector: &mut dyn BatchSelector,
+        seed: u64,
+        oracle: &mut O,
+        hook: &mut dyn CheckpointHook,
+    ) -> Result<RunOutcome, ActiveError> {
         // lithohd-lint: allow(determinism-clock) — wall-clock run duration is reported, never branched on
         let start = Instant::now();
         let config = &self.config;
@@ -181,127 +208,58 @@ impl SamplingFramework {
                 required: config.initial_split() + 2,
             });
         }
-        let run_id = telemetry::next_run_id();
-        // The oracle-call counter is process-wide and monotonic (parallel
-        // runs share it); this run's share is the delta from here.
-        let oracle_calls_before = telemetry::counter(telemetry::names::ORACLE_CALLS).get();
+        let resume_cp = match hook.resume() {
+            Some(cp) => {
+                validate_checkpoint(&cp, total, seed, config)?;
+                Some(cp)
+            }
+            None => None,
+        };
+        // A resumed run keeps the interrupted run's id so its journal trail
+        // reads as one run.
+        let run_id = resume_cp
+            .as_ref()
+            .map_or_else(telemetry::next_run_id, |cp| cp.run_id);
         let _run_span = telemetry::span(telemetry::names::SPAN_RUN)
             .with("run_id", run_id)
             .with("selector", selector.name());
-        telemetry::info(
-            "core.framework",
-            "run started",
-            &[
-                ("run_id", run_id.into()),
-                ("selector", selector.name().into()),
-                ("seed", seed.into()),
-                ("clips", (total as u64).into()),
-                ("iterations", (config.iterations as u64).into()),
-            ],
-        );
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        // Likewise the oracle's own meter may carry history from earlier
-        // runs; everything this run bills is the delta from here.
-        let stats_before = oracle.stats();
-        let mut fault_stats = RunFaultStats::default();
 
         // Standardised DCT features for the classifier; raw density features
         // for the mixture model. Both are unlabeled-data statistics, so no
-        // label information leaks into preprocessing.
+        // label information leaks into preprocessing. Recomputed on resume
+        // too: a pure function of the benchmark, emitting no telemetry.
         let dct = bench.dct_features();
         let (mean, std) = dct.column_stats();
         let standardized = dct.standardized(&mean, &std);
         let features = Matrix::from_flat(dct.rows(), dct.dim(), standardized.as_slice().to_vec());
 
-        // Algorithm 2 line 1: posterior scores from the Gaussian mixture.
-        let gmm = GaussianMixture::fit(
-            bench.density_features().as_slice(),
-            bench.density_features().dim(),
-            &GmmConfig {
-                components: config.gmm_components.min(total),
-                seed,
-                ..GmmConfig::default()
-            },
-        )?;
-        let scores = gmm.score_samples(bench.density_features().as_slice());
-        let mut by_score: Vec<usize> = (0..total).collect();
-        by_score.sort_by(|&a, &b| {
-            scores[a]
-                .partial_cmp(&scores[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        let state = match resume_cp {
+            Some(cp) => resume_loop_state(cp, config, oracle, &features, seed, run_id)?,
+            None => fresh_loop_state(bench, config, oracle, &features, seed, run_id, selector)?,
+        };
+        let LoopState {
+            oracle_calls_before,
+            stats_before,
+            mut fault_stats,
+            gmm,
+            by_score,
+            mut dataset,
+            mut model,
+            rng,
+            ece_before,
+            mut history,
+            mut cold_batches,
+            next_iteration,
+            finished,
+        } = state;
 
-        // Line 2: split. The lowest-likelihood (hotspot-like) clips seed the
-        // training set; the validation set is a seeded random draw from the
-        // rest (the paper leaves V₀'s construction unspecified).
-        let initial_train: Vec<usize> = by_score[..config.initial_train.min(total)].to_vec();
-        let mut remaining: Vec<usize> = by_score[config.initial_train.min(total)..].to_vec();
-        remaining.shuffle(&mut rng);
-        let validation: Vec<usize> = remaining[..config.validation.min(remaining.len())].to_vec();
-        let (mut dataset, split_report) =
-            ActiveDataset::try_new(total, &initial_train, &validation, oracle);
-        if !split_report.is_complete() {
-            fault_stats.label_failures += split_report.failures.len();
-            telemetry::warn(
-                "core.framework",
-                "initial split degraded: failed labels returned to the pool",
-                &[
-                    ("run_id", run_id.into()),
-                    ("failed", (split_report.failures.len() as u64).into()),
-                    ("labeled", (split_report.labeled.len() as u64).into()),
-                ],
-            );
-        }
-
-        // The paper trains a discriminative model on L₀, which presumes both
-        // classes are present; when the GMM seed set is single-class we pay
-        // for random extra labels until it is not (or a small budget runs
-        // out). This divergence is documented here because the paper is
-        // silent on the degenerate case.
-        let mut top_up_budget = config.initial_train * 2;
-        while !dataset.has_both_classes() && top_up_budget > 0 && !dataset.unlabeled().is_empty() {
-            let pool = dataset.unlabeled();
-            let pick = pool[rng.gen_range(0..pool.len())];
-            let report = dataset.try_label_batch(&[pick], oracle);
-            fault_stats.label_failures += report.failures.len();
-            top_up_budget -= 1;
-        }
-
-        // Lines 3–5: initialise and fit the model.
-        let mut model = HotspotModel::new(
-            features.cols(),
-            seed ^ 0xabcd_1234,
-            config.init_sigma,
-            config.learning_rate,
-            config.train_batch,
-        );
-        if !dataset.labeled().is_empty() {
-            let x = features.gather_rows(dataset.labeled());
-            guarded_train(
-                &mut model,
-                &x,
-                dataset.labeled_classes(),
-                config.initial_epochs,
-                seed,
-                run_id,
-                &mut fault_stats,
-            )?;
-        }
-
-        // ECE before calibration, for the Fig. 2 comparison.
-        let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
-        let ece_before = validation_ece(
-            &val_logits,
-            dataset.validation_classes(),
-            Temperature::identity(),
-        );
-
-        // Lines 6–13: iterative batch sampling.
-        let mut history = Vec::with_capacity(config.iterations);
         #[allow(unused_assignments)] // re-fitted after the loop for detection
         let mut temperature = Temperature::identity();
-        let mut cold_batches = 0usize;
-        for iteration in 1..=config.iterations {
+        // Lines 6–13: iterative batch sampling. An empty range means the
+        // checkpoint already covered every iteration (or the cold-batch stop
+        // already fired); the run goes straight to detection.
+        let last_iteration = if finished { 0 } else { config.iterations };
+        for iteration in next_iteration..=last_iteration {
             let _iter_span = telemetry::span(telemetry::names::SPAN_ITERATION)
                 .with("iteration", iteration as u64);
             // Line 7: query pool = n lowest-GMM-likelihood unlabeled clips.
@@ -393,16 +351,47 @@ impl SamplingFramework {
             };
             emit_iteration(run_id, &stats, batch.len());
             history.push(stats);
-            // Optional termination condition: the sampler has gone cold.
+            // Optional termination condition: the sampler has gone cold. The
+            // tally is updated *before* any checkpoint so a resumed run
+            // re-derives the same stop decision from `cold_batches` alone.
+            let mut stop = false;
             if let Some(limit) = config.stop_after_cold_batches {
                 if batch_hotspots == 0 {
                     cold_batches += 1;
-                    if cold_batches >= limit {
-                        break;
-                    }
+                    stop = cold_batches >= limit;
                 } else {
                     cold_batches = 0;
                 }
+            }
+            if hook.wants_save(iteration) {
+                let checkpoint = RunCheckpoint {
+                    iteration,
+                    seed,
+                    run_id,
+                    total,
+                    by_score: by_score.clone(),
+                    dataset: DatasetCheckpoint {
+                        labeled: dataset.labeled().to_vec(),
+                        labeled_classes: dataset.labeled_classes().to_vec(),
+                        validation: dataset.validation().to_vec(),
+                        validation_classes: dataset.validation_classes().to_vec(),
+                    },
+                    model: model.state(),
+                    gmm: gmm.clone(),
+                    temperature: temperature.value(),
+                    ece_before,
+                    history: history.clone(),
+                    cold_batches,
+                    fault_stats,
+                    stats_before,
+                    oracle_calls_before,
+                    rng: rng.stream_state(),
+                    oracle: oracle.state_snapshot(),
+                };
+                hook.save(&checkpoint)?;
+            }
+            if stop {
+                break;
             }
         }
 
@@ -589,6 +578,269 @@ impl SamplingFramework {
             dataset.validation_classes(),
         )?)
     }
+}
+
+/// Algorithm 2 loop state at the top of the iteration loop — either built
+/// fresh by the pre-loop phase or reinstated from a [`RunCheckpoint`].
+struct LoopState {
+    /// Process-wide `litho.oracle.calls` reading at (original) run start.
+    oracle_calls_before: u64,
+    /// Oracle meter reading at (original) run start.
+    stats_before: OracleStats,
+    fault_stats: RunFaultStats,
+    gmm: GaussianMixture,
+    by_score: Vec<usize>,
+    dataset: ActiveDataset,
+    model: HotspotModel,
+    rng: ChaCha8Rng,
+    ece_before: f64,
+    history: Vec<IterationStats>,
+    cold_batches: usize,
+    /// First iteration the loop should execute (1 fresh, `k + 1` resumed).
+    next_iteration: usize,
+    /// The cold-batch stop already fired before the checkpoint; skip the
+    /// loop entirely and go straight to detection.
+    finished: bool,
+}
+
+/// The pre-loop phase of Algorithm 2 (lines 1–5): GMM scoring, the initial
+/// split, class top-up, and the first model fit, all paid for through the
+/// oracle.
+fn fresh_loop_state<O: LithoOracle + ?Sized>(
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    oracle: &mut O,
+    features: &Matrix,
+    seed: u64,
+    run_id: u64,
+    selector: &dyn BatchSelector,
+) -> Result<LoopState, ActiveError> {
+    let total = bench.len();
+    // The oracle-call counter is process-wide and monotonic (parallel
+    // runs share it); this run's share is the delta from here.
+    let oracle_calls_before = telemetry::counter(telemetry::names::ORACLE_CALLS).get();
+    telemetry::info(
+        "core.framework",
+        "run started",
+        &[
+            ("run_id", run_id.into()),
+            ("selector", selector.name().into()),
+            ("seed", seed.into()),
+            ("clips", (total as u64).into()),
+            ("iterations", (config.iterations as u64).into()),
+        ],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Likewise the oracle's own meter may carry history from earlier
+    // runs; everything this run bills is the delta from here.
+    let stats_before = oracle.stats();
+    let mut fault_stats = RunFaultStats::default();
+
+    // Algorithm 2 line 1: posterior scores from the Gaussian mixture.
+    let gmm = GaussianMixture::fit(
+        bench.density_features().as_slice(),
+        bench.density_features().dim(),
+        &GmmConfig {
+            components: config.gmm_components.min(total),
+            seed,
+            ..GmmConfig::default()
+        },
+    )?;
+    let scores = gmm.score_samples(bench.density_features().as_slice());
+    let mut by_score: Vec<usize> = (0..total).collect();
+    by_score.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // Line 2: split. The lowest-likelihood (hotspot-like) clips seed the
+    // training set; the validation set is a seeded random draw from the
+    // rest (the paper leaves V₀'s construction unspecified).
+    let initial_train: Vec<usize> = by_score[..config.initial_train.min(total)].to_vec();
+    let mut remaining: Vec<usize> = by_score[config.initial_train.min(total)..].to_vec();
+    remaining.shuffle(&mut rng);
+    let validation: Vec<usize> = remaining[..config.validation.min(remaining.len())].to_vec();
+    let (mut dataset, split_report) =
+        ActiveDataset::try_new(total, &initial_train, &validation, oracle);
+    if !split_report.is_complete() {
+        fault_stats.label_failures += split_report.failures.len();
+        telemetry::warn(
+            "core.framework",
+            "initial split degraded: failed labels returned to the pool",
+            &[
+                ("run_id", run_id.into()),
+                ("failed", (split_report.failures.len() as u64).into()),
+                ("labeled", (split_report.labeled.len() as u64).into()),
+            ],
+        );
+    }
+
+    // The paper trains a discriminative model on L₀, which presumes both
+    // classes are present; when the GMM seed set is single-class we pay
+    // for random extra labels until it is not (or a small budget runs
+    // out). This divergence is documented here because the paper is
+    // silent on the degenerate case.
+    let mut top_up_budget = config.initial_train * 2;
+    while !dataset.has_both_classes() && top_up_budget > 0 && !dataset.unlabeled().is_empty() {
+        let pool = dataset.unlabeled();
+        let pick = pool[rng.gen_range(0..pool.len())];
+        let report = dataset.try_label_batch(&[pick], oracle);
+        fault_stats.label_failures += report.failures.len();
+        top_up_budget -= 1;
+    }
+
+    // Lines 3–5: initialise and fit the model.
+    let mut model = HotspotModel::new(
+        features.cols(),
+        seed ^ 0xabcd_1234,
+        config.init_sigma,
+        config.learning_rate,
+        config.train_batch,
+    );
+    if !dataset.labeled().is_empty() {
+        let x = features.gather_rows(dataset.labeled());
+        guarded_train(
+            &mut model,
+            &x,
+            dataset.labeled_classes(),
+            config.initial_epochs,
+            seed,
+            run_id,
+            &mut fault_stats,
+        )?;
+    }
+
+    // ECE before calibration, for the Fig. 2 comparison.
+    let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
+    let ece_before = validation_ece(
+        &val_logits,
+        dataset.validation_classes(),
+        Temperature::identity(),
+    );
+
+    Ok(LoopState {
+        oracle_calls_before,
+        stats_before,
+        fault_stats,
+        gmm,
+        by_score,
+        dataset,
+        model,
+        rng,
+        ece_before,
+        history: Vec::with_capacity(config.iterations),
+        cold_batches: 0,
+        next_iteration: 1,
+        finished: false,
+    })
+}
+
+/// Reinstates loop state from a validated [`RunCheckpoint`]. Emits no
+/// `core.framework` events and pays for no labels: the pre-loop phase
+/// already ran in the interrupted process, its events survive in that
+/// process's journal, and every persisted label was already billed.
+fn resume_loop_state<O: LithoOracle + ?Sized>(
+    cp: RunCheckpoint,
+    config: &SamplingConfig,
+    oracle: &mut O,
+    features: &Matrix,
+    seed: u64,
+    run_id: u64,
+) -> Result<LoopState, ActiveError> {
+    if let Some(snapshot) = &cp.oracle {
+        if !oracle.restore_state(snapshot) {
+            return Err(ActiveError::Checkpoint {
+                detail: "oracle refused state restore; resuming would re-bill cached labels"
+                    .to_owned(),
+            });
+        }
+    }
+    let dataset = ActiveDataset::from_parts(
+        cp.total,
+        cp.dataset.labeled,
+        cp.dataset.labeled_classes,
+        cp.dataset.validation,
+        cp.dataset.validation_classes,
+    )?;
+    let mut model = HotspotModel::new(
+        features.cols(),
+        seed ^ 0xabcd_1234,
+        config.init_sigma,
+        config.learning_rate,
+        config.train_batch,
+    );
+    model.restore_state(&cp.model)?;
+    let rng = ChaCha8Rng::from_stream_state(cp.rng).ok_or_else(|| ActiveError::Checkpoint {
+        detail: "invalid RNG keystream state".to_owned(),
+    })?;
+    // Provenance, not run semantics: the `store.checkpoint` target is
+    // withheld from canonical journals so interrupted-and-resumed runs stay
+    // byte-identical to uninterrupted ones.
+    telemetry::info(
+        "store.checkpoint",
+        "run resumed from checkpoint",
+        &[
+            ("run_id", run_id.into()),
+            ("iteration", (cp.iteration as u64).into()),
+            ("labeled", (dataset.labeled().len() as u64).into()),
+        ],
+    );
+    let finished = config
+        .stop_after_cold_batches
+        .is_some_and(|limit| cp.cold_batches >= limit);
+    Ok(LoopState {
+        oracle_calls_before: cp.oracle_calls_before,
+        stats_before: cp.stats_before,
+        fault_stats: cp.fault_stats,
+        gmm: cp.gmm,
+        by_score: cp.by_score,
+        dataset,
+        model,
+        rng,
+        ece_before: cp.ece_before,
+        history: cp.history,
+        cold_batches: cp.cold_batches,
+        next_iteration: cp.iteration + 1,
+        finished,
+    })
+}
+
+/// Rejects a checkpoint that does not belong to this run: resuming under a
+/// different seed or benchmark would silently diverge instead of continuing
+/// the interrupted trajectory.
+fn validate_checkpoint(
+    cp: &RunCheckpoint,
+    total: usize,
+    seed: u64,
+    config: &SamplingConfig,
+) -> Result<(), ActiveError> {
+    let bad = |detail: String| ActiveError::Checkpoint { detail };
+    if cp.seed != seed {
+        return Err(bad(format!(
+            "checkpoint was taken under seed {}, not {seed}",
+            cp.seed
+        )));
+    }
+    if cp.total != total {
+        return Err(bad(format!(
+            "checkpoint covers {} clips, benchmark has {total}",
+            cp.total
+        )));
+    }
+    if cp.by_score.len() != total {
+        return Err(bad(format!(
+            "checkpoint score order covers {} clips, benchmark has {total}",
+            cp.by_score.len()
+        )));
+    }
+    if cp.iteration == 0 || cp.iteration > config.iterations {
+        return Err(bad(format!(
+            "checkpoint iteration {} outside the configured 1..={} loop",
+            cp.iteration, config.iterations
+        )));
+    }
+    Ok(())
 }
 
 /// Trains with a divergence guard: when the update produces a non-finite
@@ -883,6 +1135,153 @@ mod tests {
             .run(&bench, &mut EntropySelector::new(), 2)
             .unwrap();
         assert_eq!(outcome.final_temperature, 1.0);
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_reproduces_the_uninterrupted_run() {
+        use crate::MemoryCheckpoints;
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        // Reference run, checkpointing every iteration.
+        let mut hook = MemoryCheckpoints::every(1);
+        let mut oracle = bench.oracle();
+        let reference = framework
+            .run_with_oracle_checkpointed(
+                &bench,
+                &mut EntropySelector::new(),
+                3,
+                &mut oracle,
+                &mut hook,
+            )
+            .unwrap();
+        assert_eq!(hook.saved.len(), reference.history.len());
+        // Resume from every iteration boundary with a fresh process-like
+        // oracle; each resumed run must land on the identical outcome.
+        for cp in &hook.saved {
+            let mut resumed_hook = MemoryCheckpoints::resuming_from(cp.clone(), 0);
+            let mut fresh_oracle = bench.oracle();
+            let resumed = framework
+                .run_with_oracle_checkpointed(
+                    &bench,
+                    &mut EntropySelector::new(),
+                    3,
+                    &mut fresh_oracle,
+                    &mut resumed_hook,
+                )
+                .unwrap();
+            assert_eq!(
+                resumed.metrics, reference.metrics,
+                "at iteration {}",
+                cp.iteration
+            );
+            assert_eq!(resumed.history, reference.history);
+            assert_eq!(resumed.sampled_indices, reference.sampled_indices);
+            assert_eq!(resumed.predicted_hotspots, reference.predicted_hotspots);
+            assert_eq!(resumed.final_temperature, reference.final_temperature);
+            assert_eq!(resumed.ece_before, reference.ece_before);
+            assert_eq!(resumed.ece_after, reference.ece_after);
+            assert_eq!(resumed.run_id, reference.run_id, "resume keeps the run id");
+            // Eq. 2: the resumed run re-bills nothing — its oracle delta
+            // (restored meter → final meter, anchored at the original run
+            // start) equals the uninterrupted run's exactly.
+            assert_eq!(resumed.oracle_stats, reference.oracle_stats);
+            assert_eq!(resumed.metrics.litho, reference.metrics.litho);
+        }
+    }
+
+    #[test]
+    fn resume_reproduces_a_faulty_run_and_its_schedule() {
+        use crate::MemoryCheckpoints;
+        use hotspot_litho::{FaultRates, FaultyOracle, RetryOracle, RetryPolicy, VirtualClock};
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        let rates = FaultRates {
+            transient: 0.2,
+            flip: 0.02,
+            ..FaultRates::default()
+        };
+        let make_oracle = || {
+            RetryOracle::with_clock(
+                FaultyOracle::new(bench.oracle(), rates, 77),
+                RetryPolicy::default(),
+                VirtualClock::new(),
+            )
+            .with_quorum(3)
+        };
+        let mut hook = MemoryCheckpoints::every(1);
+        let mut oracle = make_oracle();
+        let reference = framework
+            .run_with_oracle_checkpointed(
+                &bench,
+                &mut EntropySelector::new(),
+                3,
+                &mut oracle,
+                &mut hook,
+            )
+            .unwrap();
+        let mid = &hook.saved[hook.saved.len() / 2];
+        let mut resumed_hook = MemoryCheckpoints::resuming_from(mid.clone(), 0);
+        let mut fresh = make_oracle();
+        let resumed = framework
+            .run_with_oracle_checkpointed(
+                &bench,
+                &mut EntropySelector::new(),
+                3,
+                &mut fresh,
+                &mut resumed_hook,
+            )
+            .unwrap();
+        // The per-clip attempt counters travelled with the checkpoint, so
+        // the deterministic fault schedule stays aligned across the resume.
+        assert_eq!(resumed.metrics, reference.metrics);
+        assert_eq!(resumed.history, reference.history);
+        assert_eq!(resumed.fault_stats, reference.fault_stats);
+        assert_eq!(resumed.oracle_stats, reference.oracle_stats);
+    }
+
+    #[test]
+    fn mismatched_checkpoints_are_refused() {
+        use crate::MemoryCheckpoints;
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        let mut hook = MemoryCheckpoints::every(1);
+        let mut oracle = bench.oracle();
+        framework
+            .run_with_oracle_checkpointed(
+                &bench,
+                &mut EntropySelector::new(),
+                3,
+                &mut oracle,
+                &mut hook,
+            )
+            .unwrap();
+        let cp = hook.saved[0].clone();
+        // Wrong seed.
+        let mut wrong_seed = MemoryCheckpoints::resuming_from(cp.clone(), 0);
+        assert!(matches!(
+            framework.run_with_oracle_checkpointed(
+                &bench,
+                &mut EntropySelector::new(),
+                4,
+                &mut bench.oracle(),
+                &mut wrong_seed,
+            ),
+            Err(ActiveError::Checkpoint { .. })
+        ));
+        // Corrupted shape.
+        let mut bad = cp;
+        bad.by_score.pop();
+        let mut bad_hook = MemoryCheckpoints::resuming_from(bad, 0);
+        assert!(matches!(
+            framework.run_with_oracle_checkpointed(
+                &bench,
+                &mut EntropySelector::new(),
+                3,
+                &mut bench.oracle(),
+                &mut bad_hook,
+            ),
+            Err(ActiveError::Checkpoint { .. })
+        ));
     }
 
     #[test]

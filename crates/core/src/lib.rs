@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod checkpoint;
 mod config;
 mod dataset;
 mod diversity;
@@ -48,13 +49,16 @@ mod selector;
 mod uncertainty;
 mod weighting;
 
+pub use checkpoint::{
+    CheckpointHook, DatasetCheckpoint, MemoryCheckpoints, NoCheckpoint, RunCheckpoint,
+};
 pub use config::{AblationConfig, SamplingConfig, WeightMode};
 pub use dataset::{ActiveDataset, LabelBatchReport};
 pub use diversity::{diversity_matrix, diversity_scores};
 pub use error::ActiveError;
 pub use framework::{IterationStats, RunFaultStats, RunOutcome, SamplingFramework};
 pub use metrics::PshdMetrics;
-pub use model::HotspotModel;
+pub use model::{HotspotModel, ModelState};
 pub use selector::{
     record_selection, BatchSelector, EntropySelector, RandomSelector, SelectionContext,
     UncertaintySelector,

@@ -1,8 +1,23 @@
 use crate::ActiveError;
 use hotspot_nn::{
-    Adam, Dense, InitRng, Matrix, NetworkSnapshot, Relu, Sequential, SoftmaxCrossEntropy,
-    TrainConfig, TrainReport, Trainer,
+    Adam, AdamState, Dense, InitRng, Matrix, NetworkSnapshot, Relu, Sequential,
+    SoftmaxCrossEntropy, TrainConfig, TrainReport, Trainer,
 };
+
+/// The complete trainable state of a [`HotspotModel`]: weights, optimiser
+/// moments, and the training-step counter. Unlike the rollback-only
+/// [`HotspotModel::snapshot`], restoring this resumes training *exactly* —
+/// the next update applies the same Adam bias correction and moment history
+/// as the uninterrupted model would.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelState {
+    /// Layer weights (the rollback snapshot).
+    pub snapshot: NetworkSnapshot,
+    /// Adam step counter and per-parameter moments.
+    pub optimizer: AdamState,
+    /// Training invocations so far ([`HotspotModel::steps_trained`]).
+    pub steps_trained: usize,
+}
 
 /// The hotspot classifier: a DCT-feature MLP with a 32-dimensional
 /// penultimate embedding, class-weighted loss, and Adam training.
@@ -163,6 +178,31 @@ impl HotspotModel {
         Ok(())
     }
 
+    /// Captures the full trainable state — weights *and* optimiser moments —
+    /// for checkpointing. See [`ModelState`].
+    pub fn state(&self) -> ModelState {
+        ModelState {
+            snapshot: self.net.snapshot(),
+            optimizer: self.optimizer.state(),
+            steps_trained: self.steps_trained,
+        }
+    }
+
+    /// Restores state captured by [`HotspotModel::state`] into a model of the
+    /// same architecture (build it with the same constructor arguments
+    /// first). Training then continues bit-identically to a model that was
+    /// never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot/architecture mismatches.
+    pub fn restore_state(&mut self, state: &ModelState) -> Result<(), ActiveError> {
+        self.net.load_snapshot(&state.snapshot)?;
+        self.optimizer.restore_state(&state.optimizer);
+        self.steps_trained = state.steps_trained;
+        Ok(())
+    }
+
     /// Raw logits and penultimate embeddings of a clip batch.
     pub fn predict(&self, x: &Matrix) -> (Matrix, Matrix) {
         self.net.infer_with_embedding(x)
@@ -282,6 +322,28 @@ mod tests {
         model.restore(&snap).unwrap();
         let (restored, _) = model.predict(&x);
         assert_eq!(before, restored, "restore must reproduce the snapshot");
+    }
+
+    #[test]
+    fn full_state_restore_resumes_training_bit_identically() {
+        let (x, y) = toy_data();
+        // Reference: train 10 + 10 epochs without interruption.
+        let mut reference = HotspotModel::new(3, 1, 1.0, 1e-2, 16);
+        reference.train(&x, &y, 10, 0).unwrap();
+        let state = reference.state();
+        reference.train(&x, &y, 10, 1).unwrap();
+        // Resumed: fresh same-architecture model, restore, continue.
+        let mut resumed = HotspotModel::new(3, 99, 1.0, 1e-2, 16);
+        resumed.restore_state(&state).unwrap();
+        resumed.train(&x, &y, 10, 1).unwrap();
+        assert_eq!(reference.predict(&x).0, resumed.predict(&x).0);
+        assert_eq!(reference.steps_trained(), resumed.steps_trained());
+        // The weight-only rollback snapshot would NOT reproduce this: Adam's
+        // moments and step counter change the continued trajectory.
+        let mut weights_only = HotspotModel::new(3, 99, 1.0, 1e-2, 16);
+        weights_only.restore(&state.snapshot).unwrap();
+        weights_only.train(&x, &y, 10, 1).unwrap();
+        assert_ne!(reference.predict(&x).0, weights_only.predict(&x).0);
     }
 
     #[test]

@@ -227,6 +227,30 @@ impl<O: LithoOracle> LithoOracle for FaultyOracle<O> {
     fn stats(&self) -> crate::OracleStats {
         self.inner.stats()
     }
+
+    fn state_snapshot(&self) -> Option<crate::OracleStateSnapshot> {
+        let mut state = self.inner.state_snapshot()?;
+        state.fault = Some(crate::FaultMeterState {
+            attempts: self.attempts.iter().map(|(&i, &n)| (i, n)).collect(),
+            injected: self.injected,
+        });
+        Some(state)
+    }
+
+    fn restore_state(&mut self, state: &crate::OracleStateSnapshot) -> bool {
+        if !self.inner.restore_state(state) {
+            return false;
+        }
+        if let Some(fault) = &state.fault {
+            // The attempt counters key the (seed, clip, attempt) fault
+            // schedule, so restoring them keeps the schedule aligned with
+            // the interrupted run. Permanent-failure clips are
+            // configuration, rebuilt by the constructor.
+            self.attempts = fault.attempts.iter().copied().collect();
+            self.injected = fault.injected;
+        }
+        true
+    }
 }
 
 #[cfg(test)]

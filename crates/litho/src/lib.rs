@@ -64,7 +64,10 @@ pub use defect::{Defect, DefectKind};
 pub use epe::{epe_stats, EpeStats};
 pub use fault::{FaultInjectionStats, FaultRates, FaultyOracle};
 pub use kernel::GaussianKernel;
-pub use oracle::{CountingOracle, LithoOracle, OracleError, OracleStats};
+pub use oracle::{
+    CountingOracle, FaultMeterState, LithoOracle, OracleError, OracleStateSnapshot, OracleStats,
+    RetryMeterState,
+};
 pub use process::{analyze_process_window, ProcessCorner, ProcessWindowReport};
 pub use report::{Label, LithoReport};
 pub use resist::ResistModel;

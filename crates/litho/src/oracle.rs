@@ -167,6 +167,66 @@ pub trait LithoOracle {
             ..OracleStats::default()
         }
     }
+
+    /// Captures the oracle stack's mutable state (result cache, billing
+    /// meters, wrapper bookkeeping) for a checkpoint, or `None` when the
+    /// implementation does not support state capture. Wrappers forward to
+    /// the wrapped oracle and fold their own state in.
+    fn state_snapshot(&self) -> Option<OracleStateSnapshot> {
+        None
+    }
+
+    /// Restores a [`LithoOracle::state_snapshot`] capture, returning whether
+    /// the oracle accepted it. Restoring bills nothing: cache entries come
+    /// back as already-paid-for results, so a resumed run re-queries them
+    /// for free instead of re-billing them into `litho.oracle.calls`.
+    fn restore_state(&mut self, _state: &OracleStateSnapshot) -> bool {
+        false
+    }
+}
+
+/// Portable capture of an oracle stack's mutable state, produced by
+/// [`LithoOracle::state_snapshot`] and consumed by
+/// [`LithoOracle::restore_state`] when a checkpointed run resumes.
+///
+/// The cache carries *already-billed* simulation results; restoring it is
+/// what keeps a resumed run's Litho# identical to an uninterrupted run's —
+/// clips labelled before the interruption are never re-billed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OracleStateSnapshot {
+    /// Cached `(clip, label)` results in ascending clip order.
+    pub cache: Vec<(usize, Label)>,
+    /// Total query calls including cache hits.
+    pub total: usize,
+    /// Cache-bypassing re-simulations billed.
+    pub resimulations: usize,
+    /// Retry-layer meters, present when a `RetryOracle` wraps the stack.
+    pub retry: Option<RetryMeterState>,
+    /// Fault-injection bookkeeping, present when a `FaultyOracle` is in the
+    /// stack (its per-clip attempt counts drive the deterministic fault
+    /// schedule, so they must survive a resume).
+    pub fault: Option<FaultMeterState>,
+}
+
+/// Mutable meters of a `RetryOracle`, folded into [`OracleStateSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryMeterState {
+    /// Failed attempts that were retried.
+    pub retries: usize,
+    /// Queries abandoned after exhausting retries or permanent faults.
+    pub giveups: usize,
+    /// Labels cast as quorum votes.
+    pub quorum_votes: usize,
+}
+
+/// Mutable state of a `FaultyOracle`, folded into [`OracleStateSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultMeterState {
+    /// Per-clip attempt counters `(clip, attempts)` in ascending clip order;
+    /// the seeded fault schedule is keyed on `(seed, clip, attempt)`.
+    pub attempts: Vec<(usize, u64)>,
+    /// Faults injected so far.
+    pub injected: crate::FaultInjectionStats,
 }
 
 /// Aggregate statistics of an oracle's usage.
@@ -325,6 +385,26 @@ impl LithoOracle for CountingOracle {
     fn total_queries(&self) -> usize {
         self.total
     }
+
+    fn state_snapshot(&self) -> Option<OracleStateSnapshot> {
+        Some(OracleStateSnapshot {
+            cache: self.cache.iter().map(|(&i, &l)| (i, l)).collect(),
+            total: self.total,
+            resimulations: self.resimulations,
+            retry: None,
+            fault: None,
+        })
+    }
+
+    fn restore_state(&mut self, state: &OracleStateSnapshot) -> bool {
+        // Plain field writes: no `litho.oracle.calls` increments, no latency
+        // records — restored cache entries were billed before the
+        // interruption and must stay billed exactly once.
+        self.cache = state.cache.iter().copied().collect();
+        self.total = state.total;
+        self.resimulations = state.resimulations;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +500,32 @@ mod tests {
         assert!(!OracleError::OutOfRange { index: 0, len: 1 }.is_retryable());
         assert_eq!(OracleError::Timeout { index: 7 }.index(), 7);
         assert_eq!(OracleError::Permanent { index: 7 }.kind(), "permanent");
+    }
+
+    #[test]
+    fn restored_cache_hits_bill_nothing() {
+        let mut first = oracle();
+        first.query(0);
+        first.query(2);
+        first.resimulate(2).unwrap();
+        let state = first.state_snapshot().expect("counting oracle snapshots");
+
+        // A fresh process restores the state; re-querying restored clips
+        // must be served from the cache without touching the global meter.
+        let mut resumed = oracle();
+        assert!(resumed.restore_state(&state));
+        assert_eq!(resumed.unique_queries(), first.unique_queries());
+        assert_eq!(resumed.total_queries(), first.total_queries());
+        let billed_before =
+            hotspot_telemetry::counter(hotspot_telemetry::names::ORACLE_CALLS).get();
+        assert_eq!(resumed.query(0), Label::Hotspot);
+        assert_eq!(resumed.query(2), Label::NonHotspot);
+        let billed_after = hotspot_telemetry::counter(hotspot_telemetry::names::ORACLE_CALLS).get();
+        assert_eq!(
+            billed_after, billed_before,
+            "restored cache hits must not re-bill litho.oracle.calls"
+        );
+        assert_eq!(resumed.unique_queries(), 3, "unique count carries over");
     }
 
     #[test]

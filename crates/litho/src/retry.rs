@@ -358,6 +358,28 @@ impl<O: LithoOracle, C: Clock> LithoOracle for RetryOracle<O, C> {
         stats.quorum_votes += self.quorum_votes;
         stats
     }
+
+    fn state_snapshot(&self) -> Option<crate::OracleStateSnapshot> {
+        let mut state = self.inner.state_snapshot()?;
+        state.retry = Some(crate::RetryMeterState {
+            retries: self.retries,
+            giveups: self.giveups,
+            quorum_votes: self.quorum_votes,
+        });
+        Some(state)
+    }
+
+    fn restore_state(&mut self, state: &crate::OracleStateSnapshot) -> bool {
+        if !self.inner.restore_state(state) {
+            return false;
+        }
+        if let Some(retry) = &state.retry {
+            self.retries = retry.retries;
+            self.giveups = retry.giveups;
+            self.quorum_votes = retry.quorum_votes;
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -497,6 +519,58 @@ mod tests {
         }
         assert_eq!(o.retries(), 0);
         assert_eq!(o.stats(), plain.stats());
+    }
+
+    #[test]
+    fn stacked_state_snapshot_round_trips_and_resumes_the_fault_schedule() {
+        let rates = FaultRates {
+            transient: 0.3,
+            flip: 0.2,
+            ..FaultRates::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        };
+        // Uninterrupted reference: query everything in one pass.
+        let mut reference = RetryOracle::with_clock(
+            FaultyOracle::new(truth(), rates, 17),
+            policy,
+            VirtualClock::new(),
+        )
+        .with_quorum(3);
+        let full: Vec<Label> = (0..64).map(|i| reference.try_query(i).unwrap()).collect();
+
+        // Interrupted run: stop half-way, capture, restore into a fresh
+        // stack, finish. Labels and meters must match the reference exactly.
+        let mut first = RetryOracle::with_clock(
+            FaultyOracle::new(truth(), rates, 17),
+            policy,
+            VirtualClock::new(),
+        )
+        .with_quorum(3);
+        let head: Vec<Label> = (0..32).map(|i| first.try_query(i).unwrap()).collect();
+        let state = first.state_snapshot().expect("stack snapshots");
+        assert!(state.retry.is_some() && state.fault.is_some());
+
+        let mut resumed = RetryOracle::with_clock(
+            FaultyOracle::new(truth(), rates, 17),
+            policy,
+            VirtualClock::new(),
+        )
+        .with_quorum(3);
+        assert!(resumed.restore_state(&state));
+        let tail: Vec<Label> = (32..64).map(|i| resumed.try_query(i).unwrap()).collect();
+
+        let mut resumed_labels = head;
+        resumed_labels.extend(tail);
+        assert_eq!(resumed_labels, full);
+        assert_eq!(resumed.stats(), reference.stats());
+        assert_eq!(
+            resumed.unique_queries(),
+            reference.unique_queries(),
+            "Litho# must be identical across the interruption"
+        );
     }
 
     #[test]

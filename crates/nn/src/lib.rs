@@ -72,7 +72,7 @@ pub use layer::Layer;
 pub use loss::SoftmaxCrossEntropy;
 pub use matrix::Matrix;
 pub use network::Sequential;
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use relu::Relu;
 pub use serialize::NetworkSnapshot;
 pub use trainer::{TrainConfig, TrainReport, Trainer};

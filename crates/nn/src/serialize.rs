@@ -62,6 +62,26 @@ impl NetworkSnapshot {
         self.layers.len()
     }
 
+    /// Layer kinds and parameter buffers in network order, for external
+    /// serialisers (e.g. the binary checkpoint codec).
+    pub fn layer_parts(&self) -> impl Iterator<Item = (&str, &[Vec<f32>])> {
+        self.layers
+            .iter()
+            .map(|l| (l.kind.as_str(), l.buffers.as_slice()))
+    }
+
+    /// Rebuilds a snapshot from `(kind, buffers)` parts as produced by
+    /// [`Self::layer_parts`]. Structural validation still happens at
+    /// [`crate::Sequential::load_snapshot`] time.
+    pub fn from_layer_parts(parts: Vec<(String, Vec<Vec<f32>>)>) -> Self {
+        NetworkSnapshot {
+            layers: parts
+                .into_iter()
+                .map(|(kind, buffers)| LayerSnapshot { kind, buffers })
+                .collect(),
+        }
+    }
+
     /// Total parameter count across all layers.
     pub fn parameter_count(&self) -> usize {
         self.layers
@@ -119,6 +139,16 @@ mod tests {
         snap.write_json(&mut buf).unwrap();
         let back = NetworkSnapshot::read_json(buf.as_slice()).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn layer_parts_round_trip() {
+        let snap = net().snapshot();
+        let parts: Vec<(String, Vec<Vec<f32>>)> = snap
+            .layer_parts()
+            .map(|(kind, buffers)| (kind.to_owned(), buffers.to_vec()))
+            .collect();
+        assert_eq!(NetworkSnapshot::from_layer_parts(parts), snap);
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! The deterministic binary codec: explicit little-endian primitives over a
+//! flat byte buffer, plus the CRC32 (IEEE 802.3) used for per-section
+//! integrity. No `serde`, no varints, no alignment: the encoding of a value
+//! is a pure function of the value, so checkpoint bytes are reproducible
+//! across processes and platforms.
+
+use crate::StoreError;
+
+/// CRC32 lookup table (IEEE 802.3 polynomial, reflected: `0xEDB88320`).
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE 802.3) of a byte slice — the per-section checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let index = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[index];
+    }
+    !crc
+}
+
+/// Append-only little-endian encoder. Writing is infallible; the buffer is
+/// taken with [`ByteWriter::into_bytes`].
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (the format is 64-bit regardless of host).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes an `f32` as its raw IEEE-754 bits — bit-exact, NaN included.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Writes an `f64` as its raw IEEE-754 bits — bit-exact, NaN included.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Writes a length-prefixed UTF-8 string (`u32` length + bytes).
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Writes a length-prefixed byte blob (`u64` length + bytes).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Checked little-endian decoder over a byte slice. Every read is bounds-
+/// checked and returns [`StoreError::Truncated`] instead of panicking, so a
+/// torn or corrupted checkpoint can never take the process down.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `data`, positioned at the start.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Fails unless every byte was consumed — trailing garbage in a section
+    /// means the writer and reader disagree about the format.
+    pub fn finish(self, context: &'static str) -> Result<(), StoreError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt {
+                detail: format!("{} trailing bytes after {context}", self.remaining()),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                context,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u64` and converts to `usize`, rejecting values the host
+    /// cannot represent.
+    pub fn get_usize(&mut self, context: &'static str) -> Result<usize, StoreError> {
+        let v = self.get_u64(context)?;
+        usize::try_from(v).map_err(|_| StoreError::Corrupt {
+            detail: format!("{context}: value {v} does not fit a usize"),
+        })
+    }
+
+    /// Reads an `f32` from its raw bits.
+    pub fn get_f32(&mut self, context: &'static str) -> Result<f32, StoreError> {
+        Ok(f32::from_bits(self.get_u32(context)?))
+    }
+
+    /// Reads an `f64` from its raw bits.
+    pub fn get_f64(&mut self, context: &'static str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.get_u64(context)?))
+    }
+
+    /// Reads a bool, rejecting any byte other than 0 or 1.
+    pub fn get_bool(&mut self, context: &'static str) -> Result<bool, StoreError> {
+        match self.get_u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::Corrupt {
+                detail: format!("{context}: invalid bool byte {other}"),
+            }),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, context: &'static str) -> Result<String, StoreError> {
+        let len = self.get_u32(context)? as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Corrupt {
+            detail: format!("{context}: invalid UTF-8"),
+        })
+    }
+
+    /// Reads exactly `n` raw bytes (no length prefix), borrowing from the
+    /// underlying slice.
+    pub fn get_raw(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        self.take(n, context)
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn get_bytes(&mut self, context: &'static str) -> Result<Vec<u8>, StoreError> {
+        let len = self.get_usize(context)?;
+        Ok(self.take(len, context)?.to_vec())
+    }
+
+    /// Reads a sequence length, capped by the bytes actually remaining (one
+    /// byte per element minimum) so a corrupt length cannot drive a huge
+    /// allocation before the truncation is detected.
+    pub fn get_seq_len(&mut self, context: &'static str) -> Result<usize, StoreError> {
+        let len = self.get_usize(context)?;
+        if len > self.remaining() {
+            return Err(StoreError::Truncated {
+                context,
+                needed: len,
+                available: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn every_primitive_round_trips() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(12345);
+        w.put_f32(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_str("snapshot");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8("t").unwrap(), 0xAB);
+        assert_eq!(r.get_u16("t").unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32("t").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("t").unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_usize("t").unwrap(), 12345);
+        assert_eq!(r.get_f32("t").unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.get_f64("t").unwrap().is_nan());
+        assert!(r.get_bool("t").unwrap());
+        assert_eq!(r.get_str("t").unwrap(), "snapshot");
+        assert_eq!(r.get_bytes("t").unwrap(), vec![1, 2, 3]);
+        r.finish("primitives").unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut w = ByteWriter::new();
+        w.put_u64(7);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(matches!(r.get_u64("t"), Err(StoreError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.get_u32("t").unwrap();
+        assert!(matches!(r.finish("t"), Err(StoreError::Corrupt { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn u64_round_trips(v in any::<u64>()) {
+            let mut w = ByteWriter::new();
+            w.put_u64(v);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            prop_assert_eq!(r.get_u64("t").unwrap(), v);
+        }
+
+        #[test]
+        fn f64_round_trips_bit_exactly(bits in any::<u64>()) {
+            let v = f64::from_bits(bits);
+            let mut w = ByteWriter::new();
+            w.put_f64(v);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            prop_assert_eq!(r.get_f64("t").unwrap().to_bits(), bits);
+        }
+
+        #[test]
+        fn crc_detects_single_bit_flips(payload in proptest::collection::vec(any::<u8>(), 1..64), bit in 0usize..8) {
+            let reference = crc32(&payload);
+            let mut mutated = payload.clone();
+            let index = payload.len() / 2;
+            mutated[index] ^= 1 << bit;
+            prop_assert!(crc32(&mutated) != reference);
+        }
+    }
+}

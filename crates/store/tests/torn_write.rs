@@ -1,0 +1,107 @@
+//! Torn-write crash safety: a checkpoint truncated at **every possible byte
+//! offset** must never panic the reader, and the store must always fall
+//! back to the newest checkpoint that still validates.
+
+use std::fs;
+use std::path::PathBuf;
+
+use hotspot_store::{CheckpointFile, CheckpointStore, StoreError};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hotspot-store-torn-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_file(tag: u8) -> CheckpointFile {
+    let mut file = CheckpointFile::new();
+    file.put("meta", vec![tag; 24]);
+    file.put(
+        "model",
+        (0..200).map(|i| (i as u8).wrapping_mul(tag)).collect(),
+    );
+    file.put("history", vec![tag; 3]);
+    file
+}
+
+#[test]
+fn decode_never_panics_at_any_truncation_offset() {
+    let file = sample_file(7);
+    let bytes = file.encode();
+    for cut in 0..=bytes.len() {
+        match CheckpointFile::decode(&bytes[..cut]) {
+            Ok(decoded) => {
+                assert_eq!(
+                    cut,
+                    bytes.len(),
+                    "a strict prefix must not decode, but {cut}/{} did",
+                    bytes.len()
+                );
+                assert_eq!(decoded, file);
+            }
+            Err(
+                StoreError::BadMagic
+                | StoreError::Truncated { .. }
+                | StoreError::Corrupt { .. }
+                | StoreError::CrcMismatch { .. },
+            ) => {}
+            Err(other) => panic!("unexpected error class at offset {cut}: {other}"),
+        }
+    }
+}
+
+#[test]
+fn store_recovers_previous_checkpoint_from_every_truncation() {
+    let good = sample_file(1);
+    let torn_encoding = sample_file(2).encode();
+
+    for cut in 0..torn_encoding.len() {
+        let dir = temp_dir(&format!("cut{cut}"));
+        let mut store = CheckpointStore::open(&dir).expect("store opens");
+        store.save(10, &good).expect("good checkpoint commits");
+
+        // Simulate a crash mid-write of checkpoint 11: a partial file under
+        // the final name, as a reordering filesystem could leave behind.
+        fs::write(dir.join("ckpt-000000000000000b.bin"), &torn_encoding[..cut])
+            .expect("write torn file");
+
+        let reopened = CheckpointStore::open(&dir).expect("open never fails on torn data");
+        assert_eq!(reopened.keys(), &[10, 11]);
+        let (key, file) = reopened
+            .load_latest()
+            .expect("scan succeeds")
+            .expect("the good checkpoint is still there");
+        assert_eq!(key, 10, "truncation at {cut} must fall back to key 10");
+        assert_eq!(file, good);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_after_torn_write_continues_the_key_sequence() {
+    let dir = temp_dir("sequence");
+    let mut store = CheckpointStore::open(&dir).expect("store opens");
+    store.save(1, &sample_file(1)).expect("save 1");
+    store.save(2, &sample_file(2)).expect("save 2");
+
+    // Tear checkpoint 2, then resume: the process restores from key 1 but
+    // must keep committing after the torn key, exactly like a resumed run
+    // that re-executes the lost iteration.
+    let path = dir.join("ckpt-0000000000000002.bin");
+    let bytes = fs::read(&path).expect("read");
+    fs::write(&path, &bytes[..bytes.len() - 5]).expect("tear");
+
+    let mut resumed = CheckpointStore::open(&dir).expect("reopen");
+    let (key, _) = resumed
+        .load_latest()
+        .expect("scan")
+        .expect("key 1 still valid");
+    assert_eq!(key, 1);
+    // Key 2 is occupied by the torn file, so the resumed process continues
+    // at 3; a fresh save then becomes the newest valid checkpoint.
+    resumed.save(3, &sample_file(3)).expect("save 3");
+    let (key, file) = resumed.load_latest().expect("scan").expect("found");
+    assert_eq!(key, 3);
+    assert_eq!(file, sample_file(3));
+    let _ = fs::remove_dir_all(&dir);
+}

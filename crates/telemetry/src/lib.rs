@@ -38,8 +38,11 @@ pub use event::{Event, FieldValue};
 pub use export::{prometheus_name, render_prometheus};
 pub use http::{serve_metrics, MetricsServer};
 pub use level::{EnvFilter, Level, ParseLevelError};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
-pub use sink::{ConsoleSink, JsonlSink, MemorySink, Sink};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramState, HistogramSummary, MetricsRegistry, MetricsSnapshot,
+    MetricsState,
+};
+pub use sink::{ConsoleSink, JournalPosition, JsonlSink, MemorySink, Sink};
 pub use span::{ProfileTree, SpanStat, SpanTimer};
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -198,6 +201,32 @@ pub fn flush() {
 /// tests) tag and later disentangle their journal events.
 pub fn next_run_id() -> u64 {
     global().run_ids.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The next run id [`next_run_id`] would hand out, without consuming it.
+/// Checkpoints persist this so a resumed process keeps allocating the same
+/// ids an uninterrupted process would have.
+pub fn run_id_watermark() -> u64 {
+    global().run_ids.load(Ordering::Relaxed)
+}
+
+/// Overwrites the run-id allocator, pairing with [`run_id_watermark`] when
+/// restoring a checkpoint in a fresh process.
+pub fn set_run_id_watermark(next: u64) {
+    global().run_ids.store(next, Ordering::Relaxed);
+}
+
+/// Captures the raw state of every registered metric (full histogram bucket
+/// arrays, exact bit patterns) for checkpointing; see
+/// [`MetricsRegistry::state`].
+pub fn metrics_state() -> MetricsState {
+    global().metrics.state()
+}
+
+/// Restores a [`metrics_state`] capture into the process-global registry;
+/// see [`MetricsRegistry::restore_state`].
+pub fn restore_metrics_state(state: &MetricsState) {
+    global().metrics.restore_state(state);
 }
 
 #[cfg(test)]

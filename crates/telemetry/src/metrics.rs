@@ -192,6 +192,31 @@ impl Histogram {
         quantile_from_buckets(&counts, q, min, max)
     }
 
+    fn state(&self, name: &str) -> HistogramState {
+        HistogramState {
+            name: name.to_string(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_bits: self.sum_bits.load(Ordering::Relaxed),
+            min_bits: self.min_bits.load(Ordering::Relaxed),
+            max_bits: self.max_bits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn restore(&self, state: &HistogramState) {
+        for (bucket, &n) in self.buckets.iter().zip(&state.buckets) {
+            bucket.store(n, Ordering::Relaxed);
+        }
+        self.count.store(state.count, Ordering::Relaxed);
+        self.sum_bits.store(state.sum_bits, Ordering::Relaxed);
+        self.min_bits.store(state.min_bits, Ordering::Relaxed);
+        self.max_bits.store(state.max_bits, Ordering::Relaxed);
+    }
+
     fn summary(&self, name: &str) -> HistogramSummary {
         let count = self.count();
         let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
@@ -323,6 +348,38 @@ impl MetricsSnapshot {
     }
 }
 
+/// Raw, lossless capture of one histogram's internals (full bucket array
+/// plus exact `f64` bit patterns), unlike the human-oriented
+/// [`HistogramSummary`] which drops empty buckets and derives quantiles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramState {
+    /// Histogram name.
+    pub name: String,
+    /// Every bucket count, including empty buckets.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations as raw `f64` bits.
+    pub sum_bits: u64,
+    /// Smallest observation as raw `f64` bits (`+inf` when empty).
+    pub min_bits: u64,
+    /// Largest observation as raw `f64` bits (`-inf` when empty).
+    pub max_bits: u64,
+}
+
+/// Raw capture of every registered metric, suitable for checkpointing:
+/// restoring a state into a fresh registry reproduces the exact values —
+/// bit for bit — that a continuing process would have carried.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsState {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name as raw `f64` bits.
+    pub gauges: Vec<(String, u64)>,
+    /// Raw histogram states by name.
+    pub histograms: Vec<HistogramState>,
+}
+
 /// Name-to-slot registry; one per process (held by the global telemetry).
 ///
 /// Keys are owned strings so dynamically composed names (e.g. per-span
@@ -361,6 +418,64 @@ impl MetricsRegistry {
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
         )
+    }
+
+    /// Captures the raw state of every registered metric for a checkpoint.
+    pub fn state(&self) -> MetricsState {
+        let counters = self
+            .counters
+            .lock()
+            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(name, bits)| (name.to_string(), bits.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, histogram)| histogram.state(name))
+            .collect();
+        MetricsState {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Restores a [`MetricsState`] capture, overwriting (and registering if
+    /// needed) every metric named in it. Metrics the state does not mention
+    /// are left untouched — a restore is expected to happen at process
+    /// start, before anything but the restored run has recorded data.
+    pub fn restore_state(&self, state: &MetricsState) {
+        for (name, value) in &state.counters {
+            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
+            let mut map = self.counters.lock().expect("counter registry poisoned");
+            map.entry(name.clone())
+                .or_default()
+                .store(*value, Ordering::Relaxed);
+        }
+        for (name, bits) in &state.gauges {
+            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
+            let mut map = self.gauges.lock().expect("gauge registry poisoned");
+            map.entry(name.clone())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())))
+                .store(*bits, Ordering::Relaxed);
+        }
+        for histogram_state in &state.histograms {
+            let histogram = self.histogram(&histogram_state.name);
+            histogram.restore(histogram_state);
+        }
     }
 
     /// Copies every metric's current value.
@@ -518,6 +633,28 @@ mod tests {
         let summary = &registry.snapshot().histograms[0];
         assert_eq!(summary.p50, None);
         assert_eq!(summary.p99, None);
+    }
+
+    #[test]
+    fn state_restore_is_lossless_across_registries() {
+        let source = MetricsRegistry::default();
+        source.counter("calls").add(41);
+        source.gauge("temp").set(2.5);
+        let h = source.histogram("loss");
+        for v in [0.25, 0.5, 1.0, 1e-30, 1e30] {
+            h.record(v);
+        }
+        let state = source.state();
+
+        let target = MetricsRegistry::default();
+        target.counter("calls").add(999); // overwritten by restore
+        target.restore_state(&state);
+        assert_eq!(target.state(), state, "restore must be bit-exact");
+        // The restored histogram keeps producing identical statistics.
+        assert_eq!(target.snapshot(), source.snapshot());
+        target.histogram("loss").record(0.75);
+        source.histogram("loss").record(0.75);
+        assert_eq!(target.snapshot(), source.snapshot());
     }
 
     #[test]

@@ -74,6 +74,19 @@ pub const SPAN_GMM_FIT: &str = "gmm.fit";
 /// EM iterations executed across all GMM fits.
 pub const GMM_EM_ITERATIONS: &str = "gmm.em.iterations";
 
+/// Checkpoints committed by a `CheckpointStore` (atomic rename completed).
+pub const CHECKPOINT_SAVES: &str = "checkpoint.saves";
+
+/// Total bytes of committed checkpoint payloads.
+pub const CHECKPOINT_BYTES: &str = "checkpoint.bytes";
+
+/// Runs restored from a checkpoint (`--resume`).
+pub const CHECKPOINT_RESUMES: &str = "checkpoint.resumes";
+
+/// Torn or corrupt checkpoints skipped while falling back to the newest
+/// valid one during recovery.
+pub const CHECKPOINT_CORRUPT_SKIPPED: &str = "checkpoint.corrupt_skipped";
+
 /// Every registered name, for registry-integrity tests and tooling.
 pub const ALL: &[&str] = &[
     ORACLE_CALLS,
@@ -97,6 +110,10 @@ pub const ALL: &[&str] = &[
     SELECTOR_BATCHES,
     SPAN_GMM_FIT,
     GMM_EM_ITERATIONS,
+    CHECKPOINT_SAVES,
+    CHECKPOINT_BYTES,
+    CHECKPOINT_RESUMES,
+    CHECKPOINT_CORRUPT_SKIPPED,
 ];
 
 /// Histogram name for one span's wall-clock seconds: `span.<name>.seconds`

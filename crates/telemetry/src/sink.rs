@@ -84,34 +84,119 @@ pub struct JsonlSink {
 /// by instrumented code, never derived from the seeded computation.
 const WALL_CLOCK_FIELDS: &[&str] = &["elapsed_us", "elapsed_ms", "duration_us"];
 
+/// Event targets withheld entirely in canonical mode: `profile` events are
+/// pure wall-clock measurements, and `store.checkpoint` events are
+/// operational provenance (saves, resumes, corruption fallbacks) that
+/// differs between an interrupted-and-resumed run and an uninterrupted one
+/// without changing the run's semantics.
+const CANONICAL_WITHHELD_TARGETS: &[&str] = &["profile", "store.checkpoint"];
+
+/// Metric-name prefix withheld from canonical snapshots for the same reason
+/// as `store.checkpoint` events: checkpoint save/resume counters are
+/// provenance, not run output.
+const CHECKPOINT_METRIC_PREFIX: &str = "checkpoint.";
+
+/// Exact byte offset and next sequence number of a journal, as used by
+/// checkpoints: a resumed process truncates the journal to `bytes` and
+/// continues writing records numbered from `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalPosition {
+    /// File length in bytes after the last complete record.
+    pub bytes: u64,
+    /// Sequence number the next record will carry.
+    pub seq: u64,
+}
+
 struct JournalWriter {
     out: BufWriter<File>,
     seq: u64,
+    bytes: u64,
 }
 
 impl JsonlSink {
     /// Creates (truncating) the journal file.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        Self::open(path, false)
+        Self::open(path, false, false)
     }
 
     /// Creates (truncating) the journal file in canonical mode: all
     /// wall-clock data is withheld so identically-seeded runs write
     /// byte-identical journals.
     pub fn create_canonical(path: impl AsRef<Path>) -> io::Result<Self> {
-        Self::open(path, true)
+        Self::open(path, true, false)
     }
 
-    fn open(path: impl AsRef<Path>, canonical: bool) -> io::Result<Self> {
-        let file = File::create(path)?;
+    /// Opens the journal for appending (creating it when absent), so a
+    /// resumed run continues the file its interrupted predecessor left
+    /// behind. Sequence numbers continue from the existing line count.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open(path, false, true)
+    }
+
+    /// [`Self::append`] in canonical mode; with the journal first truncated
+    /// to the checkpoint's [`JournalPosition`], the continuation is
+    /// byte-identical to an uninterrupted run's journal.
+    pub fn create_canonical_append(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open(path, true, true)
+    }
+
+    fn open(path: impl AsRef<Path>, canonical: bool, append: bool) -> io::Result<Self> {
+        let (file, seq, bytes) = if append {
+            // Initialise the position from the surviving file: one record
+            // per line, so the next sequence number is the line count.
+            let existing = match std::fs::read(path.as_ref()) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(e),
+            };
+            let seq = existing.iter().filter(|&&b| b == b'\n').count() as u64;
+            let file = File::options().create(true).append(true).open(path)?;
+            (file, seq, existing.len() as u64)
+        } else {
+            (File::create(path)?, 0, 0)
+        };
         Ok(JsonlSink {
             writer: Mutex::new(JournalWriter {
                 out: BufWriter::new(file),
-                seq: 0,
+                seq,
+                bytes,
             }),
             opened: Instant::now(),
             canonical,
         })
+    }
+
+    /// Whether this journal withholds wall-clock and provenance data.
+    pub fn is_canonical(&self) -> bool {
+        self.canonical
+    }
+
+    /// The current end-of-journal position (all records are flushed before
+    /// this returns, so the position is durable).
+    pub fn position(&self) -> JournalPosition {
+        // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
+        let writer = self.writer.lock().expect("journal writer poisoned");
+        JournalPosition {
+            bytes: writer.bytes,
+            seq: writer.seq,
+        }
+    }
+
+    /// Writes the `resume` header record a resumed run opens with, carrying
+    /// the restored iteration and checkpoint id. Withheld in canonical mode
+    /// — an uninterrupted run has no such record, and checkpoint provenance
+    /// must not break the byte-identity oracle.
+    pub fn record_resume(&self, iteration: u64, checkpoint_id: u64) {
+        if self.canonical {
+            return;
+        }
+        self.write_record(
+            "resume",
+            vec![
+                ("iteration".to_string(), Value::U64(iteration)),
+                ("checkpoint".to_string(), Value::U64(checkpoint_id)),
+            ],
+        );
     }
 
     fn write_record(&self, kind: &str, mut body: Vec<(String, Value)>) {
@@ -131,8 +216,12 @@ impl JsonlSink {
         entries.append(&mut body);
         writer.seq += 1;
         // Journal output is best-effort: losing a line must not kill a run.
-        if serde_json::to_writer(&mut writer.out, &Value::Map(entries)).is_ok() {
-            let _ = writer.out.write_all(b"\n");
+        let mut line = Vec::new();
+        if serde_json::to_writer(&mut line, &Value::Map(entries)).is_ok() {
+            line.push(b'\n');
+            if writer.out.write_all(&line).is_ok() {
+                writer.bytes += line.len() as u64;
+            }
         }
         // Flush per record, not only on drop: a killed or scraped-mid-run
         // process must still leave a journal readable up to its last line
@@ -143,8 +232,10 @@ impl JsonlSink {
 
 impl Sink for JsonlSink {
     fn on_event(&self, event: &Event) {
-        // Span-close profile events are pure wall-clock measurements.
-        if self.canonical && event.target == "profile" {
+        // Span-close profile events are pure wall-clock measurements, and
+        // checkpoint provenance differs between resumed and uninterrupted
+        // runs; canonical journals withhold both.
+        if self.canonical && CANONICAL_WITHHELD_TARGETS.contains(&event.target) {
             return;
         }
         let body = match event.to_json() {
@@ -160,6 +251,9 @@ impl Sink for JsonlSink {
             canonical
                 .histograms
                 .retain(|h| !h.name.ends_with(".seconds"));
+            canonical
+                .counters
+                .retain(|(name, _)| !name.starts_with(CHECKPOINT_METRIC_PREFIX));
             canonical.to_json()
         } else {
             snapshot.to_json()
@@ -347,6 +441,100 @@ mod tests {
                 .as_u64(),
             Some(42)
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_continues_position_and_sequence() {
+        let path = std::env::temp_dir().join(format!(
+            "lithohd-journal-append-test-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let sink = JsonlSink::create_canonical(&path).unwrap();
+        sink.on_event(&sample_event());
+        sink.on_event(&sample_event());
+        let position = sink.position();
+        drop(sink);
+        assert_eq!(position.seq, 2);
+        assert_eq!(
+            position.bytes,
+            std::fs::metadata(&path).unwrap().len(),
+            "tracked bytes must equal the file length"
+        );
+
+        // Simulate a resume: truncate to the recorded position (a no-op
+        // here) and reopen for appending.
+        let resumed = JsonlSink::create_canonical_append(&path).unwrap();
+        assert_eq!(resumed.position(), position);
+        resumed.on_event(&sample_event());
+        drop(resumed);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let last: Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(last.get("seq").unwrap().as_u64(), Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_record_written_plainly_but_withheld_canonically() {
+        let dir = std::env::temp_dir();
+        let plain_path = dir.join(format!(
+            "lithohd-journal-resume-plain-{}.jsonl",
+            std::process::id()
+        ));
+        let plain = JsonlSink::append(&plain_path).unwrap();
+        plain.record_resume(7, 3);
+        drop(plain);
+        let text = std::fs::read_to_string(&plain_path).unwrap();
+        let record: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(record.get("type").unwrap().as_str(), Some("resume"));
+        assert_eq!(record.get("iteration").unwrap().as_u64(), Some(7));
+        assert_eq!(record.get("checkpoint").unwrap().as_u64(), Some(3));
+        std::fs::remove_file(&plain_path).ok();
+
+        let canonical_path = dir.join(format!(
+            "lithohd-journal-resume-canon-{}.jsonl",
+            std::process::id()
+        ));
+        let canonical = JsonlSink::create_canonical_append(&canonical_path).unwrap();
+        canonical.record_resume(7, 3);
+        drop(canonical);
+        let text = std::fs::read_to_string(&canonical_path).unwrap();
+        assert!(
+            text.is_empty(),
+            "canonical mode must withhold resume records"
+        );
+        std::fs::remove_file(&canonical_path).ok();
+    }
+
+    #[test]
+    fn canonical_journal_withholds_checkpoint_provenance() {
+        let path = std::env::temp_dir().join(format!(
+            "lithohd-journal-ckpt-test-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create_canonical(&path).unwrap();
+        sink.on_event(&Event {
+            level: Level::Info,
+            target: "store.checkpoint",
+            message: "checkpoint saved".to_string(),
+            fields: vec![("iteration", FieldValue::U64(4))],
+        });
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.counters.push(("checkpoint.saves".to_string(), 4));
+        snapshot
+            .counters
+            .push(("litho.oracle.calls".to_string(), 9));
+        sink.on_snapshot(&snapshot);
+        drop(sink);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("checkpoint"), "{text}");
+        assert!(text.contains("litho.oracle.calls"), "{text}");
+        assert_eq!(text.lines().count(), 1, "event must be dropped: {text}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -26,7 +26,54 @@ pub struct ChaCha8Rng {
     index: usize,
 }
 
+/// Portable capture of a [`ChaCha8Rng`] keystream position.
+///
+/// The buffered block is not stored: `counter`/`index` identify the stream
+/// position exactly, and restoring regenerates the block on demand. Two
+/// generators with equal stream state produce identical future output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaChaStreamState {
+    /// Key schedule words derived from the seed.
+    pub key: [u32; 8],
+    /// Block counter of the *next* block to generate.
+    pub counter: u64,
+    /// Next unread word in the current block; 16 means "at a block boundary".
+    pub index: usize,
+}
+
 impl ChaCha8Rng {
+    /// Captures the exact keystream position for later [`Self::from_stream_state`].
+    pub fn stream_state(&self) -> ChaChaStreamState {
+        ChaChaStreamState {
+            key: self.key,
+            counter: self.counter,
+            index: self.index,
+        }
+    }
+
+    /// Reconstructs a generator at a previously captured keystream position.
+    ///
+    /// Returns `None` when `state.index > 16` (not a valid word offset).
+    pub fn from_stream_state(state: ChaChaStreamState) -> Option<Self> {
+        if state.index > 16 {
+            return None;
+        }
+        let mut rng = ChaCha8Rng {
+            key: state.key,
+            counter: state.counter,
+            buffer: [0; 16],
+            index: 16,
+        };
+        if state.index < 16 {
+            // Mid-block position: regenerate the block that was being read.
+            // `refill` consumes `counter` and advances it, so rewind first.
+            rng.counter = state.counter.wrapping_sub(1);
+            rng.refill();
+            rng.index = state.index;
+        }
+        Some(rng)
+    }
+
     fn refill(&mut self) {
         const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
         let mut state = [0u32; 16];
@@ -138,6 +185,30 @@ mod tests {
         let expected = samples * 32;
         let deviation = (ones as i64 - expected as i64).abs();
         assert!(deviation < 6000, "bit bias too large: {deviation}");
+    }
+
+    #[test]
+    fn stream_state_round_trips_at_any_offset() {
+        // Capture/restore at every word offset across a few blocks.
+        for burn in 0..48usize {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            for _ in 0..burn {
+                rng.next_u32();
+            }
+            let mut restored =
+                ChaCha8Rng::from_stream_state(rng.stream_state()).expect("valid state");
+            let expect: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+            let got: Vec<u32> = (0..40).map(|_| restored.next_u32()).collect();
+            assert_eq!(expect, got, "divergence after burning {burn} words");
+        }
+    }
+
+    #[test]
+    fn stream_state_rejects_bad_index() {
+        let rng = ChaCha8Rng::seed_from_u64(1);
+        let mut state = rng.stream_state();
+        state.index = 17;
+        assert!(ChaCha8Rng::from_stream_state(state).is_none());
     }
 
     #[test]
