@@ -16,9 +16,9 @@
 
 use hotspot_active::SamplingConfig;
 use hotspot_bench::{
-    generate, run_active_method, run_active_method_checkpointed, run_active_method_faulty,
-    run_active_method_faulty_checkpointed, write_json, ActiveMethod, CheckpointedSequence,
-    ExperimentArgs, FaultyMethodResult,
+    run_active_method, run_active_method_checkpointed, run_active_method_faulty,
+    run_active_method_faulty_checkpointed, try_generate, write_json, ActiveMethod,
+    CheckpointedSequence, ExperimentArgs, FaultyMethodResult,
 };
 use hotspot_layout::BenchmarkSpec;
 use hotspot_litho::FaultRates;
@@ -39,7 +39,7 @@ struct FaultsResult {
 fn main() {
     let args = ExperimentArgs::from_env();
     let spec = BenchmarkSpec::iccad16_2().scaled(args.scale.max(0.25));
-    let bench = generate(&spec, args.seed);
+    let bench = try_generate(&spec, args.seed).expect("benchmark generation succeeds");
     let config = SamplingConfig::for_benchmark(bench.len());
     let mut sequence = CheckpointedSequence::from_args(&args);
 

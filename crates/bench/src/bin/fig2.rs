@@ -7,7 +7,7 @@
 //! (Fig. 2b). The calibrated ECE should drop substantially.
 
 use hotspot_active::HotspotModel;
-use hotspot_bench::{generate, write_json, ExperimentArgs};
+use hotspot_bench::{try_generate, write_json, ExperimentArgs};
 use hotspot_calibration::{ReliabilityDiagram, Temperature};
 use hotspot_layout::BenchmarkSpec;
 use hotspot_nn::Matrix;
@@ -25,7 +25,7 @@ struct Fig2Result {
 fn main() {
     let args = ExperimentArgs::from_env();
     let spec = BenchmarkSpec::iccad16_3().scaled(args.scale.max(0.25));
-    let bench = generate(&spec, args.seed);
+    let bench = try_generate(&spec, args.seed).expect("benchmark generation succeeds");
 
     // Standardised features and a train / validation / test split.
     let dct = bench.dct_features();

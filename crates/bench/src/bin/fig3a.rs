@@ -7,7 +7,7 @@
 //! points away from clusters or on group boundaries are preferred).
 
 use hotspot_active::{diversity_scores, HotspotModel};
-use hotspot_bench::{generate, project_2d, write_json, ExperimentArgs};
+use hotspot_bench::{project_2d, try_generate, write_json, ExperimentArgs};
 use hotspot_layout::BenchmarkSpec;
 use hotspot_nn::Matrix;
 use serde::Serialize;
@@ -23,7 +23,7 @@ struct ScatterPoint {
 fn main() {
     let args = ExperimentArgs::from_env();
     let spec = BenchmarkSpec::iccad16_2().scaled(args.scale.max(0.25));
-    let bench = generate(&spec, args.seed);
+    let bench = try_generate(&spec, args.seed).expect("benchmark generation succeeds");
 
     let dct = bench.dct_features();
     let (mean, std) = dct.column_stats();

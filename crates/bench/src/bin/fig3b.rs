@@ -8,7 +8,7 @@
 
 use hotspot_active::{diversity_scores, HotspotModel};
 use hotspot_baselines::QpSelector;
-use hotspot_bench::{generate, write_json, ExperimentArgs};
+use hotspot_bench::{try_generate, write_json, ExperimentArgs};
 use hotspot_layout::BenchmarkSpec;
 use hotspot_nn::Matrix;
 use hotspot_qp::QpSolver;
@@ -26,7 +26,7 @@ struct Fig3bResult {
 fn main() {
     let args = ExperimentArgs::from_env();
     let spec = BenchmarkSpec::iccad16_3().scaled(args.scale.max(0.25));
-    let bench = generate(&spec, args.seed);
+    let bench = try_generate(&spec, args.seed).expect("benchmark generation succeeds");
 
     let dct = bench.dct_features();
     let (mean, std) = dct.column_stats();

@@ -10,7 +10,7 @@
 
 use hotspot_active::SamplingConfig;
 use hotspot_bench::{
-    evaluated_specs, generate, run_active_method, write_json, ActiveMethod, ExperimentArgs,
+    evaluated_specs, run_active_method, try_generate, write_json, ActiveMethod, ExperimentArgs,
     MethodResult,
 };
 use serde::Serialize;
@@ -32,7 +32,7 @@ fn main() {
 
     let mut points = Vec::new();
     for spec in &specs {
-        let bench = generate(spec, args.seed);
+        let bench = try_generate(spec, args.seed).expect("benchmark generation succeeds");
         let base = SamplingConfig::for_benchmark(bench.len());
         println!("Fig. 4 ({}):", spec.name);
         for method in methods {

@@ -9,7 +9,7 @@
 
 use hotspot_active::SamplingConfig;
 use hotspot_baselines::PatternMatcher;
-use hotspot_bench::{generate, write_json, ActiveMethod, ExperimentArgs};
+use hotspot_bench::{try_generate, write_json, ActiveMethod, ExperimentArgs};
 use hotspot_layout::BenchmarkSpec;
 use hotspot_layout::GeneratedBenchmark;
 use hotspot_litho::Label;
@@ -54,7 +54,7 @@ fn render_map(bench: &GeneratedBenchmark, sampled: &[usize]) -> Vec<String> {
 fn main() {
     let args = ExperimentArgs::from_env();
     let spec = BenchmarkSpec::iccad16_2().scaled(args.scale.max(0.25));
-    let bench = generate(&spec, args.seed);
+    let bench = try_generate(&spec, args.seed).expect("benchmark generation succeeds");
     let config = SamplingConfig::for_benchmark(bench.len());
 
     let mut results = Vec::new();

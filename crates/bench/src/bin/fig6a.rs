@@ -6,7 +6,7 @@
 //! beat every fixed setting on both criteria.
 
 use hotspot_active::{SamplingConfig, WeightMode};
-use hotspot_bench::{generate, run_active_method, write_json, ActiveMethod, ExperimentArgs};
+use hotspot_bench::{run_active_method, try_generate, write_json, ActiveMethod, ExperimentArgs};
 use hotspot_layout::BenchmarkSpec;
 use serde::Serialize;
 
@@ -20,7 +20,7 @@ struct WeightResult {
 fn main() {
     let args = ExperimentArgs::from_env();
     let spec = BenchmarkSpec::iccad16_3().scaled(args.scale.max(0.25));
-    let bench = generate(&spec, args.seed);
+    let bench = try_generate(&spec, args.seed).expect("benchmark generation succeeds");
     // A deliberately tight sampling budget: with the default (paper-profile)
     // budget every weighting reaches the accuracy ceiling and the comparison
     // degenerates; the weight choice only matters when batches are scarce.

@@ -8,8 +8,8 @@
 use hotspot_active::SamplingConfig;
 use hotspot_baselines::PatternMatcher;
 use hotspot_bench::{
-    evaluated_specs, generate, run_active_method, run_pattern_method, runtime_seconds, write_json,
-    ActiveMethod, ExperimentArgs,
+    evaluated_specs, run_active_method, run_pattern_method, runtime_seconds, try_generate,
+    write_json, ActiveMethod, ExperimentArgs,
 };
 use serde::Serialize;
 
@@ -33,7 +33,7 @@ fn main() {
         ("Ours".to_owned(), 0, 0.0),
     ];
     for spec in &specs {
-        let bench = generate(spec, args.seed);
+        let bench = try_generate(spec, args.seed).expect("benchmark generation succeeds");
         let config = SamplingConfig::for_benchmark(bench.len());
         let cells = [
             run_pattern_method(PatternMatcher::exact(), &bench),

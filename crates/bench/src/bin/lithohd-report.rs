@@ -1,6 +1,6 @@
 //! `lithohd-report` — journal analytics and the bench regression gate.
 //!
-//! Three subcommands over JSONL run journals (written with `--journal`):
+//! Four subcommands over JSONL run journals (written with `--journal`):
 //!
 //! * `report <journal.jsonl>` — render a Markdown report: per-run headline
 //!   table, per-iteration trajectories with sparklines (temperature, ECE,
@@ -8,6 +8,10 @@
 //!   latency quantiles.
 //! * `diff <a.jsonl> <b.jsonl>` — per-method, per-metric deltas between two
 //!   journals.
+//! * `render <journal.jsonl> --out <dir> [--max-clips <n>]` — render the
+//!   offline SVG dashboard (method bars, trajectories, selection maps,
+//!   reliability diagrams, clip geometry) plus a self-contained
+//!   `index.html`.
 //! * `gate <journal.jsonl> <baseline.json> [--tolerance-acc <pts>]
 //!   [--tolerance-litho <pct>] [--tolerance-time <factor>]` — compare the
 //!   journal against a committed `BENCH_*.json` baseline and exit nonzero
@@ -25,10 +29,13 @@ use hotspot_bench::journal::{
     evaluate_gate, load_baseline, method_for_selector, percentile, GateTolerances, Journal,
     RunRecord,
 };
+use hotspot_bench::render::{render_dashboard, RenderOptions};
 
 const USAGE: &str = "usage: lithohd-report <command>\n\
   report <journal.jsonl>                 render a Markdown report\n\
   diff <a.jsonl> <b.jsonl>               per-metric deltas between journals\n\
+  render <journal.jsonl> --out <dir>     render the SVG dashboard\n\
+       [--max-clips <n>]                 clip geometry renderings (default 8)\n\
   gate <journal.jsonl> <baseline.json>   regression gate against a baseline\n\
        [--tolerance-acc <points>]        allowed accuracy drop (default 0.5)\n\
        [--tolerance-litho <percent>]     allowed Litho# increase (default 0)\n\
@@ -39,6 +46,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
         Some("gate") => cmd_gate(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
@@ -71,6 +79,42 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let a = read_journal(path_a)?;
     let b = read_journal(path_b)?;
     print!("{}", render_diff(path_a, &a, path_b, &b));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_render(args: &[String]) -> Result<ExitCode, String> {
+    let mut positional = Vec::new();
+    let mut out_dir: Option<String> = None;
+    let mut options = RenderOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--out" => out_dir = Some(value("--out")?.clone()),
+            "--max-clips" => {
+                options.max_clips = value("--max-clips")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-clips: {e}"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [journal_path] = positional.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let out_dir = out_dir.ok_or_else(|| USAGE.to_string())?;
+    let journal = read_journal(journal_path)?;
+    let summary = render_dashboard(&journal, std::path::Path::new(&out_dir), &options)?;
+    println!(
+        "wrote {} file(s) to {out_dir} ({} run(s), {} clip rendering(s)); open {out_dir}/index.html",
+        summary.files.len(),
+        summary.runs,
+        summary.clips,
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -161,14 +205,20 @@ fn sparkline(values: &[f64]) -> String {
         finite.iter().copied().reduce(f64::min),
         finite.iter().copied().reduce(f64::max),
     ) else {
-        return String::new();
+        // No finite samples at all: every slot is a gap, not an empty string,
+        // so the line keeps its width in the table.
+        return values.iter().map(|_| '?').collect();
     };
-    let span = (max - min).max(f64::EPSILON);
+    let span = max - min;
     values
         .iter()
         .map(|v| {
             if !v.is_finite() {
                 return '?';
+            }
+            if span <= 0.0 {
+                // Constant series: a flat mid-level line, not a row of minima.
+                return SPARK[SPARK.len() / 2];
             }
             let level = ((v - min) / span * (SPARK.len() - 1) as f64).round() as usize;
             SPARK[level.min(SPARK.len() - 1)]
@@ -177,7 +227,10 @@ fn sparkline(values: &[f64]) -> String {
 }
 
 fn fmt_opt(value: Option<f64>, unit_scale: f64) -> String {
-    value.map_or_else(|| "-".to_string(), |v| format!("{:.3}", v * unit_scale))
+    match value {
+        Some(v) if v.is_finite() => format!("{:.3}", v * unit_scale),
+        _ => "-".to_string(),
+    }
 }
 
 fn render_report(path: &str, journal: &Journal) -> String {
@@ -455,4 +508,43 @@ fn render_diff(path_a: &str, a: &Journal, path_b: &str, b: &Journal) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{fmt_opt, sparkline, SPARK};
+
+    #[test]
+    fn sparkline_spans_min_to_max() {
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(line.chars().next(), Some(SPARK[0]));
+        assert_eq!(line.chars().last(), Some(SPARK[SPARK.len() - 1]));
+    }
+
+    #[test]
+    fn sparkline_constant_series_is_a_flat_mid_line() {
+        let mid = SPARK[SPARK.len() / 2];
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), mid.to_string().repeat(3));
+    }
+
+    #[test]
+    fn sparkline_non_finite_values_become_gaps() {
+        assert_eq!(sparkline(&[f64::NAN, f64::INFINITY]), "??");
+        let line = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(line.chars().nth(1), Some('?'));
+        assert_eq!(line.chars().count(), 3);
+    }
+
+    #[test]
+    fn sparkline_empty_is_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn fmt_opt_absorbs_missing_and_non_finite() {
+        assert_eq!(fmt_opt(None, 1.0), "-");
+        assert_eq!(fmt_opt(Some(f64::NAN), 1.0), "-");
+        assert_eq!(fmt_opt(Some(f64::INFINITY), 1.0), "-");
+        assert_eq!(fmt_opt(Some(0.25), 100.0), "25.000");
+    }
 }

@@ -22,8 +22,8 @@
 
 use hotspot_active::SamplingConfig;
 use hotspot_bench::{
-    generate, render_table, run_active_method_avg, run_active_method_avg_checkpointed, write_json,
-    ActiveMethod, CheckpointedSequence, ExperimentArgs, MethodResult, TableRow,
+    render_table, run_active_method_avg, run_active_method_avg_checkpointed, try_generate,
+    write_json, ActiveMethod, CheckpointedSequence, ExperimentArgs, MethodResult, TableRow,
 };
 use hotspot_layout::BenchmarkSpec;
 
@@ -37,7 +37,7 @@ const METHODS: [ActiveMethod; 4] = [
 fn main() {
     let args = ExperimentArgs::from_env();
     let spec = BenchmarkSpec::iccad12().scaled(args.scale);
-    let bench = generate(&spec, args.seed);
+    let bench = try_generate(&spec, args.seed).expect("benchmark generation succeeds");
     let config = SamplingConfig::for_benchmark(bench.len());
 
     let mut sequence = CheckpointedSequence::from_args(&args);

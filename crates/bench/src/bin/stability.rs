@@ -6,7 +6,7 @@
 //! accuracy and litho overhead.
 
 use hotspot_active::SamplingConfig;
-use hotspot_bench::{generate, run_active_method, write_json, ActiveMethod, ExperimentArgs};
+use hotspot_bench::{run_active_method, try_generate, write_json, ActiveMethod, ExperimentArgs};
 use hotspot_layout::BenchmarkSpec;
 use serde::Serialize;
 
@@ -31,7 +31,7 @@ fn main() {
     let args = ExperimentArgs::from_env();
     let repeats = args.repeats.max(3);
     let spec = BenchmarkSpec::iccad16_3().scaled(args.scale.max(0.25));
-    let bench = generate(&spec, args.seed);
+    let bench = try_generate(&spec, args.seed).expect("benchmark generation succeeds");
     let config = SamplingConfig::for_benchmark(bench.len());
 
     println!(

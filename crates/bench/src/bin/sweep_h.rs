@@ -8,7 +8,9 @@
 //! values inflate false alarms.
 
 use hotspot_active::SamplingConfig;
-use hotspot_bench::{generate, run_active_method_avg, write_json, ActiveMethod, ExperimentArgs};
+use hotspot_bench::{
+    run_active_method_avg, try_generate, write_json, ActiveMethod, ExperimentArgs,
+};
 use hotspot_layout::BenchmarkSpec;
 use serde::Serialize;
 
@@ -22,7 +24,7 @@ struct SweepPoint {
 fn main() {
     let args = ExperimentArgs::from_env();
     let spec = BenchmarkSpec::iccad16_3().scaled(args.scale.max(0.25));
-    let bench = generate(&spec, args.seed);
+    let bench = try_generate(&spec, args.seed).expect("benchmark generation succeeds");
     let base = SamplingConfig::for_benchmark(bench.len());
 
     println!(

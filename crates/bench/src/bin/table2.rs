@@ -8,8 +8,8 @@
 use hotspot_active::SamplingConfig;
 use hotspot_baselines::PatternMatcher;
 use hotspot_bench::{
-    evaluated_specs, generate, ratio_row, render_table, run_active_method_avg, run_pattern_method,
-    write_json, ActiveMethod, ExperimentArgs, MethodResult, TableRow,
+    evaluated_specs, ratio_row, render_table, run_active_method_avg, run_pattern_method,
+    try_generate, write_json, ActiveMethod, ExperimentArgs, MethodResult, TableRow,
 };
 
 const METHODS: [&str; 7] = ["PM-exact", "PM-a95", "PM-a90", "PM-e2", "TS", "QP", "Ours"];
@@ -21,7 +21,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut results: Vec<MethodResult> = Vec::new();
     for spec in &specs {
-        let bench = generate(spec, args.seed);
+        let bench = try_generate(spec, args.seed).expect("benchmark generation succeeds");
         let config = SamplingConfig::for_benchmark(bench.len());
         let cells: Vec<MethodResult> = vec![
             run_pattern_method(PatternMatcher::exact(), &bench),

@@ -7,7 +7,7 @@
 
 use hotspot_active::SamplingConfig;
 use hotspot_bench::{
-    evaluated_specs, generate, ratio_row, render_table, run_active_method_avg, write_json,
+    evaluated_specs, ratio_row, render_table, run_active_method_avg, try_generate, write_json,
     ActiveMethod, ExperimentArgs, MethodResult, TableRow,
 };
 
@@ -20,7 +20,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut results: Vec<(String, MethodResult)> = Vec::new();
     for spec in &specs {
-        let bench = generate(spec, args.seed);
+        let bench = try_generate(spec, args.seed).expect("benchmark generation succeeds");
         let base = SamplingConfig::for_benchmark(bench.len());
         let variants = [
             ("w/o.E", base.clone().without_entropy_weighting()),

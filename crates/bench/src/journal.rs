@@ -85,6 +85,72 @@ pub struct RunRecord {
     pub elapsed_ms: u64,
 }
 
+/// One `clip selected` journal event: a clip picked by the selector in one
+/// sampling iteration, with the scores it was weighed by. The per-run
+/// sequence of these events is the selection map of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionRecord {
+    /// Run the selection belongs to.
+    pub run_id: u64,
+    /// 1-based iteration number.
+    pub iteration: u64,
+    /// Benchmark clip index of the pick.
+    pub clip: u64,
+    /// 0-based position within the iteration's batch.
+    pub rank: u64,
+    /// Boundary-weighted entropy score at selection time (Eq. 7).
+    pub uncertainty: f64,
+    /// Embedding-space diversity score at selection time (Eq. 10).
+    pub diversity: f64,
+}
+
+/// One `calibration bin` journal event: an occupied reliability-diagram bin
+/// at one calibration measurement. Grouping by `(run_id, stage, iteration)`
+/// reconstructs the full diagram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationBinRecord {
+    /// Run the measurement belongs to.
+    pub run_id: u64,
+    /// Measurement stage: `before`, `iteration`, or `after`.
+    pub stage: String,
+    /// Iteration number for `iteration`-stage measurements; 0 otherwise.
+    pub iteration: u64,
+    /// 0-based bin index.
+    pub bin: u64,
+    /// Inclusive lower confidence edge.
+    pub lower: f64,
+    /// Upper confidence edge.
+    pub upper: f64,
+    /// Predictions in the bin.
+    pub count: u64,
+    /// Mean predicted confidence in the bin.
+    pub confidence: f64,
+    /// Empirical accuracy in the bin.
+    pub accuracy: f64,
+}
+
+/// One `benchmark ready` journal event: the generated benchmark's spec and
+/// seed. Enough to re-synthesize every clip's geometry offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkRecord {
+    /// Benchmark name (e.g. `ICCAD12`).
+    pub benchmark: String,
+    /// Total clips generated.
+    pub clips: u64,
+    /// Generation seed.
+    pub seed: u64,
+    /// Technology node identifier (`Tech::name`).
+    pub tech: String,
+    /// Requested hotspot count.
+    pub hotspots: u64,
+    /// Requested non-hotspot count.
+    pub non_hotspots: u64,
+    /// Duplicate-clip rate of the spec.
+    pub dup_rate: f64,
+    /// Near-miss rate of the spec.
+    pub near_miss_rate: f64,
+}
+
 /// Aggregate view of one histogram in a journal snapshot.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct HistogramStats {
@@ -170,7 +236,7 @@ impl Journal {
 
     /// Every `iteration complete` event as a typed row, in journal order.
     pub fn iterations(&self) -> Vec<IterationRecord> {
-        self.events_with_message("iteration complete")
+        self.events_with_message(hotspot_telemetry::names::EVENT_ITERATION_COMPLETE)
             .filter_map(|event| {
                 Some(IterationRecord {
                     run_id: get_u64(event, "run_id")?,
@@ -191,9 +257,64 @@ impl Journal {
             .collect()
     }
 
+    /// Every `clip selected` event as a typed row, in journal order.
+    pub fn selections(&self) -> Vec<SelectionRecord> {
+        self.events_with_message(hotspot_telemetry::names::EVENT_CLIP_SELECTED)
+            .filter_map(|event| {
+                Some(SelectionRecord {
+                    run_id: get_u64(event, "run_id")?,
+                    iteration: get_u64(event, "iteration")?,
+                    clip: get_u64(event, "clip")?,
+                    rank: get_u64(event, "rank").unwrap_or(0),
+                    uncertainty: get_f64(event, "uncertainty").unwrap_or(f64::NAN),
+                    diversity: get_f64(event, "diversity").unwrap_or(f64::NAN),
+                })
+            })
+            .collect()
+    }
+
+    /// Every `calibration bin` event as a typed row, in journal order.
+    pub fn calibration_bins(&self) -> Vec<CalibrationBinRecord> {
+        self.events_with_message(hotspot_telemetry::names::EVENT_CALIBRATION_BIN)
+            .filter_map(|event| {
+                Some(CalibrationBinRecord {
+                    run_id: get_u64(event, "run_id")?,
+                    stage: get_str(event, "stage")?.to_string(),
+                    iteration: get_u64(event, "iteration").unwrap_or(0),
+                    bin: get_u64(event, "bin")?,
+                    lower: get_f64(event, "lower")?,
+                    upper: get_f64(event, "upper")?,
+                    count: get_u64(event, "count").unwrap_or(0),
+                    confidence: get_f64(event, "confidence").unwrap_or(f64::NAN),
+                    accuracy: get_f64(event, "accuracy").unwrap_or(f64::NAN),
+                })
+            })
+            .collect()
+    }
+
+    /// Every `benchmark ready` event as a typed row, in journal order.
+    /// Events from journals written before the spec fields existed (no
+    /// `seed`/`tech`) are skipped — their geometry is not reconstructible.
+    pub fn benchmarks(&self) -> Vec<BenchmarkRecord> {
+        self.events_with_message(hotspot_telemetry::names::EVENT_BENCHMARK_READY)
+            .filter_map(|event| {
+                Some(BenchmarkRecord {
+                    benchmark: get_str(event, "benchmark")?.to_string(),
+                    clips: get_u64(event, "clips")?,
+                    seed: get_u64(event, "seed")?,
+                    tech: get_str(event, "tech")?.to_string(),
+                    hotspots: get_u64(event, "hotspots")?,
+                    non_hotspots: get_u64(event, "non_hotspots")?,
+                    dup_rate: get_f64(event, "dup_rate").unwrap_or(0.0),
+                    near_miss_rate: get_f64(event, "near_miss_rate").unwrap_or(0.0),
+                })
+            })
+            .collect()
+    }
+
     /// Every `run complete` event as a typed row, in journal order.
     pub fn runs(&self) -> Vec<RunRecord> {
-        self.events_with_message("run complete")
+        self.events_with_message(hotspot_telemetry::names::EVENT_RUN_COMPLETE)
             .filter_map(|event| {
                 Some(RunRecord {
                     run_id: get_u64(event, "run_id")?,
@@ -487,6 +608,49 @@ mod tests {
             "\n",
         );
         Journal::parse_str(text)
+    }
+
+    #[test]
+    fn parses_selection_calibration_and_benchmark_records() {
+        let text = concat!(
+            r#"{"type":"event","seq":0,"target":"bench.generate","message":"benchmark ready","benchmark":"ICCAD12","clips":100,"seed":42,"tech":"Duv28","hotspots":20,"non_hotspots":80,"dup_rate":0.1,"near_miss_rate":0.2,"elapsed_ms":5}"#,
+            "\n",
+            r#"{"type":"event","seq":1,"target":"bench.generate","message":"benchmark ready","benchmark":"legacy","clips":10}"#,
+            "\n",
+            r#"{"type":"event","seq":2,"target":"core.framework","message":"clip selected","run_id":3,"iteration":2,"clip":17,"rank":0,"uncertainty":0.9,"diversity":0.4}"#,
+            "\n",
+            r#"{"type":"event","seq":3,"target":"core.framework","message":"calibration bin","run_id":3,"stage":"before","iteration":0,"bin":9,"lower":0.9,"upper":1.0,"count":12,"confidence":0.95,"accuracy":0.8}"#,
+            "\n",
+        );
+        let journal = Journal::parse_str(text);
+
+        let benchmarks = journal.benchmarks();
+        // The legacy record without spec fields is skipped, not mis-parsed.
+        assert_eq!(benchmarks.len(), 1);
+        assert_eq!(benchmarks[0].benchmark, "ICCAD12");
+        assert_eq!(benchmarks[0].seed, 42);
+        assert_eq!(benchmarks[0].tech, "Duv28");
+        assert_eq!(benchmarks[0].hotspots, 20);
+        assert_eq!(benchmarks[0].non_hotspots, 80);
+        assert_eq!(benchmarks[0].dup_rate, 0.1);
+        assert_eq!(benchmarks[0].near_miss_rate, 0.2);
+
+        let selections = journal.selections();
+        assert_eq!(selections.len(), 1);
+        assert_eq!(selections[0].run_id, 3);
+        assert_eq!(selections[0].iteration, 2);
+        assert_eq!(selections[0].clip, 17);
+        assert_eq!(selections[0].rank, 0);
+        assert_eq!(selections[0].uncertainty, 0.9);
+        assert_eq!(selections[0].diversity, 0.4);
+
+        let bins = journal.calibration_bins();
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].stage, "before");
+        assert_eq!(bins[0].bin, 9);
+        assert_eq!(bins[0].count, 12);
+        assert_eq!(bins[0].confidence, 0.95);
+        assert_eq!(bins[0].accuracy, 0.8);
     }
 
     #[test]

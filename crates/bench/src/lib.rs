@@ -15,6 +15,7 @@ mod cli;
 pub mod journal;
 mod methods;
 mod pca;
+pub mod render;
 mod report;
 mod runtime;
 
@@ -47,8 +48,18 @@ pub fn evaluated_specs(scale: f64) -> Vec<BenchmarkSpec> {
     ]
 }
 
-/// Generates one benchmark, reporting progress as telemetry events.
-pub fn generate(spec: &BenchmarkSpec, seed: u64) -> GeneratedBenchmark {
+/// Generates one benchmark, reporting progress as telemetry events. The
+/// `benchmark ready` event carries the full spec and seed, so an offline
+/// renderer can re-synthesize any clip's geometry from the journal alone.
+///
+/// # Errors
+///
+/// Propagates [`hotspot_layout::LayoutError`] from benchmark generation
+/// (invalid spec or stalled geometry synthesis).
+pub fn try_generate(
+    spec: &BenchmarkSpec,
+    seed: u64,
+) -> Result<GeneratedBenchmark, hotspot_layout::LayoutError> {
     use hotspot_telemetry as telemetry;
     let _span = telemetry::span(telemetry::names::SPAN_GENERATE);
     telemetry::info(
@@ -62,15 +73,21 @@ pub fn generate(spec: &BenchmarkSpec, seed: u64) -> GeneratedBenchmark {
     );
     // lithohd-lint: allow(determinism-clock) — generation time feeds a telemetry event only
     let start = std::time::Instant::now();
-    let bench = GeneratedBenchmark::generate(spec, seed).expect("benchmark generation succeeds");
+    let bench = GeneratedBenchmark::generate(spec, seed)?;
     telemetry::info(
         "bench.generate",
-        "benchmark ready",
+        telemetry::names::EVENT_BENCHMARK_READY,
         &[
             ("benchmark", spec.name.as_str().into()),
             ("clips", (bench.len() as u64).into()),
+            ("seed", seed.into()),
+            ("tech", spec.tech.name().into()),
+            ("hotspots", (spec.hotspots as u64).into()),
+            ("non_hotspots", (spec.non_hotspots as u64).into()),
+            ("dup_rate", spec.dup_rate.into()),
+            ("near_miss_rate", spec.near_miss_rate.into()),
             ("elapsed_ms", (start.elapsed().as_millis() as u64).into()),
         ],
     );
-    bench
+    Ok(bench)
 }

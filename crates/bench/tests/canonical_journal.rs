@@ -49,5 +49,60 @@ fn identically_seeded_runs_write_byte_identical_canonical_journals() {
         );
     }
 
+    // The observability events the dashboard renders from must survive
+    // canonical mode and parse into typed records.
+    let journal = hotspot_bench::journal::Journal::parse_str(&text);
+    let selections = journal.selections();
+    assert!(
+        !selections.is_empty(),
+        "canonical journal carries no `clip selected` events"
+    );
+    assert!(
+        selections
+            .iter()
+            .all(|s| s.uncertainty.is_finite() && s.diversity.is_finite()),
+        "selection scores must be finite"
+    );
+    let bins = journal.calibration_bins();
+    for stage in ["before", "iteration", "after"] {
+        assert!(
+            bins.iter().any(|b| b.stage == stage),
+            "canonical journal carries no `calibration bin` events for stage {stage:?}"
+        );
+    }
+    let benchmarks = journal.benchmarks();
+    assert!(
+        !benchmarks.is_empty(),
+        "canonical journal carries no `benchmark ready` spec records"
+    );
+    assert!(
+        benchmarks.iter().all(|b| !b.tech.is_empty()),
+        "benchmark records must carry the tech needed for re-synthesis"
+    );
+
+    // And the dashboard rendered from each journal must itself be
+    // byte-identical: same journal bytes in, same SVG bytes out.
+    let dash_a = dir.join("dash_a");
+    let dash_b = dir.join("dash_b");
+    let summary_a = hotspot_bench::render::render_dashboard(
+        &journal,
+        &dash_a,
+        &hotspot_bench::render::RenderOptions { max_clips: 2 },
+    )
+    .expect("render first dashboard");
+    let summary_b = hotspot_bench::render::render_dashboard(
+        &hotspot_bench::journal::Journal::parse_str(&text),
+        &dash_b,
+        &hotspot_bench::render::RenderOptions { max_clips: 2 },
+    )
+    .expect("render second dashboard");
+    assert_eq!(summary_a.files, summary_b.files);
+    assert!(summary_a.files.contains(&"index.html".to_string()));
+    for name in &summary_a.files {
+        let fa = std::fs::read(dash_a.join(name)).expect("read first rendering");
+        let fb = std::fs::read(dash_b.join(name)).expect("read second rendering");
+        assert_eq!(fa, fb, "rendered {name} differs between identical journals");
+    }
+
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,166 @@
+//! Golden-file determinism for the offline dashboard: the same journal must
+//! render the same file set with byte-identical contents, every SVG must be
+//! structurally sound, and clip geometry must re-synthesize from the spec
+//! carried in the journal alone — no network, no original artifacts.
+
+use std::path::Path;
+
+use hotspot_bench::journal::Journal;
+use hotspot_bench::render::{render_dashboard, RenderOptions};
+
+/// A hand-written journal exercising every record kind the renderer reads:
+/// a re-synthesizable benchmark spec, two runs (entropy and random), their
+/// iterations, selections, and calibration bins.
+fn synthetic_journal() -> Journal {
+    let mut text = String::new();
+    text.push_str(
+        r#"{"type":"event","seq":0,"target":"bench.generate","message":"benchmark ready","benchmark":"TinyEuv","clips":30,"seed":3,"tech":"Euv7","hotspots":6,"non_hotspots":24,"dup_rate":0.0,"near_miss_rate":0.1}"#,
+    );
+    text.push('\n');
+    for (run_id, selector) in [(0u64, "entropy"), (1u64, "random")] {
+        text.push_str(&format!(
+            r#"{{"type":"event","seq":{seq},"target":"core.framework","message":"run started","run_id":{run_id},"selector":"{selector}","pool":24,"seed":3}}"#,
+            seq = 1 + run_id * 10,
+        ));
+        text.push('\n');
+        for iteration in 1u64..=3 {
+            let temperature = 1.0 + 0.2 * iteration as f64;
+            text.push_str(&format!(
+                r#"{{"type":"event","seq":{seq},"target":"core.framework","message":"iteration complete","run_id":{run_id},"iteration":{iteration},"temperature":{temperature},"ece":{ece},"batch_size":2,"batch_hotspots":1,"labeled_size":{labeled},"train_loss":{loss},"failed_labels":0}}"#,
+                seq = 2 + run_id * 10 + iteration,
+                ece = 0.1 / iteration as f64,
+                labeled = 6 + 2 * iteration,
+                loss = 0.5 / iteration as f64,
+            ));
+            text.push('\n');
+            for rank in 0u64..2 {
+                text.push_str(&format!(
+                    r#"{{"type":"event","seq":{seq},"target":"core.framework","message":"clip selected","run_id":{run_id},"iteration":{iteration},"clip":{clip},"rank":{rank},"uncertainty":{unc},"diversity":{div}}}"#,
+                    seq = 6 + run_id * 10 + iteration * 2 + rank,
+                    clip = (run_id * 13 + iteration * 5 + rank) % 30,
+                    unc = 0.3 + 0.1 * iteration as f64 + 0.05 * rank as f64,
+                    div = 0.8 - 0.1 * iteration as f64,
+                ));
+                text.push('\n');
+            }
+            text.push_str(&format!(
+                r#"{{"type":"event","seq":{seq},"target":"core.framework","message":"calibration bin","run_id":{run_id},"stage":"iteration","iteration":{iteration},"bin":7,"lower":0.7,"upper":0.8,"count":4,"confidence":0.75,"accuracy":{acc}}}"#,
+                seq = 30 + run_id * 10 + iteration,
+                acc = 0.5 + 0.1 * iteration as f64,
+            ));
+            text.push('\n');
+        }
+        text.push_str(&format!(
+            r#"{{"type":"event","seq":{seq},"target":"core.framework","message":"calibration bin","run_id":{run_id},"stage":"before","iteration":0,"bin":9,"lower":0.9,"upper":1.0,"count":6,"confidence":0.98,"accuracy":0.6}}"#,
+            seq = 50 + run_id,
+        ));
+        text.push('\n');
+        text.push_str(&format!(
+            r#"{{"type":"event","seq":{seq},"target":"core.framework","message":"calibration bin","run_id":{run_id},"stage":"after","iteration":0,"bin":8,"lower":0.8,"upper":0.9,"count":6,"confidence":0.85,"accuracy":0.82}}"#,
+            seq = 52 + run_id,
+        ));
+        text.push('\n');
+        text.push_str(&format!(
+            r#"{{"type":"event","seq":{seq},"target":"core.framework","message":"run complete","run_id":{run_id},"selector":"{selector}","accuracy":{acc},"litho":12,"false_alarms":1,"ece_before":0.2,"ece_after":0.03,"degraded":false,"label_failures":0,"oracle_retries":0,"oracle_giveups":0,"quorum_votes":0}}"#,
+            seq = 54 + run_id,
+            acc = 0.9 - 0.1 * run_id as f64,
+        ));
+        text.push('\n');
+    }
+    Journal::parse_str(&text)
+}
+
+fn render_into(dir: &Path) -> Vec<String> {
+    render_dashboard(&synthetic_journal(), dir, &RenderOptions { max_clips: 3 })
+        .expect("dashboard renders")
+        .files
+}
+
+#[test]
+fn dashboard_renders_byte_identical_and_structurally_sound() {
+    let scratch =
+        std::env::temp_dir().join(format!("lithohd-render-golden-{}", std::process::id()));
+    let dir_a = scratch.join("a");
+    let dir_b = scratch.join("b");
+    let files_a = render_into(&dir_a);
+    let files_b = render_into(&dir_b);
+    assert_eq!(files_a, files_b, "file sets differ between renders");
+
+    // Every expected chart family is present.
+    assert!(files_a.contains(&"methods_accuracy.svg".to_string()));
+    assert!(files_a.contains(&"methods_litho.svg".to_string()));
+    for run in ["run000", "run001"] {
+        for kind in ["trajectory", "selection", "reliability"] {
+            let name = format!("{run}_{kind}.svg");
+            assert!(files_a.contains(&name), "missing {name}");
+        }
+    }
+    let clip_count = files_a.iter().filter(|f| f.starts_with("clip_")).count();
+    assert_eq!(clip_count, 3, "expected exactly max_clips clip renderings");
+    assert_eq!(files_a.last().map(String::as_str), Some("index.html"));
+
+    for name in &files_a {
+        let a = std::fs::read(dir_a.join(name)).expect("read first render");
+        let b = std::fs::read(dir_b.join(name)).expect("read second render");
+        assert_eq!(a, b, "{name} differs between identical renders");
+
+        let text = String::from_utf8(a).expect("output is UTF-8");
+        assert!(!text.contains("NaN"), "{name} contains NaN");
+        assert!(!text.contains("inf"), "{name} contains inf");
+        if name.ends_with(".svg") {
+            assert!(text.starts_with("<svg "), "{name} missing svg root");
+            assert!(text.ends_with("</svg>"), "{name} unterminated");
+            assert_eq!(
+                text.matches("<g ").count(),
+                text.matches("</g>").count(),
+                "{name} has unbalanced groups"
+            );
+        } else {
+            assert!(text.starts_with("<!DOCTYPE html>"));
+            // index.html inlines every SVG rather than linking out.
+            assert!(!text.contains("<img"), "index.html must not link files");
+            assert_eq!(
+                text.matches("<svg ").count(),
+                files_a.len() - 1,
+                "index.html must inline every rendered SVG"
+            );
+        }
+    }
+
+    // Clip renderings carry the geometry overlays: metal, core, caption.
+    let clip_name = files_a.iter().find(|f| f.starts_with("clip_")).unwrap();
+    let clip = std::fs::read_to_string(dir_a.join(clip_name)).expect("read clip svg");
+    assert!(clip.contains("stroke-dasharray"), "core outline missing");
+    assert!(clip.contains("nm window"), "caption missing");
+
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn hotspot_labelled_clips_render_first() {
+    let scratch = std::env::temp_dir().join(format!("lithohd-render-order-{}", std::process::id()));
+    let files = render_dashboard(
+        &synthetic_journal(),
+        &scratch,
+        &RenderOptions { max_clips: 30 },
+    )
+    .expect("dashboard renders")
+    .files;
+    let clips: Vec<&String> = files.iter().filter(|f| f.starts_with("clip_")).collect();
+    assert!(!clips.is_empty());
+    let hotspot_flags: Vec<bool> = clips
+        .iter()
+        .map(|name| {
+            std::fs::read_to_string(scratch.join(name))
+                .expect("read clip svg")
+                .contains("— hotspot,")
+        })
+        .collect();
+    // All hotspot-labelled clips precede all non-hotspot ones.
+    let first_cold = hotspot_flags.iter().position(|h| !h).unwrap_or(clips.len());
+    assert!(
+        hotspot_flags[first_cold..].iter().all(|h| !h),
+        "hotspot clips must sort before non-hotspot clips: {hotspot_flags:?}"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+}

@@ -94,6 +94,43 @@ impl ReliabilityDiagram {
         }
     }
 
+    /// Bins argmax predictions from row-major `n × 2` class probabilities
+    /// against integer truth labels. The confidence of a prediction is its
+    /// winning-class probability; non-finite probabilities are treated as a
+    /// maximally uncertain `0.5`, and confidences are clamped to `[0, 1]`
+    /// so float drift can never trip the range assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_bins` is zero or `probabilities.len() != 2 * truth.len()`.
+    pub fn from_binary_probabilities(
+        probabilities: &[f32],
+        truth: &[usize],
+        n_bins: usize,
+    ) -> Self {
+        assert_eq!(
+            probabilities.len(),
+            truth.len() * 2,
+            "probability/truth length mismatch"
+        );
+        let mut confidences = Vec::with_capacity(truth.len());
+        let mut correct = Vec::with_capacity(truth.len());
+        for (i, &label) in truth.iter().enumerate() {
+            let p0 = probabilities[2 * i];
+            let p1 = probabilities[2 * i + 1];
+            let predicted = usize::from(p1 > p0);
+            let raw = f64::from(if predicted == 1 { p1 } else { p0 });
+            let confidence = if raw.is_finite() {
+                raw.clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+            confidences.push(confidence);
+            correct.push(predicted == label);
+        }
+        Self::from_predictions(&confidences, &correct, n_bins)
+    }
+
     /// The bins, low confidence first.
     pub fn bins(&self) -> &[ReliabilityBin] {
         &self.bins
@@ -192,6 +229,32 @@ mod tests {
     fn display_contains_ece() {
         let d = ReliabilityDiagram::from_predictions(&[0.9], &[true], 10);
         assert!(d.to_string().contains("ECE"));
+    }
+
+    #[test]
+    fn binary_probabilities_bin_by_winning_class() {
+        // Row 0: class 1 wins at 0.95 and is correct; row 1: class 0 wins at
+        // 0.65 and is wrong. Mid-bin values keep f32→f64 drift away from the
+        // bin edges.
+        let probabilities = [0.05, 0.95, 0.65, 0.35];
+        let truth = [1, 1];
+        let d = ReliabilityDiagram::from_binary_probabilities(&probabilities, &truth, 10);
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.bins()[9].count, 1);
+        assert!((d.bins()[9].accuracy - 1.0).abs() < 1e-9);
+        assert_eq!(d.bins()[6].count, 1);
+        assert_eq!(d.bins()[6].accuracy, 0.0);
+    }
+
+    #[test]
+    fn binary_probabilities_absorb_nonfinite() {
+        let probabilities = [f32::NAN, f32::NAN, 2.0, -1.0];
+        let truth = [0, 0];
+        let d = ReliabilityDiagram::from_binary_probabilities(&probabilities, &truth, 10);
+        assert_eq!(d.total(), 2);
+        for b in d.bins() {
+            assert!(b.mean_confidence.is_finite());
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use crate::{
-    ActiveDataset, ActiveError, BatchSelector, CheckpointHook, DatasetCheckpoint, HotspotModel,
-    NoCheckpoint, PshdMetrics, RunCheckpoint, SamplingConfig, SelectionContext,
+    diversity_scores, uncertainty_scores, ActiveDataset, ActiveError, BatchSelector,
+    CheckpointHook, DatasetCheckpoint, HotspotModel, NoCheckpoint, PshdMetrics, RunCheckpoint,
+    SamplingConfig, SelectionContext,
 };
 use hotspot_calibration::{ReliabilityDiagram, Temperature};
 use hotspot_gmm::{GaussianMixture, GmmConfig};
@@ -276,7 +277,10 @@ impl SamplingFramework {
             temperature =
                 self.fit_temperature_guarded(&model, &features, &dataset, run_id, &mut fault_stats);
             let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
-            let ece = validation_ece(&val_logits, dataset.validation_classes(), temperature);
+            let diagram =
+                validation_diagram(&val_logits, dataset.validation_classes(), temperature);
+            emit_calibration_bins(run_id, "iteration", iteration, &diagram);
+            let ece = diagram.ece();
             // Line 9: entropy sampling over the query set.
             let qx = features.gather_rows(&query);
             let (logits, embeddings) = model.predict(&qx);
@@ -299,6 +303,28 @@ impl SamplingFramework {
             let batch: Vec<usize> = picked_local.iter().map(|&i| query[i]).collect();
             if batch.is_empty() {
                 break;
+            }
+            // Selection provenance for offline selection maps: one debug
+            // event per pick with the scores the selector weighed. Scoring
+            // is recomputed here, so gate on an attached sink to keep the
+            // no-telemetry path free of the extra O(pool²) diversity pass.
+            if telemetry::has_sinks() {
+                let unc = uncertainty_scores(&probabilities, config.boundary_h);
+                let div = diversity_scores(&embeddings);
+                for (rank, &local) in picked_local.iter().enumerate() {
+                    telemetry::debug(
+                        "core.framework",
+                        telemetry::names::EVENT_CLIP_SELECTED,
+                        &[
+                            ("run_id", run_id.into()),
+                            ("iteration", (iteration as u64).into()),
+                            ("clip", (query[local] as u64).into()),
+                            ("rank", (rank as u64).into()),
+                            ("uncertainty", f64::from(unc[local]).into()),
+                            ("diversity", f64::from(div[local]).into()),
+                        ],
+                    );
+                }
             }
             // Lines 10–12: pay for labels, extend L, update the model. A
             // label that never arrives does not abort the run: the clip
@@ -399,7 +425,10 @@ impl SamplingFramework {
         temperature =
             self.fit_temperature_guarded(&model, &features, &dataset, run_id, &mut fault_stats);
         let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
-        let ece_after = validation_ece(&val_logits, dataset.validation_classes(), temperature);
+        let after_diagram =
+            validation_diagram(&val_logits, dataset.validation_classes(), temperature);
+        emit_calibration_bins(run_id, "after", 0, &after_diagram);
+        let ece_after = after_diagram.ece();
 
         let pool = dataset.unlabeled().to_vec();
         let (mut hits, mut false_alarms) = (0usize, 0usize);
@@ -500,7 +529,7 @@ impl SamplingFramework {
 
         telemetry::info(
             "core.framework",
-            "run complete",
+            telemetry::names::EVENT_RUN_COMPLETE,
             &[
                 ("run_id", run_id.into()),
                 ("selector", selector.name().into()),
@@ -711,13 +740,17 @@ fn fresh_loop_state<O: LithoOracle + ?Sized>(
         )?;
     }
 
-    // ECE before calibration, for the Fig. 2 comparison.
+    // ECE before calibration, for the Fig. 2 comparison. The per-bin events
+    // belong to the pre-loop phase, so (like `run started`) they are emitted
+    // only here and never on resume.
     let (val_logits, _) = model.predict(&features.gather_rows(dataset.validation()));
-    let ece_before = validation_ece(
+    let before_diagram = validation_diagram(
         &val_logits,
         dataset.validation_classes(),
         Temperature::identity(),
     );
+    emit_calibration_bins(run_id, "before", 0, &before_diagram);
+    let ece_before = before_diagram.ece();
 
     Ok(LoopState {
         oracle_calls_before,
@@ -900,24 +933,62 @@ fn emit_iteration(run_id: u64, stats: &IterationStats, batch_size: usize) {
         fields.push(("omega1", w1.into()));
         fields.push(("omega2", w2.into()));
     }
-    telemetry::info("core.framework", "iteration complete", &fields);
+    telemetry::info(
+        "core.framework",
+        telemetry::names::EVENT_ITERATION_COMPLETE,
+        &fields,
+    );
 }
 
-/// ECE of argmax predictions on the validation set at a given temperature.
-fn validation_ece(logits: &Matrix, truth: &[usize], temperature: Temperature) -> f64 {
+/// Reliability diagram (10 bins, Fig. 2) of argmax predictions on the
+/// validation set at a given temperature. Its `.ece()` is the scalar the
+/// trajectory plots track; its bins feed `calibration bin` journal events.
+fn validation_diagram(
+    logits: &Matrix,
+    truth: &[usize],
+    temperature: Temperature,
+) -> ReliabilityDiagram {
     if truth.is_empty() {
-        return 0.0;
+        return ReliabilityDiagram::from_predictions(&[], &[], 10);
     }
     let probabilities = temperature.probabilities_batch(logits.as_slice(), 2);
-    let mut confidences = Vec::with_capacity(truth.len());
-    let mut correct = Vec::with_capacity(truth.len());
-    for (row, &t) in truth.iter().enumerate() {
-        let p = &probabilities[row * 2..row * 2 + 2];
-        let pred = (p[1] > p[0]) as usize;
-        confidences.push(p[pred] as f64);
-        correct.push(pred == t);
+    ReliabilityDiagram::from_binary_probabilities(&probabilities, truth, 10)
+}
+
+/// Per-bin journal events for one calibration measurement: one `calibration
+/// bin` event per occupied bin, so offline tools can redraw the reliability
+/// diagram without the validation set. `stage` is `"before"`, `"iteration"`,
+/// or `"after"`; `iteration` is 0 outside the loop. Debug level: console
+/// sinks filter it out, journals keep it.
+fn emit_calibration_bins(
+    run_id: u64,
+    stage: &'static str,
+    iteration: usize,
+    diagram: &ReliabilityDiagram,
+) {
+    if !telemetry::has_sinks() {
+        return;
     }
-    ReliabilityDiagram::from_predictions(&confidences, &correct, 10).ece()
+    for (index, bin) in diagram.bins().iter().enumerate() {
+        if bin.count == 0 {
+            continue;
+        }
+        telemetry::debug(
+            "core.framework",
+            telemetry::names::EVENT_CALIBRATION_BIN,
+            &[
+                ("run_id", run_id.into()),
+                ("stage", stage.into()),
+                ("iteration", (iteration as u64).into()),
+                ("bin", (index as u64).into()),
+                ("lower", bin.lower.into()),
+                ("upper", bin.upper.into()),
+                ("count", (bin.count as u64).into()),
+                ("confidence", bin.mean_confidence.into()),
+                ("accuracy", bin.accuracy.into()),
+            ],
+        );
+    }
 }
 
 #[cfg(test)]

@@ -96,31 +96,14 @@ impl Polygon {
 
     /// Axis-aligned bounding box.
     pub fn bbox(&self) -> Rect {
-        let x0 = self
-            .vertices
+        // The constructor guarantees at least 4 vertices, so folding from
+        // the first vertex covers the whole loop without any panicking path.
+        let first = self.vertices[0];
+        self.vertices
             .iter()
-            .map(|p| p.x)
-            .min()
-            .expect("non-empty loop");
-        let x1 = self
-            .vertices
-            .iter()
-            .map(|p| p.x)
-            .max()
-            .expect("non-empty loop");
-        let y0 = self
-            .vertices
-            .iter()
-            .map(|p| p.y)
-            .min()
-            .expect("non-empty loop");
-        let y1 = self
-            .vertices
-            .iter()
-            .map(|p| p.y)
-            .max()
-            .expect("non-empty loop");
-        Rect::new(x0, y0, x1, y1).expect("min <= max")
+            .fold(Rect::spanning(first, first), |bbox, &p| {
+                bbox.union_bbox(&Rect::spanning(p, p))
+            })
     }
 
     /// Enclosed area (shoelace formula; orientation-independent).
@@ -166,10 +149,12 @@ impl Polygon {
             // Even-odd pairing: spans between alternating crossings are
             // interior.
             for pair in xs.chunks_exact(2) {
-                rects.push(
-                    Rect::new(pair[0], y_lo, pair[1], y_hi)
-                        .expect("sorted crossings give ordered extents"),
-                );
+                // xs is sorted and the slab is ordered, so spanning() is
+                // already normalised — no fallible construction needed.
+                rects.push(Rect::spanning(
+                    Point::new(pair[0], y_lo),
+                    Point::new(pair[1], y_hi),
+                ));
             }
         }
         rects

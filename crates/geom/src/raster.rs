@@ -216,6 +216,69 @@ impl Raster {
         out
     }
 
+    /// Decomposes the raster's filled area into layout-space rectangles:
+    /// per-row runs of pixels at or above `threshold`, merged with the run
+    /// directly below when their column spans match. The result is a compact
+    /// vector form of the mask (used e.g. to draw clip geometry as SVG
+    /// rectangles instead of per-pixel squares).
+    ///
+    /// Each pixel column `c` spans `[x0 + c·pitch, min(x0 + (c+1)·pitch, x1))`
+    /// in layout coordinates, so partial edge pixels stay inside the region.
+    pub fn filled_rects(&self, threshold: f32) -> Vec<Rect> {
+        // (col0, col1) spans per row, bottom row first.
+        let mut row_runs: Vec<Vec<(usize, usize)>> = Vec::with_capacity(self.height);
+        for row in 0..self.height {
+            let mut runs = Vec::new();
+            let mut start: Option<usize> = None;
+            for col in 0..self.width {
+                let on = self.data[row * self.width + col] >= threshold;
+                match (on, start) {
+                    (true, None) => start = Some(col),
+                    (false, Some(s)) => {
+                        runs.push((s, col));
+                        start = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(s) = start {
+                runs.push((s, self.width));
+            }
+            row_runs.push(runs);
+        }
+        // Merge vertically: a run extends the rect below when the column
+        // span matches exactly. (row0, row1, col0, col1), half-open.
+        let mut open: Vec<(usize, usize, usize, usize)> = Vec::new();
+        let mut done: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for (row, runs) in row_runs.iter().enumerate() {
+            let mut next_open = Vec::with_capacity(runs.len());
+            for &(c0, c1) in runs {
+                if let Some(i) = open
+                    .iter()
+                    .position(|&(_, r1, oc0, oc1)| r1 == row && oc0 == c0 && oc1 == c1)
+                {
+                    let (r0, _, _, _) = open.swap_remove(i);
+                    next_open.push((r0, row + 1, c0, c1));
+                } else {
+                    next_open.push((row, row + 1, c0, c1));
+                }
+            }
+            done.append(&mut open);
+            open = next_open;
+        }
+        done.append(&mut open);
+        done.sort_unstable();
+        done.into_iter()
+            .map(|(r0, r1, c0, c1)| {
+                let x0 = self.region.x0() + c0 as Coord * self.pitch;
+                let x1 = (self.region.x0() + c1 as Coord * self.pitch).min(self.region.x1());
+                let y0 = self.region.y0() + r0 as Coord * self.pitch;
+                let y1 = (self.region.y0() + r1 as Coord * self.pitch).min(self.region.y1());
+                Rect::spanning(crate::Point::new(x0, y0), crate::Point::new(x1, y1))
+            })
+            .collect()
+    }
+
     /// Extracts the sub-raster covering `rect` (must intersect the region),
     /// snapped outwards to pixel boundaries.
     pub fn crop(&self, rect: &Rect) -> Option<Raster> {
@@ -356,6 +419,61 @@ mod tests {
         assert!((left.density() - 1.0).abs() < 1e-6);
         let right = r.crop(&Rect::new(50, 0, 100, 100).unwrap()).unwrap();
         assert!(right.density() < 1e-6);
+    }
+
+    #[test]
+    fn filled_rects_recovers_simple_shapes() {
+        let mut r = Raster::zeros(region(100, 100), 10).unwrap();
+        r.fill_rect(&Rect::new(0, 0, 50, 100).unwrap(), 1.0);
+        let rects = r.filled_rects(0.5);
+        assert_eq!(rects, vec![Rect::new(0, 0, 50, 100).unwrap()]);
+    }
+
+    #[test]
+    fn filled_rects_splits_disjoint_columns() {
+        let mut r = Raster::zeros(region(100, 100), 10).unwrap();
+        r.fill_rect(&Rect::new(0, 0, 20, 100).unwrap(), 1.0);
+        r.fill_rect(&Rect::new(60, 0, 80, 100).unwrap(), 1.0);
+        let rects = r.filled_rects(0.5);
+        assert_eq!(
+            rects,
+            vec![
+                Rect::new(0, 0, 20, 100).unwrap(),
+                Rect::new(60, 0, 80, 100).unwrap(),
+            ]
+        );
+    }
+
+    #[test]
+    fn filled_rects_area_matches_l_shape() {
+        let mut r = Raster::zeros(region(100, 100), 10).unwrap();
+        r.fill_rect(&Rect::new(0, 0, 60, 20).unwrap(), 1.0);
+        r.fill_rect(&Rect::new(0, 20, 20, 60).unwrap(), 1.0);
+        let rects = r.filled_rects(0.5);
+        let total: i128 = rects.iter().map(Rect::area).sum();
+        assert_eq!(total, 60 * 20 + 20 * 40);
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                assert!(!a.intersects(b));
+            }
+        }
+    }
+
+    #[test]
+    fn filled_rects_on_empty_raster_is_empty() {
+        let r = Raster::zeros(region(100, 100), 10).unwrap();
+        assert!(r.filled_rects(0.5).is_empty());
+    }
+
+    #[test]
+    fn filled_rects_clamps_partial_edge_pixels() {
+        // 105 nm region at pitch 10 has a partial final column.
+        let mut r = Raster::zeros(Rect::new(0, 0, 105, 50).unwrap(), 10).unwrap();
+        r.fill_rect(&Rect::new(0, 0, 105, 50).unwrap(), 1.0);
+        let rects = r.filled_rects(0.5);
+        for rect in &rects {
+            assert!(rect.x1() <= 105 && rect.y1() <= 50);
+        }
     }
 
     #[test]

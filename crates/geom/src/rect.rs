@@ -50,6 +50,17 @@ impl Rect {
         Rect::new(origin.x, origin.y, origin.x + width, origin.y + height)
     }
 
+    /// The rectangle spanning two corner points in any order. Infallible:
+    /// the extent is normalised, so `spanning(a, b) == spanning(b, a)`.
+    pub fn spanning(a: Point, b: Point) -> Self {
+        Rect {
+            x0: a.x.min(b.x),
+            y0: a.y.min(b.y),
+            x1: a.x.max(b.x),
+            y1: a.y.max(b.y),
+        }
+    }
+
     /// Left edge.
     pub fn x0(&self) -> Coord {
         self.x0
@@ -196,6 +207,16 @@ mod tests {
 
     fn rect(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Rect {
         Rect::new(x0, y0, x1, y1).expect("valid rect")
+    }
+
+    #[test]
+    fn spanning_normalises_corner_order() {
+        let a = Point::new(10, -5);
+        let b = Point::new(-3, 20);
+        let r = Rect::spanning(a, b);
+        assert_eq!(r, rect(-3, -5, 10, 20));
+        assert_eq!(Rect::spanning(b, a), r);
+        assert!(Rect::spanning(a, a).is_empty());
     }
 
     #[test]

@@ -195,8 +195,12 @@ impl GeneratedBenchmark {
             .map(|i| Point::new((i % grid) as i64 * edge, (i / grid) as i64 * edge))
             .collect();
 
-        let dct = FeatureMatrix::from_rows(dct_rows).expect("uniform DCT widths");
-        let density = FeatureMatrix::from_rows(density_rows).expect("uniform density widths");
+        let dct = FeatureMatrix::from_rows(dct_rows).map_err(|e| LayoutError::BadSpec {
+            detail: format!("non-uniform DCT feature widths: {e}"),
+        })?;
+        let density = FeatureMatrix::from_rows(density_rows).map_err(|e| LayoutError::BadSpec {
+            detail: format!("non-uniform density feature widths: {e}"),
+        })?;
         Ok(GeneratedBenchmark {
             spec: spec.clone(),
             recipes,
@@ -353,13 +357,12 @@ fn clip_features(extractor: &FeatureExtractor, raster: &Raster, core: Rect) -> V
 
 fn core_rect(spec: &BenchmarkSpec) -> Rect {
     let lo = (spec.tech.clip_edge() - spec.tech.core_edge()) / 2;
-    Rect::new(
-        lo,
-        lo,
-        lo + spec.tech.core_edge(),
-        lo + spec.tech.core_edge(),
+    // core_edge is non-negative for every Tech, so spanning() needs no
+    // fallible construction here.
+    Rect::spanning(
+        Point::new(lo, lo),
+        Point::new(lo + spec.tech.core_edge(), lo + spec.tech.core_edge()),
     )
-    .expect("core fits the clip")
 }
 
 fn choose_family(

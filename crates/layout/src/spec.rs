@@ -91,6 +91,31 @@ impl Tech {
     pub fn core_edge(self) -> Coord {
         self.clip_edge() / 2
     }
+
+    /// Stable identifier for journals and reports; inverse of
+    /// [`Tech::from_name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Tech::Duv28 => "Duv28",
+            Tech::Euv7 => "Euv7",
+        }
+    }
+
+    /// Parses a [`Tech::name`] identifier, e.g. when reconstructing a
+    /// benchmark spec from a journal record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::BadSpec`] for an unknown identifier.
+    pub fn from_name(name: &str) -> Result<Self, LayoutError> {
+        match name {
+            "Duv28" => Ok(Tech::Duv28),
+            "Euv7" => Ok(Tech::Euv7),
+            other => Err(LayoutError::BadSpec {
+                detail: format!("unknown tech node {other:?}"),
+            }),
+        }
+    }
 }
 
 /// Specification of one benchmark: cardinalities and technology.
@@ -290,5 +315,13 @@ mod tests {
         for tech in [Tech::Duv28, Tech::Euv7] {
             assert!(tech.core_edge() < tech.clip_edge());
         }
+    }
+
+    #[test]
+    fn tech_name_roundtrips() {
+        for tech in [Tech::Duv28, Tech::Euv7] {
+            assert_eq!(Tech::from_name(tech.name()).unwrap(), tech);
+        }
+        assert!(Tech::from_name("Euv5").is_err());
     }
 }

@@ -87,6 +87,30 @@ pub const CHECKPOINT_RESUMES: &str = "checkpoint.resumes";
 /// valid one during recovery.
 pub const CHECKPOINT_CORRUPT_SKIPPED: &str = "checkpoint.corrupt_skipped";
 
+/// Journal event message for one completed sampling iteration. Carries the
+/// per-iteration trajectory fields (accuracy, ECE, temperature, train loss)
+/// consumed by `lithohd-report`.
+pub const EVENT_ITERATION_COMPLETE: &str = "iteration complete";
+
+/// Journal event message for one finished active-sampling run (final
+/// metrics snapshot).
+pub const EVENT_RUN_COMPLETE: &str = "run complete";
+
+/// Journal event message emitted once per clip picked by the selector in a
+/// sampling iteration, carrying the clip id with its uncertainty and
+/// diversity scores so selection maps can be rendered offline.
+pub const EVENT_CLIP_SELECTED: &str = "clip selected";
+
+/// Journal event message emitted once per occupied reliability-diagram bin
+/// at each calibration measurement (before/during/after a run), carrying
+/// per-bin confidence, accuracy, and count.
+pub const EVENT_CALIBRATION_BIN: &str = "calibration bin";
+
+/// Journal event message emitted when a benchmark layout is generated,
+/// carrying the spec (tech, counts, rates) and seed so clip geometry can be
+/// re-synthesized deterministically by offline renderers.
+pub const EVENT_BENCHMARK_READY: &str = "benchmark ready";
+
 /// Every registered name, for registry-integrity tests and tooling.
 pub const ALL: &[&str] = &[
     ORACLE_CALLS,
@@ -114,6 +138,11 @@ pub const ALL: &[&str] = &[
     CHECKPOINT_BYTES,
     CHECKPOINT_RESUMES,
     CHECKPOINT_CORRUPT_SKIPPED,
+    EVENT_ITERATION_COMPLETE,
+    EVENT_RUN_COMPLETE,
+    EVENT_CLIP_SELECTED,
+    EVENT_CALIBRATION_BIN,
+    EVENT_BENCHMARK_READY,
 ];
 
 /// Histogram name for one span's wall-clock seconds: `span.<name>.seconds`

@@ -1,0 +1,175 @@
+//! Binned 2-D density rendered as a colour-ramped cell grid.
+
+use crate::chart::draw_frame_and_axes;
+use crate::{ramp_color, LinearScale, Svg, TextAnchor};
+
+/// A binned 2-D density plot: points are counted into a fixed grid and each
+/// cell is filled from the sequential colour ramp, normalised by the maximum
+/// cell count. Useful as a background layer under a scatter (e.g. the
+/// uncertainty-vs-diversity selection plane).
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Chart title, drawn top-left.
+    pub title: String,
+    /// X-axis caption.
+    pub x_label: String,
+    /// Y-axis caption.
+    pub y_label: String,
+    /// `(x, y)` samples; non-finite entries are ignored.
+    pub points: Vec<(f64, f64)>,
+    /// Grid resolution (cells per axis).
+    pub bins: usize,
+    /// Viewport width in pixels.
+    pub width: f64,
+    /// Viewport height in pixels.
+    pub height: f64,
+}
+
+impl Heatmap {
+    /// A heatmap with the default 420×360 viewport and a 24×24 grid.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+    ) -> Heatmap {
+        Heatmap {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            points,
+            bins: 24,
+            width: 420.0,
+            height: 360.0,
+        }
+    }
+
+    /// Renders the heatmap into `svg` with its top-left corner at
+    /// `(ox, oy)`, returning the data→pixel scales so callers can overlay
+    /// scatter points in the same coordinate frame.
+    pub fn render_into(&self, svg: &mut Svg, ox: f64, oy: f64) -> (LinearScale, LinearScale) {
+        svg.group(ox, oy);
+        let plot_x0 = 52.0;
+        let plot_x1 = self.width - 16.0;
+        let plot_y0 = 30.0;
+        let plot_y1 = self.height - 40.0;
+
+        let finite: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        let xs: Vec<f64> = finite.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = finite.iter().map(|p| p.1).collect();
+        let x_scale = LinearScale::covering(&xs, plot_x0, plot_x1, 0.02);
+        let y_scale = LinearScale::covering(&ys, plot_y1, plot_y0, 0.02);
+
+        let bins = self.bins.max(1);
+        let mut counts = vec![0u32; bins * bins];
+        let dx = x_scale.domain_max() - x_scale.domain_min();
+        let dy = y_scale.domain_max() - y_scale.domain_min();
+        for &(x, y) in &finite {
+            let bx = if dx > f64::EPSILON {
+                (((x - x_scale.domain_min()) / dx) * bins as f64) as usize
+            } else {
+                0
+            };
+            let by = if dy > f64::EPSILON {
+                (((y - y_scale.domain_min()) / dy) * bins as f64) as usize
+            } else {
+                0
+            };
+            counts[by.min(bins - 1) * bins + bx.min(bins - 1)] += 1;
+        }
+        let max_count = counts.iter().copied().max().unwrap_or(0);
+
+        if max_count > 0 {
+            let cell_w = (plot_x1 - plot_x0) / bins as f64;
+            let cell_h = (plot_y1 - plot_y0) / bins as f64;
+            for by in 0..bins {
+                for bx in 0..bins {
+                    let count = counts[by * bins + bx];
+                    if count == 0 {
+                        continue;
+                    }
+                    let t = f64::from(count) / f64::from(max_count);
+                    let cx = plot_x0 + cell_w * bx as f64;
+                    // Row 0 is the domain minimum, which sits at the bottom
+                    // of the plot in SVG's y-down frame.
+                    let cy = plot_y1 - cell_h * (by + 1) as f64;
+                    svg.rect_alpha(cx, cy, cell_w, cell_h, &ramp_color(t), 0.85);
+                }
+            }
+        } else {
+            svg.text(
+                (plot_x0 + plot_x1) / 2.0,
+                (plot_y0 + plot_y1) / 2.0,
+                11.0,
+                TextAnchor::Middle,
+                "#334155",
+                "no data",
+            );
+        }
+
+        draw_frame_and_axes(
+            svg,
+            &x_scale,
+            &y_scale,
+            (plot_x0, plot_y0, plot_x1, plot_y1),
+            &self.title,
+            &self.x_label,
+            &self.y_label,
+        );
+        svg.group_end();
+        (x_scale, y_scale)
+    }
+
+    /// Renders the heatmap as a standalone document.
+    pub fn to_svg(&self) -> String {
+        let mut svg = Svg::new(self.width, self.height);
+        self.render_into(&mut svg, 0.0, 0.0);
+        svg.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_region_is_darker_than_sparse() {
+        let mut points = vec![(0.1, 0.1); 20];
+        points.push((0.9, 0.9));
+        let out = Heatmap::new("density", "x", "y", points).to_svg();
+        // Max-count cell draws at full ramp; the singleton draws lighter.
+        assert!(out.contains(&ramp_color(1.0)));
+        assert!(out.contains(&ramp_color(1.0 / 20.0)));
+    }
+
+    #[test]
+    fn empty_heatmap_says_no_data() {
+        let out = Heatmap::new("empty", "x", "y", vec![]).to_svg();
+        assert!(out.contains("no data"));
+        assert!(!out.contains("NaN"));
+    }
+
+    #[test]
+    fn nonfinite_points_are_ignored() {
+        let out = Heatmap::new(
+            "nan",
+            "x",
+            "y",
+            vec![(f64::NAN, 0.5), (0.5, f64::INFINITY), (0.5, 0.5)],
+        )
+        .to_svg();
+        assert!(!out.contains("NaN"));
+        assert!(out.contains(&ramp_color(1.0)));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let make = || Heatmap::new("d", "x", "y", vec![(0.2, 0.3), (0.7, 0.8)]).to_svg();
+        assert_eq!(make(), make());
+    }
+}

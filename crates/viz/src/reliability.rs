@@ -1,0 +1,262 @@
+//! Reliability diagrams: per-bin confidence vs. accuracy with the identity
+//! diagonal and an ECE annotation.
+
+use crate::{fmt_num, LinearScale, Svg, TextAnchor};
+
+const AXIS_COLOR: &str = "#334155";
+const GRID_COLOR: &str = "#e2e8f0";
+const TEXT_COLOR: &str = "#0f172a";
+const BAR_COLOR: &str = "#2563eb";
+const GAP_COLOR: &str = "#dc2626";
+
+/// One confidence bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelBin {
+    /// Inclusive lower edge of the confidence bin.
+    pub lower: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub upper: f64,
+    /// Number of predictions falling in the bin.
+    pub count: u64,
+    /// Mean predicted confidence inside the bin.
+    pub confidence: f64,
+    /// Empirical accuracy inside the bin.
+    pub accuracy: f64,
+}
+
+/// A reliability diagram: accuracy bars per confidence bin, the identity
+/// diagonal for perfect calibration, and the miscalibration gap hatched on
+/// top of each occupied bar.
+#[derive(Debug, Clone)]
+pub struct ReliabilityChart {
+    /// Chart title, drawn top-left.
+    pub title: String,
+    /// The bins, in ascending confidence order.
+    pub bins: Vec<RelBin>,
+    /// Expected calibration error, annotated on the chart when finite.
+    pub ece: f64,
+    /// Viewport width in pixels.
+    pub width: f64,
+    /// Viewport height in pixels.
+    pub height: f64,
+}
+
+impl ReliabilityChart {
+    /// A diagram with the default 300×280 viewport.
+    pub fn new(title: impl Into<String>, bins: Vec<RelBin>, ece: f64) -> ReliabilityChart {
+        ReliabilityChart {
+            title: title.into(),
+            bins,
+            ece,
+            width: 300.0,
+            height: 280.0,
+        }
+    }
+
+    /// Renders the diagram into `svg` with its top-left corner at `(ox, oy)`.
+    pub fn render_into(&self, svg: &mut Svg, ox: f64, oy: f64) {
+        svg.group(ox, oy);
+        let plot_x0 = 40.0;
+        let plot_x1 = self.width - 14.0;
+        let plot_y0 = 28.0;
+        let plot_y1 = self.height - 34.0;
+
+        let x_scale = LinearScale::new(0.0, 1.0, plot_x0, plot_x1);
+        let y_scale = LinearScale::new(0.0, 1.0, plot_y1, plot_y0);
+
+        svg.text(
+            plot_x0,
+            plot_y0 - 12.0,
+            11.0,
+            TextAnchor::Start,
+            TEXT_COLOR,
+            &self.title,
+        );
+        for tick in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let py = y_scale.map(tick);
+            svg.line(plot_x0, py, plot_x1, py, GRID_COLOR, 1.0);
+            svg.text(
+                plot_x0 - 5.0,
+                py + 3.0,
+                8.0,
+                TextAnchor::End,
+                AXIS_COLOR,
+                &fmt_num(tick),
+            );
+            let px = x_scale.map(tick);
+            svg.text(
+                px,
+                plot_y1 + 12.0,
+                8.0,
+                TextAnchor::Middle,
+                AXIS_COLOR,
+                &fmt_num(tick),
+            );
+        }
+        svg.text(
+            (plot_x0 + plot_x1) / 2.0,
+            plot_y1 + 24.0,
+            9.0,
+            TextAnchor::Middle,
+            AXIS_COLOR,
+            "confidence",
+        );
+        svg.text(
+            plot_x0,
+            plot_y0 - 2.0,
+            9.0,
+            TextAnchor::End,
+            AXIS_COLOR,
+            "accuracy",
+        );
+
+        let total: u64 = self.bins.iter().map(|b| b.count).sum();
+        if total == 0 {
+            svg.text(
+                (plot_x0 + plot_x1) / 2.0,
+                (plot_y0 + plot_y1) / 2.0,
+                11.0,
+                TextAnchor::Middle,
+                AXIS_COLOR,
+                "no predictions",
+            );
+        }
+        for bin in &self.bins {
+            if bin.count == 0 || !(bin.lower.is_finite() && bin.upper.is_finite()) {
+                continue;
+            }
+            let accuracy = if bin.accuracy.is_finite() {
+                bin.accuracy.clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let confidence = if bin.confidence.is_finite() {
+                bin.confidence.clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let bx0 = x_scale.map(bin.lower.clamp(0.0, 1.0));
+            let bx1 = x_scale.map(bin.upper.clamp(0.0, 1.0));
+            let top = y_scale.map(accuracy);
+            svg.rect_alpha(
+                bx0 + 1.0,
+                top,
+                (bx1 - bx0 - 2.0).max(0.5),
+                plot_y1 - top,
+                BAR_COLOR,
+                0.8,
+            );
+            // Gap between confidence and accuracy (the ECE contribution).
+            let conf_y = y_scale.map(confidence);
+            let (gap_top, gap_bottom) = if conf_y < top {
+                (conf_y, top)
+            } else {
+                (top, conf_y)
+            };
+            if gap_bottom - gap_top > 0.5 {
+                svg.rect_alpha(
+                    bx0 + 1.0,
+                    gap_top,
+                    (bx1 - bx0 - 2.0).max(0.5),
+                    gap_bottom - gap_top,
+                    GAP_COLOR,
+                    0.35,
+                );
+            }
+        }
+        // Identity diagonal: a perfectly calibrated model lies on this line.
+        svg.dashed_line(
+            x_scale.map(0.0),
+            y_scale.map(0.0),
+            x_scale.map(1.0),
+            y_scale.map(1.0),
+            AXIS_COLOR,
+            1.0,
+            4.0,
+        );
+        if self.ece.is_finite() {
+            svg.text(
+                plot_x0 + 6.0,
+                plot_y0 + 12.0,
+                10.0,
+                TextAnchor::Start,
+                TEXT_COLOR,
+                &format!("ECE {}", fmt_num(self.ece)),
+            );
+        }
+        svg.rect_outline(
+            plot_x0,
+            plot_y0,
+            plot_x1 - plot_x0,
+            plot_y1 - plot_y0,
+            AXIS_COLOR,
+            1.0,
+            None,
+        );
+        svg.group_end();
+    }
+
+    /// Renders the diagram as a standalone document.
+    pub fn to_svg(&self) -> String {
+        let mut svg = Svg::new(self.width, self.height);
+        self.render_into(&mut svg, 0.0, 0.0);
+        svg.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bins() -> Vec<RelBin> {
+        vec![
+            RelBin {
+                lower: 0.5,
+                upper: 0.6,
+                count: 10,
+                confidence: 0.55,
+                accuracy: 0.4,
+            },
+            RelBin {
+                lower: 0.9,
+                upper: 1.0,
+                count: 40,
+                confidence: 0.95,
+                accuracy: 0.97,
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_bars_diagonal_and_ece() {
+        let out = ReliabilityChart::new("before", sample_bins(), 0.083).to_svg();
+        assert!(out.contains("ECE 0.08"));
+        assert!(out.contains("stroke-dasharray"));
+        assert!(out.contains("confidence") && out.contains("accuracy"));
+    }
+
+    #[test]
+    fn empty_diagram_says_no_predictions() {
+        let out = ReliabilityChart::new("empty", vec![], 0.0).to_svg();
+        assert!(out.contains("no predictions"));
+    }
+
+    #[test]
+    fn nonfinite_bins_never_leak_nan() {
+        let bins = vec![RelBin {
+            lower: 0.0,
+            upper: 0.1,
+            count: 3,
+            confidence: f64::NAN,
+            accuracy: f64::INFINITY,
+        }];
+        let out = ReliabilityChart::new("nan", bins, f64::NAN).to_svg();
+        assert!(!out.contains("NaN") && !out.contains("inf"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let make = || ReliabilityChart::new("d", sample_bins(), 0.05).to_svg();
+        assert_eq!(make(), make());
+    }
+}

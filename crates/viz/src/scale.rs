@@ -1,0 +1,170 @@
+//! Linear data-to-pixel scales with "nice" tick generation.
+
+/// A linear mapping from a data domain to a pixel range. Handles inverted
+/// ranges (SVG y grows downward) and degenerate domains (a constant series
+/// maps to the range midpoint, so flat data draws a flat line).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearScale {
+    d0: f64,
+    d1: f64,
+    r0: f64,
+    r1: f64,
+}
+
+impl LinearScale {
+    /// A scale mapping `[d0, d1]` onto `[r0, r1]`. Non-finite domain edges
+    /// are replaced by `0`/`1` so a pathological series still renders.
+    pub fn new(d0: f64, d1: f64, r0: f64, r1: f64) -> LinearScale {
+        let (d0, d1) = if d0.is_finite() && d1.is_finite() {
+            (d0, d1)
+        } else {
+            (0.0, 1.0)
+        };
+        LinearScale { d0, d1, r0, r1 }
+    }
+
+    /// A scale whose domain covers `values` (ignoring non-finite entries),
+    /// padded by `pad` fraction of the span on each side. Empty or fully
+    /// non-finite input falls back to the unit domain.
+    pub fn covering(values: &[f64], r0: f64, r1: f64, pad: f64) -> LinearScale {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if lo > hi {
+            return LinearScale::new(0.0, 1.0, r0, r1);
+        }
+        let span = hi - lo;
+        LinearScale::new(lo - span * pad, hi + span * pad, r0, r1)
+    }
+
+    /// The domain's lower edge.
+    pub fn domain_min(&self) -> f64 {
+        self.d0.min(self.d1)
+    }
+
+    /// The domain's upper edge.
+    pub fn domain_max(&self) -> f64 {
+        self.d0.max(self.d1)
+    }
+
+    /// Maps a data value into the pixel range. A degenerate domain maps
+    /// everything to the range midpoint; non-finite input maps to `r0`.
+    pub fn map(&self, v: f64) -> f64 {
+        if !v.is_finite() {
+            return self.r0;
+        }
+        let span = self.d1 - self.d0;
+        if span.abs() < f64::EPSILON {
+            return (self.r0 + self.r1) / 2.0;
+        }
+        self.r0 + (v - self.d0) / span * (self.r1 - self.r0)
+    }
+
+    /// Around `count` round-valued ticks covering the domain: steps are
+    /// `10^k × {1, 2, 5}`, so labels stay short and exact.
+    pub fn ticks(&self, count: usize) -> Vec<f64> {
+        let lo = self.domain_min();
+        let hi = self.domain_max();
+        let span = hi - lo;
+        if !(span.is_finite()) || span < f64::EPSILON || count == 0 {
+            return vec![lo];
+        }
+        let raw_step = span / count as f64;
+        let magnitude = 10f64.powf(raw_step.log10().floor());
+        let residual = raw_step / magnitude;
+        let nice = if residual < 1.5 {
+            1.0
+        } else if residual < 3.5 {
+            2.0
+        } else if residual < 7.5 {
+            5.0
+        } else {
+            10.0
+        };
+        let step = nice * magnitude;
+        let first = (lo / step).ceil() * step;
+        let mut ticks = Vec::new();
+        let mut t = first;
+        // Bounded loop: at most ~2×count ticks fit in the span by
+        // construction, but guard against float stalls anyway.
+        for _ in 0..200 {
+            if t > hi + step * 1e-9 {
+                break;
+            }
+            // Snap near-zero ticks to exactly zero for clean labels.
+            ticks.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+            t += step;
+        }
+        if ticks.is_empty() {
+            ticks.push(lo);
+        }
+        ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_linearly() {
+        let s = LinearScale::new(0.0, 10.0, 0.0, 100.0);
+        assert_eq!(s.map(0.0), 0.0);
+        assert_eq!(s.map(5.0), 50.0);
+        assert_eq!(s.map(10.0), 100.0);
+    }
+
+    #[test]
+    fn inverted_range_flips() {
+        let s = LinearScale::new(0.0, 1.0, 100.0, 0.0);
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(1.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_domain_maps_to_midpoint() {
+        let s = LinearScale::new(3.0, 3.0, 0.0, 100.0);
+        assert_eq!(s.map(3.0), 50.0);
+        assert_eq!(s.map(99.0), 50.0);
+    }
+
+    #[test]
+    fn nonfinite_inputs_are_absorbed() {
+        let s = LinearScale::new(f64::NAN, 1.0, 0.0, 10.0);
+        assert_eq!(s.map(0.5), 5.0); // fell back to the unit domain
+        let s = LinearScale::new(0.0, 1.0, 0.0, 10.0);
+        assert_eq!(s.map(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn covering_ignores_nonfinite_values() {
+        let s = LinearScale::covering(&[1.0, f64::NAN, 3.0], 0.0, 10.0, 0.0);
+        assert_eq!(s.domain_min(), 1.0);
+        assert_eq!(s.domain_max(), 3.0);
+        let empty = LinearScale::covering(&[f64::NAN], 0.0, 10.0, 0.0);
+        assert_eq!(empty.domain_min(), 0.0);
+        assert_eq!(empty.domain_max(), 1.0);
+    }
+
+    #[test]
+    fn ticks_are_round_and_cover_the_domain() {
+        let s = LinearScale::new(0.0, 10.0, 0.0, 1.0);
+        let ticks = s.ticks(5);
+        assert_eq!(ticks, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        let s = LinearScale::new(0.13, 0.87, 0.0, 1.0);
+        for t in s.ticks(4) {
+            assert!((0.13..=0.87).contains(&t));
+        }
+    }
+
+    #[test]
+    fn ticks_on_constant_domain_yield_one_tick() {
+        let s = LinearScale::new(2.0, 2.0, 0.0, 1.0);
+        assert_eq!(s.ticks(5), vec![2.0]);
+    }
+}

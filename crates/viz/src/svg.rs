@@ -1,0 +1,364 @@
+//! The low-level SVG document builder: typed element emitters over a string
+//! buffer, with XML escaping and the crate's deterministic number format.
+
+use std::fmt::Write as _;
+
+/// Formats a coordinate or data value for SVG output: fixed two-decimal
+/// precision with trailing zeros (and a bare trailing dot) trimmed, `-0`
+/// normalised to `0`, and non-finite values rendered as `0` so `NaN` can
+/// never reach the document. Purely a function of the bits of `v` — the
+/// pillar of the crate's byte-identical-output contract.
+pub fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let text = format!("{v:.2}");
+    let trimmed = text.trim_end_matches('0').trim_end_matches('.');
+    if trimmed == "-0" {
+        "0".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+/// Escapes text for use in XML content and attribute values.
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Horizontal anchoring of a [`Svg::text`] element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextAnchor {
+    /// Text grows rightward from `x`.
+    Start,
+    /// Text is centred on `x`.
+    Middle,
+    /// Text grows leftward from `x`.
+    End,
+}
+
+impl TextAnchor {
+    fn as_str(self) -> &'static str {
+        match self {
+            TextAnchor::Start => "start",
+            TextAnchor::Middle => "middle",
+            TextAnchor::End => "end",
+        }
+    }
+}
+
+/// An SVG document under construction. Elements append in call order;
+/// [`Svg::finish`] closes the root and returns the full text.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+    open_groups: usize,
+}
+
+impl Svg {
+    /// Opens a document with a pixel viewport of `width × height` on a
+    /// white canvas.
+    pub fn new(width: f64, height: f64) -> Svg {
+        let mut svg = Svg {
+            width,
+            height,
+            body: String::new(),
+            open_groups: 0,
+        };
+        svg.rect(0.0, 0.0, width, height, "#ffffff");
+        svg
+    }
+
+    /// The viewport width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The viewport height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// A filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\"/>",
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(w),
+            fmt_num(h),
+            escape_text(fill)
+        );
+    }
+
+    /// A filled rectangle with an explicit fill opacity.
+    pub fn rect_alpha(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, opacity: f64) {
+        let _ = write!(
+            self.body,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\" fill-opacity=\"{}\"/>",
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(w),
+            fmt_num(h),
+            escape_text(fill),
+            fmt_num(opacity)
+        );
+    }
+
+    /// A stroked, unfilled rectangle. `dash` draws a dashed outline with
+    /// the given on/off pattern length.
+    #[allow(clippy::too_many_arguments)] // geometry + stroke styling is irreducibly positional
+    pub fn rect_outline(
+        &mut self,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        stroke: &str,
+        stroke_width: f64,
+        dash: Option<f64>,
+    ) {
+        let dash_attr = dash.map_or(String::new(), |d| {
+            format!(" stroke-dasharray=\"{}\"", fmt_num(d))
+        });
+        let _ = write!(
+            self.body,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{}\"{}/>",
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(w),
+            fmt_num(h),
+            escape_text(stroke),
+            fmt_num(stroke_width),
+            dash_attr
+        );
+    }
+
+    /// A straight line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, stroke_width: f64) {
+        let _ = write!(
+            self.body,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{}\" stroke-width=\"{}\"/>",
+            fmt_num(x1),
+            fmt_num(y1),
+            fmt_num(x2),
+            fmt_num(y2),
+            escape_text(stroke),
+            fmt_num(stroke_width)
+        );
+    }
+
+    /// A dashed straight line segment.
+    #[allow(clippy::too_many_arguments)] // geometry + stroke styling is irreducibly positional
+    pub fn dashed_line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        stroke_width: f64,
+        dash: f64,
+    ) {
+        let _ = write!(
+            self.body,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{}\" stroke-width=\"{}\" stroke-dasharray=\"{}\"/>",
+            fmt_num(x1),
+            fmt_num(y1),
+            fmt_num(x2),
+            fmt_num(y2),
+            escape_text(stroke),
+            fmt_num(stroke_width),
+            fmt_num(dash)
+        );
+    }
+
+    /// An open polyline through `points`; non-finite points are skipped so
+    /// a series with gaps still draws its finite part.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, stroke_width: f64) {
+        let usable: Vec<&(f64, f64)> = points
+            .iter()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if usable.len() < 2 {
+            return;
+        }
+        let mut coords = String::new();
+        for (i, (x, y)) in usable.iter().enumerate() {
+            if i > 0 {
+                coords.push(' ');
+            }
+            let _ = write!(coords, "{},{}", fmt_num(*x), fmt_num(*y));
+        }
+        let _ = write!(
+            self.body,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{}\"/>",
+            coords,
+            escape_text(stroke),
+            fmt_num(stroke_width)
+        );
+    }
+
+    /// A raw path from a prebuilt `d` attribute (caller formats numbers via
+    /// [`fmt_num`] to stay inside the determinism contract).
+    pub fn path(&mut self, d: &str, fill: &str, stroke: &str, stroke_width: f64) {
+        let _ = write!(
+            self.body,
+            "<path d=\"{}\" fill=\"{}\" stroke=\"{}\" stroke-width=\"{}\"/>",
+            escape_text(d),
+            escape_text(fill),
+            escape_text(stroke),
+            fmt_num(stroke_width)
+        );
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            "<circle cx=\"{}\" cy=\"{}\" r=\"{}\" fill=\"{}\"/>",
+            fmt_num(cx),
+            fmt_num(cy),
+            fmt_num(r),
+            escape_text(fill)
+        );
+    }
+
+    /// A stroked, unfilled circle.
+    pub fn circle_outline(&mut self, cx: f64, cy: f64, r: f64, stroke: &str, stroke_width: f64) {
+        let _ = write!(
+            self.body,
+            "<circle cx=\"{}\" cy=\"{}\" r=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{}\"/>",
+            fmt_num(cx),
+            fmt_num(cy),
+            fmt_num(r),
+            escape_text(stroke),
+            fmt_num(stroke_width)
+        );
+    }
+
+    /// A text element anchored at `(x, y)` (baseline), in the document's
+    /// fixed sans-serif stack.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: TextAnchor, fill: &str, text: &str) {
+        let _ = write!(
+            self.body,
+            "<text x=\"{}\" y=\"{}\" font-family=\"Helvetica,Arial,sans-serif\" font-size=\"{}\" text-anchor=\"{}\" fill=\"{}\">{}</text>",
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(size),
+            anchor.as_str(),
+            escape_text(fill),
+            escape_text(text)
+        );
+    }
+
+    /// Opens a `<g>` translated by `(dx, dy)`; close with [`Svg::group_end`].
+    pub fn group(&mut self, dx: f64, dy: f64) {
+        let _ = write!(
+            self.body,
+            "<g transform=\"translate({},{})\">",
+            fmt_num(dx),
+            fmt_num(dy)
+        );
+        self.open_groups += 1;
+    }
+
+    /// Closes the innermost open group; a no-op when none is open.
+    pub fn group_end(&mut self) {
+        if self.open_groups > 0 {
+            self.body.push_str("</g>");
+            self.open_groups -= 1;
+        }
+    }
+
+    /// Closes any open groups and the root element, returning the document.
+    pub fn finish(mut self) -> String {
+        while self.open_groups > 0 {
+            self.group_end();
+        }
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">{}</svg>",
+            fmt_num(self.width),
+            fmt_num(self.height),
+            fmt_num(self.width),
+            fmt_num(self.height),
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_num_is_trimmed_and_finite() {
+        assert_eq!(fmt_num(1.0), "1");
+        assert_eq!(fmt_num(1.5), "1.5");
+        assert_eq!(fmt_num(1.25), "1.25");
+        assert_eq!(fmt_num(1.256), "1.26");
+        assert_eq!(fmt_num(-0.0), "0");
+        assert_eq!(fmt_num(-0.004), "0");
+        assert_eq!(fmt_num(f64::NAN), "0");
+        assert_eq!(fmt_num(f64::INFINITY), "0");
+        assert_eq!(fmt_num(-3.10), "-3.1");
+    }
+
+    #[test]
+    fn escaping_covers_xml_metacharacters() {
+        assert_eq!(escape_text(r#"a<b>&"c'"#), "a&lt;b&gt;&amp;&quot;c&apos;");
+    }
+
+    #[test]
+    fn document_structure_is_wellformed() {
+        let mut svg = Svg::new(100.0, 50.0);
+        svg.group(10.0, 5.0);
+        svg.rect(0.0, 0.0, 10.0, 10.0, "#ff0000");
+        svg.text(5.0, 5.0, 10.0, TextAnchor::Middle, "#000000", "a<b");
+        let out = svg.finish(); // group auto-closed
+        assert!(out.starts_with("<svg xmlns=\"http://www.w3.org/2000/svg\""));
+        assert!(out.ends_with("</svg>"));
+        assert!(out.contains("a&lt;b"));
+        assert_eq!(out.matches("<g ").count(), out.matches("</g>").count());
+    }
+
+    #[test]
+    fn polyline_skips_nonfinite_points() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.polyline(&[(0.0, 0.0), (f64::NAN, 1.0), (5.0, 5.0)], "#000000", 1.0);
+        let out = svg.finish();
+        assert!(out.contains("points=\"0,0 5,5\""));
+        assert!(!out.contains("NaN"));
+    }
+
+    #[test]
+    fn polyline_with_one_finite_point_is_dropped() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.polyline(&[(1.0, 1.0), (f64::INFINITY, 2.0)], "#000000", 1.0);
+        assert!(!svg.finish().contains("polyline"));
+    }
+
+    #[test]
+    fn identical_calls_render_identical_bytes() {
+        let build = || {
+            let mut svg = Svg::new(64.0, 64.0);
+            svg.circle(1.0 / 3.0, 2.0 / 3.0, 4.0, "#123456");
+            svg.finish()
+        };
+        assert_eq!(build(), build());
+    }
+}

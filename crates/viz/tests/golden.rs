@@ -1,0 +1,93 @@
+//! Golden-file tests: the SVG output for fixed inputs is pinned
+//! byte-for-byte, so any rendering change is a deliberate diff here.
+
+use hotspot_viz::{fmt_num, LineChart, RelBin, ReliabilityChart, Series, Svg, TextAnchor};
+
+/// A minimal document whose exact bytes are pinned. If this test fails, the
+/// renderer's output format changed: update the golden string only when the
+/// change is intentional.
+#[test]
+fn minimal_document_matches_golden_bytes() {
+    let mut svg = Svg::new(40.0, 20.0);
+    svg.rect(2.0, 3.0, 10.0, 5.5, "#2563eb");
+    svg.line(0.0, 0.0, 40.0, 20.0, "#334155", 1.0);
+    svg.text(20.0, 10.0, 8.0, TextAnchor::Middle, "#0f172a", "a&b");
+    let out = svg.finish();
+    let golden = concat!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"40\" height=\"20\" viewBox=\"0 0 40 20\">",
+        "<rect x=\"0\" y=\"0\" width=\"40\" height=\"20\" fill=\"#ffffff\"/>",
+        "<rect x=\"2\" y=\"3\" width=\"10\" height=\"5.5\" fill=\"#2563eb\"/>",
+        "<line x1=\"0\" y1=\"0\" x2=\"40\" y2=\"20\" stroke=\"#334155\" stroke-width=\"1\"/>",
+        "<text x=\"20\" y=\"10\" font-family=\"Helvetica,Arial,sans-serif\" font-size=\"8\" ",
+        "text-anchor=\"middle\" fill=\"#0f172a\">a&amp;b</text>",
+        "</svg>",
+    );
+    assert_eq!(out, golden);
+}
+
+/// Chart-level determinism: independently constructed identical charts must
+/// render byte-identical documents, including irrational coordinates that
+/// exercise the fixed-precision formatter.
+#[test]
+fn repeated_chart_renders_are_byte_identical() {
+    let make = || {
+        let points: Vec<(f64, f64)> = (0..17)
+            .map(|i| {
+                let x = f64::from(i) / 3.0;
+                (x, (x * 1.7).sin() * 0.81 + 1.0 / (x + 0.37))
+            })
+            .collect();
+        LineChart::new(
+            "trajectory",
+            "iteration",
+            "value",
+            vec![
+                Series::new("a", points.clone()),
+                Series::new("b", points.iter().map(|&(x, y)| (x, y * 0.5)).collect()),
+            ],
+        )
+        .to_svg()
+    };
+    let first = make();
+    assert_eq!(first, make());
+    assert!(!first.contains("NaN"));
+}
+
+#[test]
+fn reliability_chart_renders_are_byte_identical() {
+    let make = || {
+        let bins: Vec<RelBin> = (0u32..10)
+            .map(|i| {
+                let lower = f64::from(i) / 10.0;
+                RelBin {
+                    lower,
+                    upper: lower + 0.1,
+                    count: u64::from(i) * 3 + 1,
+                    confidence: lower + 0.05,
+                    accuracy: (lower + 0.02).min(1.0),
+                }
+            })
+            .collect();
+        ReliabilityChart::new("after", bins, 0.031_4).to_svg()
+    };
+    assert_eq!(make(), make());
+}
+
+/// The number formatter is the determinism pillar — pin a spread of values.
+#[test]
+fn number_format_is_pinned() {
+    let cases = [
+        (0.0, "0"),
+        (-0.0, "0"),
+        (1.0, "1"),
+        (0.125, "0.12"), // round-half-to-even, like Rust's {:.2}
+        (123.456, "123.46"),
+        (-7.5, "-7.5"),
+        (1e-9, "0"),
+        (f64::NAN, "0"),
+        (f64::NEG_INFINITY, "0"),
+    ];
+    for (input, expected) in cases {
+        assert_eq!(fmt_num(input), expected, "fmt_num({input})");
+    }
+}
