@@ -13,12 +13,22 @@
 //!
 //! Each sweep prints a degradation curve against the fault-free baseline
 //! and everything is written to `target/experiments/faults.json`.
+//!
+//! This binary doubles as the sharding chaos harness: `--workers <n>`
+//! shards every labelling batch across N oracle worker threads, and
+//! `--kill-shard <i>@<k>` murders worker `i` on the `k`-th labelling batch
+//! of every run. Dead-shard recovery (checkpoint salvage plus deterministic
+//! recomputation of the orphaned clips) makes the murdered campaign finish
+//! with exactly the Litho# accounting and canonical-journal bytes of the
+//! undisturbed one — the CI chaos job asserts precisely that.
 
 use hotspot_active::SamplingConfig;
 use hotspot_bench::{
     run_active_method, run_active_method_checkpointed, run_active_method_faulty,
-    run_active_method_faulty_checkpointed, try_generate, write_json, ActiveMethod,
-    CheckpointedSequence, ExperimentArgs, FaultyMethodResult,
+    run_active_method_faulty_checkpointed, run_active_method_faulty_sharded,
+    run_active_method_faulty_sharded_checkpointed, run_active_method_sharded,
+    run_active_method_sharded_checkpointed, try_generate, write_json, ActiveMethod,
+    CheckpointedSequence, ExperimentArgs, FaultyMethodResult, ShardSpec,
 };
 use hotspot_layout::BenchmarkSpec;
 use hotspot_litho::FaultRates;
@@ -42,12 +52,24 @@ fn main() {
     let bench = try_generate(&spec, args.seed).expect("benchmark generation succeeds");
     let config = SamplingConfig::for_benchmark(bench.len());
     let mut sequence = CheckpointedSequence::from_args(&args);
+    let shard = ShardSpec::from_args(&args);
 
-    let baseline = match sequence.as_mut() {
-        Some(seq) => {
+    let baseline = match (sequence.as_mut(), shard.as_ref()) {
+        (Some(seq), Some(spec)) => run_active_method_sharded_checkpointed(
+            ActiveMethod::Ours,
+            &bench,
+            &config,
+            args.seed,
+            spec,
+            seq,
+        ),
+        (Some(seq), None) => {
             run_active_method_checkpointed(ActiveMethod::Ours, &bench, &config, args.seed, seq)
         }
-        None => run_active_method(ActiveMethod::Ours, &bench, &config, args.seed),
+        (None, Some(spec)) => {
+            run_active_method_sharded(ActiveMethod::Ours, &bench, &config, args.seed, spec)
+        }
+        (None, None) => run_active_method(ActiveMethod::Ours, &bench, &config, args.seed),
     };
     println!(
         "baseline ({}): acc {:.2}%  litho {}",
@@ -72,6 +94,7 @@ fn main() {
                 FaultRates::transient_only(transient),
                 1,
                 &mut sequence,
+                &shard,
             );
             print_row(&r, transient);
             r
@@ -79,8 +102,8 @@ fn main() {
         .collect();
 
     // Axis 2: silent label flips, with and without quorum re-labelling.
-    let flip_sweep_raw = flip_sweep(&bench, &config, &args, 1, &mut sequence);
-    let flip_sweep_quorum = flip_sweep(&bench, &config, &args, 3, &mut sequence);
+    let flip_sweep_raw = flip_sweep(&bench, &config, &args, 1, &mut sequence, &shard);
+    let flip_sweep_quorum = flip_sweep(&bench, &config, &args, 3, &mut sequence, &shard);
 
     write_json(
         &args.out,
@@ -103,9 +126,20 @@ fn run_faulty(
     rates: FaultRates,
     quorum: usize,
     sequence: &mut Option<CheckpointedSequence>,
+    shard: &Option<ShardSpec>,
 ) -> FaultyMethodResult {
-    match sequence.as_mut() {
-        Some(seq) => run_active_method_faulty_checkpointed(
+    match (sequence.as_mut(), shard.as_ref()) {
+        (Some(seq), Some(spec)) => run_active_method_faulty_sharded_checkpointed(
+            ActiveMethod::Ours,
+            bench,
+            config,
+            seed,
+            rates,
+            quorum,
+            spec,
+            seq,
+        ),
+        (Some(seq), None) => run_active_method_faulty_checkpointed(
             ActiveMethod::Ours,
             bench,
             config,
@@ -114,7 +148,18 @@ fn run_faulty(
             quorum,
             seq,
         ),
-        None => run_active_method_faulty(ActiveMethod::Ours, bench, config, seed, rates, quorum),
+        (None, Some(spec)) => run_active_method_faulty_sharded(
+            ActiveMethod::Ours,
+            bench,
+            config,
+            seed,
+            rates,
+            quorum,
+            spec,
+        ),
+        (None, None) => {
+            run_active_method_faulty(ActiveMethod::Ours, bench, config, seed, rates, quorum)
+        }
     }
 }
 
@@ -124,6 +169,7 @@ fn flip_sweep(
     args: &ExperimentArgs,
     quorum: usize,
     sequence: &mut Option<CheckpointedSequence>,
+    shard: &Option<ShardSpec>,
 ) -> Vec<FaultyMethodResult> {
     println!(
         "\nlabel-flip sweep ({})",
@@ -150,6 +196,7 @@ fn flip_sweep(
                 },
                 quorum,
                 sequence,
+                shard,
             );
             println!(
                 "{:>10.2} {:>8.2} {:>8} {:>8} {:>8} {:>8}",

@@ -281,6 +281,10 @@ fn render_report(path: &str, journal: &Journal) -> String {
             let _ = writeln!(out);
             out.push_str(&faults);
         }
+        if let Some(shards) = render_shard_incidents(journal) {
+            let _ = writeln!(out);
+            out.push_str(&shards);
+        }
     }
 
     // Per-run iteration trajectories.
@@ -402,15 +406,59 @@ fn render_fault_lines(runs: &[RunRecord]) -> Option<String> {
         }
         let _ = writeln!(
             out,
-            "- run {}: {} retries, {} giveups, {} label failures, {} quorum votes",
+            "- run {}: {} retries, {} giveups, {} label failures, {} quorum votes{}",
             run.run_id,
             run.oracle_retries,
             run.oracle_giveups,
             run.label_failures,
             run.quorum_votes,
+            if run.degraded {
+                " — **degraded**"
+            } else {
+                ""
+            },
         );
     }
     (!out.is_empty()).then(|| format!("Fault activity:\n\n{out}"))
+}
+
+/// Renders the coordinator's dead/hung-worker incident log as a per-shard
+/// table, or `None` when the journal recorded none (canonical journals
+/// withhold the coordinator target entirely).
+fn render_shard_incidents(journal: &Journal) -> Option<String> {
+    let incidents = journal.shard_incidents();
+    if incidents.is_empty() {
+        return None;
+    }
+    // shard -> (dead, hung, salvaged, orphaned).
+    let mut by_shard: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
+    for incident in &incidents {
+        let entry = by_shard.entry(incident.shard).or_default();
+        if incident.dead {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+        entry.2 += incident.salvaged;
+        entry.3 += incident.orphaned;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Shard incidents ({} worker{} lost):",
+        incidents.len(),
+        if incidents.len() == 1 { "" } else { "s" },
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| shard | dead | hung | salvaged | reassigned |");
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|");
+    for (shard, (dead, hung, salvaged, orphaned)) in &by_shard {
+        let _ = writeln!(
+            out,
+            "| {shard} | {dead} | {hung} | {salvaged} | {orphaned} |"
+        );
+    }
+    Some(out)
 }
 
 /// Per-method mean (accuracy, litho, seconds) over a journal's runs.
@@ -512,7 +560,7 @@ fn render_diff(path_a: &str, a: &Journal, path_b: &str, b: &Journal) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::{fmt_opt, sparkline, SPARK};
+    use super::{fmt_opt, render_shard_incidents, sparkline, Journal, SPARK};
 
     #[test]
     fn sparkline_spans_min_to_max() {
@@ -538,6 +586,21 @@ mod tests {
     #[test]
     fn sparkline_empty_is_empty() {
         assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn shard_incidents_render_per_shard_not_aggregated() {
+        let text = concat!(
+            r#"{"type":"event","target":"shard.coordinator","message":"shard worker lost","batch":2,"shard":1,"dead":true,"salvaged":3,"orphaned":2}"#,
+            "\n",
+            r#"{"type":"event","target":"shard.coordinator","message":"shard worker lost","batch":4,"shard":2,"dead":false,"salvaged":0,"orphaned":6}"#,
+            "\n",
+        );
+        let section = render_shard_incidents(&Journal::parse_str(text)).unwrap();
+        assert!(section.contains("2 workers lost"));
+        assert!(section.contains("| 1 | 1 | 0 | 3 | 2 |"));
+        assert!(section.contains("| 2 | 0 | 1 | 0 | 6 |"));
+        assert!(render_shard_incidents(&Journal::parse_str("")).is_none());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! Regenerate the committed baseline with:
 //!
 //! ```text
-//! cargo run --release --bin pshd -- --scale 0.02 --seed 1 --repeats 1 --out .
+//! cargo run --release --bin pshd -- --scale 0.02 --seed 1 --repeats 1 \
+//!     --workers-sweep 1,2,4 --out .
 //! ```
 //!
 //! With `--checkpoint-dir <dir>` the harness persists crash-safe run-state
@@ -19,11 +20,26 @@
 //! re-billing a single litho simulation, reproducing the uninterrupted
 //! run's metrics (and, under `--canonical-journal`, its journal bytes)
 //! exactly.
+//!
+//! With `--workers <n>` every labelling batch is sharded across N oracle
+//! worker threads and merged deterministically — accuracy, Litho#, and the
+//! canonical journal are byte-identical for every N (the CI
+//! shard-determinism job compares N=1 against N=4).
+//!
+//! With `--workers-sweep <n,n,...>` the seeder appends shard-scaling rows:
+//! the paper's method re-run at each listed worker count, tagged with a
+//! `workers` field in `BENCH_pshd.json`. Accuracy and Litho# in those rows
+//! equal the base `Ours` row by worker-count invariance; their wall-time
+//! column is what lets `lithohd-report gate --tolerance-time` track shard
+//! scaling. The committed baseline carries rows for 1, 2, and 4 workers
+//! (the regeneration command above).
 
 use hotspot_active::SamplingConfig;
 use hotspot_bench::{
-    render_table, run_active_method_avg, run_active_method_avg_checkpointed, try_generate,
-    write_json, ActiveMethod, CheckpointedSequence, ExperimentArgs, MethodResult, TableRow,
+    render_table, run_active_method_avg, run_active_method_avg_checkpointed,
+    run_active_method_avg_sharded, run_active_method_avg_sharded_checkpointed, try_generate,
+    write_json, ActiveMethod, CheckpointedSequence, ExperimentArgs, MethodResult, ShardSpec,
+    TableRow,
 };
 use hotspot_layout::BenchmarkSpec;
 
@@ -41,10 +57,20 @@ fn main() {
     let config = SamplingConfig::for_benchmark(bench.len());
 
     let mut sequence = CheckpointedSequence::from_args(&args);
-    let results: Vec<MethodResult> = METHODS
+    let shard = ShardSpec::from_args(&args);
+    let mut results: Vec<MethodResult> = METHODS
         .iter()
-        .map(|&method| match sequence.as_mut() {
-            Some(seq) => run_active_method_avg_checkpointed(
+        .map(|&method| match (sequence.as_mut(), shard.as_ref()) {
+            (Some(seq), Some(spec)) => run_active_method_avg_sharded_checkpointed(
+                method,
+                &bench,
+                &config,
+                args.seed,
+                args.repeats,
+                spec,
+                seq,
+            ),
+            (Some(seq), None) => run_active_method_avg_checkpointed(
                 method,
                 &bench,
                 &config,
@@ -52,15 +78,44 @@ fn main() {
                 args.repeats,
                 seq,
             ),
-            None => run_active_method_avg(method, &bench, &config, args.seed, args.repeats),
+            (None, Some(spec)) => run_active_method_avg_sharded(
+                method,
+                &bench,
+                &config,
+                args.seed,
+                args.repeats,
+                spec,
+            ),
+            (None, None) => run_active_method_avg(method, &bench, &config, args.seed, args.repeats),
         })
         .collect();
+
+    // Shard-scaling rows: the paper's method once per swept worker count,
+    // appended after the four base rows. Accuracy and Litho# are
+    // worker-count-invariant, so only the wall-time column carries new
+    // information — exactly what the gate's `--tolerance-time` mode reads.
+    for &workers in &args.workers_sweep {
+        let spec = ShardSpec {
+            workers,
+            kill: None,
+            dir: None,
+        };
+        results.push(run_active_method_avg_sharded(
+            ActiveMethod::Ours,
+            &bench,
+            &config,
+            args.seed,
+            args.repeats,
+            &spec,
+        ));
+    }
 
     let labels: Vec<&str> = METHODS.iter().map(|m| m.label()).collect();
     let rows = vec![TableRow {
         label: spec.name.clone(),
         cells: results
             .iter()
+            .take(METHODS.len())
             .map(|r| (r.accuracy, r.litho as f64))
             .collect(),
         percent: true,
@@ -70,6 +125,15 @@ fn main() {
         args.scale, args.seed, args.repeats
     );
     println!("{}", render_table(&labels, &rows));
+    for row in results.iter().skip(METHODS.len()) {
+        let workers = row.workers.unwrap_or(1);
+        println!(
+            "shard scaling: Ours @ {workers} worker(s) — {:.2}% / Litho# {} / {:.2}s",
+            row.accuracy * 100.0,
+            row.litho,
+            row.elapsed.as_secs_f64()
+        );
+    }
     write_json(&args.out, "BENCH_pshd", &results);
     args.finish_telemetry();
 }

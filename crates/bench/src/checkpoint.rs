@@ -20,8 +20,9 @@ use hotspot_telemetry as telemetry;
 
 use crate::cli::{journal_sink, ExperimentArgs};
 use crate::methods::{
-    run_active_method_faulty_hooked, run_active_method_hooked, ActiveMethod, FaultyMethodResult,
-    MethodResult,
+    run_active_method_faulty_hooked, run_active_method_faulty_sharded_hooked,
+    run_active_method_hooked, run_active_method_sharded_hooked, ActiveMethod, FaultyMethodResult,
+    MethodResult, ShardSpec,
 };
 
 /// Exit code of a `--crash-after-checkpoints` induced crash, distinct from
@@ -291,7 +292,7 @@ pub fn run_active_method_checkpointed(
     let record = seq.next_run(|hook| {
         RunRecord::from(&run_active_method_hooked(method, bench, config, seed, hook))
     });
-    method_result(method, bench, record)
+    method_result(method, bench, record, None)
 }
 
 /// Checkpointed sibling of [`crate::run_active_method_avg`]: each repeat is
@@ -325,7 +326,80 @@ pub fn run_active_method_avg_checkpointed(
         accuracy: acc / n,
         litho: (litho / n).round() as usize,
         elapsed: Duration::from_secs_f64(secs / n),
+        workers: None,
     }
+}
+
+/// Checkpointed sibling of [`crate::run_active_method_sharded`].
+pub fn run_active_method_sharded_checkpointed(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    spec: &ShardSpec,
+    seq: &mut CheckpointedSequence,
+) -> MethodResult {
+    let record = seq.next_run(|hook| {
+        RunRecord::from(&run_active_method_sharded_hooked(
+            method, bench, config, seed, spec, hook,
+        ))
+    });
+    method_result(method, bench, record, Some(spec.workers))
+}
+
+/// Checkpointed sibling of [`crate::run_active_method_avg`] with sharded
+/// labelling: each repeat is one durable sharded run.
+pub fn run_active_method_avg_sharded_checkpointed(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    repeats: usize,
+    spec: &ShardSpec,
+    seq: &mut CheckpointedSequence,
+) -> MethodResult {
+    assert!(repeats > 0, "repeats must be positive");
+    let (mut acc, mut litho, mut secs) = (0.0f64, 0.0f64, 0.0f64);
+    for repeat in 0..repeats {
+        let run_seed = seed + repeat as u64;
+        let record = seq.next_run(|hook| {
+            RunRecord::from(&run_active_method_sharded_hooked(
+                method, bench, config, run_seed, spec, hook,
+            ))
+        });
+        acc += record.accuracy;
+        litho += record.litho as f64;
+        secs += record.secs;
+    }
+    let n = repeats as f64;
+    MethodResult {
+        method: method.label().to_owned(),
+        benchmark: bench.spec().name.clone(),
+        accuracy: acc / n,
+        litho: (litho / n).round() as usize,
+        elapsed: Duration::from_secs_f64(secs / n),
+        workers: Some(spec.workers),
+    }
+}
+
+/// Checkpointed sibling of [`crate::run_active_method_faulty_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_active_method_faulty_sharded_checkpointed(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    rates: FaultRates,
+    quorum: usize,
+    spec: &ShardSpec,
+    seq: &mut CheckpointedSequence,
+) -> FaultyMethodResult {
+    let record = seq.next_run(|hook| {
+        RunRecord::from(&run_active_method_faulty_sharded_hooked(
+            method, bench, config, seed, rates, quorum, spec, hook,
+        ))
+    });
+    faulty_method_result(method, bench, rates, quorum, record)
 }
 
 /// Checkpointed sibling of [`crate::run_active_method_faulty`].
@@ -344,6 +418,16 @@ pub fn run_active_method_faulty_checkpointed(
             method, bench, config, seed, rates, quorum, hook,
         ))
     });
+    faulty_method_result(method, bench, rates, quorum, record)
+}
+
+fn faulty_method_result(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    rates: FaultRates,
+    quorum: usize,
+    record: RunRecord,
+) -> FaultyMethodResult {
     FaultyMethodResult {
         method: method.label().to_owned(),
         benchmark: bench.spec().name.clone(),
@@ -364,6 +448,7 @@ fn method_result(
     method: ActiveMethod,
     bench: &GeneratedBenchmark,
     record: RunRecord,
+    workers: Option<usize>,
 ) -> MethodResult {
     MethodResult {
         method: method.label().to_owned(),
@@ -371,6 +456,7 @@ fn method_result(
         accuracy: record.accuracy,
         litho: record.litho as usize,
         elapsed: Duration::from_secs_f64(record.secs),
+        workers,
     }
 }
 

@@ -44,9 +44,15 @@ pub(crate) fn journal_sink() -> Option<Arc<JsonlSink>> {
 /// span-timing tree on exit), `--checkpoint-dir <dir>` (persist crash-safe
 /// run-state checkpoints), `--checkpoint-every <n>` (iterations between
 /// checkpoints, default 1), `--resume` (continue from the newest valid
-/// checkpoint instead of starting over), and
+/// checkpoint instead of starting over),
 /// `--crash-after-checkpoints <n>` (kill the process right after the Nth
-/// checkpoint commit — the crash injector for resume testing).
+/// checkpoint commit — the crash injector for resume testing),
+/// `--workers <n>` (shard each labelling batch across N oracle worker
+/// threads; merged results are byte-identical for every N), and
+/// `--kill-shard <i>@<k>` (chaos injection: murder worker `i` on labelling
+/// batch `k` of every sharded run — requires `--workers`), and
+/// `--workers-sweep <n,n,...>` (pshd only: append shard-scaling rows for
+/// the paper's method at each listed worker count to the baseline).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentArgs {
     /// Benchmark size factor.
@@ -82,6 +88,16 @@ pub struct ExperimentArgs {
     /// commit (`--crash-after-checkpoints`) — the crash injector the
     /// resume-determinism suite drives.
     pub crash_after_checkpoints: Option<usize>,
+    /// Oracle worker threads per labelling batch (`--workers`); `None`
+    /// keeps the legacy single-threaded labelling path.
+    pub workers: Option<usize>,
+    /// Chaos injection `(shard, batch)` from `--kill-shard <i>@<k>`: worker
+    /// `i` is murdered on the `k`-th (1-based) labelling batch of every
+    /// sharded run. Requires `--workers`.
+    pub kill_shard: Option<(usize, usize)>,
+    /// Worker counts for the pshd seeder's shard-scaling rows
+    /// (`--workers-sweep 1,2,4`); empty disables the sweep.
+    pub workers_sweep: Vec<usize>,
 }
 
 impl Default for ExperimentArgs {
@@ -100,6 +116,9 @@ impl Default for ExperimentArgs {
             checkpoint_every: 1,
             resume: false,
             crash_after_checkpoints: None,
+            workers: None,
+            kill_shard: None,
+            workers_sweep: Vec::new(),
         }
     }
 }
@@ -119,7 +138,8 @@ impl ExperimentArgs {
                     "usage: <bin> [--scale <f64>] [--seed <u64>] [--repeats <usize>] [--out <dir>] \
                      [--log <filter>] [--journal <path>] [--canonical-journal] \
                      [--metrics-addr <ip:port>] [--profile] [--checkpoint-dir <dir>] \
-                     [--checkpoint-every <n>] [--resume] [--crash-after-checkpoints <n>]"
+                     [--checkpoint-every <n>] [--resume] [--crash-after-checkpoints <n>] \
+                     [--workers <n>] [--kill-shard <i>@<k>] [--workers-sweep <n,n,...>]"
                 );
                 std::process::exit(2);
             }
@@ -198,6 +218,34 @@ impl ExperimentArgs {
                             .map_err(|e| format!("bad --crash-after-checkpoints: {e}"))?,
                     );
                 }
+                "--workers" => {
+                    out.workers = Some(
+                        value()?
+                            .parse()
+                            .map_err(|e| format!("bad --workers: {e}"))?,
+                    );
+                    if out.workers == Some(0) {
+                        return Err("--workers must be positive".to_owned());
+                    }
+                }
+                "--kill-shard" => {
+                    out.kill_shard = Some(parse_kill_shard(&value()?)?);
+                }
+                "--workers-sweep" => {
+                    out.workers_sweep = value()?
+                        .split(',')
+                        .map(|part| {
+                            part.trim()
+                                .parse::<usize>()
+                                .map_err(|e| format!("bad --workers-sweep entry {part:?}: {e}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if out.workers_sweep.is_empty() || out.workers_sweep.contains(&0) {
+                        return Err(
+                            "--workers-sweep expects positive counts like `1,2,4`".to_owned()
+                        );
+                    }
+                }
                 other => return Err(format!("unknown flag: {other}")),
             }
         }
@@ -206,7 +254,28 @@ impl ExperimentArgs {
                 "--resume and --crash-after-checkpoints require --checkpoint-dir".to_owned(),
             );
         }
+        if out.workers.is_none() && out.kill_shard.is_some() {
+            return Err("--kill-shard requires --workers".to_owned());
+        }
+        if let (Some(workers), Some((shard, _))) = (out.workers, out.kill_shard) {
+            if shard >= workers {
+                return Err(format!(
+                    "--kill-shard names worker {shard}, but --workers is {workers}"
+                ));
+            }
+        }
         Ok(out)
+    }
+
+    /// The kill-shard chaos spec as a batch-ordinal panic injection, when
+    /// both `--workers` and `--kill-shard` were given.
+    pub fn kill_spec(&self) -> Option<hotspot_shard::KillSpec> {
+        self.kill_shard
+            .map(|(shard, batch)| hotspot_shard::KillSpec {
+                shard,
+                batch,
+                mode: hotspot_shard::FailureMode::Panic,
+            })
     }
 
     /// Registers the telemetry sinks these arguments ask for: a console
@@ -303,6 +372,24 @@ impl ExperimentArgs {
     }
 }
 
+/// Parses a `--kill-shard` value of the form `<shard>@<batch>` (the batch
+/// ordinal is 1-based).
+fn parse_kill_shard(value: &str) -> Result<(usize, usize), String> {
+    let (shard, batch) = value
+        .split_once('@')
+        .ok_or_else(|| format!("bad --kill-shard {value:?}: expected <shard>@<batch>"))?;
+    let shard: usize = shard
+        .parse()
+        .map_err(|e| format!("bad --kill-shard shard: {e}"))?;
+    let batch: usize = batch
+        .parse()
+        .map_err(|e| format!("bad --kill-shard batch: {e}"))?;
+    if batch == 0 {
+        return Err("--kill-shard batch ordinal is 1-based".to_owned());
+    }
+    Ok((shard, batch))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +468,41 @@ mod tests {
         assert!(parse(&["--checkpoint-every", "0"]).is_err());
         assert!(parse(&["--resume"]).is_err(), "--resume needs a dir");
         assert!(parse(&["--crash-after-checkpoints", "1"]).is_err());
+    }
+
+    #[test]
+    fn shard_flags_parse_and_validate() {
+        let args = parse(&["--workers", "4"]).unwrap();
+        assert_eq!(args.workers, Some(4));
+        assert_eq!(args.kill_shard, None);
+        assert!(args.kill_spec().is_none());
+
+        let args = parse(&["--workers", "4", "--kill-shard", "1@3"]).unwrap();
+        assert_eq!(args.kill_shard, Some((1, 3)));
+        let spec = args.kill_spec().unwrap();
+        assert_eq!(spec.shard, 1);
+        assert_eq!(spec.batch, 3);
+        assert_eq!(spec.mode, hotspot_shard::FailureMode::Panic);
+
+        assert!(parse(&["--workers", "0"]).is_err());
+        assert!(parse(&["--kill-shard", "1@3"]).is_err(), "needs --workers");
+        assert!(parse(&["--workers", "2", "--kill-shard", "2@3"]).is_err());
+        assert!(parse(&["--workers", "2", "--kill-shard", "1@0"]).is_err());
+        assert!(parse(&["--workers", "2", "--kill-shard", "1-3"]).is_err());
+    }
+
+    #[test]
+    fn workers_sweep_parses_and_validates() {
+        assert!(parse(&[]).unwrap().workers_sweep.is_empty());
+
+        let args = parse(&["--workers-sweep", "1,2,4"]).unwrap();
+        assert_eq!(args.workers_sweep, vec![1, 2, 4]);
+
+        let args = parse(&["--workers-sweep", " 2 , 8 "]).unwrap();
+        assert_eq!(args.workers_sweep, vec![2, 8]);
+
+        assert!(parse(&["--workers-sweep", ""]).is_err());
+        assert!(parse(&["--workers-sweep", "1,0"]).is_err());
+        assert!(parse(&["--workers-sweep", "1,x"]).is_err());
     }
 }

@@ -151,6 +151,28 @@ pub struct BenchmarkRecord {
     pub near_miss_rate: f64,
 }
 
+/// One `shard worker lost` journal event: a labelling worker that panicked
+/// or hung mid-batch, with what the coordinator salvaged from the worker's
+/// checkpoint commits and how many clips it had to reassign.
+///
+/// Canonical journals withhold the `shard.coordinator` target, so this list
+/// is empty there by design; provenance (non-canonical) journals keep the
+/// full incident log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIncidentRecord {
+    /// 1-based labelling-batch ordinal the worker was lost on.
+    pub batch: u64,
+    /// Shard (worker) index within the batch.
+    pub shard: u64,
+    /// `true` when the worker panicked; `false` when it hung past the
+    /// coordinator's deadline.
+    pub dead: bool,
+    /// Outcomes recovered from the worker's checkpoint commits.
+    pub salvaged: u64,
+    /// Clips reassigned to a recovery round.
+    pub orphaned: u64,
+}
+
 /// Aggregate view of one histogram in a journal snapshot.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct HistogramStats {
@@ -307,6 +329,21 @@ impl Journal {
                     non_hotspots: get_u64(event, "non_hotspots")?,
                     dup_rate: get_f64(event, "dup_rate").unwrap_or(0.0),
                     near_miss_rate: get_f64(event, "near_miss_rate").unwrap_or(0.0),
+                })
+            })
+            .collect()
+    }
+
+    /// Every `shard worker lost` event as a typed row, in journal order.
+    pub fn shard_incidents(&self) -> Vec<ShardIncidentRecord> {
+        self.events_with_message(hotspot_telemetry::names::EVENT_SHARD_WORKER_LOST)
+            .filter_map(|event| {
+                Some(ShardIncidentRecord {
+                    batch: get_u64(event, "batch")?,
+                    shard: get_u64(event, "shard")?,
+                    dead: event.get("dead").and_then(Value::as_bool).unwrap_or(true),
+                    salvaged: get_u64(event, "salvaged").unwrap_or(0),
+                    orphaned: get_u64(event, "orphaned").unwrap_or(0),
                 })
             })
             .collect()
@@ -541,9 +578,19 @@ pub fn evaluate_gate(
         let n = *n as f64;
         let (accuracy, litho, seconds) = (acc_sum / n, litho_sum / n, secs_sum / n);
 
+        // Sharded baseline rows gate under a distinct label: their accuracy
+        // and Litho# equal the base row's by worker-count invariance (so
+        // those checks re-assert the invariance at gate level), while their
+        // wall-time column is what shard-scaling tracking compares against
+        // once `--tolerance-time` is enabled.
+        let label = match entry.workers {
+            Some(workers) => format!("{}@w{workers}", entry.method),
+            None => entry.method.clone(),
+        };
+
         let acc_bound = entry.accuracy - tolerances.accuracy_points / 100.0;
         outcome.checks.push(GateCheck {
-            method: entry.method.clone(),
+            method: label.clone(),
             metric: "accuracy",
             baseline: entry.accuracy,
             measured: accuracy,
@@ -553,7 +600,7 @@ pub fn evaluate_gate(
 
         let litho_bound = entry.litho as f64 * (1.0 + tolerances.litho_percent / 100.0);
         outcome.checks.push(GateCheck {
-            method: entry.method.clone(),
+            method: label.clone(),
             metric: "litho",
             baseline: entry.litho as f64,
             measured: litho,
@@ -564,7 +611,7 @@ pub fn evaluate_gate(
         if let Some(factor) = tolerances.time_factor {
             let time_bound = entry.elapsed.as_secs_f64() * factor;
             outcome.checks.push(GateCheck {
-                method: entry.method.clone(),
+                method: label,
                 metric: "wall_time",
                 baseline: entry.elapsed.as_secs_f64(),
                 measured: seconds,
@@ -697,6 +744,28 @@ mod tests {
     }
 
     #[test]
+    fn shard_incidents_are_typed_and_keep_journal_order() {
+        let text = concat!(
+            r#"{"type":"event","seq":0,"target":"shard.coordinator","message":"shard worker lost","batch":2,"shard":1,"dead":true,"salvaged":3,"orphaned":2}"#,
+            "\n",
+            r#"{"type":"event","seq":1,"target":"shard.coordinator","message":"shard worker lost","batch":5,"shard":0,"dead":false,"salvaged":0,"orphaned":7}"#,
+            "\n",
+        );
+        let journal = Journal::parse_str(text);
+        let incidents = journal.shard_incidents();
+        assert_eq!(incidents.len(), 2);
+        assert_eq!(incidents[0].batch, 2);
+        assert_eq!(incidents[0].shard, 1);
+        assert!(incidents[0].dead);
+        assert_eq!(incidents[0].salvaged, 3);
+        assert_eq!(incidents[0].orphaned, 2);
+        assert!(!incidents[1].dead);
+        assert_eq!(incidents[1].orphaned, 7);
+        // Canonical journals withhold the coordinator target entirely.
+        assert!(sample_journal().shard_incidents().is_empty());
+    }
+
+    #[test]
     fn truncated_trailing_line_is_skipped_not_fatal() {
         let mut text = String::new();
         text.push_str(r#"{"type":"event","message":"run complete","run_id":1,"selector":"entropy","accuracy":0.9,"litho":100,"elapsed_ms":10}"#);
@@ -731,6 +800,7 @@ mod tests {
             accuracy: 0.95,
             litho: 120,
             elapsed: Duration::from_secs(3),
+            workers: None,
         }]
     }
 
@@ -796,6 +866,7 @@ mod tests {
             accuracy: 0.9,
             litho: 130,
             elapsed: Duration::from_secs(3),
+            workers: None,
         });
         let outcome = evaluate_gate(&sample_journal(), &base, &GateTolerances::default());
         assert!(!outcome.passed());
@@ -814,6 +885,43 @@ mod tests {
         let outcome = evaluate_gate(&sample_journal(), &baseline(), &tolerances);
         assert!(outcome.passed());
         assert!(outcome.checks.iter().any(|c| c.metric == "wall_time"));
+    }
+
+    #[test]
+    fn worker_rows_gate_against_the_base_method_and_carry_a_distinct_label() {
+        // A baseline with shard-scaling rows (`--workers-sweep`) gates an
+        // unsharded journal: worker rows match by method name (accuracy and
+        // Litho# are worker-count-invariant), and their checks are labelled
+        // `Ours@w<N>` so the report distinguishes them from the base row.
+        let mut base = baseline();
+        base.push(MethodResult {
+            method: "Ours".to_string(),
+            benchmark: "ICCAD12".to_string(),
+            accuracy: 0.95,
+            litho: 120,
+            elapsed: Duration::from_secs(2),
+            workers: Some(4),
+        });
+        let outcome = evaluate_gate(&sample_journal(), &base, &GateTolerances::default());
+        assert!(outcome.passed(), "checks: {:?}", outcome.checks);
+        let labels: Vec<&str> = outcome.checks.iter().map(|c| c.method.as_str()).collect();
+        assert!(labels.contains(&"Ours"));
+        assert!(labels.contains(&"Ours@w4"));
+
+        // With time gating on, the worker row's wall-clock column is the
+        // bound the journal is held to.
+        let tolerances = GateTolerances {
+            time_factor: Some(2.0),
+            ..GateTolerances::default()
+        };
+        let outcome = evaluate_gate(&sample_journal(), &base, &tolerances);
+        let timed = outcome
+            .checks
+            .iter()
+            .find(|c| c.method == "Ours@w4" && c.metric == "wall_time")
+            .expect("worker row contributes a wall_time check");
+        assert_eq!(timed.baseline, 2.0);
+        assert_eq!(timed.bound, 4.0);
     }
 
     #[test]

@@ -20,14 +20,18 @@ mod report;
 mod runtime;
 
 pub use checkpoint::{
-    run_active_method_avg_checkpointed, run_active_method_checkpointed,
-    run_active_method_faulty_checkpointed, CheckpointedSequence, RunRecord, CRASH_EXIT_CODE,
+    run_active_method_avg_checkpointed, run_active_method_avg_sharded_checkpointed,
+    run_active_method_checkpointed, run_active_method_faulty_checkpointed,
+    run_active_method_faulty_sharded_checkpointed, run_active_method_sharded_checkpointed,
+    CheckpointedSequence, RunRecord, CRASH_EXIT_CODE,
 };
 pub use cli::ExperimentArgs;
 pub use methods::{
-    run_active_method, run_active_method_avg, run_active_method_faulty,
-    run_active_method_faulty_hooked, run_active_method_hooked, run_pattern_method, ActiveMethod,
-    FaultyMethodResult, MethodResult,
+    run_active_method, run_active_method_avg, run_active_method_avg_sharded,
+    run_active_method_faulty, run_active_method_faulty_hooked, run_active_method_faulty_sharded,
+    run_active_method_faulty_sharded_hooked, run_active_method_hooked, run_active_method_sharded,
+    run_active_method_sharded_hooked, run_pattern_method, ActiveMethod, FaultyMethodResult,
+    MethodResult, ShardSpec,
 };
 pub use pca::project_2d;
 pub use report::{ratio_row, render_table, write_json, TableRow};

@@ -5,8 +5,53 @@ use hotspot_active::{
 use hotspot_baselines::{PatternMatcher, QpSelector};
 use hotspot_layout::GeneratedBenchmark;
 use hotspot_litho::{FaultRates, FaultyOracle, RetryOracle, RetryPolicy, VirtualClock};
+use hotspot_shard::{KillSpec, ShardConfig, ShardedOracle};
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::time::Duration;
+
+use crate::cli::ExperimentArgs;
+
+/// How a sharded run fans its labelling batches out — built from
+/// `--workers` / `--kill-shard` / `--checkpoint-dir` by
+/// [`ShardSpec::from_args`] and threaded into the `_sharded` runners. The
+/// merged labels, Litho#, and canonical journal are byte-identical for
+/// every worker count and for any chaos the recovery path absorbed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Oracle worker threads per labelling batch.
+    pub workers: usize,
+    /// Optional chaos injection (applies to every run of the binary — each
+    /// run builds a fresh sharded oracle, so the spec fires once per run).
+    pub kill: Option<KillSpec>,
+    /// Per-shard checkpoint-commit directory; lost workers are salvaged
+    /// from it. `None` recovers by recomputation instead.
+    pub dir: Option<PathBuf>,
+}
+
+impl ShardSpec {
+    /// Builds the spec from `--workers` (returns `None` without it),
+    /// `--kill-shard`, and — when `--checkpoint-dir` is given — a `shards/`
+    /// commit subdirectory next to the run checkpoints.
+    pub fn from_args(args: &ExperimentArgs) -> Option<Self> {
+        Some(ShardSpec {
+            workers: args.workers?,
+            kill: args.kill_spec(),
+            dir: args.checkpoint_dir.as_ref().map(|d| d.join("shards")),
+        })
+    }
+
+    fn config(&self, seed: u64) -> ShardConfig {
+        let mut config = ShardConfig::new(self.workers).with_stream_seed(seed ^ 0x5a4d_0001);
+        if let Some(kill) = self.kill {
+            config = config.with_kill(kill);
+        }
+        if let Some(dir) = &self.dir {
+            config = config.with_dir(dir);
+        }
+        config
+    }
+}
 
 /// The learning-based sampling methods of Table II (and Fig. 4 / Fig. 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,6 +102,12 @@ pub struct MethodResult {
     /// Measured PSHD computation time.
     #[serde(with = "duration_secs")]
     pub elapsed: Duration,
+    /// Oracle worker threads the labelling batches were sharded across
+    /// (`--workers`); `None` is the single-threaded legacy path. Accuracy
+    /// and Litho# are worker-count-invariant, so sharded rows exist purely
+    /// to let `lithohd-report gate` track shard-scaling wall-clock.
+    /// Baselines written before this field existed parse as `None`.
+    pub workers: Option<usize>,
 }
 
 mod duration_secs {
@@ -112,6 +163,7 @@ pub fn run_active_method_hooked(
         accuracy: outcome.metrics.accuracy,
         litho: outcome.metrics.litho,
         elapsed: outcome.elapsed,
+        workers: None,
     }
 }
 
@@ -145,6 +197,59 @@ pub fn run_active_method_avg(
         accuracy: acc / n,
         litho: (litho / n).round() as usize,
         elapsed: Duration::from_secs_f64(secs / n),
+        workers: None,
+    }
+}
+
+/// [`run_active_method`] with the labelling batches sharded across
+/// `spec.workers` oracle threads (see [`hotspot_shard::ShardedOracle`]).
+///
+/// # Panics
+///
+/// Panics when the framework rejects the configuration.
+pub fn run_active_method_sharded(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    spec: &ShardSpec,
+) -> MethodResult {
+    run_active_method_sharded_hooked(method, bench, config, seed, spec, &mut NoCheckpoint)
+}
+
+/// [`run_active_method_sharded`] with durable-run support.
+///
+/// # Panics
+///
+/// Panics when the framework rejects the configuration or the checkpoint.
+pub fn run_active_method_sharded_hooked(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    spec: &ShardSpec,
+    hook: &mut dyn CheckpointHook,
+) -> MethodResult {
+    let framework = SamplingFramework::new(config.clone());
+    let mut selector = method.selector();
+    // The plain metered oracle carries no jitter stream: workers only need
+    // fresh instances sharing the benchmark's ground truth.
+    let mut oracle = ShardedOracle::new(
+        bench.oracle(),
+        move |_shard, _jitter_seed| bench.oracle(),
+        spec.config(seed),
+    );
+    let outcome = framework
+        .run_with_oracle_checkpointed(bench, selector.as_mut(), seed, &mut oracle, hook)
+        // lithohd-lint: allow(panic-safety) — documented: the harness passes validated configurations
+        .expect("sharded framework run succeeds");
+    MethodResult {
+        method: method.label().to_owned(),
+        benchmark: bench.spec().name.clone(),
+        accuracy: outcome.metrics.accuracy,
+        litho: outcome.metrics.litho,
+        elapsed: outcome.elapsed,
+        workers: Some(spec.workers),
     }
 }
 
@@ -251,6 +356,129 @@ pub fn run_active_method_faulty_hooked(
     }
 }
 
+/// [`run_active_method_avg`] with sharded labelling: each repeat fans its
+/// batches across `spec.workers` oracle threads.
+///
+/// # Panics
+///
+/// Panics when `repeats == 0` or the framework rejects the configuration.
+pub fn run_active_method_avg_sharded(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    repeats: usize,
+    spec: &ShardSpec,
+) -> MethodResult {
+    assert!(repeats > 0, "repeats must be positive");
+    let (mut acc, mut litho, mut secs) = (0.0f64, 0.0f64, 0.0f64);
+    for repeat in 0..repeats {
+        let r = run_active_method_sharded(method, bench, config, seed + repeat as u64, spec);
+        acc += r.accuracy;
+        litho += r.litho as f64;
+        secs += r.elapsed.as_secs_f64();
+    }
+    let n = repeats as f64;
+    MethodResult {
+        method: method.label().to_owned(),
+        benchmark: bench.spec().name.clone(),
+        accuracy: acc / n,
+        litho: (litho / n).round() as usize,
+        elapsed: Duration::from_secs_f64(secs / n),
+        workers: Some(spec.workers),
+    }
+}
+
+/// [`run_active_method_faulty`] with the labelling batches sharded across
+/// `spec.workers` oracle threads. Each worker rebuilds the whole
+/// retry/quorum/fault stack over a fresh metered oracle and restores it
+/// from the master's snapshot; per-worker retry-jitter seeds come from the
+/// coordinator's split ChaCha streams and shape backoff sleeps only, so the
+/// merged run equals the single-threaded one label for label and bill for
+/// bill.
+///
+/// # Panics
+///
+/// Panics when the rates are invalid or the framework rejects the
+/// configuration.
+pub fn run_active_method_faulty_sharded(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    rates: FaultRates,
+    quorum: usize,
+    spec: &ShardSpec,
+) -> FaultyMethodResult {
+    run_active_method_faulty_sharded_hooked(
+        method,
+        bench,
+        config,
+        seed,
+        rates,
+        quorum,
+        spec,
+        &mut NoCheckpoint,
+    )
+}
+
+/// [`run_active_method_faulty_sharded`] with durable-run support.
+///
+/// # Panics
+///
+/// Panics when the rates are invalid or the framework rejects the
+/// configuration or the checkpoint.
+#[allow(clippy::too_many_arguments)]
+pub fn run_active_method_faulty_sharded_hooked(
+    method: ActiveMethod,
+    bench: &GeneratedBenchmark,
+    config: &SamplingConfig,
+    seed: u64,
+    rates: FaultRates,
+    quorum: usize,
+    spec: &ShardSpec,
+    hook: &mut dyn CheckpointHook,
+) -> FaultyMethodResult {
+    let framework = SamplingFramework::new(config.clone());
+    let mut selector = method.selector();
+    let stack = move |jitter_seed: u64| {
+        let flaky = FaultyOracle::new(bench.oracle(), rates, seed ^ 0xfa17_fa17);
+        let policy = RetryPolicy {
+            seed: jitter_seed,
+            ..RetryPolicy::default()
+        };
+        let mut oracle = RetryOracle::with_clock(flaky, policy, VirtualClock::new());
+        if quorum > 1 {
+            oracle = oracle.with_quorum(quorum);
+        }
+        oracle
+    };
+    let master = stack(RetryPolicy::default().seed);
+    let mut oracle = ShardedOracle::new(
+        master,
+        move |_shard, jitter_seed| stack(jitter_seed),
+        spec.config(seed),
+    );
+    let outcome = framework
+        .run_with_oracle_checkpointed(bench, selector.as_mut(), seed, &mut oracle, hook)
+        // lithohd-lint: allow(panic-safety) — documented: the harness passes validated configurations
+        .expect("sharded degradation-aware framework run succeeds");
+    FaultyMethodResult {
+        method: method.label().to_owned(),
+        benchmark: bench.spec().name.clone(),
+        transient: rates.transient,
+        flip: rates.flip,
+        quorum: quorum.max(1),
+        accuracy: outcome.metrics.accuracy,
+        litho: outcome.metrics.litho,
+        extra_simulations: outcome.metrics.extra_simulations,
+        retries: outcome.fault_stats.oracle_retries,
+        giveups: outcome.fault_stats.oracle_giveups,
+        label_failures: outcome.fault_stats.label_failures,
+        degraded: outcome.degraded,
+    }
+}
+
 /// Runs a pattern-matching method on a benchmark.
 pub fn run_pattern_method(matcher: PatternMatcher, bench: &GeneratedBenchmark) -> MethodResult {
     // lithohd-lint: allow(determinism-clock) — method wall time is a reported measurement, not control flow
@@ -262,6 +490,7 @@ pub fn run_pattern_method(matcher: PatternMatcher, bench: &GeneratedBenchmark) -
         accuracy: outcome.accuracy,
         litho: outcome.litho,
         elapsed: start.elapsed(),
+        workers: None,
     }
 }
 
@@ -325,6 +554,74 @@ mod tests {
     }
 
     #[test]
+    fn sharded_runs_match_sequential_outcomes() {
+        let b = bench();
+        let mut config = SamplingConfig::for_benchmark(b.len());
+        config.iterations = 2;
+        config.initial_epochs = 20;
+        config.update_epochs = 5;
+
+        let sequential = run_active_method(ActiveMethod::Ours, &b, &config, 1);
+        for workers in [1, 3] {
+            let spec = ShardSpec {
+                workers,
+                kill: None,
+                dir: None,
+            };
+            let sharded = run_active_method_sharded(ActiveMethod::Ours, &b, &config, 1, &spec);
+            assert_eq!(sequential.accuracy, sharded.accuracy, "N={workers}");
+            assert_eq!(sequential.litho, sharded.litho, "N={workers}");
+        }
+
+        let rates = FaultRates {
+            transient: 0.2,
+            flip: 0.02,
+            ..FaultRates::default()
+        };
+        let sequential = run_active_method_faulty(ActiveMethod::Ours, &b, &config, 1, rates, 3);
+        let spec = ShardSpec {
+            workers: 3,
+            kill: None,
+            dir: None,
+        };
+        let sharded =
+            run_active_method_faulty_sharded(ActiveMethod::Ours, &b, &config, 1, rates, 3, &spec);
+        assert_eq!(sequential, sharded, "faulty stack must merge identically");
+    }
+
+    #[test]
+    fn killed_worker_run_matches_the_undisturbed_one() {
+        let b = bench();
+        let mut config = SamplingConfig::for_benchmark(b.len());
+        config.iterations = 2;
+        config.initial_epochs = 20;
+        config.update_epochs = 5;
+        let rates = FaultRates {
+            transient: 0.2,
+            ..FaultRates::default()
+        };
+        let calm = ShardSpec {
+            workers: 3,
+            kill: None,
+            dir: None,
+        };
+        let chaos = ShardSpec {
+            workers: 3,
+            kill: Some(KillSpec {
+                shard: 1,
+                batch: 2,
+                mode: hotspot_shard::FailureMode::Panic,
+            }),
+            dir: None,
+        };
+        let undisturbed =
+            run_active_method_faulty_sharded(ActiveMethod::Ours, &b, &config, 1, rates, 1, &calm);
+        let murdered =
+            run_active_method_faulty_sharded(ActiveMethod::Ours, &b, &config, 1, rates, 1, &chaos);
+        assert_eq!(undisturbed, murdered, "recovery must not change anything");
+    }
+
+    #[test]
     fn pattern_method_runs() {
         let b = bench();
         let result = run_pattern_method(PatternMatcher::exact(), &b);
@@ -340,9 +637,24 @@ mod tests {
             accuracy: 0.5,
             litho: 10,
             elapsed: Duration::from_millis(1500),
+            workers: None,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: MethodResult = serde_json::from_str(&json).unwrap();
         assert!((back.elapsed.as_secs_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(back.workers, None);
+    }
+
+    #[test]
+    fn baselines_without_a_workers_field_parse_as_unsharded() {
+        // BENCH_pshd.json files written before the shard-scaling rows
+        // existed must keep loading; the absent field reads as `None`.
+        let legacy = r#"{"method":"Ours","benchmark":"B","accuracy":0.9,"litho":12,"elapsed":2.5}"#;
+        let row: MethodResult = serde_json::from_str(legacy).unwrap();
+        assert_eq!(row.workers, None);
+
+        let tagged = r#"{"method":"Ours","benchmark":"B","accuracy":0.9,"litho":12,"elapsed":2.5,"workers":4}"#;
+        let row: MethodResult = serde_json::from_str(tagged).unwrap();
+        assert_eq!(row.workers, Some(4));
     }
 }

@@ -22,6 +22,7 @@ use hotspot_viz::{
 
 use crate::journal::{
     method_for_selector, BenchmarkRecord, CalibrationBinRecord, Journal, SelectionRecord,
+    ShardIncidentRecord,
 };
 
 /// Knobs for [`render_dashboard`].
@@ -88,6 +89,14 @@ pub fn render_dashboard(
     if let Some((accuracy, litho)) = method_bars(&runs) {
         files.push(("methods_accuracy.svg".to_string(), accuracy));
         files.push(("methods_litho.svg".to_string(), litho));
+    }
+
+    // Shard health: the coordinator's dead/hung-worker incident log, by
+    // shard. Canonical journals withhold the coordinator target, so the
+    // panel only appears on provenance journals that saw an incident.
+    let incidents = journal.shard_incidents();
+    if let Some(svg) = shard_health(&incidents) {
+        files.push(("shard_health.svg".to_string(), svg));
     }
 
     // Per-run panels, ordered by run id for stable output.
@@ -166,7 +175,8 @@ pub fn render_dashboard(
         std::fs::write(out_dir.join(name), svg).map_err(|e| format!("cannot write {name}: {e}"))?;
         summary.files.push(name.clone());
     }
-    let index = index_html(&files);
+    let degraded = runs.iter().filter(|r| r.degraded).count();
+    let index = index_html(&files, degraded);
     std::fs::write(out_dir.join("index.html"), index)
         .map_err(|e| format!("cannot write index.html: {e}"))?;
     summary.files.push("index.html".to_string());
@@ -196,25 +206,60 @@ fn run_to_benchmark(journal: &Journal) -> BTreeMap<u64, String> {
     map
 }
 
-/// Human label for a run: method (via its selector) plus benchmark.
+/// Human label for a run: method (via its selector) plus benchmark, with a
+/// visible `(degraded)` marker when the run lost labels to oracle faults —
+/// a degraded trajectory must never pass for a healthy one.
 fn run_label(
     runs: &[crate::journal::RunRecord],
     run_bench: &BTreeMap<u64, String>,
     run_id: u64,
 ) -> String {
-    let method = runs
-        .iter()
-        .find(|r| r.run_id == run_id)
+    let record = runs.iter().find(|r| r.run_id == run_id);
+    let method = record
         .map(|r| {
             method_for_selector(&r.selector)
                 .unwrap_or(r.selector.as_str())
                 .to_string()
         })
         .unwrap_or_else(|| format!("run {run_id}"));
+    let degraded = if record.is_some_and(|r| r.degraded) {
+        " (degraded)"
+    } else {
+        ""
+    };
     match run_bench.get(&run_id) {
-        Some(bench) => format!("{method} on {bench}"),
-        None => method,
+        Some(bench) => format!("{method} on {bench}{degraded}"),
+        None => format!("{method}{degraded}"),
     }
+}
+
+/// Per-shard fault-count panels from the coordinator's incident log: how
+/// often each shard's worker was lost (dead or hung), how many outcomes its
+/// checkpoint commits salvaged, and how many clips were reassigned to
+/// recovery rounds. `None` when the journal recorded no incidents.
+fn shard_health(incidents: &[ShardIncidentRecord]) -> Option<String> {
+    if incidents.is_empty() {
+        return None;
+    }
+    // shard -> (workers lost, outcomes salvaged, clips orphaned).
+    let mut by_shard: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    for incident in incidents {
+        let entry = by_shard.entry(incident.shard).or_default();
+        entry.0 += 1;
+        entry.1 += incident.salvaged;
+        entry.2 += incident.orphaned;
+    }
+    let bars = |pick: fn(&(u64, u64, u64)) -> u64| -> Vec<(String, f64)> {
+        by_shard
+            .iter()
+            .map(|(shard, counts)| (format!("shard {shard}"), pick(counts) as f64))
+            .collect()
+    };
+    let mut svg = Svg::new(3.0 * 420.0, 260.0);
+    BarChart::new("workers lost", "incidents", bars(|c| c.0)).render_into(&mut svg, 0.0, 0.0);
+    BarChart::new("outcomes salvaged", "clips", bars(|c| c.1)).render_into(&mut svg, 420.0, 0.0);
+    BarChart::new("clips reassigned", "clips", bars(|c| c.2)).render_into(&mut svg, 840.0, 0.0);
+    Some(svg.finish())
 }
 
 /// Mean accuracy (%) and Litho# bar charts over the journal's methods.
@@ -556,7 +601,9 @@ fn file_slug(name: &str) -> String {
 }
 
 /// A single-page dashboard inlining every SVG, with no external resources.
-fn index_html(files: &[(String, String)]) -> String {
+/// `degraded_runs` adds a visible warning banner so fault-degraded
+/// campaigns never render indistinguishably from healthy ones.
+fn index_html(files: &[(String, String)], degraded_runs: usize) -> String {
     let mut html = String::new();
     html.push_str(
         "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
@@ -565,9 +612,19 @@ fn index_html(files: &[(String, String)]) -> String {
          h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; }\n\
          figure { display: inline-block; margin: 8px; vertical-align: top; }\n\
          figcaption { font-size: 11px; color: #334155; margin-top: 2px; }\n\
+         .warn { background: #fef3c7; border: 1px solid #d97706; color: #92400e;\n\
+                 padding: 8px 12px; border-radius: 4px; }\n\
          </style>\n</head>\n<body>\n<h1>lithohd run dashboard</h1>\n\
          <p>Rendered offline from the run journal by <code>lithohd-report render</code>.</p>\n",
     );
+    if degraded_runs > 0 {
+        let _ = writeln!(
+            html,
+            "<p class=\"warn\">warning: {degraded_runs} run(s) degraded under oracle \
+             faults (labels lost after retries); their charts are marked \
+             <em>(degraded)</em> below.</p>"
+        );
+    }
     let section = |html: &mut String, title: &str| {
         let _ = writeln!(html, "<h2>{title}</h2>");
     };
@@ -575,6 +632,8 @@ fn index_html(files: &[(String, String)]) -> String {
     for (name, svg) in files {
         let kind = if name.starts_with("methods_") {
             "Methods"
+        } else if name.starts_with("shard_") {
+            "Shard health"
         } else if name.starts_with("clip_") {
             "Selected clips"
         } else {
@@ -650,6 +709,56 @@ mod tests {
         assert!(svg.contains("before (T = 1)"));
         assert!(svg.contains("iteration 1") && svg.contains("iteration 2"));
         assert!(svg.contains(">after<"));
+    }
+
+    #[test]
+    fn degraded_runs_are_marked_in_labels_and_banner() {
+        let run = crate::journal::RunRecord {
+            run_id: 4,
+            selector: "entropy".to_string(),
+            accuracy: 0.9,
+            litho: 100,
+            false_alarms: 0,
+            ece_before: 0.1,
+            ece_after: 0.05,
+            degraded: true,
+            label_failures: 3,
+            oracle_retries: 5,
+            oracle_giveups: 3,
+            quorum_votes: 0,
+            elapsed_ms: 10,
+        };
+        let label = run_label(std::slice::from_ref(&run), &BTreeMap::new(), 4);
+        assert_eq!(label, "Ours (degraded)");
+        let healthy = crate::journal::RunRecord {
+            degraded: false,
+            ..run
+        };
+        assert_eq!(run_label(&[healthy], &BTreeMap::new(), 4), "Ours");
+
+        let banner = index_html(&[], 2);
+        assert!(banner.contains("2 run(s) degraded"));
+        assert!(!index_html(&[], 0).contains("degraded"));
+    }
+
+    #[test]
+    fn shard_health_aggregates_per_shard_and_is_deterministic() {
+        assert!(shard_health(&[]).is_none());
+        let incident = |shard: u64, salvaged: u64, orphaned: u64| ShardIncidentRecord {
+            batch: 1,
+            shard,
+            dead: true,
+            salvaged,
+            orphaned,
+        };
+        let incidents = [incident(1, 3, 2), incident(0, 0, 5), incident(1, 1, 0)];
+        let a = shard_health(&incidents).unwrap();
+        let b = shard_health(&incidents).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("workers lost"));
+        assert!(a.contains("outcomes salvaged"));
+        assert!(a.contains("clips reassigned"));
+        assert!(a.contains("shard 0") && a.contains("shard 1"));
     }
 
     #[test]

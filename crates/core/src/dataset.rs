@@ -88,8 +88,14 @@ impl ActiveDataset {
         let mut report = LabelBatchReport::default();
         let mut labeled = Vec::with_capacity(initial_train.len());
         let mut labeled_classes = Vec::with_capacity(initial_train.len());
-        for &i in initial_train {
-            match oracle.try_query(i) {
+        // Both splits are labelled through the batch API so a sharded
+        // oracle can fan each group out across workers; the default
+        // implementation degrades to the sequential per-clip loop.
+        for (&i, result) in initial_train
+            .iter()
+            .zip(oracle.try_query_batch(initial_train))
+        {
+            match result {
                 Ok(label) => {
                     report.hotspots += label.is_hotspot() as usize;
                     report.labeled.push(i);
@@ -104,8 +110,8 @@ impl ActiveDataset {
         }
         let mut validation_kept = Vec::with_capacity(validation.len());
         let mut validation_classes = Vec::with_capacity(validation.len());
-        for &i in validation {
-            match oracle.try_query(i) {
+        for (&i, result) in validation.iter().zip(oracle.try_query_batch(validation)) {
+            match result {
                 Ok(label) => {
                     report.hotspots += label.is_hotspot() as usize;
                     report.labeled.push(i);
@@ -259,12 +265,16 @@ impl ActiveDataset {
         oracle: &mut O,
     ) -> LabelBatchReport {
         let mut report = LabelBatchReport::default();
+        let mut requested = BTreeSet::new();
         for &i in batch {
             assert!(
                 self.unlabeled_set.contains(&i),
                 "clip {i} is not in the unlabeled pool"
             );
-            match oracle.try_query(i) {
+            assert!(requested.insert(i), "clip {i} appears twice in the batch");
+        }
+        for (&i, result) in batch.iter().zip(oracle.try_query_batch(batch)) {
+            match result {
                 Ok(label) => {
                     self.unlabeled_set.remove(&i);
                     report.hotspots += label.is_hotspot() as usize;

@@ -1104,6 +1104,112 @@ mod tests {
     }
 
     #[test]
+    fn quorum_giveups_bill_nothing_and_clips_stay_selectable() {
+        use hotspot_litho::{
+            FaultRates, FaultyOracle, OracleError, OracleStats, RetryOracle, RetryPolicy,
+            VirtualClock,
+        };
+        use std::collections::BTreeSet;
+
+        /// Logs each framework-level `try_query` outcome while delegating
+        /// to the wrapped retry stack, so the test can see which clips gave
+        /// up and whether any of them were queried (reselected) again.
+        struct RecordingOracle<O> {
+            inner: O,
+            log: Vec<(usize, bool)>,
+        }
+        impl<O: LithoOracle> LithoOracle for RecordingOracle<O> {
+            fn try_query(&mut self, index: usize) -> Result<Label, OracleError> {
+                let result = self.inner.try_query(index);
+                self.log.push((index, result.is_ok()));
+                result
+            }
+            fn resimulate(&mut self, index: usize) -> Result<Label, OracleError> {
+                self.inner.resimulate(index)
+            }
+            fn unique_queries(&self) -> usize {
+                self.inner.unique_queries()
+            }
+            fn total_queries(&self) -> usize {
+                self.inner.total_queries()
+            }
+            fn stats(&self) -> OracleStats {
+                self.inner.stats()
+            }
+        }
+
+        let bench = small_bench();
+        let framework = SamplingFramework::new(small_config(bench.len()));
+        let rates = FaultRates {
+            transient: 0.6,
+            ..FaultRates::default()
+        };
+        let flaky = FaultyOracle::new(bench.oracle(), rates, 41);
+        let stack = RetryOracle::with_clock(flaky, RetryPolicy::no_retries(), VirtualClock::new())
+            .with_quorum(3);
+        let mut oracle = RecordingOracle {
+            inner: stack,
+            log: Vec::new(),
+        };
+        let outcome = framework
+            .run_with_oracle(&bench, &mut EntropySelector::new(), 3, &mut oracle)
+            .unwrap();
+        assert!(
+            outcome.fault_stats.oracle_giveups > 0,
+            "{:?}",
+            outcome.fault_stats
+        );
+        assert!(
+            outcome.fault_stats.quorum_votes > 0,
+            "{:?}",
+            outcome.fault_stats
+        );
+
+        // Un-billed: the oracle paid for exactly the labels that arrived
+        // (train + validation) plus quorum re-simulations — the Eq. 2
+        // identity leaves no room for a billed give-up.
+        let m = &outcome.metrics;
+        assert_eq!(
+            m.litho,
+            m.train_size + m.validation_size + m.false_alarms + m.extra_simulations
+        );
+        assert_eq!(
+            outcome.oracle_stats.unique,
+            m.train_size + m.validation_size + m.extra_simulations
+        );
+
+        // Returned to the pool and re-selectable: some clip that gave up
+        // was queried again by a later selection and labelled successfully
+        // (the fault schedule is per-attempt, so fresh attempts can pass).
+        let mut gave_up: BTreeSet<usize> = BTreeSet::new();
+        let mut relabelled: BTreeSet<usize> = BTreeSet::new();
+        for &(clip, ok) in &oracle.log {
+            if !ok {
+                gave_up.insert(clip);
+            } else if gave_up.contains(&clip) {
+                relabelled.insert(clip);
+            }
+        }
+        assert!(
+            !relabelled.is_empty(),
+            "no given-up clip was ever reselected and relabelled"
+        );
+        assert!(
+            relabelled
+                .iter()
+                .any(|clip| outcome.sampled_indices.contains(clip)),
+            "a recovered clip must end up in the labelled set"
+        );
+        // A clip that never recovered must not be in the labelled set.
+        for clip in gave_up.difference(&relabelled) {
+            assert!(
+                !outcome.sampled_indices.contains(clip),
+                "clip {clip} gave up on every attempt but got a label"
+            );
+        }
+    }
+
+    #[test]
     fn run_is_deterministic() {
         let bench = small_bench();
         let framework = SamplingFramework::new(small_config(bench.len()));

@@ -149,6 +149,17 @@ pub trait LithoOracle {
         self.try_query(index)
     }
 
+    /// Labels a batch of clips, returning one result per index in order.
+    ///
+    /// The default queries sequentially through
+    /// [`LithoOracle::try_query`], preserving the single-clip semantics
+    /// exactly; sharded implementations override this to fan the batch out
+    /// across worker threads while keeping the merged results, billing, and
+    /// telemetry identical to the sequential order.
+    fn try_query_batch(&mut self, indices: &[usize]) -> Vec<Result<Label, OracleError>> {
+        indices.iter().map(|&index| self.try_query(index)).collect()
+    }
+
     /// Billable simulations so far: distinct clips simulated plus
     /// cache-bypassing re-simulations — the paper's litho-clip count.
     /// Re-querying a cached clip is free, mirroring a real flow that stores

@@ -45,6 +45,7 @@ pub use metrics::{
 pub use sink::{ConsoleSink, JournalPosition, JsonlSink, MemorySink, Sink};
 pub use span::{ProfileTree, SpanStat, SpanTimer};
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -60,6 +61,15 @@ pub(crate) struct Telemetry {
 
 static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
 
+/// Recovers the guard from a poisoned lock instead of propagating the
+/// panic. Telemetry state is a monotone set of registries and buffers — a
+/// thread that panicked mid-update (e.g. a chaos-injected shard worker)
+/// leaves them structurally intact — and observability must never take the
+/// process down with the thread it was observing.
+pub(crate) fn recover<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 pub(crate) fn global() -> &'static Telemetry {
     GLOBAL.get_or_init(|| Telemetry {
         sinks: RwLock::new(Vec::new()),
@@ -73,7 +83,7 @@ pub(crate) fn global() -> &'static Telemetry {
 /// Registers a sink; every subsequent event and snapshot reaches it.
 pub fn add_sink(sink: Arc<dyn Sink>) {
     let state = global();
-    let mut sinks = state.sinks.write().expect("sink list poisoned");
+    let mut sinks = recover(state.sinks.write());
     sinks.push(sink);
     state.sink_count.store(sinks.len(), Ordering::Release);
 }
@@ -82,7 +92,7 @@ pub fn add_sink(sink: Arc<dyn Sink>) {
 /// binaries that reconfigure logging after argument parsing.
 pub fn clear_sinks() {
     let state = global();
-    let mut sinks = state.sinks.write().expect("sink list poisoned");
+    let mut sinks = recover(state.sinks.write());
     for sink in sinks.iter() {
         sink.flush();
     }
@@ -95,6 +105,40 @@ pub fn has_sinks() -> bool {
     global().sink_count.load(Ordering::Acquire) > 0
 }
 
+thread_local! {
+    /// Per-thread mute flag; see [`silence_thread`].
+    static SILENCED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is silenced (see [`silence_thread`]).
+pub fn thread_is_silenced() -> bool {
+    SILENCED.with(Cell::get)
+}
+
+/// RAII guard returned by [`silence_thread`]; dropping it restores the
+/// thread's previous silence state.
+#[derive(Debug)]
+pub struct SilenceGuard {
+    previous: bool,
+}
+
+impl Drop for SilenceGuard {
+    fn drop(&mut self) {
+        SILENCED.with(|cell| cell.set(self.previous));
+    }
+}
+
+/// Silences telemetry on the current thread until the returned guard drops:
+/// events are discarded before reaching any sink, and [`counter`],
+/// [`gauge`], and [`histogram`] hand out detached (unregistered) slots whose
+/// updates never reach snapshots. Shard worker threads run under this guard
+/// so the coordinator can replay their merged effects exactly once on the
+/// main thread, keeping journals and billing worker-count invariant.
+pub fn silence_thread() -> SilenceGuard {
+    let previous = SILENCED.with(|cell| cell.replace(true));
+    SilenceGuard { previous }
+}
+
 /// Sends a structured event to every sink.
 pub fn emit(
     level: Level,
@@ -102,7 +146,7 @@ pub fn emit(
     message: &str,
     fields: &[(&'static str, FieldValue)],
 ) {
-    if !has_sinks() {
+    if !has_sinks() || thread_is_silenced() {
         return;
     }
     let event = Event {
@@ -111,7 +155,7 @@ pub fn emit(
         message: message.to_string(),
         fields: fields.to_vec(),
     };
-    let sinks = global().sinks.read().expect("sink list poisoned");
+    let sinks = recover(global().sinks.read());
     for sink in sinks.iter() {
         sink.on_event(&event);
     }
@@ -142,18 +186,29 @@ pub fn error(target: &'static str, message: &str, fields: &[(&'static str, Field
     emit(Level::Error, target, message, fields);
 }
 
-/// Resolves a process-wide counter by name.
+/// Resolves a process-wide counter by name. On a silenced thread (see
+/// [`silence_thread`]) the handle is detached: updates are discarded.
 pub fn counter(name: &str) -> Counter {
+    if thread_is_silenced() {
+        return Counter::detached();
+    }
     global().metrics.counter(name)
 }
 
-/// Resolves a process-wide gauge by name.
+/// Resolves a process-wide gauge by name (detached on a silenced thread).
 pub fn gauge(name: &str) -> Gauge {
+    if thread_is_silenced() {
+        return Gauge::detached();
+    }
     global().metrics.gauge(name)
 }
 
-/// Resolves a process-wide histogram by name.
+/// Resolves a process-wide histogram by name (detached on a silenced
+/// thread).
 pub fn histogram(name: &str) -> Arc<Histogram> {
+    if thread_is_silenced() {
+        return Histogram::detached();
+    }
     global().metrics.histogram(name)
 }
 
@@ -166,7 +221,7 @@ pub fn snapshot() -> MetricsSnapshot {
 /// append it as their final record), flushes, and returns it.
 pub fn publish_snapshot() -> MetricsSnapshot {
     let snap = snapshot();
-    let sinks = global().sinks.read().expect("sink list poisoned");
+    let sinks = recover(global().sinks.read());
     for sink in sinks.iter() {
         sink.on_snapshot(&snap);
         sink.flush();
@@ -191,7 +246,7 @@ pub fn span_stat(path: &str) -> Option<SpanStat> {
 
 /// Flushes every sink.
 pub fn flush() {
-    let sinks = global().sinks.read().expect("sink list poisoned");
+    let sinks = recover(global().sinks.read());
     for sink in sinks.iter() {
         sink.flush();
     }
@@ -246,6 +301,55 @@ mod tests {
         counter("test.lib.counter").incr();
         assert!(counter("test.lib.counter").get() >= 3);
         assert!(snapshot().counter("test.lib.counter").unwrap() >= 3);
+    }
+
+    #[test]
+    fn silenced_thread_drops_events_and_metric_updates() {
+        let sink = Arc::new(MemorySink::default());
+        add_sink(sink.clone());
+        {
+            let _guard = silence_thread();
+            assert!(thread_is_silenced());
+            info("test.silence", "muted", &[]);
+            counter("test.silence.counter").add(10);
+            gauge("test.silence.gauge").set(3.0);
+            histogram("test.silence.histogram").record(1.0);
+        }
+        assert!(!thread_is_silenced());
+        counter("test.silence.counter").incr();
+        assert!(
+            !sink.events().iter().any(|e| e.target == "test.silence"),
+            "silenced events must not reach sinks"
+        );
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.silence.counter"), Some(1));
+        assert_eq!(snap.gauge("test.silence.gauge"), None);
+        assert!(!snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "test.silence.histogram"));
+    }
+
+    #[test]
+    fn silence_guard_restores_nested_state() {
+        let outer = silence_thread();
+        {
+            let inner = silence_thread();
+            assert!(thread_is_silenced());
+            drop(inner);
+        }
+        assert!(thread_is_silenced(), "outer guard still active");
+        drop(outer);
+        assert!(!thread_is_silenced());
+    }
+
+    #[test]
+    fn silence_is_per_thread() {
+        let _guard = silence_thread();
+        let other = std::thread::spawn(thread_is_silenced)
+            .join()
+            .expect("probe thread");
+        assert!(!other, "silence must not leak to other threads");
     }
 
     #[test]

@@ -26,6 +26,15 @@ impl Counter {
         self.add(1);
     }
 
+    /// A counter backed by a fresh, unregistered cell: increments go
+    /// nowhere observable. Handed out to silenced threads (see
+    /// [`crate::silence_thread`]) so instrumented code stays oblivious.
+    pub(crate) fn detached() -> Counter {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
@@ -47,6 +56,14 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// A gauge backed by a fresh, unregistered cell; see
+    /// [`Counter::detached`].
+    pub(crate) fn detached() -> Gauge {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
     }
 }
 
@@ -138,6 +155,12 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// A histogram backed by a fresh, unregistered slot; see
+    /// [`Counter::detached`].
+    pub(crate) fn detached() -> Arc<Histogram> {
+        Arc::new(Histogram::new())
+    }
+
     fn new() -> Self {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -394,7 +417,7 @@ pub struct MetricsRegistry {
 impl MetricsRegistry {
     /// Resolves (registering on first use) a counter.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.counters.lock().expect("counter registry poisoned");
+        let mut map = crate::recover(self.counters.lock());
         Counter {
             cell: Arc::clone(map.entry(name.to_string()).or_default()),
         }
@@ -402,7 +425,7 @@ impl MetricsRegistry {
 
     /// Resolves (registering on first use) a gauge.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        let mut map = crate::recover(self.gauges.lock());
         Gauge {
             bits: Arc::clone(
                 map.entry(name.to_string())
@@ -413,7 +436,7 @@ impl MetricsRegistry {
 
     /// Resolves (registering on first use) a histogram.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        let mut map = crate::recover(self.histograms.lock());
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
@@ -422,27 +445,15 @@ impl MetricsRegistry {
 
     /// Captures the raw state of every registered metric for a checkpoint.
     pub fn state(&self) -> MetricsState {
-        let counters = self
-            .counters
-            .lock()
-            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
-            .expect("counter registry poisoned")
+        let counters = crate::recover(self.counters.lock())
             .iter()
             .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
             .collect();
-        let gauges = self
-            .gauges
-            .lock()
-            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
-            .expect("gauge registry poisoned")
+        let gauges = crate::recover(self.gauges.lock())
             .iter()
             .map(|(name, bits)| (name.to_string(), bits.load(Ordering::Relaxed)))
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
-            .expect("histogram registry poisoned")
+        let histograms = crate::recover(self.histograms.lock())
             .iter()
             .map(|(name, histogram)| histogram.state(name))
             .collect();
@@ -459,15 +470,13 @@ impl MetricsRegistry {
     /// start, before anything but the restored run has recorded data.
     pub fn restore_state(&self, state: &MetricsState) {
         for (name, value) in &state.counters {
-            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
-            let mut map = self.counters.lock().expect("counter registry poisoned");
+            let mut map = crate::recover(self.counters.lock());
             map.entry(name.clone())
                 .or_default()
                 .store(*value, Ordering::Relaxed);
         }
         for (name, bits) in &state.gauges {
-            // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
-            let mut map = self.gauges.lock().expect("gauge registry poisoned");
+            let mut map = crate::recover(self.gauges.lock());
             map.entry(name.clone())
                 .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())))
                 .store(*bits, Ordering::Relaxed);
@@ -480,17 +489,11 @@ impl MetricsRegistry {
 
     /// Copies every metric's current value.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
-            .lock()
-            .expect("counter registry poisoned")
+        let counters = crate::recover(self.counters.lock())
             .iter()
             .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
             .collect();
-        let gauges = self
-            .gauges
-            .lock()
-            .expect("gauge registry poisoned")
+        let gauges = crate::recover(self.gauges.lock())
             .iter()
             .map(|(name, bits)| {
                 (
@@ -499,10 +502,7 @@ impl MetricsRegistry {
                 )
             })
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .expect("histogram registry poisoned")
+        let histograms = crate::recover(self.histograms.lock())
             .iter()
             .map(|(name, histogram)| histogram.summary(name))
             .collect();

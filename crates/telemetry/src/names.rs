@@ -87,6 +87,33 @@ pub const CHECKPOINT_RESUMES: &str = "checkpoint.resumes";
 /// valid one during recovery.
 pub const CHECKPOINT_CORRUPT_SKIPPED: &str = "checkpoint.corrupt_skipped";
 
+/// Labelling batches fanned out across shard workers by the coordinator.
+pub const SHARD_BATCHES: &str = "shard.batches";
+
+/// Clips labelled through shard workers (merged outcomes, before any
+/// salvage double-counting is collapsed).
+pub const SHARD_CLIPS: &str = "shard.clips";
+
+/// Shard workers whose thread died (panicked) before finishing its
+/// sub-batch; the coordinator salvages their committed outcomes.
+pub const SHARD_WORKERS_DEAD: &str = "shard.workers_dead";
+
+/// Shard workers that exceeded the coordinator's per-shard deadline and
+/// were abandoned (their thread is detached; committed outcomes salvage).
+pub const SHARD_WORKERS_HUNG: &str = "shard.workers_hung";
+
+/// Clip outcomes recovered from a dead or hung worker's on-disk
+/// checkpoint commits instead of being recomputed.
+pub const SHARD_OUTCOMES_SALVAGED: &str = "shard.outcomes_salvaged";
+
+/// Orphaned clips reassigned from a dead or hung worker to a recovery
+/// round on surviving workers.
+pub const SHARD_CLIPS_REASSIGNED: &str = "shard.clips_reassigned";
+
+/// Histogram of wall-clock seconds per sharded labelling batch (fan-out
+/// through merge), the shard-scaling latency series.
+pub const SHARD_BATCH_SECONDS: &str = "shard.batch.seconds";
+
 /// Journal event message for one completed sampling iteration. Carries the
 /// per-iteration trajectory fields (accuracy, ECE, temperature, train loss)
 /// consumed by `lithohd-report`.
@@ -110,6 +137,20 @@ pub const EVENT_CALIBRATION_BIN: &str = "calibration bin";
 /// carrying the spec (tech, counts, rates) and seed so clip geometry can be
 /// re-synthesized deterministically by offline renderers.
 pub const EVENT_BENCHMARK_READY: &str = "benchmark ready";
+
+/// Journal event message for one sharded labelling batch merged back into
+/// the master oracle (worker count, clip count, failure count). Emitted on
+/// the `shard.coordinator` target, which canonical journals withhold so the
+/// bytes stay worker-count invariant.
+pub const EVENT_SHARD_BATCH_MERGED: &str = "shard batch merged";
+
+/// Journal event message for a dead or hung shard worker detected by the
+/// coordinator (shard id, salvaged/orphaned counts).
+pub const EVENT_SHARD_WORKER_LOST: &str = "shard worker lost";
+
+/// Journal event message for orphaned clips reassigned to a recovery round
+/// after a worker loss.
+pub const EVENT_SHARD_REASSIGNED: &str = "shard clips reassigned";
 
 /// Every registered name, for registry-integrity tests and tooling.
 pub const ALL: &[&str] = &[
@@ -138,11 +179,21 @@ pub const ALL: &[&str] = &[
     CHECKPOINT_BYTES,
     CHECKPOINT_RESUMES,
     CHECKPOINT_CORRUPT_SKIPPED,
+    SHARD_BATCHES,
+    SHARD_CLIPS,
+    SHARD_WORKERS_DEAD,
+    SHARD_WORKERS_HUNG,
+    SHARD_OUTCOMES_SALVAGED,
+    SHARD_CLIPS_REASSIGNED,
+    SHARD_BATCH_SECONDS,
     EVENT_ITERATION_COMPLETE,
     EVENT_RUN_COMPLETE,
     EVENT_CLIP_SELECTED,
     EVENT_CALIBRATION_BIN,
     EVENT_BENCHMARK_READY,
+    EVENT_SHARD_BATCH_MERGED,
+    EVENT_SHARD_WORKER_LOST,
+    EVENT_SHARD_REASSIGNED,
 ];
 
 /// Histogram name for one span's wall-clock seconds: `span.<name>.seconds`

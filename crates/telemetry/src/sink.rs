@@ -85,16 +85,18 @@ pub struct JsonlSink {
 const WALL_CLOCK_FIELDS: &[&str] = &["elapsed_us", "elapsed_ms", "duration_us"];
 
 /// Event targets withheld entirely in canonical mode: `profile` events are
-/// pure wall-clock measurements, and `store.checkpoint` events are
-/// operational provenance (saves, resumes, corruption fallbacks) that
-/// differs between an interrupted-and-resumed run and an uninterrupted one
-/// without changing the run's semantics.
-const CANONICAL_WITHHELD_TARGETS: &[&str] = &["profile", "store.checkpoint"];
+/// pure wall-clock measurements, `store.checkpoint` events are operational
+/// provenance (saves, resumes, corruption fallbacks) that differs between
+/// an interrupted-and-resumed run and an uninterrupted one without changing
+/// the run's semantics, and `shard.coordinator` events carry worker-count
+/// and fault-recovery provenance that must not break the byte-identity
+/// oracle across different `--workers` values or chaos injections.
+const CANONICAL_WITHHELD_TARGETS: &[&str] = &["profile", "store.checkpoint", "shard.coordinator"];
 
-/// Metric-name prefix withheld from canonical snapshots for the same reason
-/// as `store.checkpoint` events: checkpoint save/resume counters are
-/// provenance, not run output.
-const CHECKPOINT_METRIC_PREFIX: &str = "checkpoint.";
+/// Metric-name prefixes withheld from canonical snapshots for the same
+/// reason as the withheld targets: checkpoint save/resume and shard
+/// coordination counters are provenance, not run output.
+const PROVENANCE_METRIC_PREFIXES: &[&str] = &["checkpoint.", "shard."];
 
 /// Exact byte offset and next sequence number of a journal, as used by
 /// checkpoints: a resumed process truncates the journal to `bytes` and
@@ -174,8 +176,7 @@ impl JsonlSink {
     /// The current end-of-journal position (all records are flushed before
     /// this returns, so the position is durable).
     pub fn position(&self) -> JournalPosition {
-        // lithohd-lint: allow(panic-safety) — a poisoned lock is unrecoverable process state
-        let writer = self.writer.lock().expect("journal writer poisoned");
+        let writer = crate::recover(self.writer.lock());
         JournalPosition {
             bytes: writer.bytes,
             seq: writer.seq,
@@ -200,7 +201,7 @@ impl JsonlSink {
     }
 
     fn write_record(&self, kind: &str, mut body: Vec<(String, Value)>) {
-        let mut writer = self.writer.lock().expect("journal writer poisoned");
+        let mut writer = crate::recover(self.writer.lock());
         let mut entries = vec![
             ("type".to_string(), Value::Str(kind.to_string())),
             ("seq".to_string(), Value::U64(writer.seq)),
@@ -251,9 +252,11 @@ impl Sink for JsonlSink {
             canonical
                 .histograms
                 .retain(|h| !h.name.ends_with(".seconds"));
-            canonical
-                .counters
-                .retain(|(name, _)| !name.starts_with(CHECKPOINT_METRIC_PREFIX));
+            canonical.counters.retain(|(name, _)| {
+                !PROVENANCE_METRIC_PREFIXES
+                    .iter()
+                    .any(|prefix| name.starts_with(prefix))
+            });
             canonical.to_json()
         } else {
             snapshot.to_json()
@@ -262,12 +265,7 @@ impl Sink for JsonlSink {
     }
 
     fn flush(&self) {
-        let _ = self
-            .writer
-            .lock()
-            .expect("journal writer poisoned")
-            .out
-            .flush();
+        let _ = crate::recover(self.writer.lock()).out.flush();
     }
 }
 
@@ -287,28 +285,22 @@ pub struct MemorySink {
 impl MemorySink {
     /// Copies of all events received so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("memory sink poisoned").clone()
+        crate::recover(self.events.lock()).clone()
     }
 
     /// Copies of all snapshots received so far.
     pub fn snapshots(&self) -> Vec<MetricsSnapshot> {
-        self.snapshots.lock().expect("memory sink poisoned").clone()
+        crate::recover(self.snapshots.lock()).clone()
     }
 }
 
 impl Sink for MemorySink {
     fn on_event(&self, event: &Event) {
-        self.events
-            .lock()
-            .expect("memory sink poisoned")
-            .push(event.clone());
+        crate::recover(self.events.lock()).push(event.clone());
     }
 
     fn on_snapshot(&self, snapshot: &MetricsSnapshot) {
-        self.snapshots
-            .lock()
-            .expect("memory sink poisoned")
-            .push(snapshot.clone());
+        crate::recover(self.snapshots.lock()).push(snapshot.clone());
     }
 }
 
@@ -533,6 +525,34 @@ mod tests {
 
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(!text.contains("checkpoint"), "{text}");
+        assert!(text.contains("litho.oracle.calls"), "{text}");
+        assert_eq!(text.lines().count(), 1, "event must be dropped: {text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn canonical_journal_withholds_shard_provenance() {
+        let path = std::env::temp_dir().join(format!(
+            "lithohd-journal-shard-test-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create_canonical(&path).unwrap();
+        sink.on_event(&Event {
+            level: Level::Debug,
+            target: "shard.coordinator",
+            message: "shard batch merged".to_string(),
+            fields: vec![("workers", FieldValue::U64(4))],
+        });
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.counters.push(("shard.batches".to_string(), 7));
+        snapshot
+            .counters
+            .push(("litho.oracle.calls".to_string(), 9));
+        sink.on_snapshot(&snapshot);
+        drop(sink);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("shard"), "{text}");
         assert!(text.contains("litho.oracle.calls"), "{text}");
         assert_eq!(text.lines().count(), 1, "event must be dropped: {text}");
         std::fs::remove_file(&path).ok();

@@ -30,7 +30,7 @@ pub struct ProfileTree {
 impl ProfileTree {
     /// Folds one closed span into the tree.
     pub fn record(&self, path: &str, elapsed: Duration) {
-        let mut stats = self.stats.lock().expect("profile tree poisoned");
+        let mut stats = crate::recover(self.stats.lock());
         let stat = stats.entry(path.to_string()).or_default();
         stat.count += 1;
         stat.total_ns += elapsed.as_nanos();
@@ -38,16 +38,12 @@ impl ProfileTree {
 
     /// Aggregated stats for an exact path.
     pub fn stat(&self, path: &str) -> Option<SpanStat> {
-        self.stats
-            .lock()
-            .expect("profile tree poisoned")
-            .get(path)
-            .copied()
+        crate::recover(self.stats.lock()).get(path).copied()
     }
 
     /// Number of distinct recorded paths.
     pub fn len(&self) -> usize {
-        self.stats.lock().expect("profile tree poisoned").len()
+        crate::recover(self.stats.lock()).len()
     }
 
     /// Whether nothing has been recorded yet.
@@ -57,7 +53,7 @@ impl ProfileTree {
 
     /// Renders the tree as an indented table (for `--profile`).
     pub fn render(&self) -> String {
-        let stats = self.stats.lock().expect("profile tree poisoned");
+        let stats = crate::recover(self.stats.lock());
         if stats.is_empty() {
             return "profile: no spans recorded\n".to_string();
         }
