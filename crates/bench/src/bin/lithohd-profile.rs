@@ -1,0 +1,213 @@
+//! `lithohd-profile` — deterministic microbench over the five hot kernels.
+//!
+//! Times the ROADMAP-item-1 hot loops (conv2d forward, 8×8 block DCT, GMM
+//! EM, diversity scoring, aerial-image convolution) on fixed seeded inputs
+//! with a fixed warmup and a median over repeated batched samples, then
+//! writes a JSON array of `KernelSample`s. No statistics framework: each
+//! sample times `batch` back-to-back iterations behind
+//! `std::hint::black_box` and divides, and the median over samples is the
+//! reported number — the same shape `lithohd-report gate --tolerance-time`
+//! compares against the committed `BENCH_kernels.json` baseline.
+//!
+//! The workloads are deterministic (seeded inputs, fixed shapes), so two
+//! runs measure the same arithmetic; only the clock varies.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hotspot_active::diversity_scores;
+use hotspot_bench::profile::{median_ns, KernelSample};
+use hotspot_features::Dct2d;
+use hotspot_gmm::{GaussianMixture, GmmConfig};
+use hotspot_litho::GaussianKernel;
+use hotspot_nn::{Conv2d, InitRng, Layer, Matrix};
+
+const USAGE: &str = "usage: lithohd-profile [--out <path>] [--samples <n>] [--warmup <n>]\n\
+  --out <path>      write the JSON sample array here (default: stdout only)\n\
+  --samples <n>     timed samples per kernel, median reported (default 9)\n\
+  --warmup <n>      untimed warmup samples per kernel (default 2)";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut out: Option<String> = None;
+    let mut samples = 9usize;
+    let mut warmup = 2usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("flag {flag} expects a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")?.clone()),
+            "--samples" => {
+                samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| format!("bad --samples: {e}"))?;
+            }
+            "--warmup" => {
+                warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("bad --warmup: {e}"))?;
+            }
+            other => return Err(format!("unknown flag: {other}\n{USAGE}")),
+        }
+    }
+    if samples == 0 {
+        return Err("--samples must be positive".to_string());
+    }
+
+    let results = profile_all(samples, warmup);
+
+    println!("| kernel | median | samples | batch |");
+    println!("|---|---:|---:|---:|");
+    for row in &results {
+        println!(
+            "| {} | {} | {} | {} |",
+            row.kernel,
+            fmt_ns(row.median_ns),
+            row.samples,
+            row.batch,
+        );
+    }
+
+    if let Some(path) = out {
+        let mut buf = Vec::new();
+        serde_json::to_writer_pretty(&mut buf, &results)
+            .map_err(|e| format!("cannot serialise samples: {e}"))?;
+        buf.push(b'\n');
+        std::fs::write(&path, buf).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("kernel samples written to {path}");
+    }
+    Ok(())
+}
+
+/// Runs every kernel workload under the same sampling policy.
+fn profile_all(samples: usize, warmup: usize) -> Vec<KernelSample> {
+    vec![
+        bench_conv2d(samples, warmup),
+        bench_dct(samples, warmup),
+        bench_gmm_em(samples, warmup),
+        bench_diversity(samples, warmup),
+        bench_aerial(samples, warmup),
+    ]
+}
+
+/// Times `work` as `samples` medians-input samples of `batch` iterations
+/// each, after `warmup` untimed samples. The accumulator returned by `work`
+/// is folded through `black_box` so the optimiser cannot discard the loop.
+fn measure(
+    kernel: &str,
+    samples: usize,
+    warmup: usize,
+    batch: usize,
+    mut work: impl FnMut() -> f32,
+) -> KernelSample {
+    let mut timings = Vec::with_capacity(samples);
+    for round in 0..warmup + samples {
+        let start = Instant::now();
+        let mut acc = 0.0f32;
+        for _ in 0..batch {
+            acc += black_box(work());
+        }
+        let elapsed = start.elapsed();
+        black_box(acc);
+        if round >= warmup {
+            timings.push((elapsed.as_nanos() / batch as u128) as u64);
+        }
+    }
+    KernelSample {
+        kernel: kernel.to_string(),
+        median_ns: median_ns(timings),
+        samples,
+        batch,
+    }
+}
+
+/// Deterministic pseudo-random fill in roughly `[-0.5, 0.5)` (Weyl-style
+/// integer hash, no RNG state to keep in sync).
+fn det(i: usize) -> f32 {
+    ((i.wrapping_mul(2_654_435_761) >> 8) % 1000) as f32 / 1000.0 - 0.5
+}
+
+fn det_matrix(rows: usize, cols: usize) -> Matrix {
+    let data: Vec<Vec<f32>> = (0..rows)
+        .map(|r| (0..cols).map(|c| det(r * cols + c)).collect())
+        .collect();
+    Matrix::from_rows(&data).expect("deterministic matrix rows are rectangular")
+}
+
+/// Conv2d forward pass: 4→8 channels, 3×3 kernel, 16×16 maps, batch of 8.
+fn bench_conv2d(samples: usize, warmup: usize) -> KernelSample {
+    let mut rng = InitRng::seeded(7, 0.1);
+    let conv = Conv2d::new(4, 8, 3, 16, 16, &mut rng);
+    let input = det_matrix(8, 4 * 16 * 16);
+    measure("conv2d", samples, warmup, 8, || {
+        let out = conv.infer(&input);
+        out.row(0)[0]
+    })
+}
+
+/// Forward 8×8 block DCT, the feature-extraction inner loop.
+fn bench_dct(samples: usize, warmup: usize) -> KernelSample {
+    let dct = Dct2d::new(8);
+    let block: Vec<f32> = (0..64).map(det).collect();
+    measure("dct", samples, warmup, 512, || dct.transform(&block)[0])
+}
+
+/// GMM EM fit: 96 samples × 8 dims, 3 components, a fixed 8 iterations
+/// (`tol: 0.0` disables early convergence so every run does the same work).
+fn bench_gmm_em(samples: usize, warmup: usize) -> KernelSample {
+    let data: Vec<f32> = (0..96 * 8).map(det).collect();
+    let config = GmmConfig {
+        components: 3,
+        max_iters: 8,
+        tol: 0.0,
+        seed: 5,
+        reg_covar: 1e-6,
+    };
+    measure("gmm_em", samples, warmup, 8, || {
+        let model = GaussianMixture::fit(&data, 8, &config).expect("profile GMM config is valid");
+        model.weights()[0] as f32
+    })
+}
+
+/// Diversity scoring over a 96×16 embedding matrix (pairwise cosine pass).
+fn bench_diversity(samples: usize, warmup: usize) -> KernelSample {
+    let embeddings = det_matrix(96, 16);
+    measure("diversity", samples, warmup, 32, || {
+        diversity_scores(&embeddings)[0]
+    })
+}
+
+/// Separable aerial-image convolution: σ = 1.5 px PSF over a 64×64 clip.
+fn bench_aerial(samples: usize, warmup: usize) -> KernelSample {
+    let kernel = GaussianKernel::new(1.5);
+    let src: Vec<f32> = (0..64 * 64).map(|i| det(i) + 0.5).collect();
+    let mut dst = vec![0.0f32; 64 * 64];
+    measure("aerial", samples, warmup, 16, || {
+        kernel.convolve_2d(&src, &mut dst, 64, 64);
+        dst[0]
+    })
+}
+
+/// Human-readable nanoseconds for the stdout table.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}

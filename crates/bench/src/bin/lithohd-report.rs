@@ -29,6 +29,9 @@ use hotspot_bench::journal::{
     evaluate_gate, load_baseline, method_for_selector, percentile, GateTolerances, Journal,
     RunRecord,
 };
+use hotspot_bench::profile::{
+    evaluate_kernel_gate, load_kernel_baseline, looks_like_kernel_baseline,
+};
 use hotspot_bench::render::{render_dashboard, RenderOptions};
 
 const USAGE: &str = "usage: lithohd-report <command>\n\
@@ -39,7 +42,10 @@ const USAGE: &str = "usage: lithohd-report <command>\n\
   gate <journal.jsonl> <baseline.json>   regression gate against a baseline\n\
        [--tolerance-acc <points>]        allowed accuracy drop (default 0.5)\n\
        [--tolerance-litho <percent>]     allowed Litho# increase (default 0)\n\
-       [--tolerance-time <factor>]       allowed wall-time factor (off by default)";
+       [--tolerance-time <factor>]       allowed wall-time factor (off by default)\n\
+  gate <fresh.json> <BENCH_kernels.json> --tolerance-time <factor>\n\
+       kernel-microbench mode (auto-detected from the baseline shape): both\n\
+       files are lithohd-profile sample arrays, gated on median wall time";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -152,9 +158,22 @@ fn cmd_gate(args: &[String]) -> Result<ExitCode, String> {
     let [journal_path, baseline_path] = positional.as_slice() else {
         return Err(USAGE.to_string());
     };
-    let journal = read_journal(journal_path)?;
-    let baseline = load_baseline(baseline_path)?;
-    let outcome = evaluate_gate(&journal, &baseline, &tolerances);
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let outcome = if looks_like_kernel_baseline(&baseline_text) {
+        // Kernel-microbench mode: both sides are `lithohd-profile` sample
+        // arrays, gated purely on wall time.
+        let factor = tolerances.time_factor.ok_or_else(|| {
+            "kernel baselines gate on wall time only: pass --tolerance-time <factor>".to_string()
+        })?;
+        let measured = load_kernel_baseline(journal_path)?;
+        let baseline = load_kernel_baseline(baseline_path)?;
+        evaluate_kernel_gate(&measured, &baseline, factor)
+    } else {
+        let journal = read_journal(journal_path)?;
+        let baseline = load_baseline(baseline_path)?;
+        evaluate_gate(&journal, &baseline, &tolerances)
+    };
 
     println!("# Regression gate: `{journal_path}` vs `{baseline_path}`");
     println!();
@@ -190,6 +209,13 @@ fn fmt_metric(metric: &str, value: f64) -> String {
     match metric {
         "accuracy" => format!("{:.2}%", value * 100.0),
         "litho" => format!("{value:.1}"),
+        "kernel_ns" => {
+            if value >= 1e6 {
+                format!("{:.2}ms", value / 1e6)
+            } else {
+                format!("{:.1}µs", value / 1e3)
+            }
+        }
         _ => format!("{value:.2}s"),
     }
 }
@@ -332,6 +358,10 @@ fn render_report(path: &str, journal: &Journal) -> String {
     }
 
     if let Some(snapshot) = journal.final_snapshot() {
+        if let Some(kernels) = render_kernel_counters(&snapshot.counters) {
+            let _ = writeln!(out);
+            out.push_str(&kernels);
+        }
         if !snapshot.counters.is_empty() {
             let _ = writeln!(out);
             let _ = writeln!(out, "## Counters");
@@ -394,6 +424,56 @@ fn render_report(path: &str, journal: &Journal) -> String {
         }
     }
     out
+}
+
+/// Renders the kernel performance section from the snapshot's `kernel.*`
+/// counters: one row per hot kernel with calls, processed elements, nominal
+/// FLOPs, and bytes moved, plus derived per-call intensity. `None` when the
+/// snapshot carries no kernel counters (canonical journals withhold them).
+fn render_kernel_counters(counters: &BTreeMap<String, u64>) -> Option<String> {
+    // kernel -> (calls, elements, flops, bytes).
+    let mut by_kernel: BTreeMap<&str, (u64, u64, u64, u64)> = BTreeMap::new();
+    for (name, &value) in counters {
+        let Some(rest) = name.strip_prefix("kernel.") else {
+            continue;
+        };
+        let Some((kernel, metric)) = rest.split_once('.') else {
+            continue;
+        };
+        let entry = by_kernel.entry(kernel).or_default();
+        match metric {
+            "calls" => entry.0 = value,
+            "elements" => entry.1 = value,
+            "flops" => entry.2 = value,
+            "bytes" => entry.3 = value,
+            _ => {}
+        }
+    }
+    if by_kernel.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "## Kernel performance counters");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| kernel | calls | elements | MFLOPs | MB moved | FLOPs/byte |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
+    for (kernel, (calls, elements, flops, bytes)) in &by_kernel {
+        let intensity = if *bytes > 0 {
+            format!("{:.2}", *flops as f64 / *bytes as f64)
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "| `{kernel}` | {calls} | {elements} | {:.2} | {:.2} | {intensity} |",
+            *flops as f64 / 1e6,
+            *bytes as f64 / 1e6,
+        );
+    }
+    Some(out)
 }
 
 /// Renders the fault meters of the runs that saw any fault, or `None` when
@@ -560,7 +640,26 @@ fn render_diff(path_a: &str, a: &Journal, path_b: &str, b: &Journal) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::{fmt_opt, render_shard_incidents, sparkline, Journal, SPARK};
+    use super::{
+        fmt_opt, render_kernel_counters, render_shard_incidents, sparkline, BTreeMap, Journal,
+        SPARK,
+    };
+
+    #[test]
+    fn kernel_counters_render_per_kernel_rows() {
+        let mut counters = BTreeMap::new();
+        counters.insert("kernel.dct.calls".to_string(), 100u64);
+        counters.insert("kernel.dct.elements".to_string(), 6400);
+        counters.insert("kernel.dct.flops".to_string(), 2_000_000);
+        counters.insert("kernel.dct.bytes".to_string(), 1_000_000);
+        counters.insert("kernel.aerial.calls".to_string(), 4);
+        counters.insert("litho.oracle.calls".to_string(), 9); // not a kernel
+        let section = render_kernel_counters(&counters).unwrap();
+        assert!(section.contains("| `dct` | 100 | 6400 | 2.00 | 1.00 | 2.00 |"));
+        assert!(section.contains("| `aerial` | 4 |"));
+        assert!(!section.contains("oracle"));
+        assert!(render_kernel_counters(&BTreeMap::new()).is_none());
+    }
 
     #[test]
     fn sparkline_spans_min_to_max() {

@@ -50,9 +50,11 @@ pub(crate) fn journal_sink() -> Option<Arc<JsonlSink>> {
 /// `--workers <n>` (shard each labelling batch across N oracle worker
 /// threads; merged results are byte-identical for every N), and
 /// `--kill-shard <i>@<k>` (chaos injection: murder worker `i` on labelling
-/// batch `k` of every sharded run — requires `--workers`), and
+/// batch `k` of every sharded run — requires `--workers`),
 /// `--workers-sweep <n,n,...>` (pshd only: append shard-scaling rows for
-/// the paper's method at each listed worker count to the baseline).
+/// the paper's method at each listed worker count to the baseline), and
+/// `--trace <path>` (record span ids, parent links, and per-shard worker
+/// tracks, exported on exit as Chrome-trace JSON loadable in Perfetto).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentArgs {
     /// Benchmark size factor.
@@ -98,6 +100,9 @@ pub struct ExperimentArgs {
     /// Worker counts for the pshd seeder's shard-scaling rows
     /// (`--workers-sweep 1,2,4`); empty disables the sweep.
     pub workers_sweep: Vec<usize>,
+    /// Chrome-trace output path (`--trace`): span ids, parent links, and
+    /// per-shard worker tracks exported as Perfetto-loadable JSON on exit.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for ExperimentArgs {
@@ -119,6 +124,7 @@ impl Default for ExperimentArgs {
             workers: None,
             kill_shard: None,
             workers_sweep: Vec::new(),
+            trace: None,
         }
     }
 }
@@ -139,7 +145,8 @@ impl ExperimentArgs {
                      [--log <filter>] [--journal <path>] [--canonical-journal] \
                      [--metrics-addr <ip:port>] [--profile] [--checkpoint-dir <dir>] \
                      [--checkpoint-every <n>] [--resume] [--crash-after-checkpoints <n>] \
-                     [--workers <n>] [--kill-shard <i>@<k>] [--workers-sweep <n,n,...>]"
+                     [--workers <n>] [--kill-shard <i>@<k>] [--workers-sweep <n,n,...>] \
+                     [--trace <path>]"
                 );
                 std::process::exit(2);
             }
@@ -231,6 +238,9 @@ impl ExperimentArgs {
                 "--kill-shard" => {
                     out.kill_shard = Some(parse_kill_shard(&value()?)?);
                 }
+                "--trace" => {
+                    out.trace = Some(PathBuf::from(value()?));
+                }
                 "--workers-sweep" => {
                     out.workers_sweep = value()?
                         .split(',')
@@ -285,6 +295,9 @@ impl ExperimentArgs {
     pub fn init_telemetry(&self) {
         let filter = self.log.clone().unwrap_or_else(EnvFilter::from_env);
         telemetry::add_sink(Arc::new(ConsoleSink::new(filter)));
+        if self.trace.is_some() {
+            telemetry::trace::enable();
+        }
         if self.journal.is_some() && !self.resume {
             // A resuming process defers the journal: it must first restore
             // the checkpoint (events before its saved journal position
@@ -360,6 +373,12 @@ impl ExperimentArgs {
         if self.profile {
             eprint!("{}", telemetry::profile_report());
         }
+        if let Some(path) = &self.trace {
+            match std::fs::write(path, telemetry::trace::export_chrome_trace()) {
+                Ok(()) => eprintln!("trace written to {}", path.display()),
+                Err(e) => eprintln!("cannot write trace {}: {e}", path.display()),
+            }
+        }
         telemetry::flush();
         if let Some(mut server) = metrics_server()
             .lock()
@@ -431,6 +450,8 @@ mod tests {
             "--resume",
             "--crash-after-checkpoints",
             "4",
+            "--trace",
+            "/tmp/trace.json",
         ])
         .unwrap();
         assert_eq!(args.scale, 0.5);
@@ -446,6 +467,13 @@ mod tests {
         assert_eq!(args.checkpoint_every, 2);
         assert!(args.resume);
         assert_eq!(args.crash_after_checkpoints, Some(4));
+        assert_eq!(args.trace, Some(PathBuf::from("/tmp/trace.json")));
+    }
+
+    #[test]
+    fn trace_flag_needs_a_path() {
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&[]).unwrap().trace.is_none());
     }
 
     #[test]

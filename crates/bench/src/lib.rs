@@ -15,6 +15,7 @@ mod cli;
 pub mod journal;
 mod methods;
 mod pca;
+pub mod profile;
 pub mod render;
 mod report;
 mod runtime;

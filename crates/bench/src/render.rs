@@ -16,8 +16,8 @@ use std::path::Path;
 use hotspot_layout::{BenchmarkSpec, GeneratedBenchmark, Tech};
 use hotspot_litho::{DefectKind, LithoSimulator};
 use hotspot_viz::{
-    fmt_num, ramp_color, BarChart, Heatmap, LineChart, RelBin, ReliabilityChart, Series, Svg,
-    TextAnchor,
+    fmt_num, ramp_color, BarChart, FlameChart, FlameFrame, Heatmap, LineChart, RelBin,
+    ReliabilityChart, Series, Svg, TextAnchor,
 };
 
 use crate::journal::{
@@ -97,6 +97,14 @@ pub fn render_dashboard(
     let incidents = journal.shard_incidents();
     if let Some(svg) = shard_health(&incidents) {
         files.push(("shard_health.svg".to_string(), svg));
+    }
+
+    // Performance: an icicle flame graph over the journal's span profile.
+    // Canonical journals withhold the profile target, so this panel only
+    // appears on provenance journals — canonical dashboards stay
+    // byte-identical with and without tracing.
+    if let Some(svg) = span_flame(journal) {
+        files.push(("perf_flame.svg".to_string(), svg));
     }
 
     // Per-run panels, ordered by run id for stable output.
@@ -259,6 +267,30 @@ fn shard_health(incidents: &[ShardIncidentRecord]) -> Option<String> {
     BarChart::new("workers lost", "incidents", bars(|c| c.0)).render_into(&mut svg, 0.0, 0.0);
     BarChart::new("outcomes salvaged", "clips", bars(|c| c.1)).render_into(&mut svg, 420.0, 0.0);
     BarChart::new("clips reassigned", "clips", bars(|c| c.2)).render_into(&mut svg, 840.0, 0.0);
+    Some(svg.finish())
+}
+
+/// An icicle flame graph of total time per span path, from the journal's
+/// `profile` debug events (worker spans replayed by the shard coordinator
+/// included). `None` when the journal carries no span profile.
+fn span_flame(journal: &Journal) -> Option<String> {
+    let spans = journal.span_durations_us();
+    if spans.is_empty() {
+        return None;
+    }
+    // BTreeMap iteration gives sorted paths, so sibling order — and with it
+    // the rendered bytes — is a pure function of the journal.
+    let paths: Vec<(String, f64)> = spans
+        .iter()
+        .map(|(path, durations)| (path.clone(), durations.iter().sum::<f64>() / 1000.0))
+        .collect();
+    let chart = FlameChart::new(
+        "span time (total ms per path)",
+        "ms",
+        FlameFrame::from_paths(&paths),
+    );
+    let mut svg = Svg::new(chart.width, chart.height());
+    chart.render_into(&mut svg, 0.0, 0.0);
     Some(svg.finish())
 }
 
@@ -634,6 +666,8 @@ fn index_html(files: &[(String, String)], degraded_runs: usize) -> String {
             "Methods"
         } else if name.starts_with("shard_") {
             "Shard health"
+        } else if name.starts_with("perf_") {
+            "Performance"
         } else if name.starts_with("clip_") {
             "Selected clips"
         } else {
@@ -759,6 +793,25 @@ mod tests {
         assert!(a.contains("outcomes salvaged"));
         assert!(a.contains("clips reassigned"));
         assert!(a.contains("shard 0") && a.contains("shard 1"));
+    }
+
+    #[test]
+    fn span_flame_nests_profile_paths_and_is_deterministic() {
+        let text = concat!(
+            r#"{"type":"event","target":"profile","message":"run/iteration/nn.train","span":"run/iteration/nn.train","duration_us":1500}"#,
+            "\n",
+            r#"{"type":"event","target":"profile","message":"run/iteration/select","span":"run/iteration/select","duration_us":500}"#,
+            "\n",
+        );
+        let journal = Journal::parse_str(text);
+        let a = span_flame(&journal).unwrap();
+        let b = span_flame(&journal).unwrap();
+        assert_eq!(a, b);
+        for label in ["run", "iteration", "nn.train", "select"] {
+            assert!(a.contains(&format!(">{label}<")), "missing {label}");
+        }
+        // A journal with no profile events (canonical) renders no panel.
+        assert!(span_flame(&Journal::parse_str("")).is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use hotspot_nn::Matrix;
 /// # }
 /// ```
 pub fn diversity_matrix(embeddings: &Matrix) -> Vec<f32> {
+    record_diversity_kernel(embeddings.rows(), embeddings.cols());
     let normalized = l2_normalize_rows(embeddings);
     let n = normalized.rows();
     let mut d = vec![0.0f32; n * n];
@@ -39,6 +40,7 @@ pub fn diversity_matrix(embeddings: &Matrix) -> Vec<f32> {
 /// Runs in O(n²·dim) directly on the embeddings without materialising `D`,
 /// which is the efficiency claim of Fig. 3(b).
 pub fn diversity_scores(embeddings: &Matrix) -> Vec<f32> {
+    record_diversity_kernel(embeddings.rows(), embeddings.cols());
     let normalized = l2_normalize_rows(embeddings);
     let n = normalized.rows();
     if n == 1 {
@@ -60,6 +62,20 @@ pub fn diversity_scores(embeddings: &Matrix) -> Vec<f32> {
         }
     }
     scores
+}
+
+/// Books one pairwise-cosine pass into the `kernel.diversity.*` performance
+/// counters (ROADMAP item 1 hot loop): n·(n−1)/2 dot products of `dim`
+/// multiply–adds each plus the ℓ2 row normalisation, over one normalised
+/// copy of the embedding matrix. One counter update per call.
+fn record_diversity_kernel(n: usize, dim: usize) {
+    use hotspot_telemetry::{counter, names};
+    let pairs = (n * n.saturating_sub(1) / 2) as u64;
+    let dim = dim as u64;
+    counter(names::KERNEL_DIVERSITY_CALLS).incr();
+    counter(names::KERNEL_DIVERSITY_ELEMENTS).add(pairs);
+    counter(names::KERNEL_DIVERSITY_FLOPS).add(pairs * 2 * dim + 3 * n as u64 * dim);
+    counter(names::KERNEL_DIVERSITY_BYTES).add(4 * 2 * n as u64 * dim);
 }
 
 fn l2_normalize_rows(m: &Matrix) -> Matrix {

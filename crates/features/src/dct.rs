@@ -55,6 +55,7 @@ impl Dct2d {
     pub fn transform(&self, block: &[f32]) -> Vec<f32> {
         let n = self.n;
         assert_eq!(block.len(), n * n, "block size mismatch");
+        record_dct_kernel(n);
         // rows: tmp = block * Bᵀ  (transform along x)
         let mut tmp = vec![0.0f32; n * n];
         for r in 0..n {
@@ -112,6 +113,19 @@ impl Dct2d {
         }
         out
     }
+}
+
+/// Books one forward block transform into the `kernel.dct.*` performance
+/// counters (ROADMAP item 1 hot loop): two n³ matrix passes of one
+/// multiply–add each, n² coefficients out, and block + basis + temporary +
+/// output traffic. One counter update per block.
+fn record_dct_kernel(n: usize) {
+    use hotspot_telemetry::{counter, names};
+    let n = n as u64;
+    counter(names::KERNEL_DCT_CALLS).incr();
+    counter(names::KERNEL_DCT_ELEMENTS).add(n * n);
+    counter(names::KERNEL_DCT_FLOPS).add(4 * n * n * n);
+    counter(names::KERNEL_DCT_BYTES).add(4 * 4 * n * n);
 }
 
 #[cfg(test)]

@@ -179,6 +179,7 @@ impl GaussianMixture {
             previous_ll = mean_ll;
         }
         hotspot_telemetry::counter(hotspot_telemetry::names::GMM_EM_ITERATIONS).add(em_iterations);
+        record_gmm_em_kernel(em_iterations, n, k, dim);
         hotspot_telemetry::debug(
             "gmm.model",
             "EM converged",
@@ -329,6 +330,20 @@ impl GaussianMixture {
             .map(|row| self.log_likelihood(row))
             .collect()
     }
+}
+
+/// Books one EM fit into the `kernel.gmm_em.*` performance counters
+/// (ROADMAP item 1 hot loop). Calls count EM iterations; elements count
+/// responsibility-matrix entries (iterations × samples × components), each
+/// touched by one E-step Gaussian evaluation and two M-step accumulations
+/// of roughly 8 FLOPs per feature dimension. One counter update per fit.
+fn record_gmm_em_kernel(iterations: u64, samples: usize, components: usize, dim: usize) {
+    use hotspot_telemetry::{counter, names};
+    let elements = iterations * samples as u64 * components as u64;
+    counter(names::KERNEL_GMM_EM_CALLS).add(iterations);
+    counter(names::KERNEL_GMM_EM_ELEMENTS).add(elements);
+    counter(names::KERNEL_GMM_EM_FLOPS).add(elements * 8 * dim as u64);
+    counter(names::KERNEL_GMM_EM_BYTES).add(8 * elements * dim as u64);
 }
 
 /// Log density of a diagonal Gaussian.

@@ -60,9 +60,16 @@ pub fn select_components(
             best = Some((score, gmm));
         }
     }
+    let Some((_, best)) = best else {
+        // Unreachable in practice: the empty-list guard above means the fit
+        // loop ran at least once. Kept as a typed error, not a panic.
+        return Err(GmmError::BadConfig {
+            detail: "candidate list must not be empty",
+        });
+    };
     Ok(BicSweep {
         candidates: scored,
-        best: best.expect("at least one candidate fitted").1,
+        best,
     })
 }
 

@@ -66,10 +66,10 @@ impl Signature {
             na += a * a;
             nb += b * b;
         }
-        if na == 0.0 && nb == 0.0 {
+        if na <= 0.0 && nb <= 0.0 {
             return 1.0;
         }
-        if na == 0.0 || nb == 0.0 {
+        if na <= 0.0 || nb <= 0.0 {
             return 0.0;
         }
         dot / (na.sqrt() * nb.sqrt())

@@ -64,6 +64,7 @@ impl GaussianKernel {
     pub fn convolve_2d(&self, src: &[f32], dst: &mut [f32], width: usize, height: usize) {
         assert_eq!(src.len(), width * height, "src size mismatch");
         assert_eq!(dst.len(), width * height, "dst size mismatch");
+        record_aerial_kernel(self.taps.len(), width, height);
         let r = self.radius() as isize;
         let mut tmp = vec![0.0f32; src.len()];
         // Horizontal pass.
@@ -92,6 +93,19 @@ impl GaussianKernel {
             }
         }
     }
+}
+
+/// Books one separable aerial-image convolution into the `kernel.aerial.*`
+/// performance counters (ROADMAP item 1 hot loop): two tap passes of one
+/// multiply–add per pixel each, plus src + tmp + dst + taps traffic. One
+/// counter update per image.
+fn record_aerial_kernel(taps: usize, width: usize, height: usize) {
+    use hotspot_telemetry::{counter, names};
+    let pixels = (width * height) as u64;
+    counter(names::KERNEL_AERIAL_CALLS).incr();
+    counter(names::KERNEL_AERIAL_ELEMENTS).add(pixels);
+    counter(names::KERNEL_AERIAL_FLOPS).add(4 * pixels * taps as u64);
+    counter(names::KERNEL_AERIAL_BYTES).add(4 * (3 * pixels + taps as u64));
 }
 
 #[cfg(test)]

@@ -70,6 +70,7 @@ impl Conv2d {
 
     fn apply(&self, input: &Matrix) -> Matrix {
         assert_eq!(input.cols(), self.in_dim(), "conv input size mismatch");
+        record_conv2d_kernel(self, input.rows());
         let (h, w, k) = (self.height, self.width, self.kernel);
         let pad = k / 2;
         let plane = h * w;
@@ -110,6 +111,24 @@ impl Conv2d {
     }
 }
 
+/// Books one conv2d forward pass into the `kernel.conv2d.*` performance
+/// counters (ROADMAP item 1 hot loop). FLOPs count the nominal interior
+/// multiply–add nest (2 per tap); bytes count input, weight, and output
+/// traffic once each. One counter update per call, so the accounting is
+/// invisible next to the O(batch · C_out · H · W · C_in · k²) loop itself.
+fn record_conv2d_kernel(conv: &Conv2d, batch: usize) {
+    use hotspot_telemetry::{counter, names};
+    let elements = (batch * conv.out_dim()) as u64;
+    let taps = (conv.in_channels * conv.kernel * conv.kernel) as u64;
+    counter(names::KERNEL_CONV2D_CALLS).incr();
+    counter(names::KERNEL_CONV2D_ELEMENTS).add(elements);
+    counter(names::KERNEL_CONV2D_FLOPS).add(elements * taps * 2);
+    counter(names::KERNEL_CONV2D_BYTES).add(
+        4 * (batch * (conv.in_dim() + conv.out_dim()) + conv.weights.len() + conv.bias.len())
+            as u64,
+    );
+}
+
 impl Layer for Conv2d {
     fn infer(&self, input: &Matrix) -> Matrix {
         self.apply(input)
@@ -144,7 +163,10 @@ impl Layer for Conv2d {
                     for oy in 0..h {
                         for ox in 0..w {
                             let go = g_plane[oy * w + ox];
-                            if go == 0.0 {
+                            // Exact ±0 skip (bit test): ReLU upstream zeroes
+                            // most of the gradient; a tolerance would drop
+                            // real signal.
+                            if go.to_bits() << 1 == 0 {
                                 continue;
                             }
                             for ky in 0..k {

@@ -46,7 +46,7 @@ impl Layer for Dropout {
     }
 
     fn forward_train(&mut self, input: &Matrix) -> Matrix {
-        if self.rate == 0.0 {
+        if self.rate <= 0.0 {
             self.mask = Some(vec![1.0; input.as_slice().len()]);
             return input.clone();
         }

@@ -137,7 +137,9 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
+                // Exact ±0 sparsity skip (bit test, not a tolerance): anything
+                // else would change the product.
+                if a.to_bits() << 1 == 0 {
                     continue;
                 }
                 let src = &other.data[k * other.cols..(k + 1) * other.cols];
@@ -167,7 +169,8 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
+                // Exact ±0 sparsity skip, same contract as `matmul`.
+                if a.to_bits() << 1 == 0 {
                     continue;
                 }
                 let src = &other.data[i * other.cols..(i + 1) * other.cols];

@@ -73,13 +73,20 @@ impl Sequential {
                 self.infer_with_embedding(&sub)
             })
             .collect();
-        let mut logits = Matrix::zeros(0, 0);
-        let mut embeddings = Matrix::zeros(0, 0);
-        for (l, e) in parts {
-            logits = logits.vstack(&l).expect("uniform logit widths");
-            embeddings = embeddings.vstack(&e).expect("uniform embedding widths");
+        // Every chunk runs through the same layers, so the widths are uniform
+        // by construction — concatenate the row-major buffers directly.
+        let logit_cols = parts.first().map_or(0, |(l, _)| l.cols());
+        let embed_cols = parts.first().map_or(0, |(_, e)| e.cols());
+        let mut logit_data = Vec::with_capacity(input.rows() * logit_cols);
+        let mut embed_data = Vec::with_capacity(input.rows() * embed_cols);
+        for (l, e) in &parts {
+            logit_data.extend_from_slice(l.as_slice());
+            embed_data.extend_from_slice(e.as_slice());
         }
-        (logits, embeddings)
+        (
+            Matrix::from_flat(input.rows(), logit_cols, logit_data),
+            Matrix::from_flat(input.rows(), embed_cols, embed_data),
+        )
     }
 
     /// Training forward pass (caches activations).

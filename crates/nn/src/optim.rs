@@ -60,7 +60,7 @@ impl Optimizer for Sgd {
 
     fn update(&mut self, slot: usize, weights: &mut [f32], grads: &[f32]) {
         assert_eq!(weights.len(), grads.len(), "weight/grad length mismatch");
-        if self.momentum == 0.0 {
+        if self.momentum <= 0.0 {
             for (w, &g) in weights.iter_mut().zip(grads) {
                 *w -= (self.lr as f32) * g;
             }

@@ -37,16 +37,11 @@ pub struct TrainReport {
 }
 
 impl TrainReport {
-    /// Loss of the final epoch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the report is empty (zero epochs trained).
+    /// Loss of the final epoch, or NaN when zero epochs trained. NaN flows
+    /// into the caller's non-finite-loss handling (rollback) rather than
+    /// panicking mid-campaign.
     pub fn final_loss(&self) -> f64 {
-        *self
-            .epoch_losses
-            .last()
-            .expect("training ran at least one epoch")
+        self.epoch_losses.last().copied().unwrap_or(f64::NAN)
     }
 }
 

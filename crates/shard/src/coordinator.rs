@@ -216,14 +216,22 @@ impl<O, F, C> ShardedOracle<O, F, C> {
 /// Labels one worker's sub-batch, reporting a [`ClipOutcome`] per clip.
 /// Runs with telemetry silenced: the coordinator replays the merged
 /// effects exactly once, so nothing a worker does may leak into journals,
-/// counters, or billing directly.
+/// counters, or billing directly. Tracing is the exception — when the
+/// coordinator hands a [`telemetry::TraceHandoff`] over, the worker adopts
+/// a per-shard trace buffer (track `1 + shard`), times its whole sub-batch
+/// under a `shard.worker` span parented onto the coordinator's open span,
+/// and returns the harvested records for the deterministic merge. A worker
+/// that dies simply never hands records back.
 fn worker_run<O: LithoOracle>(
     mut oracle: O,
+    shard: usize,
     clips: Vec<usize>,
     mut committer: Option<ShardCommitter>,
     kill: Option<FailureMode>,
-) -> Vec<ClipOutcome> {
+    handoff: Option<telemetry::TraceHandoff>,
+) -> (Vec<ClipOutcome>, Vec<telemetry::TraceRecord>) {
     let _mute = telemetry::silence_thread();
+    let _trace = telemetry::trace::adopt(handoff, shard as u64 + 1);
     if kill == Some(FailureMode::Hang) {
         // Simulated hang: block before touching any clip so the whole
         // sub-batch is orphaned and reassigned.
@@ -231,6 +239,9 @@ fn worker_run<O: LithoOracle>(
             std::thread::park();
         }
     }
+    let span = telemetry::span(telemetry::names::SPAN_SHARD_WORKER)
+        .with("shard", shard as u64)
+        .with("clips", clips.len() as u64);
     let mut outcomes = Vec::new();
     for &clip in &clips {
         let before = oracle.state_snapshot().unwrap_or_default();
@@ -245,7 +256,8 @@ fn worker_run<O: LithoOracle>(
             panic!("chaos kill: shard worker murdered after first commit");
         }
     }
-    outcomes
+    drop(span);
+    (outcomes, telemetry::trace::harvest())
 }
 
 /// Per-shard checkpoint committer: after every clip the worker's outcomes
@@ -332,7 +344,11 @@ where
         let shards = self.config.workers.min(clips.len()).max(1);
         let chunk = clips.len().div_ceil(shards);
         let subs: Vec<Vec<usize>> = clips.chunks(chunk).map(<[usize]>::to_vec).collect();
-        let mut handles: Vec<JoinHandle<Vec<ClipOutcome>>> = Vec::with_capacity(subs.len());
+        // Captured once on the coordinator thread: every worker's root span
+        // parents onto the span open here (e.g. the selector's batch query).
+        let handoff = telemetry::trace::handoff();
+        type WorkerResult = (Vec<ClipOutcome>, Vec<telemetry::TraceRecord>);
+        let mut handles: Vec<JoinHandle<WorkerResult>> = Vec::with_capacity(subs.len());
         for (shard, sub) in subs.iter().enumerate() {
             let mut oracle = (self.factory)(shard, seeds.get(shard).copied().unwrap_or(0));
             let restored = oracle.restore_state(pre);
@@ -341,7 +357,7 @@ where
             let committer = commit_dir.and_then(|dir| ShardCommitter::open(dir, shard, ordinal));
             let sub = sub.clone();
             handles.push(std::thread::spawn(move || {
-                worker_run(oracle, sub, committer, mode)
+                worker_run(oracle, shard, sub, committer, mode, handoff)
             }));
         }
 
@@ -361,7 +377,22 @@ where
             let mut dead = false;
             if blocking || handle.is_finished() {
                 match handle.join() {
-                    Ok(mut worker_outcomes) => {
+                    Ok((mut worker_outcomes, trace_records)) => {
+                        // Workers are joined in ascending shard order, so
+                        // absorbing here keeps the merged trace (and the
+                        // replayed profile events below) deterministic.
+                        for record in &trace_records {
+                            telemetry::debug(
+                                "profile",
+                                record.name,
+                                &[
+                                    ("span", record.name.into()),
+                                    ("duration_us", record.dur_us.into()),
+                                    ("shard", (shard as u64).into()),
+                                ],
+                            );
+                        }
+                        telemetry::trace::absorb(trace_records);
                         outcomes.append(&mut worker_outcomes);
                         continue;
                     }
@@ -738,6 +769,68 @@ mod tests {
             undisturbed.state_snapshot().unwrap(),
             chaotic.state_snapshot().unwrap()
         );
+    }
+
+    #[test]
+    fn traced_chaos_batch_keeps_spans_and_results_intact() {
+        // Satellite regression: a span dropped during a chaos-killed
+        // worker's unwind must not corrupt the trace or sibling span paths,
+        // and the traced chaotic campaign must still merge to the
+        // undisturbed result.
+        let n = 16;
+        let mut undisturbed = sharded_faulty(n, ShardConfig::new(3).with_stream_seed(11));
+        let undisturbed_results: Vec<_> = BATCHES
+            .iter()
+            .map(|b| undisturbed.try_query_batch(b))
+            .collect();
+
+        telemetry::trace::enable();
+        let _ = telemetry::trace::drain_records();
+        let kill = KillSpec {
+            shard: 1,
+            batch: 2,
+            mode: FailureMode::Panic,
+        };
+        let mut chaotic =
+            sharded_faulty(n, ShardConfig::new(3).with_stream_seed(11).with_kill(kill));
+        let outer = telemetry::span("shard_trace_test");
+        let chaotic_results: Vec<_> = BATCHES.iter().map(|b| chaotic.try_query_batch(b)).collect();
+        drop(outer);
+
+        assert_eq!(undisturbed_results, chaotic_results);
+        assert_eq!(
+            undisturbed.state_snapshot().unwrap(),
+            chaotic.state_snapshot().unwrap()
+        );
+
+        let records = telemetry::trace::drain_records();
+        let outer = records
+            .iter()
+            .find(|r| r.name == "shard_trace_test")
+            .expect("coordinator span traced");
+        assert_eq!(outer.track, 0);
+        let workers: Vec<_> = records
+            .iter()
+            .filter(|r| r.name == telemetry::names::SPAN_SHARD_WORKER)
+            .collect();
+        assert!(!workers.is_empty(), "surviving workers must be traced");
+        for worker in &workers {
+            assert!(worker.track >= 1, "workers record on shard tracks");
+            assert_eq!(
+                worker.parent, outer.id,
+                "worker roots parent onto the coordinator span"
+            );
+        }
+        // The murdered worker unwound mid-span; spans opened afterwards on
+        // this thread must still nest correctly (no stale stack frames).
+        {
+            let inner_path = {
+                let _after = telemetry::span("shard_trace_after");
+                let probe = telemetry::span("shard_trace_probe");
+                probe.path()
+            };
+            assert_eq!(inner_path, "shard_trace_after/shard_trace_probe");
+        }
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   `--profile`), and emit a `profile` event so journals capture per-span
 //!   durations.
 //!
+//! - **Traces** ([`trace::enable`], normally via `--trace out.json`) give
+//!   spans process-unique ids and parent links — propagated across threads
+//!   with [`trace::handoff`]/[`trace::adopt`] — and export as Chrome-trace
+//!   JSON for Perfetto. Trace data never reaches a sink, so canonical
+//!   journals are unaffected.
+//!
 //! With no sinks registered, events cost one atomic load and spans only
 //! update the profile tree — instrumented library code stays cheap for
 //! callers that never opt in.
@@ -33,6 +39,7 @@ mod metrics;
 pub mod names;
 mod sink;
 mod span;
+pub mod trace;
 
 pub use event::{Event, FieldValue};
 pub use export::{prometheus_name, render_prometheus};
@@ -44,6 +51,7 @@ pub use metrics::{
 };
 pub use sink::{ConsoleSink, JournalPosition, JsonlSink, MemorySink, Sink};
 pub use span::{ProfileTree, SpanStat, SpanTimer};
+pub use trace::{TraceHandoff, TraceRecord};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

@@ -114,6 +114,77 @@ pub const SHARD_CLIPS_REASSIGNED: &str = "shard.clips_reassigned";
 /// through merge), the shard-scaling latency series.
 pub const SHARD_BATCH_SECONDS: &str = "shard.batch.seconds";
 
+/// Span over one shard worker's whole sub-batch, recorded on the worker
+/// thread into its per-shard trace buffer (workers are telemetry-silenced,
+/// so this span reaches traces but not journals).
+pub const SPAN_SHARD_WORKER: &str = "shard.worker";
+
+/// Invocations of the conv2d forward kernel (`hotspot-nn`), the inner MAC
+/// nest of ROADMAP item 1. Like every `kernel.*` counter it is withheld
+/// from canonical journals: call counts vary with sharding and recovery.
+pub const KERNEL_CONV2D_CALLS: &str = "kernel.conv2d.calls";
+
+/// Output elements produced by the conv2d forward kernel.
+pub const KERNEL_CONV2D_ELEMENTS: &str = "kernel.conv2d.elements";
+
+/// Floating-point operations (multiply + add counted separately) executed
+/// by the conv2d forward kernel.
+pub const KERNEL_CONV2D_FLOPS: &str = "kernel.conv2d.flops";
+
+/// Bytes of input, weight, and output traffic through the conv2d kernel.
+pub const KERNEL_CONV2D_BYTES: &str = "kernel.conv2d.bytes";
+
+/// Invocations of the block-DCT kernel (`hotspot-features`), one per
+/// transformed block.
+pub const KERNEL_DCT_CALLS: &str = "kernel.dct.calls";
+
+/// Coefficients produced by the block-DCT kernel (n² per block).
+pub const KERNEL_DCT_ELEMENTS: &str = "kernel.dct.elements";
+
+/// Floating-point operations executed by the block-DCT kernel (two n³
+/// matrix passes per block).
+pub const KERNEL_DCT_FLOPS: &str = "kernel.dct.flops";
+
+/// Bytes moved through the block-DCT kernel.
+pub const KERNEL_DCT_BYTES: &str = "kernel.dct.bytes";
+
+/// GMM EM iterations counted as kernel calls (`hotspot-gmm`).
+pub const KERNEL_GMM_EM_CALLS: &str = "kernel.gmm_em.calls";
+
+/// Responsibility-matrix entries evaluated by GMM EM
+/// (iterations × samples × components).
+pub const KERNEL_GMM_EM_ELEMENTS: &str = "kernel.gmm_em.elements";
+
+/// Floating-point operations executed by the GMM EM kernel.
+pub const KERNEL_GMM_EM_FLOPS: &str = "kernel.gmm_em.flops";
+
+/// Bytes moved through the GMM EM kernel.
+pub const KERNEL_GMM_EM_BYTES: &str = "kernel.gmm_em.bytes";
+
+/// Invocations of the pairwise-cosine diversity kernel (`hotspot-core`).
+pub const KERNEL_DIVERSITY_CALLS: &str = "kernel.diversity.calls";
+
+/// Embedding pairs scored by the diversity kernel (n·(n−1)/2 per call).
+pub const KERNEL_DIVERSITY_ELEMENTS: &str = "kernel.diversity.elements";
+
+/// Floating-point operations executed by the diversity kernel.
+pub const KERNEL_DIVERSITY_FLOPS: &str = "kernel.diversity.flops";
+
+/// Bytes moved through the diversity kernel.
+pub const KERNEL_DIVERSITY_BYTES: &str = "kernel.diversity.bytes";
+
+/// Invocations of the separable aerial-image convolution (`hotspot-litho`).
+pub const KERNEL_AERIAL_CALLS: &str = "kernel.aerial.calls";
+
+/// Pixels produced by the aerial convolution kernel per pass pair.
+pub const KERNEL_AERIAL_ELEMENTS: &str = "kernel.aerial.elements";
+
+/// Floating-point operations executed by the aerial convolution kernel.
+pub const KERNEL_AERIAL_FLOPS: &str = "kernel.aerial.flops";
+
+/// Bytes moved through the aerial convolution kernel.
+pub const KERNEL_AERIAL_BYTES: &str = "kernel.aerial.bytes";
+
 /// Journal event message for one completed sampling iteration. Carries the
 /// per-iteration trajectory fields (accuracy, ECE, temperature, train loss)
 /// consumed by `lithohd-report`.
@@ -186,6 +257,27 @@ pub const ALL: &[&str] = &[
     SHARD_OUTCOMES_SALVAGED,
     SHARD_CLIPS_REASSIGNED,
     SHARD_BATCH_SECONDS,
+    SPAN_SHARD_WORKER,
+    KERNEL_CONV2D_CALLS,
+    KERNEL_CONV2D_ELEMENTS,
+    KERNEL_CONV2D_FLOPS,
+    KERNEL_CONV2D_BYTES,
+    KERNEL_DCT_CALLS,
+    KERNEL_DCT_ELEMENTS,
+    KERNEL_DCT_FLOPS,
+    KERNEL_DCT_BYTES,
+    KERNEL_GMM_EM_CALLS,
+    KERNEL_GMM_EM_ELEMENTS,
+    KERNEL_GMM_EM_FLOPS,
+    KERNEL_GMM_EM_BYTES,
+    KERNEL_DIVERSITY_CALLS,
+    KERNEL_DIVERSITY_ELEMENTS,
+    KERNEL_DIVERSITY_FLOPS,
+    KERNEL_DIVERSITY_BYTES,
+    KERNEL_AERIAL_CALLS,
+    KERNEL_AERIAL_ELEMENTS,
+    KERNEL_AERIAL_FLOPS,
+    KERNEL_AERIAL_BYTES,
     EVENT_ITERATION_COMPLETE,
     EVENT_RUN_COMPLETE,
     EVENT_CLIP_SELECTED,

@@ -94,9 +94,10 @@ const WALL_CLOCK_FIELDS: &[&str] = &["elapsed_us", "elapsed_ms", "duration_us"];
 const CANONICAL_WITHHELD_TARGETS: &[&str] = &["profile", "store.checkpoint", "shard.coordinator"];
 
 /// Metric-name prefixes withheld from canonical snapshots for the same
-/// reason as the withheld targets: checkpoint save/resume and shard
-/// coordination counters are provenance, not run output.
-const PROVENANCE_METRIC_PREFIXES: &[&str] = &["checkpoint.", "shard."];
+/// reason as the withheld targets: checkpoint save/resume, shard
+/// coordination, and per-kernel performance counters are provenance, not
+/// run output (kernel call counts vary with sharding and fault recovery).
+const PROVENANCE_METRIC_PREFIXES: &[&str] = &["checkpoint.", "shard.", "kernel."];
 
 /// Exact byte offset and next sequence number of a journal, as used by
 /// checkpoints: a resumed process truncates the journal to `bytes` and
@@ -555,6 +556,29 @@ mod tests {
         assert!(!text.contains("shard"), "{text}");
         assert!(text.contains("litho.oracle.calls"), "{text}");
         assert_eq!(text.lines().count(), 1, "event must be dropped: {text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn canonical_journal_withholds_kernel_counters() {
+        let path = std::env::temp_dir().join(format!(
+            "lithohd-journal-kernel-test-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create_canonical(&path).unwrap();
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .counters
+            .push(("kernel.conv2d.flops".to_string(), 123));
+        snapshot
+            .counters
+            .push(("litho.oracle.calls".to_string(), 9));
+        sink.on_snapshot(&snapshot);
+        drop(sink);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("kernel."), "{text}");
+        assert!(text.contains("litho.oracle.calls"), "{text}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -88,6 +88,7 @@ pub struct SpanTimer {
     depth: usize,
     start: Instant,
     fields: Vec<(&'static str, FieldValue)>,
+    trace: Option<crate::trace::OpenSpan>,
 }
 
 impl SpanTimer {
@@ -102,6 +103,7 @@ impl SpanTimer {
             depth,
             start: Instant::now(),
             fields: Vec::new(),
+            trace: crate::trace::on_span_open(),
         }
     }
 
@@ -113,20 +115,37 @@ impl SpanTimer {
 
     /// The span's full path, `outer/inner/...`.
     pub fn path(&self) -> String {
-        SPAN_STACK.with(|stack| stack.borrow()[..=self.depth].join("/"))
+        SPAN_STACK.with(|stack| {
+            let stack = stack.borrow();
+            if stack.is_empty() {
+                self.name.to_string()
+            } else {
+                stack[..=self.depth.min(stack.len() - 1)].join("/")
+            }
+        })
     }
 }
 
 impl Drop for SpanTimer {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
+        if let Some(open) = self.trace.take() {
+            crate::trace::on_span_close(open, self.name, elapsed, &self.fields);
+        }
         // Rebuild the path, then unwind the stack to this span's depth. The
         // truncate (rather than a pop) keeps the stack sane even if an inner
-        // span leaked past its parent.
+        // span leaked past its parent, and the clamps keep an out-of-order or
+        // mid-unwind drop — another timer on this thread may already have
+        // truncated below us — from indexing past the live stack.
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let path = stack[..=self.depth.min(stack.len() - 1)].join("/");
-            stack.truncate(self.depth);
+            let path = if stack.is_empty() {
+                self.name.to_string()
+            } else {
+                stack[..=self.depth.min(stack.len() - 1)].join("/")
+            };
+            let keep = self.depth.min(stack.len());
+            stack.truncate(keep);
             path
         });
         crate::global().profile.record(&path, elapsed);
@@ -195,6 +214,19 @@ mod tests {
         let histogram = crate::histogram(&crate::names::span_seconds("st_histogram"));
         assert!(histogram.count() >= 1);
         assert!(histogram.quantile(0.99).is_some());
+    }
+
+    #[test]
+    fn out_of_order_drops_do_not_panic_or_corrupt_siblings() {
+        let a = crate::span("st_ooo_a");
+        let b = crate::span("st_ooo_b");
+        drop(a); // closes the parent first, emptying this thread's stack
+        drop(b); // must not underflow, and must record under its own name
+        {
+            let _c = crate::span("st_ooo_c");
+        }
+        assert!(crate::global().profile.stat("st_ooo_b").is_some());
+        assert_eq!(crate::global().profile.stat("st_ooo_c").unwrap().count, 1);
     }
 
     #[test]

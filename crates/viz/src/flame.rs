@@ -1,0 +1,339 @@
+//! Flame (icicle) chart: hierarchical time attribution as nested bars.
+//!
+//! Root frames span the top row; each child occupies a share of its parent's
+//! width proportional to its value, one row further down. The gap between a
+//! parent's width and its children's sum is the parent's self time. Like the
+//! rest of the crate, rendering is a pure function of the input frames —
+//! colours come from a stable label hash, not insertion order, so the same
+//! span tree colours identically across runs and journals.
+
+use crate::{fmt_num, Svg, TextAnchor, PALETTE};
+
+const MARGIN: f64 = 12.0;
+const TITLE_SPACE: f64 = 26.0;
+const ROW_HEIGHT: f64 = 22.0;
+const ROW_GAP: f64 = 2.0;
+const TEXT_COLOR: &str = "#0f172a";
+const MUTED_COLOR: &str = "#334155";
+/// Frames narrower than this many pixels draw without a label.
+const MIN_LABEL_WIDTH: f64 = 34.0;
+/// Approximate glyph advance at font-size 10, for label truncation.
+const GLYPH_WIDTH: f64 = 6.0;
+
+/// One frame of the flame graph: a label, an inclusive value (its own time
+/// plus its children's), and the child frames nested under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlameFrame {
+    /// Frame label (span name).
+    pub label: String,
+    /// Inclusive weight (e.g. microseconds). Non-finite or negative values
+    /// render as zero-width frames.
+    pub value: f64,
+    /// Nested frames, drawn left-to-right in the given order.
+    pub children: Vec<FlameFrame>,
+}
+
+impl FlameFrame {
+    /// A leaf frame.
+    pub fn leaf(label: impl Into<String>, value: f64) -> FlameFrame {
+        FlameFrame {
+            label: label.into(),
+            value,
+            children: Vec::new(),
+        }
+    }
+
+    /// Builds a forest from `/`-separated paths with their total weights
+    /// (the shape of a journal's span aggregation, e.g.
+    /// `("run/iteration/nn.train", 1500.0)`).
+    ///
+    /// Sibling order follows first appearance in `paths`, so a sorted input
+    /// yields a deterministic chart. A parent's value is raised to at least
+    /// the sum of its children, which keeps interior frames meaningful even
+    /// when only leaf paths were measured.
+    pub fn from_paths(paths: &[(String, f64)]) -> Vec<FlameFrame> {
+        let mut roots: Vec<FlameFrame> = Vec::new();
+        for (path, value) in paths {
+            let mut level = &mut roots;
+            let mut segments = path.split('/').filter(|s| !s.is_empty()).peekable();
+            while let Some(segment) = segments.next() {
+                let index = match level.iter().position(|f| f.label == segment) {
+                    Some(i) => i,
+                    None => {
+                        level.push(FlameFrame::leaf(segment, 0.0));
+                        level.len() - 1
+                    }
+                };
+                if segments.peek().is_none() && value.is_finite() && *value > 0.0 {
+                    level[index].value += value;
+                }
+                level = &mut level[index].children;
+            }
+        }
+        fn raise(frames: &mut [FlameFrame]) {
+            for frame in frames {
+                raise(&mut frame.children);
+                let child_sum: f64 = frame.children.iter().map(|c| c.value).sum();
+                frame.value = frame.value.max(child_sum);
+            }
+        }
+        raise(&mut roots);
+        roots
+    }
+
+    fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(FlameFrame::depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// An icicle-layout flame chart over a forest of [`FlameFrame`]s.
+#[derive(Debug, Clone)]
+pub struct FlameChart {
+    /// Chart title, drawn top-left.
+    pub title: String,
+    /// Unit suffix for the root-total caption (e.g. `"ms"`).
+    pub unit: String,
+    /// Root frames, drawn left-to-right.
+    pub roots: Vec<FlameFrame>,
+    /// Viewport width in pixels.
+    pub width: f64,
+}
+
+impl FlameChart {
+    /// A chart with the default 640 px viewport width.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>, roots: Vec<FlameFrame>) -> Self {
+        FlameChart {
+            title: title.into(),
+            unit: unit.into(),
+            roots,
+            width: 640.0,
+        }
+    }
+
+    /// The height this chart occupies: title row plus one bar row per
+    /// nesting level (at least one, so an empty chart still reserves room
+    /// for its "no data" notice).
+    pub fn height(&self) -> f64 {
+        let depth = self
+            .roots
+            .iter()
+            .map(FlameFrame::depth)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        TITLE_SPACE + depth as f64 * (ROW_HEIGHT + ROW_GAP) + MARGIN
+    }
+
+    /// Renders the chart into `svg` with its top-left corner at `(ox, oy)`.
+    pub fn render_into(&self, svg: &mut Svg, ox: f64, oy: f64) {
+        svg.group(ox, oy);
+        svg.text(
+            MARGIN,
+            16.0,
+            12.0,
+            TextAnchor::Start,
+            TEXT_COLOR,
+            &self.title,
+        );
+        let total: f64 = self
+            .roots
+            .iter()
+            .map(|f| {
+                if f.value.is_finite() {
+                    f.value.max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        if total <= 0.0 {
+            svg.text(
+                self.width / 2.0,
+                TITLE_SPACE + ROW_HEIGHT,
+                11.0,
+                TextAnchor::Middle,
+                MUTED_COLOR,
+                "no data",
+            );
+            svg.group_end();
+            return;
+        }
+        svg.text(
+            self.width - MARGIN,
+            16.0,
+            10.0,
+            TextAnchor::End,
+            MUTED_COLOR,
+            &format!("total {} {}", fmt_num(total), self.unit),
+        );
+        let span = self.width - 2.0 * MARGIN;
+        let mut x = MARGIN;
+        for frame in &self.roots {
+            let w = frame_width(frame, total, span);
+            self.render_frame(svg, frame, x, TITLE_SPACE, w);
+            x += w;
+        }
+        svg.group_end();
+    }
+
+    fn render_frame(&self, svg: &mut Svg, frame: &FlameFrame, x: f64, y: f64, w: f64) {
+        if w <= 0.5 {
+            return; // invisible at this resolution; children are narrower still
+        }
+        svg.rect_alpha(x, y, w, ROW_HEIGHT, label_color(&frame.label), 0.85);
+        if w >= MIN_LABEL_WIDTH {
+            let fit = ((w - 8.0) / GLYPH_WIDTH) as usize;
+            svg.text(
+                x + 4.0,
+                y + ROW_HEIGHT / 2.0 + 3.5,
+                10.0,
+                TextAnchor::Start,
+                TEXT_COLOR,
+                &truncate_label(&frame.label, fit),
+            );
+        }
+        let child_sum: f64 = frame
+            .children
+            .iter()
+            .map(|c| {
+                if c.value.is_finite() {
+                    c.value.max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        if child_sum <= 0.0 {
+            return;
+        }
+        // Children scale to their own sum when it exceeds the parent (e.g.
+        // a parent measured separately from its children), otherwise to the
+        // parent's value so the self-time gap stays visible on the right.
+        let denom = child_sum.max(frame.value);
+        let mut cx = x;
+        for child in &frame.children {
+            let cw = frame_width(child, denom, w);
+            self.render_frame(svg, child, cx, y + ROW_HEIGHT + ROW_GAP, cw);
+            cx += cw;
+        }
+    }
+
+    /// Renders the chart as a standalone document.
+    pub fn to_svg(&self) -> String {
+        let mut svg = Svg::new(self.width, self.height());
+        self.render_into(&mut svg, 0.0, 0.0);
+        svg.finish()
+    }
+}
+
+fn frame_width(frame: &FlameFrame, denom: f64, span: f64) -> f64 {
+    if !(frame.value.is_finite() && frame.value > 0.0 && denom > 0.0) {
+        return 0.0;
+    }
+    (frame.value / denom) * span
+}
+
+/// Stable palette assignment from the label bytes (FNV-1a), so a span keeps
+/// its colour across charts, runs, and journals.
+fn label_color(label: &str) -> &'static str {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    PALETTE[(hash % PALETTE.len() as u64) as usize]
+}
+
+fn truncate_label(label: &str, fit: usize) -> String {
+    if label.chars().count() <= fit {
+        return label.to_string();
+    }
+    let kept: String = label.chars().take(fit.saturating_sub(1)).collect();
+    format!("{kept}\u{2026}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_roots() -> Vec<FlameFrame> {
+        FlameFrame::from_paths(&[
+            ("run/iteration/nn.train".to_string(), 900.0),
+            ("run/iteration/select".to_string(), 300.0),
+            ("run/calibrate".to_string(), 200.0),
+        ])
+    }
+
+    #[test]
+    fn paths_build_a_nested_forest_with_raised_parents() {
+        let roots = sample_roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].label, "run");
+        assert_eq!(roots[0].value, 1400.0); // raised to the child sum
+        let labels: Vec<&str> = roots[0].children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["iteration", "calibrate"]);
+        assert_eq!(roots[0].children[0].value, 1200.0);
+        assert_eq!(roots[0].children[0].children.len(), 2);
+    }
+
+    #[test]
+    fn repeated_paths_accumulate() {
+        let roots = FlameFrame::from_paths(&[("a/b".to_string(), 10.0), ("a/b".to_string(), 5.0)]);
+        assert_eq!(roots[0].children[0].value, 15.0);
+    }
+
+    #[test]
+    fn chart_contains_every_wide_frame_label() {
+        let out = FlameChart::new("spans", "us", sample_roots()).to_svg();
+        for label in ["run", "iteration", "nn.train", "select", "calibrate"] {
+            assert!(out.contains(&format!(">{label}<")), "missing {label}");
+        }
+        assert!(out.contains("total 1400 us"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let chart = || FlameChart::new("spans", "us", sample_roots()).to_svg();
+        assert_eq!(chart(), chart());
+    }
+
+    #[test]
+    fn empty_and_nonfinite_frames_say_no_data() {
+        let empty = FlameChart::new("spans", "us", vec![]).to_svg();
+        assert!(empty.contains("no data"));
+        let bad = FlameChart::new("spans", "us", vec![FlameFrame::leaf("x", f64::NAN)]).to_svg();
+        assert!(bad.contains("no data"));
+        assert!(!bad.contains("NaN"));
+    }
+
+    #[test]
+    fn colors_depend_on_labels_not_order() {
+        let a = FlameChart::new("t", "us", vec![FlameFrame::leaf("aa", 1.0)]).to_svg();
+        let b = FlameChart::new(
+            "t",
+            "us",
+            vec![FlameFrame::leaf("zz", 1.0), FlameFrame::leaf("aa", 1.0)],
+        )
+        .to_svg();
+        let color_of = |svg: &str, label: &str| {
+            // The rect preceding the label's text element carries its fill.
+            let idx = svg.find(&format!(">{label}<")).unwrap();
+            svg[..idx]
+                .rfind("fill-opacity")
+                .map(|i| svg[i - 10..i].to_string())
+        };
+        assert_eq!(color_of(&a, "aa"), color_of(&b, "aa"));
+    }
+
+    #[test]
+    fn height_tracks_depth() {
+        let flat = FlameChart::new("t", "us", vec![FlameFrame::leaf("a", 1.0)]);
+        let deep = FlameChart::new("t", "us", sample_roots());
+        assert!(deep.height() > flat.height());
+    }
+}

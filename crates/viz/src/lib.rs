@@ -9,6 +9,7 @@
 //! - [`LinearScale`] — data-to-pixel mapping with "nice" tick generation.
 //! - [`LineChart`] / [`BarChart`] — axis-and-legend chart primitives.
 //! - [`Heatmap`] — binned 2-D density as a colour-ramped cell grid.
+//! - [`FlameChart`] — icicle-layout flame graph over nested span frames.
 //! - [`ReliabilityChart`] — the calibration reliability diagram of Fig. 2
 //!   (per-bin confidence vs. accuracy with the identity diagonal).
 //!
@@ -32,12 +33,14 @@
 #![deny(missing_debug_implementations)]
 
 mod chart;
+mod flame;
 mod heatmap;
 mod reliability;
 mod scale;
 mod svg;
 
 pub use chart::{BarChart, LineChart, Series};
+pub use flame::{FlameChart, FlameFrame};
 pub use heatmap::Heatmap;
 pub use reliability::{RelBin, ReliabilityChart};
 pub use scale::LinearScale;
