@@ -1,6 +1,6 @@
 use hotspot_active::{bvsb_scores, record_selection, BatchSelector, SelectionContext};
 use hotspot_nn::Matrix;
-use hotspot_qp::{QpProblem, QpSolver};
+use hotspot_qp::{QpError, QpProblem, QpSolver};
 
 /// The QP batch selector of Yang et al. (TCAD 2020, reference \[14\]).
 ///
@@ -49,9 +49,24 @@ impl QpSelector {
 
     /// Builds the QP for a query set; exposed for the diversity-runtime
     /// micro-benchmarks (Fig. 3b).
-    pub fn build_problem(&self, embeddings: &Matrix, uncertainty: &[f32], k: usize) -> QpProblem {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QpError::BadShape`] when `uncertainty` is not one score per
+    /// embedding row.
+    pub fn build_problem(
+        &self,
+        embeddings: &Matrix,
+        uncertainty: &[f32],
+        k: usize,
+    ) -> Result<QpProblem, QpError> {
         let n = embeddings.rows();
-        assert_eq!(uncertainty.len(), n, "uncertainty length mismatch");
+        if uncertainty.len() != n {
+            return Err(QpError::BadShape {
+                q_len: n * n,
+                c_len: uncertainty.len(),
+            });
+        }
         // Similarity matrix on ℓ2-normalised embeddings.
         let normalized = l2_normalize_rows(embeddings);
         let mut q = vec![0.0f64; n * n];
@@ -67,7 +82,7 @@ impl QpSelector {
             }
         }
         let c: Vec<f64> = uncertainty.iter().map(|&u| -(u as f64)).collect();
-        QpProblem::new(q, c, k.min(n) as f64).expect("constructed QP is well-formed")
+        QpProblem::new(q, c, k.min(n) as f64)
     }
 }
 
@@ -85,7 +100,11 @@ impl BatchSelector for QpSelector {
         // Raw softmax BvSB — deliberately uncalibrated, as in [14].
         let raw = raw_softmax(ctx.logits);
         let uncertainty = bvsb_scores(&raw);
-        let problem = self.build_problem(ctx.embeddings, &uncertainty, ctx.k);
+        // One BvSB score per pool row by construction, so the build cannot
+        // fail; an empty pick is the safe degradation if it ever does.
+        let Ok(problem) = self.build_problem(ctx.embeddings, &uncertainty, ctx.k) else {
+            return Vec::new();
+        };
         let solution = self.solver.solve(&problem);
         let picked = solution.top_k_indices(ctx.k.min(ctx.len()));
         record_selection(self.name(), ctx.len(), picked.len());
@@ -210,7 +229,7 @@ mod tests {
     #[test]
     fn build_problem_is_symmetric() {
         let (_, _, emb) = fixture();
-        let problem = QpSelector::new().build_problem(&emb, &[0.5; 4], 2);
+        let problem = QpSelector::new().build_problem(&emb, &[0.5; 4], 2).unwrap();
         let q = problem.quadratic();
         for i in 0..4 {
             for j in 0..4 {

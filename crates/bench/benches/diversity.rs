@@ -27,7 +27,9 @@ fn bench_diversity(c: &mut Criterion) {
             let selector = QpSelector::new();
             let solver = QpSolver::default();
             b.iter(|| {
-                let problem = selector.build_problem(std::hint::black_box(e), &uncertainty, 25);
+                let problem = selector
+                    .build_problem(std::hint::black_box(e), &uncertainty, 25)
+                    .unwrap();
                 solver.solve(&problem)
             });
         });

@@ -52,7 +52,9 @@ fn main() {
     let solver = QpSolver::default();
     let start = Instant::now();
     for _ in 0..repeats {
-        let problem = selector.build_problem(&embeddings, &uncertainty, k);
+        let problem = selector
+            .build_problem(&embeddings, &uncertainty, k)
+            .unwrap();
         let solution = solver.solve(&problem);
         std::hint::black_box(solution);
     }

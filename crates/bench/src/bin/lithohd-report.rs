@@ -2,10 +2,12 @@
 //!
 //! Four subcommands over JSONL run journals (written with `--journal`):
 //!
-//! * `report <journal.jsonl>` — render a Markdown report: per-run headline
-//!   table, per-iteration trajectories with sparklines (temperature, ECE,
-//!   batch yield, train loss, entropy weights), fault counters, and span
-//!   latency quantiles.
+//! * `report <journal.jsonl> [--lint <lint.json>]` — render a Markdown
+//!   report: per-run headline table, per-iteration trajectories with
+//!   sparklines (temperature, ECE, batch yield, train loss, entropy
+//!   weights), fault counters, and span latency quantiles. With `--lint`,
+//!   a static-analysis section (findings by rule, zero-baseline badge) is
+//!   appended from a `lithohd-lint check --json` report.
 //! * `diff <a.jsonl> <b.jsonl>` — per-method, per-metric deltas between two
 //!   journals.
 //! * `render <journal.jsonl> --out <dir> [--max-clips <n>]` — render the
@@ -36,6 +38,8 @@ use hotspot_bench::render::{render_dashboard, RenderOptions};
 
 const USAGE: &str = "usage: lithohd-report <command>\n\
   report <journal.jsonl>                 render a Markdown report\n\
+       [--lint <lint.json>]              append a static-analysis section\n\
+                                         from `lithohd-lint check --json`\n\
   diff <a.jsonl> <b.jsonl>               per-metric deltas between journals\n\
   render <journal.jsonl> --out <dir>     render the SVG dashboard\n\
        [--max-clips <n>]                 clip geometry renderings (default 8)\n\
@@ -70,11 +74,35 @@ fn read_journal(path: &str) -> Result<Journal, String> {
 }
 
 fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
-    let [path] = args else {
+    let mut positional = Vec::new();
+    let mut lint_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--lint" => {
+                lint_path = Some(
+                    iter.next()
+                        .ok_or_else(|| "flag --lint expects a value".to_string())?
+                        .clone(),
+                );
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [path] = positional.as_slice() else {
         return Err(USAGE.to_string());
     };
     let journal = read_journal(path)?;
     print!("{}", render_report(path, &journal));
+    if let Some(lint_path) = lint_path {
+        let text = std::fs::read_to_string(&lint_path)
+            .map_err(|e| format!("cannot read lint report {lint_path}: {e}"))?;
+        let lint: LintReport = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse lint report {lint_path}: {e}"))?;
+        println!();
+        print!("{}", render_lint_section(&lint_path, &lint));
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -541,6 +569,101 @@ fn render_shard_incidents(journal: &Journal) -> Option<String> {
     Some(out)
 }
 
+/// A `lithohd-lint check --json` report, read back for the static-analysis
+/// section. Mirrors the linter's `JsonReport` shape; unknown fields are
+/// ignored so the two binaries can evolve independently.
+#[derive(serde::Deserialize)]
+struct LintReport {
+    files_scanned: usize,
+    new_violations: Vec<LintFinding>,
+    // `Option` rather than `Vec` so reports from a linter predating either
+    // list still parse (absent key deserializes as `None`).
+    grandfathered: Option<Vec<LintFinding>>,
+    suppressed: Option<Vec<LintFinding>>,
+}
+
+impl LintReport {
+    fn grandfathered(&self) -> &[LintFinding] {
+        self.grandfathered.as_deref().unwrap_or_default()
+    }
+
+    fn suppressed(&self) -> &[LintFinding] {
+        self.suppressed.as_deref().unwrap_or_default()
+    }
+}
+
+/// The slice of a lint finding the report cares about.
+#[derive(serde::Deserialize)]
+struct LintFinding {
+    rule: String,
+    severity: String,
+}
+
+/// Renders the static-analysis section: a zero-baseline badge (the whole
+/// point of burning the baseline down) and a findings-by-rule table.
+fn render_lint_section(path: &str, lint: &LintReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Static analysis: `{path}`");
+    let _ = writeln!(out);
+    let badge = if lint.new_violations.is_empty() && lint.grandfathered().is_empty() {
+        "**baseline: zero** — no findings, no grandfathered debt".to_string()
+    } else if lint.new_violations.is_empty() {
+        format!(
+            "baseline: {} grandfathered finding(s) remain",
+            lint.grandfathered().len()
+        )
+    } else {
+        format!(
+            "**{} new violation(s)** ({} grandfathered)",
+            lint.new_violations.len(),
+            lint.grandfathered().len()
+        )
+    };
+    let _ = writeln!(
+        out,
+        "{badge} · {} file(s) scanned · {} suppressed",
+        lint.files_scanned,
+        lint.suppressed().len()
+    );
+
+    // rule -> (new, grandfathered, suppressed), worst severity seen.
+    let mut by_rule: BTreeMap<&str, (usize, usize, usize, &str)> = BTreeMap::new();
+    let buckets: [(&[LintFinding], usize); 3] = [
+        (&lint.new_violations, 0),
+        (lint.grandfathered(), 1),
+        (lint.suppressed(), 2),
+    ];
+    for (findings, bucket) in buckets {
+        for finding in findings {
+            let entry = by_rule.entry(&finding.rule).or_insert((0, 0, 0, ""));
+            match bucket {
+                0 => entry.0 += 1,
+                1 => entry.1 += 1,
+                _ => entry.2 += 1,
+            }
+            if entry.3.is_empty() || finding.severity == "Error" {
+                entry.3 = &finding.severity;
+            }
+        }
+    }
+    if !by_rule.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "| rule | severity | new | grandfathered | suppressed |"
+        );
+        let _ = writeln!(out, "|---|---|---:|---:|---:|");
+        for (rule, (new, old, suppressed, severity)) in &by_rule {
+            let _ = writeln!(
+                out,
+                "| `{rule}` | {} | {new} | {old} | {suppressed} |",
+                severity.to_lowercase()
+            );
+        }
+    }
+    out
+}
+
 /// Per-method mean (accuracy, litho, seconds) over a journal's runs.
 fn method_means(journal: &Journal) -> BTreeMap<String, (f64, f64, f64)> {
     let mut sums: BTreeMap<String, (f64, f64, f64, usize)> = BTreeMap::new();
@@ -641,9 +764,61 @@ fn render_diff(path_a: &str, a: &Journal, path_b: &str, b: &Journal) -> String {
 #[cfg(test)]
 mod tests {
     use super::{
-        fmt_opt, render_kernel_counters, render_shard_incidents, sparkline, BTreeMap, Journal,
-        SPARK,
+        fmt_opt, render_kernel_counters, render_lint_section, render_shard_incidents, sparkline,
+        BTreeMap, Journal, LintReport, SPARK,
     };
+
+    #[test]
+    fn lint_section_zero_baseline_badge() {
+        let lint: LintReport = serde_json::from_str(
+            r#"{"files_scanned": 173, "new_violations": [], "grandfathered": [], "suppressed": []}"#,
+        )
+        .unwrap();
+        let section = render_lint_section("lint.json", &lint);
+        assert!(section.contains("**baseline: zero**"));
+        assert!(section.contains("173 file(s) scanned"));
+        assert!(!section.contains("| rule |"), "no table without findings");
+    }
+
+    #[test]
+    fn lint_section_findings_by_rule_table() {
+        let lint: LintReport = serde_json::from_str(
+            r#"{
+                "files_scanned": 3,
+                "new_violations": [
+                    {"rule": "lock-order", "severity": "Error"},
+                    {"rule": "lock-order", "severity": "Error"},
+                    {"rule": "detached-spawn", "severity": "Warning"}
+                ],
+                "grandfathered": [{"rule": "panic-safety", "severity": "Warning"}],
+                "suppressed": [{"rule": "lock-order", "severity": "Error"}]
+            }"#,
+        )
+        .unwrap();
+        let section = render_lint_section("lint.json", &lint);
+        assert!(section.contains("**3 new violation(s)** (1 grandfathered)"));
+        assert!(section.contains("| `lock-order` | error | 2 | 0 | 1 |"));
+        assert!(section.contains("| `detached-spawn` | warning | 1 | 0 | 0 |"));
+        assert!(section.contains("| `panic-safety` | warning | 0 | 1 | 0 |"));
+    }
+
+    #[test]
+    fn lint_report_tolerates_extra_fields() {
+        // The linter's Finding carries path/line/message/excerpt too; the
+        // report must not choke on them.
+        let lint: LintReport = serde_json::from_str(
+            r#"{
+                "files_scanned": 1,
+                "new_violations": [
+                    {"rule": "x", "severity": "Error", "path": "a.rs", "line": 3,
+                     "message": "m", "excerpt": "e", "suppression_reason": null}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(lint.new_violations.len(), 1);
+        assert!(lint.grandfathered().is_empty());
+    }
 
     #[test]
     fn kernel_counters_render_per_kernel_rows() {

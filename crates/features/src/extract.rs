@@ -63,7 +63,15 @@ impl FeatureExtractor {
     /// 32 × 32 working resolution, 8 × 8 blocks, 6 coefficients each —
     /// a 96-dimensional feature vector.
     pub fn standard() -> Self {
-        FeatureExtractor::new(32, 8, 6).expect("standard configuration is valid")
+        // 32 is a positive multiple of 8 and 6 ≤ 8², so these fields satisfy
+        // every invariant the checked constructor enforces.
+        FeatureExtractor {
+            raster_edge: 32,
+            block_edge: 8,
+            coeffs_per_block: 6,
+            dct: Dct2d::new(8),
+            zigzag: zigzag_order(8).into_iter().take(6).collect(),
+        }
     }
 
     /// Output feature dimension.

@@ -196,18 +196,6 @@ impl FeatureMatrix {
     }
 }
 
-impl FromIterator<Vec<f32>> for FeatureMatrix {
-    /// Collects rows into a matrix.
-    ///
-    /// # Panics
-    ///
-    /// Panics when rows have inconsistent widths; use
-    /// [`FeatureMatrix::from_rows`] for a fallible build.
-    fn from_iter<I: IntoIterator<Item = Vec<f32>>>(iter: I) -> Self {
-        FeatureMatrix::from_rows(iter.into_iter().collect()).expect("consistent row widths")
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,8 +288,9 @@ mod tests {
     }
 
     #[test]
-    fn collect_from_iterator() {
-        let m: FeatureMatrix = vec![vec![1.0f32], vec![2.0]].into_iter().collect();
+    fn from_rows_of_iterator_output() {
+        let rows: Vec<Vec<f32>> = vec![vec![1.0f32], vec![2.0]];
+        let m = FeatureMatrix::from_rows(rows).unwrap();
         assert_eq!(m.rows(), 2);
     }
 

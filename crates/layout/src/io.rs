@@ -130,15 +130,17 @@ impl ClipFile {
 
     /// The clip window rectangle (anchored at the origin).
     pub fn window(&self) -> Rect {
-        Rect::new(0, 0, self.width, self.height).expect("validated on construction")
+        Rect::spanning(Point::new(0, 0), Point::new(self.width, self.height))
     }
 
     /// The centred core rectangle.
     pub fn core(&self) -> Rect {
         let x0 = (self.width - self.core_edge) / 2;
         let y0 = (self.height - self.core_edge) / 2;
-        Rect::new(x0, y0, x0 + self.core_edge, y0 + self.core_edge)
-            .expect("validated on construction")
+        Rect::spanning(
+            Point::new(x0, y0),
+            Point::new(x0 + self.core_edge, y0 + self.core_edge),
+        )
     }
 
     /// Rasterises the clip at the given pixel pitch.

@@ -1,5 +1,5 @@
 use crate::spec::{GeometryParams, Tech};
-use hotspot_geom::{Coord, Raster, Rect};
+use hotspot_geom::{Coord, Point, Raster, Rect};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -140,12 +140,17 @@ pub(crate) fn synthesize(tech: Tech, family: ClipFamily, seed: u64) -> Raster {
     }
 
     let config = tech.litho_config();
-    let mut raster = Raster::zeros(
-        Rect::new(0, 0, edge, edge).expect("positive clip edge"),
-        config.pitch,
-    )
-    .expect("clip raster fits the size bound");
-    let window = Rect::new(0, 0, edge, edge).expect("positive clip edge");
+    let window = Rect::spanning(Point::new(0, 0), Point::new(edge, edge));
+    // Every `Tech` has a positive pitch and a clip that fits the raster size
+    // bound; coarsening the pitch (quartering the grid each time) keeps this
+    // total rather than trusting that invariant.
+    let mut pitch = config.pitch.max(1);
+    let mut raster = loop {
+        match Raster::zeros(window, pitch) {
+            Ok(raster) => break raster,
+            Err(_) => pitch *= 2,
+        }
+    };
     for r in rects {
         let r = if transpose {
             transpose_rect(&r, edge)
@@ -184,15 +189,15 @@ fn fill_down(
 }
 
 fn rect_track(edge: Coord, y: Coord, width: Coord) -> Rect {
-    Rect::new(0, y, edge, y + width).expect("track extent is ordered")
+    Rect::spanning(Point::new(0, y), Point::new(edge, y + width))
 }
 
 fn rect_cross(edge: Coord, x: Coord, width: Coord) -> Rect {
-    Rect::new(x, 0, x + width, edge).expect("cross extent is ordered")
+    Rect::spanning(Point::new(x, 0), Point::new(x + width, edge))
 }
 
 fn transpose_rect(r: &Rect, _edge: Coord) -> Rect {
-    Rect::new(r.y0(), r.x0(), r.y1(), r.x1()).expect("transpose keeps ordering")
+    Rect::spanning(Point::new(r.y0(), r.x0()), Point::new(r.y1(), r.x1()))
 }
 
 fn snap(v: Coord, grid: Coord) -> Coord {

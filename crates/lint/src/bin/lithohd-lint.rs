@@ -2,15 +2,25 @@
 //!
 //! ```text
 //! lithohd-lint check [--baseline <file>] [--json] [--root <dir>] [paths…]
-//! lithohd-lint baseline [--output <file>] [--root <dir>]
 //! lithohd-lint explain <rule>
 //! lithohd-lint rules
 //! ```
 //!
 //! `check` scans the workspace (or the explicitly listed files, which are
 //! always scanned at library strictness — that is how the known-bad test
-//! fixtures are exercised) and exits 1 on new violations, 0 when clean
-//! against the baseline, 2 on usage or I/O errors.
+//! fixtures are exercised).
+//!
+//! Exit codes distinguish *what the linter found* from *whether it ran*:
+//!
+//! * `0` — scan completed, no findings (clean against the baseline);
+//! * `1` — the scan itself failed: usage, I/O, or configuration error;
+//! * `2` — scan completed and found violations.
+//!
+//! CI treats any nonzero exit as a failure but the distinction matters for
+//! tooling: exit 2 means "read the findings", exit 1 means "fix the
+//! invocation". The grandfather-list writer (`baseline` subcommand) is
+//! gone: the committed baseline is empty and stays empty, so every finding
+//! is a hard failure.
 
 use hotspot_lint::baseline::Baseline;
 use hotspot_lint::rules::{self, CheckReport, Finding, NameRegistry, Severity};
@@ -20,29 +30,37 @@ use std::process::ExitCode;
 
 const REGISTRY_REL_PATH: &str = "crates/telemetry/src/names.rs";
 
+/// The scan ran and reported violations.
+const EXIT_FINDINGS: u8 = 2;
+/// The scan could not run: usage, I/O, or configuration error.
+const EXIT_ERROR: u8 = 1;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lithohd-lint <check|explain|rules> …\n\
+         \n\
+         check [--baseline <file>] [--json] [--root <dir>] [paths…]\n\
+         \x20   scan the workspace (or the given files, at library strictness)\n\
+         explain <rule>\n\
+         \x20   describe one rule: what it catches, why, how to fix\n\
+         rules\n\
+         \x20   list the rule catalog\n\
+         \n\
+         exit codes:\n\
+         \x20   0  scan completed, no violations\n\
+         \x20   1  usage, I/O, or configuration error (the scan did not run)\n\
+         \x20   2  scan completed and found violations"
+    );
+    ExitCode::from(EXIT_ERROR)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => run_check(&args[1..]),
-        Some("baseline") => run_baseline(&args[1..]),
         Some("explain") => run_explain(&args[1..]),
         Some("rules") => run_rules(),
-        _ => {
-            eprintln!(
-                "usage: lithohd-lint <check|baseline|explain|rules> …\n\
-                 \n\
-                 check [--baseline <file>] [--json] [--root <dir>] [paths…]\n\
-                 \x20   scan the workspace (or the given files, at library strictness)\n\
-                 \x20   and exit 1 on violations new relative to the baseline\n\
-                 baseline [--output <file>] [--root <dir>]\n\
-                 \x20   write the current findings as the grandfather list\n\
-                 explain <rule>\n\
-                 \x20   describe one rule: what it catches, why, how to fix\n\
-                 rules\n\
-                 \x20   list the rule catalog"
-            );
-            ExitCode::from(2)
-        }
+        _ => usage(),
     }
 }
 
@@ -114,21 +132,21 @@ fn run_check(args: &[String]) -> ExitCode {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("lithohd-lint check: {message}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_ERROR);
         }
     };
     let root = match resolve_root(parsed.root.as_deref()) {
         Ok(root) => root,
         Err(message) => {
             eprintln!("lithohd-lint check: {message}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_ERROR);
         }
     };
     let report = match scan(&root, &parsed.paths) {
         Ok(report) => report,
         Err(message) => {
             eprintln!("lithohd-lint check: {message}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_ERROR);
         }
     };
     let baseline = match &parsed.baseline {
@@ -136,7 +154,7 @@ fn run_check(args: &[String]) -> ExitCode {
             Ok(baseline) => Some(baseline),
             Err(e) => {
                 eprintln!("lithohd-lint check: cannot read baseline: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_ERROR);
             }
         },
         None => None,
@@ -155,7 +173,7 @@ fn run_check(args: &[String]) -> ExitCode {
     if new.is_empty() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::from(1)
+        ExitCode::from(EXIT_FINDINGS)
     }
 }
 
@@ -228,68 +246,10 @@ fn print_json(report: &CheckReport, new: &[&Finding], grandfathered: &[&Finding]
     }
 }
 
-fn run_baseline(args: &[String]) -> ExitCode {
-    let mut output = PathBuf::from("lint-baseline.json");
-    let mut root_arg: Option<PathBuf> = None;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--output" => match iter.next() {
-                Some(path) => output = PathBuf::from(path),
-                None => {
-                    eprintln!("lithohd-lint baseline: --output expects a path");
-                    return ExitCode::from(2);
-                }
-            },
-            "--root" => match iter.next() {
-                Some(path) => root_arg = Some(PathBuf::from(path)),
-                None => {
-                    eprintln!("lithohd-lint baseline: --root expects a path");
-                    return ExitCode::from(2);
-                }
-            },
-            other => {
-                eprintln!("lithohd-lint baseline: unknown argument: {other}");
-                return ExitCode::from(2);
-            }
-        }
-    }
-    let root = match resolve_root(root_arg.as_deref()) {
-        Ok(root) => root,
-        Err(message) => {
-            eprintln!("lithohd-lint baseline: {message}");
-            return ExitCode::from(2);
-        }
-    };
-    let report = match scan(&root, &[]) {
-        Ok(report) => report,
-        Err(message) => {
-            eprintln!("lithohd-lint baseline: {message}");
-            return ExitCode::from(2);
-        }
-    };
-    let baseline = Baseline::from_findings(&report.findings);
-    let path = root.join(&output);
-    if let Err(e) = baseline.write(&path) {
-        eprintln!(
-            "lithohd-lint baseline: cannot write {}: {e}",
-            path.display()
-        );
-        return ExitCode::from(2);
-    }
-    println!(
-        "lithohd-lint: wrote {} ({} grandfathered finding(s) across {} key(s))",
-        path.display(),
-        baseline.total(),
-        baseline.entries.len(),
-    );
-    ExitCode::SUCCESS
-}
-
 fn run_explain(args: &[String]) -> ExitCode {
     let Some(name) = args.first() else {
         eprintln!("usage: lithohd-lint explain <rule>");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_ERROR);
     };
     match rules::rule_info(name) {
         Some(rule) => {
@@ -308,7 +268,7 @@ fn run_explain(args: &[String]) -> ExitCode {
                     .collect::<Vec<_>>()
                     .join(", ")
             );
-            ExitCode::from(2)
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }

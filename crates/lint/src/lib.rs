@@ -16,24 +16,39 @@
 //! * **Telemetry-name integrity** — metric/span names at call sites must be
 //!   `telemetry::names` constants (`telemetry-names`), and registered names
 //!   must have call sites (`telemetry-unused-name`).
+//! * **Concurrency discipline** (over the syntax [`tree`]) —
+//!   cyclic per-crate `Mutex` acquisition orders (`lock-order`), spawned
+//!   threads whose handles are dropped unjoined (`detached-spawn`), and
+//!   cross-worker merges without a deterministic sort (`unordered-merge`).
+//! * **Canonical purity** — wall-clock-shaped metric names (`.seconds`,
+//!   `elapsed_*`, `duration_*`) must appear in the withhold registry that
+//!   `JsonlSink` consults in `--canonical-journal` mode
+//!   (`canonical-purity`); the rule reads the same
+//!   `telemetry::names` constants the runtime does, so the static and
+//!   dynamic views cannot drift apart.
 //! * **`#![forbid(unsafe_code)]`** present at every crate root
 //!   (`forbid-unsafe`).
 //!
 //! The workspace has no crates.io access, so this is built the same way as
 //! `vendor/`: a small lossless token [`scanner`] (comments, strings, raw
-//! strings — no false positives from text inside literals) plus a rule
-//! engine with path scoping (library crates strict; `tests/`, `benches/`,
-//! `examples/`, `src/bin/` relaxed), `#[cfg(test)]`-region detection, and
-//! inline suppressions that *require* a reason:
+//! strings — no false positives from text inside literals), a brace-matched
+//! [`tree`] of items ([`ItemTree`]: modules, fns, impls, traits, with
+//! `#[cfg(test)]` inheritance) for the rules that need syntax rather than
+//! tokens, and a rule engine with path scoping (library crates strict;
+//! `tests/`, `benches/`, `examples/`, `src/bin/` relaxed),
+//! `#[cfg(test)]`-region detection, and inline suppressions that *require*
+//! a reason:
 //!
 //! ```text
 //! // lithohd-lint: allow(determinism-clock) — timing feeds telemetry only
 //! ```
 //!
-//! The `lithohd-lint` binary exposes `check` (human + JSON output, nonzero
-//! exit on new violations), `baseline` (write `lint-baseline.json` so the
-//! gate only blocks regressions while the backlog burns down), and
-//! `explain <rule>`.
+//! The `lithohd-lint` binary exposes `check` (human + JSON output, exit 2
+//! on findings, exit 1 on usage/I/O errors), `rules`, and
+//! `explain <rule>`. There is no baseline *writer* any more: the committed
+//! `lint-baseline.json` is empty, every finding is a hard failure, and the
+//! [`baseline`] module only survives to read (and verify emptiness of) the
+//! committed file.
 //!
 //! ```
 //! use hotspot_lint::rules::{check_files, FileClass, SourceFile};
@@ -52,12 +67,15 @@
 #![deny(missing_debug_implementations)]
 
 pub mod baseline;
+pub(crate) mod conc;
 pub mod rules;
 pub mod scanner;
+pub mod tree;
 pub mod workspace;
 
 pub use baseline::{Baseline, BaselineEntry};
 pub use rules::{
-    check_files, check_on_disk, classify, rule_info, CheckReport, FileClass, Finding, NameRegistry,
-    RuleInfo, Severity, RULES,
+    check_files, check_on_disk, classify, rule_info, wall_clock_shaped, CheckReport, FileClass,
+    Finding, NameRegistry, RuleInfo, Severity, RULES,
 };
+pub use tree::{Item, ItemKind, ItemTree};

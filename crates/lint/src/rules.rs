@@ -1,8 +1,15 @@
-//! The rule engine: path scoping, test-region detection, inline
-//! suppressions, and the v1 rule catalog (determinism, panic-safety, float
-//! hygiene, telemetry-name integrity, `forbid(unsafe_code)` presence).
+//! The rule engine: path scoping, item-tree-based test-region detection,
+//! inline suppressions, and the rule catalog — the v1 token rules
+//! (determinism, panic-safety, float hygiene, telemetry-name integrity,
+//! `forbid(unsafe_code)` presence) plus the v2 syntax-aware families built
+//! on [`crate::tree`]: concurrency (the `conc` pass: lock-order,
+//! detached-spawn, unordered-merge) and canonical-purity (wall-clock-shaped
+//! telemetry names must be withheld by the registry exported from
+//! `telemetry::names`).
 
+use crate::conc;
 use crate::scanner::{self, Token, TokenKind};
+use crate::tree::ItemTree;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
@@ -128,6 +135,54 @@ pub const RULES: &[RuleInfo] = &[
                   by an inner allow).",
     },
     RuleInfo {
+        name: "lock-order",
+        severity: Severity::Error,
+        summary: "cyclic Mutex/RwLock acquisition order within a crate",
+        explain: "Two functions that acquire the same pair of locks in opposite orders can \
+                  deadlock the moment they run concurrently — and the shard coordinator, the \
+                  metrics registry, and the journal writer all run concurrently. The rule \
+                  reconstructs each crate's lock acquisition graph lexically (a let-bound guard \
+                  is held until its block closes, a temporary until its statement ends) and \
+                  flags every cycle. Fix by choosing one global acquisition order, or narrow a \
+                  guard's scope so the overlap disappears. Heuristic false positives (e.g. locks \
+                  proven disjoint by construction) take a reasoned suppression at the reported \
+                  acquisition site.",
+    },
+    RuleInfo {
+        name: "detached-spawn",
+        severity: Severity::Warning,
+        summary: "thread::spawn handle neither joined in-function nor stored",
+        explain: "A discarded `JoinHandle` means the spawned thread's panics vanish and nothing \
+                  ever waits for its work — the exact failure mode the shard coordinator's \
+                  dead-worker recovery exists to prevent. Join the handle, store it for a later \
+                  join, or use scoped threads. A genuinely fire-and-forget thread (a daemon \
+                  whose lifetime is the process) takes a reasoned suppression.",
+    },
+    RuleInfo {
+        name: "unordered-merge",
+        severity: Severity::Warning,
+        summary: "channel results accumulated in arrival order without sorting",
+        explain: "Worker completion order depends on scheduling, so folding channel results in \
+                  arrival order makes the reduction nondeterministic — the bug class the \
+                  N=1-vs-N=4 canonical-journal CI jobs catch dynamically, caught here \
+                  statically. Tag results with their shard/clip ordinal and sort before \
+                  reducing (the shard coordinator's merge does exactly this), or accumulate \
+                  into an ordered container keyed by ordinal.",
+    },
+    RuleInfo {
+        name: "canonical-purity",
+        severity: Severity::Error,
+        summary: "wall-clock-shaped telemetry name not withheld in canonical mode",
+        explain: "`--canonical-journal` promises byte-identical journals for identically seeded \
+                  runs; any metric or field whose value comes from a wall clock breaks that \
+                  promise. `telemetry::names` exports the machine-readable withhold registry \
+                  (CANONICAL_WITHHELD_* lists) that `JsonlSink` enforces at run time; this rule \
+                  is its static twin, verifying that every registered or call-site name shaped \
+                  like a duration (`.seconds` suffix, `elapsed_*`, `duration_*`) is covered by \
+                  a withhold prefix or suffix. Fix by extending the withhold lists in \
+                  `telemetry::names`, not by renaming the metric to dodge the shape check.",
+    },
+    RuleInfo {
         name: "suppression-reason",
         severity: Severity::Error,
         summary: "a lithohd-lint suppression without a reason",
@@ -150,7 +205,7 @@ pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.name == name)
 }
 
-fn severity_of(rule: &str) -> Severity {
+pub(crate) fn severity_of(rule: &str) -> Severity {
     rule_info(rule).map_or(Severity::Warning, |r| r.severity)
 }
 
@@ -257,15 +312,18 @@ fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
 }
 
 /// Everything the per-file pass needs in one place.
-struct FileContext<'a> {
-    rel_path: &'a str,
-    source: &'a str,
-    tokens: &'a [Token],
+pub(crate) struct FileContext<'a> {
+    pub(crate) rel_path: &'a str,
+    pub(crate) source: &'a str,
+    pub(crate) tokens: &'a [Token],
     /// Indices into `tokens` of non-trivia tokens.
-    sig: Vec<usize>,
-    class: FileClass,
-    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
-    test_regions: Vec<(usize, usize)>,
+    pub(crate) sig: Vec<usize>,
+    pub(crate) class: FileClass,
+    /// The brace-matched item tree built over the token stream.
+    pub(crate) tree: ItemTree,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items, derived
+    /// from the tree.
+    pub(crate) test_regions: Vec<(usize, usize)>,
     suppressions: Vec<Suppression>,
 }
 
@@ -277,7 +335,8 @@ impl<'a> FileContext<'a> {
             .filter(|(_, t)| !t.is_trivia())
             .map(|(i, _)| i)
             .collect();
-        let test_regions = find_test_regions(source, tokens, &sig);
+        let tree = ItemTree::build(source, tokens, &sig);
+        let test_regions = tree.test_regions();
         let suppressions = tokens
             .iter()
             .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
@@ -289,6 +348,7 @@ impl<'a> FileContext<'a> {
             tokens,
             sig,
             class,
+            tree,
             test_regions,
             suppressions,
         }
@@ -301,11 +361,11 @@ impl<'a> FileContext<'a> {
     }
 
     /// The significant token at stream position `i`, if any.
-    fn sig_token(&self, i: usize) -> Option<&Token> {
+    pub(crate) fn sig_token(&self, i: usize) -> Option<&Token> {
         self.sig.get(i).map(|&idx| &self.tokens[idx])
     }
 
-    fn sig_text(&self, i: usize) -> &str {
+    pub(crate) fn sig_text(&self, i: usize) -> &str {
         self.sig_token(i).map_or("", |t| t.text(self.source))
     }
 
@@ -318,7 +378,7 @@ impl<'a> FileContext<'a> {
         }
     }
 
-    fn excerpt_at(&self, line: u32) -> String {
+    pub(crate) fn excerpt_at(&self, line: u32) -> String {
         self.source
             .lines()
             .nth(line.saturating_sub(1) as usize)
@@ -327,7 +387,7 @@ impl<'a> FileContext<'a> {
             .to_string()
     }
 
-    fn finding(&self, rule: &str, token: &Token, message: String) -> Finding {
+    pub(crate) fn finding(&self, rule: &str, token: &Token, message: String) -> Finding {
         Finding {
             rule: rule.to_string(),
             severity: severity_of(rule),
@@ -340,122 +400,75 @@ impl<'a> FileContext<'a> {
     }
 }
 
-/// Byte ranges of items annotated `#[cfg(test)]` or `#[test]`: from the
-/// attribute's `#` to the closing brace of the item body. Const-generic
-/// braces in an item header are out of lexical reach; the first `{` after
-/// the attribute is taken as the body opener, which holds for every
-/// `mod tests {}` / `fn case() {}` in this workspace.
-fn find_test_regions(source: &str, tokens: &[Token], sig: &[usize]) -> Vec<(usize, usize)> {
-    let text = |i: usize| tokens[sig[i]].text(source);
-    let mut regions = Vec::new();
-    let mut i = 0;
-    while i < sig.len() {
-        if text(i) != "#" || i + 1 >= sig.len() || text(i + 1) != "[" {
-            i += 1;
-            continue;
-        }
-        // Collect the attribute's idents up to the matching `]`.
-        let attr_start = tokens[sig[i]].start;
-        let mut depth = 0usize;
-        let mut j = i + 1;
-        let mut idents: Vec<&str> = Vec::new();
-        while j < sig.len() {
-            match text(j) {
-                "[" => depth += 1,
-                "]" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                t if tokens[sig[j]].kind == TokenKind::Ident => idents.push(t),
-                _ => {}
-            }
-            j += 1;
-        }
-        // `#[test]` / `#[cfg(test)]` / `#[cfg(any(test, …))]`, but not
-        // `#[cfg(not(test))]`, which marks production-only code.
-        let is_test_attr = idents.first() == Some(&"test")
-            || (idents.contains(&"cfg") && idents.contains(&"test") && !idents.contains(&"not"));
-        if !is_test_attr {
-            i = j + 1;
-            continue;
-        }
-        // Find the item body: the first `{` after the attribute(s); a `;`
-        // first means an item without a body.
-        let mut k = j + 1;
-        let mut body_open = None;
-        while k < sig.len() {
-            match text(k) {
-                "{" => {
-                    body_open = Some(k);
-                    break;
-                }
-                ";" => break,
-                _ => {}
-            }
-            k += 1;
-        }
-        let Some(open) = body_open else {
-            i = j + 1;
-            continue;
-        };
-        let mut brace_depth = 0usize;
-        let mut close = sig.len() - 1;
-        for (m, &idx) in sig.iter().enumerate().skip(open) {
-            match tokens[idx].text(source) {
-                "{" => brace_depth += 1,
-                "}" => {
-                    brace_depth -= 1;
-                    if brace_depth == 0 {
-                        close = m;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        regions.push((attr_start, tokens[sig[close]].end));
-        i = close + 1;
-    }
-    regions
-}
-
 /// The telemetry name registry parsed from `telemetry/src/names.rs`:
-/// constant identifier → string value.
+/// constant identifier → string value, plus the `&[&str]` list constants
+/// that make up the canonical-mode withhold registry.
 #[derive(Debug, Clone, Default)]
 pub struct NameRegistry {
     /// const ident → (string value, 1-based line in names.rs).
     pub constants: BTreeMap<String, (String, u32)>,
+    /// `&[&str]` const ident → (string values, 1-based line in names.rs).
+    pub lists: BTreeMap<String, (Vec<String>, u32)>,
     /// Workspace-relative path of the registry file.
     pub path: String,
 }
 
+/// List-constant names making up the canonical-mode withhold registry.
+const WITHHELD_PREFIXES_CONST: &str = "CANONICAL_WITHHELD_METRIC_PREFIXES";
+const WITHHELD_SUFFIXES_CONST: &str = "CANONICAL_WITHHELD_METRIC_SUFFIXES";
+
 impl NameRegistry {
-    /// Parses `pub const IDENT: &str = "value";` items from source text.
+    /// Parses `pub const IDENT: &str = "value";` and
+    /// `pub const IDENT: &[&str] = &["a", "b"];` items from source text.
     pub fn parse(rel_path: &str, source: &str) -> Self {
         let tokens = scanner::scan(source);
         let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_trivia()).collect();
+        let text = |t: &Token| t.text(source);
         let mut constants = BTreeMap::new();
-        for window in sig.windows(7) {
-            // const IDENT : & str = "…"
-            if window[0].text(source) == "const"
-                && window[1].kind == TokenKind::Ident
-                && window[2].text(source) == ":"
-                && window[3].text(source) == "&"
-                && window[4].text(source) == "str"
-                && window[5].text(source) == "="
-                && window[6].kind == TokenKind::Str
+        let mut lists = BTreeMap::new();
+        let mut i = 0;
+        while i < sig.len() {
+            if text(sig[i]) != "const" || i + 1 >= sig.len() || sig[i + 1].kind != TokenKind::Ident
             {
-                let value = window[6].text(source);
-                constants.insert(
-                    window[1].text(source).to_string(),
-                    (value.trim_matches('"').to_string(), window[1].line),
-                );
+                i += 1;
+                continue;
             }
+            let ident = text(sig[i + 1]).to_string();
+            let line = sig[i + 1].line;
+            // const IDENT : & str = "…"
+            let shape = |from: usize, expect: &[&str]| {
+                expect
+                    .iter()
+                    .enumerate()
+                    .all(|(k, want)| sig.get(from + k).is_some_and(|t| text(t) == *want))
+            };
+            if shape(i + 2, &[":", "&", "str", "="])
+                && sig.get(i + 6).is_some_and(|t| t.kind == TokenKind::Str)
+            {
+                let value = text(sig[i + 6]).trim_matches('"').to_string();
+                constants.insert(ident, (value, line));
+                i += 7;
+                continue;
+            }
+            // const IDENT : & [ & str ] = & [ "a" , "b" , ] ;
+            if shape(i + 2, &[":", "&", "[", "&", "str", "]", "=", "&", "["]) {
+                let mut values = Vec::new();
+                let mut j = i + 11;
+                while j < sig.len() && text(sig[j]) != "]" {
+                    if sig[j].kind == TokenKind::Str {
+                        values.push(text(sig[j]).trim_matches('"').to_string());
+                    }
+                    j += 1;
+                }
+                lists.insert(ident, (values, line));
+                i = j + 1;
+                continue;
+            }
+            i += 2;
         }
         NameRegistry {
             constants,
+            lists,
             path: rel_path.to_string(),
         }
     }
@@ -467,6 +480,32 @@ impl NameRegistry {
             .find(|(_, (v, _))| v == value)
             .map(|(k, _)| k.as_str())
     }
+
+    fn list(&self, ident: &str) -> &[String] {
+        self.lists.get(ident).map_or(&[], |(values, _)| values)
+    }
+
+    /// Whether the parsed withhold registry covers `name`: it matches a
+    /// `CANONICAL_WITHHELD_METRIC_PREFIXES` prefix or a
+    /// `CANONICAL_WITHHELD_METRIC_SUFFIXES` suffix. The static mirror of
+    /// `telemetry::names::is_withheld_canonical_metric`.
+    pub fn is_withheld_metric(&self, name: &str) -> bool {
+        self.list(WITHHELD_PREFIXES_CONST)
+            .iter()
+            .any(|prefix| name.starts_with(prefix))
+            || self
+                .list(WITHHELD_SUFFIXES_CONST)
+                .iter()
+                .any(|suffix| name.ends_with(suffix))
+    }
+}
+
+/// Whether a telemetry name is shaped like a wall-clock measurement: it
+/// ends in `.seconds`, or its final dotted segment starts with `elapsed`
+/// or `duration`. Such names must be withheld in canonical mode.
+pub fn wall_clock_shaped(name: &str) -> bool {
+    let last = name.rsplit('.').next().unwrap_or(name);
+    name.ends_with(".seconds") || last.starts_with("elapsed") || last.starts_with("duration")
 }
 
 /// One file's input to [`check_files`].
@@ -497,14 +536,46 @@ pub fn check_files(files: &[SourceFile], registry: Option<&NameRegistry>) -> Che
     let mut raw: Vec<Finding> = Vec::new();
     let mut contexts_meta: Vec<(Vec<Suppression>, String)> = Vec::new();
     let mut used_constants: BTreeSet<String> = BTreeSet::new();
+    let mut lock_edges: Vec<conc::LockEdge> = Vec::new();
 
     for file in files {
         let tokens = scanner::scan(&file.source);
         let ctx = FileContext::new(&file.rel_path, &file.source, &tokens, file.class);
         scan_file(&ctx, registry, &mut raw, &mut used_constants);
+        // Concurrency rules run on library code only; their lock edges are
+        // resolved into per-crate cycles once every file is scanned.
+        if ctx.class == FileClass::Library {
+            let mut conc_scan = conc::analyze(&ctx);
+            raw.append(&mut conc_scan.findings);
+            lock_edges.append(&mut conc_scan.edges);
+        }
         // Resolve suppressions against this file's raw findings now, while
         // the context is alive.
         contexts_meta.push((ctx.suppressions, file.rel_path.clone()));
+    }
+
+    raw.extend(conc::lock_cycle_findings(&lock_edges));
+
+    // Canonical-purity over the registry itself: every registered name
+    // shaped like a wall-clock measurement must be covered by the withhold
+    // lists, exactly as the canonical JsonlSink would withhold it.
+    if let Some(registry) = registry {
+        for (constant, (value, line)) in &registry.constants {
+            if wall_clock_shaped(value) && !registry.is_withheld_metric(value) {
+                raw.push(Finding {
+                    rule: "canonical-purity".to_string(),
+                    severity: severity_of("canonical-purity"),
+                    path: registry.path.clone(),
+                    line: *line,
+                    message: format!(
+                        "registered name `{constant}` (\"{value}\") is wall-clock-shaped but \
+                         no CANONICAL_WITHHELD_METRIC_* entry withholds it in canonical mode"
+                    ),
+                    excerpt: format!("pub const {constant}: &str = \"{value}\";"),
+                    suppression_reason: None,
+                });
+            }
+        }
     }
 
     // Telemetry-unused-name: registry constants nothing referenced.
@@ -785,6 +856,40 @@ fn scan_file(
                         ),
                     };
                     out.push(ctx.finding("telemetry-names", token, message));
+                }
+            }
+        }
+
+        // canonical-purity at call sites: a literal metric name shaped like
+        // a wall-clock measurement must be provably withheld by the parsed
+        // withhold registry (span names are not metric names; the derived
+        // `span.<name>.seconds` histogram is withheld by suffix).
+        if token.kind == TokenKind::Ident
+            && matches!(text, "counter" | "gauge" | "histogram")
+            && ctx.sig_text(i + 1) == "("
+            && !is_registry_file
+        {
+            if let Some(arg) = ctx.sig_token(i + 2) {
+                if arg.kind == TokenKind::Str {
+                    let value = arg.text(ctx.source).trim_matches('"').to_string();
+                    let withheld = registry.map(|r| r.is_withheld_metric(&value));
+                    if wall_clock_shaped(&value) && withheld != Some(true) {
+                        let why = match withheld {
+                            Some(false) => {
+                                "no CANONICAL_WITHHELD_METRIC_* entry withholds it in \
+                                 canonical mode"
+                            }
+                            _ => {
+                                "no withhold registry is in scope to prove it withheld in \
+                                 canonical mode"
+                            }
+                        };
+                        out.push(ctx.finding(
+                            "canonical-purity",
+                            token,
+                            format!("wall-clock-shaped metric name \"{value}\": {why}"),
+                        ));
+                    }
                 }
             }
         }

@@ -1,9 +1,14 @@
-//! End-to-end tests of the `lithohd-lint` binary: the known-bad fixture
-//! must fail loudly (exit 1, expected rules named), and `explain`/`rules`
-//! must describe the catalog.
+//! End-to-end tests of the `lithohd-lint` binary: the known-bad fixtures
+//! must fail loudly (exit 2, expected rules named), usage/config errors
+//! must exit 1, and `explain`/`rules` must describe the catalog.
 
 use std::path::Path;
 use std::process::{Command, Output};
+
+/// Exit code for "scan completed and found violations".
+const EXIT_FINDINGS: i32 = 2;
+/// Exit code for "usage, I/O, or configuration error".
+const EXIT_ERROR: i32 = 1;
 
 fn lint(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_lithohd-lint"))
@@ -19,7 +24,7 @@ fn known_bad_fixture_fails_with_the_expected_rules() {
     let out = lint(&["check", fixture.to_str().expect("utf-8 path")]);
     assert_eq!(
         out.status.code(),
-        Some(1),
+        Some(EXIT_FINDINGS),
         "stdout:\n{}\nstderr:\n{}",
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr)
@@ -38,10 +43,75 @@ fn known_bad_fixture_fails_with_the_expected_rules() {
 }
 
 #[test]
+fn concurrency_fixture_fails_with_every_v2_rule() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/concurrency.rs");
+    let out = lint(&["check", fixture.to_str().expect("utf-8 path")]);
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_FINDINGS),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "lock-order",
+        "detached-spawn",
+        "unordered-merge",
+        "canonical-purity",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+    assert!(
+        stdout.contains("accounts → audit → accounts")
+            || stdout.contains("audit → accounts → audit"),
+        "cycle path missing in:\n{stdout}"
+    );
+}
+
+#[test]
+fn usage_and_config_errors_exit_1_not_2() {
+    // No subcommand: usage error.
+    let out = lint(&[]);
+    assert_eq!(out.status.code(), Some(EXIT_ERROR));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("exit codes"), "{stderr}");
+    assert!(
+        stderr.contains("2  scan completed and found violations"),
+        "{stderr}"
+    );
+
+    // Unknown flag: usage error.
+    let out = lint(&["check", "--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(EXIT_ERROR));
+
+    // Missing baseline file: configuration error, not findings.
+    let out = lint(&["check", "--baseline", "no/such/baseline.json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_ERROR),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Unreadable explicit path: I/O error.
+    let out = lint(&["check", "no/such/file.rs"]);
+    assert_eq!(out.status.code(), Some(EXIT_ERROR));
+}
+
+#[test]
+fn baseline_subcommand_is_gone() {
+    let out = lint(&["baseline"]);
+    assert_eq!(out.status.code(), Some(EXIT_ERROR));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
 fn json_output_is_machine_readable() {
     let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad.rs");
     let out = lint(&["check", "--json", fixture.to_str().expect("utf-8 path")]);
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(EXIT_FINDINGS));
     let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
     let new = report
         .get("new_violations")
@@ -60,7 +130,13 @@ fn json_output_is_machine_readable() {
 
 #[test]
 fn explain_describes_each_rule() {
-    for rule in ["determinism-rng", "telemetry-names", "forbid-unsafe"] {
+    for rule in [
+        "determinism-rng",
+        "telemetry-names",
+        "forbid-unsafe",
+        "lock-order",
+        "canonical-purity",
+    ] {
         let out = lint(&["explain", rule]);
         assert!(out.status.success());
         let stdout = String::from_utf8_lossy(&out.stdout);
@@ -68,7 +144,7 @@ fn explain_describes_each_rule() {
         assert!(stdout.len() > 80, "explanation too short:\n{stdout}");
     }
     let unknown = lint(&["explain", "no-such-rule"]);
-    assert_eq!(unknown.status.code(), Some(2));
+    assert_eq!(unknown.status.code(), Some(EXIT_ERROR));
 }
 
 #[test]
@@ -84,6 +160,10 @@ fn rules_lists_the_catalog() {
         "float-eq",
         "telemetry-names",
         "forbid-unsafe",
+        "lock-order",
+        "detached-spawn",
+        "unordered-merge",
+        "canonical-purity",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }

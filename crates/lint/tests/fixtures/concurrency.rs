@@ -1,0 +1,53 @@
+//! Deliberately concurrency-broken code for lithohd-lint's own tests.
+//! Never compiled; only scanned. Each section trips one v2 rule.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+struct Shared {
+    accounts: Mutex<Vec<u64>>,
+    audit: Mutex<Vec<String>>,
+}
+
+// lock-order: transfer() acquires accounts → audit, reconcile() acquires
+// audit → accounts. Run concurrently, they deadlock.
+fn transfer(shared: &Shared) {
+    let accounts = shared.accounts.lock().unwrap();
+    let audit = shared.audit.lock().unwrap();
+    drop(audit);
+    drop(accounts);
+}
+
+fn reconcile(shared: &Shared) {
+    let audit = shared.audit.lock().unwrap();
+    let accounts = shared.accounts.lock().unwrap();
+    drop(accounts);
+    drop(audit);
+}
+
+// detached-spawn: the JoinHandle is discarded, so the worker's panic (and
+// its result) vanish.
+fn fire_and_forget(work: Vec<u64>) {
+    std::thread::spawn(move || {
+        let _ = work.iter().sum::<u64>();
+    });
+}
+
+// unordered-merge: results are folded in arrival order; worker scheduling
+// decides the outcome.
+fn merge_results(rx: Receiver<(usize, f64)>, workers: usize) -> Vec<(usize, f64)> {
+    let mut merged = Vec::new();
+    for _ in 0..workers {
+        while let Ok(outcome) = rx.recv() {
+            merged.push(outcome);
+        }
+    }
+    merged
+}
+
+// canonical-purity: a wall-clock-shaped metric name that no withhold
+// registry covers would leak scheduling-dependent bytes into canonical
+// journals.
+fn record_latency(elapsed: f64) {
+    telemetry::histogram("merge.batch.seconds").observe(elapsed);
+}

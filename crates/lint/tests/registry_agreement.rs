@@ -1,0 +1,53 @@
+//! The canonical-purity rule's *static* reading of the withhold registry
+//! must agree with the *runtime* predicates in `hotspot_telemetry::names`.
+//! If they ever diverge — a name the sink withholds but the linter thinks
+//! leaks, or vice versa — the lint rule is either noisy or blind; this test
+//! pins them together over every registered name.
+
+use hotspot_lint::{wall_clock_shaped, NameRegistry};
+use hotspot_telemetry::names;
+
+const REGISTRY_REL_PATH: &str = "crates/telemetry/src/names.rs";
+
+fn registry() -> NameRegistry {
+    let source = include_str!("../../telemetry/src/names.rs");
+    NameRegistry::parse(REGISTRY_REL_PATH, source)
+}
+
+#[test]
+fn static_and_runtime_withholding_agree_on_every_registered_name() {
+    let registry = registry();
+    for &name in names::ALL {
+        assert_eq!(
+            registry.is_withheld_metric(name),
+            names::is_withheld_canonical_metric(name),
+            "static/runtime disagreement on {name:?}"
+        );
+    }
+}
+
+#[test]
+fn every_wall_clock_shaped_name_is_withheld_in_canonical_mode() {
+    // The registry-level canonical-purity rule in prose: any registered name
+    // that looks like a wall-clock measurement must be withheld, or canonical
+    // journals stop being bit-identical across machines.
+    for &name in names::ALL {
+        if wall_clock_shaped(name) {
+            assert!(
+                names::is_withheld_canonical_metric(name),
+                "{name:?} is wall-clock-shaped but not withheld"
+            );
+        }
+    }
+}
+
+#[test]
+fn derived_span_histograms_are_withheld() {
+    // `span_seconds` names are synthesised (`span.<name>.seconds`), never
+    // registered constants, so the suffix rule is their only guard.
+    for &span in [names::SPAN_NN_TRAIN, names::SPAN_SHARD_WORKER].iter() {
+        assert!(names::is_withheld_canonical_metric(&names::span_seconds(
+            span
+        )));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for the item-tree builder: it must never panic, its byte
+//! spans must slice the source cleanly and nest properly, and
+//! `#[cfg(test)]`-region detection must hold up across nested and inline
+//! modules.
+
+use hotspot_lint::scanner::{scan, Token};
+use hotspot_lint::ItemTree;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn build(source: &str) -> (ItemTree, Vec<Token>) {
+    let tokens = scan(source);
+    let sig: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_trivia())
+        .map(|(i, _)| i)
+        .collect();
+    (ItemTree::build(source, &tokens, &sig), tokens)
+}
+
+/// Checks the span invariants over one sibling list, recursively: spans lie
+/// inside the enclosing span, are ordered, don't overlap, and slice `source`
+/// on valid char boundaries.
+fn check_spans(source: &str, items: &[hotspot_lint::Item], lo: usize, hi: usize) {
+    let mut cursor = lo;
+    for item in items {
+        assert!(item.start <= item.end, "inverted span {item:?}");
+        assert!(item.start >= cursor, "overlapping siblings at {item:?}");
+        assert!(item.end <= hi, "child escapes parent: {item:?}");
+        assert!(
+            source.is_char_boundary(item.start) && source.is_char_boundary(item.end),
+            "span not on char boundary: {item:?}"
+        );
+        let _ = &source[item.start..item.end]; // must not panic
+        check_spans(source, &item.children, item.start, item.end);
+        cursor = item.end;
+    }
+}
+
+/// Checks that test marking is inherited: every descendant of a test item is
+/// itself a test item.
+fn check_test_inheritance(items: &[hotspot_lint::Item], inside_test: bool) {
+    for item in items {
+        if inside_test {
+            assert!(item.is_test, "non-test item inside a test item: {item:?}");
+        }
+        check_test_inheritance(&item.children, item.is_test);
+    }
+}
+
+/// Fragments biased towards the shapes the builder must survive: item
+/// keywords, attributes, braces (balanced or not), and literal noise.
+const FRAGMENTS: &[&str] = &[
+    "mod m {",
+    "fn f() {",
+    "impl T {",
+    "trait Q {",
+    "}",
+    "{",
+    "#[cfg(test)]",
+    "#[cfg(not(test))]",
+    "#[test]",
+    "#[derive(Debug)]",
+    "pub",
+    "unsafe",
+    ";",
+    "let x = \"{ } fn mod\";",
+    "// fn comment() {",
+    "mod stub;",
+    "match x",
+    "=> {",
+    "fn",
+    "mod",
+    "impl",
+    "()",
+    "\"",
+    "/*",
+];
+
+fn soup(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    #[test]
+    fn build_never_panics_on_arbitrary_unicode(
+        points in vec(any::<u32>(), 0..200),
+    ) {
+        let source: String = points
+            .iter()
+            .map(|&p| char::from_u32(p % 0x0011_0000).unwrap_or('\u{FFFD}'))
+            .collect();
+        let (tree, _) = build(&source);
+        check_spans(&source, &tree.roots, 0, source.len());
+        check_test_inheritance(&tree.roots, false);
+    }
+
+    #[test]
+    fn build_never_panics_on_rustish_soup(
+        picks in vec(0usize..FRAGMENTS.len(), 0..40),
+    ) {
+        let source = soup(&picks);
+        let (tree, _) = build(&source);
+        check_spans(&source, &tree.roots, 0, source.len());
+        check_test_inheritance(&tree.roots, false);
+        // Test regions are exactly the topmost test items' spans, so they
+        // must be disjoint and ordered too.
+        let regions = tree.test_regions();
+        for window in regions.windows(2) {
+            prop_assert!(window[0].1 <= window[1].0, "overlapping regions {regions:?}");
+        }
+    }
+
+    #[test]
+    fn spans_start_and_end_on_token_boundaries(
+        picks in vec(0usize..FRAGMENTS.len(), 0..40),
+    ) {
+        let source = soup(&picks);
+        let (tree, tokens) = build(&source);
+        let boundaries: std::collections::BTreeSet<usize> = tokens
+            .iter()
+            .flat_map(|t| [t.start, t.end])
+            .chain([0, source.len()])
+            .collect();
+        for item in tree.iter() {
+            prop_assert!(boundaries.contains(&item.start), "start {} off-token", item.start);
+            prop_assert!(boundaries.contains(&item.end), "end {} off-token", item.end);
+        }
+    }
+}
+
+#[test]
+fn test_regions_across_nested_and_inline_modules() {
+    let source = r#"
+pub fn library() {}
+
+#[cfg(test)]
+mod tests {
+    mod nested {
+        fn helper() { x.unwrap(); }
+    }
+    #[test]
+    fn case() {}
+}
+
+mod inline {
+    #[cfg(test)]
+    mod inner_tests {
+        fn f() {}
+    }
+    pub fn shipped() {}
+}
+
+#[cfg(not(test))]
+mod production {
+    fn g() {}
+}
+"#;
+    let (tree, _) = build(source);
+    let regions = tree.test_regions();
+    assert_eq!(regions.len(), 2, "{regions:?}");
+
+    // The first region is the whole `mod tests`, covering the nested module
+    // and the `#[test]` fn rather than reporting them separately.
+    let covered = |offset: usize| regions.iter().any(|&(s, e)| s <= offset && offset < e);
+    assert!(covered(source.find("mod nested").unwrap()));
+    assert!(covered(source.find("fn case").unwrap()));
+    assert!(covered(source.find("mod inner_tests").unwrap()));
+    assert!(!covered(source.find("pub fn library").unwrap()));
+    assert!(!covered(source.find("pub fn shipped").unwrap()));
+    assert!(!covered(source.find("mod production").unwrap()));
+}
+
+#[test]
+fn unterminated_test_module_runs_to_eof() {
+    let source = "#[cfg(test)]\nmod tests {\n    fn f() {\n"; // truncated file
+    let (tree, _) = build(source);
+    let regions = tree.test_regions();
+    assert_eq!(regions.len(), 1);
+    assert_eq!(regions[0].1, source.len());
+}

@@ -140,11 +140,18 @@ impl Layer for Conv2d {
         out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let input = self
             .cached_input
             .take()
-            .expect("backward called without forward_train");
+            .ok_or(NnError::BackwardWithoutForward { layer: "conv2d" })?;
+        if grad_output.rows() != input.rows() || grad_output.cols() != self.out_dim() {
+            return Err(NnError::ShapeMismatch {
+                op: "conv2d backward",
+                left: (grad_output.rows(), grad_output.cols()),
+                right: (input.rows(), self.out_dim()),
+            });
+        }
         let (h, w, k) = (self.height, self.width, self.kernel);
         let pad = k / 2;
         let plane = h * w;
@@ -189,7 +196,7 @@ impl Layer for Conv2d {
                 }
             }
         }
-        grad_in
+        Ok(grad_in)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -304,13 +311,20 @@ impl Layer for MaxPool2d {
         out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let argmax = self
             .argmax
             .take()
-            .expect("backward called without forward_train");
-        let mut grad_in = Matrix::zeros(grad_output.rows(), self.in_dim());
+            .ok_or(NnError::BackwardWithoutForward { layer: "maxpool2d" })?;
         let od = self.out_dim();
+        if grad_output.cols() != od || grad_output.rows() * od != argmax.len() {
+            return Err(NnError::ShapeMismatch {
+                op: "maxpool2d backward",
+                left: (grad_output.rows(), grad_output.cols()),
+                right: (argmax.len() / od.max(1), od),
+            });
+        }
+        let mut grad_in = Matrix::zeros(grad_output.rows(), self.in_dim());
         for b in 0..grad_output.rows() {
             let g = grad_output.row(b);
             let gi = grad_in.row_mut(b);
@@ -318,7 +332,7 @@ impl Layer for MaxPool2d {
                 gi[src] += g[o];
             }
         }
-        grad_in
+        Ok(grad_in)
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -383,7 +397,7 @@ mod tests {
         .unwrap();
         let y = c.forward_train(&x);
         let ones = Matrix::from_flat(1, y.cols(), vec![1.0; y.cols()]);
-        let grad_in = c.backward(&ones);
+        let grad_in = c.backward(&ones).unwrap();
 
         let eps = 1e-2f32;
         let sum_out = |c: &Conv2d, x: &Matrix| -> f32 { c.infer(x).as_slice().iter().sum() };
@@ -434,8 +448,22 @@ mod tests {
         let x = Matrix::from_rows(&[vec![1.0, 9.0, 3.0, 4.0]]).unwrap();
         let _ = p.forward_train(&x);
         let g = Matrix::from_rows(&[vec![5.0]]).unwrap();
-        let gi = p.backward(&g);
+        let gi = p.backward(&g).unwrap();
         assert_eq!(gi.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_is_a_typed_error() {
+        let mut c = conv();
+        assert!(matches!(
+            c.backward(&Matrix::zeros(1, c.out_dim())).unwrap_err(),
+            NnError::BackwardWithoutForward { layer: "conv2d" }
+        ));
+        let mut p = MaxPool2d::new(1, 2, 2);
+        assert!(matches!(
+            p.backward(&Matrix::zeros(1, 1)).unwrap_err(),
+            NnError::BackwardWithoutForward { layer: "maxpool2d" }
+        ));
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl Dense {
             input.cols()
         );
         let w = Matrix::from_flat(self.out_dim, self.in_dim, self.weights.clone());
-        let mut out = input.matmul_transpose(&w).expect("shapes checked");
+        // The assert above pins `input.cols() == in_dim`, the only condition
+        // `matmul_transpose` checks, so the fallback arm is unreachable.
+        let mut out = input
+            .matmul_transpose(&w)
+            .unwrap_or_else(|_| Matrix::zeros(input.rows(), self.out_dim));
         out.add_row_bias(&self.bias);
         out
     }
@@ -97,15 +101,13 @@ impl Layer for Dense {
         out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let input = self
             .cached_input
             .take()
-            .expect("backward called without forward_train");
+            .ok_or(NnError::BackwardWithoutForward { layer: "dense" })?;
         // ∂L/∂W = gradᵀ · x   (out_dim × in_dim)
-        let gw = grad_output
-            .transpose_matmul(&input)
-            .expect("shapes checked in forward");
+        let gw = grad_output.transpose_matmul(&input)?;
         for (g, &v) in self.grad_weights.iter_mut().zip(gw.as_slice()) {
             *g += v;
         }
@@ -114,7 +116,7 @@ impl Layer for Dense {
         }
         // ∂L/∂x = grad · W  (batch × in_dim)
         let w = Matrix::from_flat(self.out_dim, self.in_dim, self.weights.clone());
-        grad_output.matmul(&w).expect("shapes checked")
+        grad_output.matmul(&w)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -172,10 +174,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "backward called without forward_train")]
-    fn backward_without_forward_panics() {
+    fn backward_without_forward_is_a_typed_error() {
         let mut d = layer();
-        let _ = d.backward(&Matrix::zeros(1, 2));
+        let err = d.backward(&Matrix::zeros(1, 2)).unwrap_err();
+        assert!(matches!(
+            err,
+            NnError::BackwardWithoutForward { layer: "dense" }
+        ));
     }
 
     #[test]
@@ -185,7 +190,7 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.3, -0.7, 0.2], vec![-0.1, 0.4, 0.9]]).unwrap();
         let y = d.forward_train(&x);
         let ones = Matrix::from_flat(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
-        let grad_in = d.backward(&ones);
+        let grad_in = d.backward(&ones).unwrap();
 
         let eps = 1e-3f32;
         let sum_out = |d: &Dense, x: &Matrix| -> f32 { d.infer(x).as_slice().iter().sum() };
@@ -225,7 +230,7 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.3, -0.7, 0.2], vec![-0.1, 0.4, 0.9]]).unwrap();
         let _ = d.forward_train(&x);
         let grad = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
-        let _ = d.backward(&grad);
+        d.backward(&grad).unwrap();
         assert_eq!(d.grad_bias, vec![4.0, 6.0]);
     }
 

@@ -70,23 +70,29 @@ impl Layer for Dropout {
         Matrix::from_flat(input.rows(), input.cols(), data)
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let mask = self
             .mask
             .take()
-            .expect("backward called without forward_train");
-        assert_eq!(
-            mask.len(),
-            grad_output.as_slice().len(),
-            "dropout cache size mismatch"
-        );
+            .ok_or(NnError::BackwardWithoutForward { layer: "dropout" })?;
+        if mask.len() != grad_output.as_slice().len() {
+            return Err(NnError::ShapeMismatch {
+                op: "dropout backward",
+                left: (grad_output.rows(), grad_output.cols()),
+                right: (1, mask.len()),
+            });
+        }
         let data = grad_output
             .as_slice()
             .iter()
             .zip(&mask)
             .map(|(&g, &m)| g * m)
             .collect();
-        Matrix::from_flat(grad_output.rows(), grad_output.cols(), data)
+        Ok(Matrix::from_flat(
+            grad_output.rows(),
+            grad_output.cols(),
+            data,
+        ))
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -141,7 +147,7 @@ mod tests {
         let x = Matrix::from_flat(1, 8, vec![1.0; 8]);
         let y = layer.forward_train(&x);
         let g = Matrix::from_flat(1, 8, vec![1.0; 8]);
-        let gi = layer.backward(&g);
+        let gi = layer.backward(&g).unwrap();
         for (out, grad) in y.as_slice().iter().zip(gi.as_slice()) {
             assert_eq!(out == &0.0, grad == &0.0);
         }

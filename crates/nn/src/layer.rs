@@ -20,11 +20,12 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     /// [`Layer::forward_train`], accumulates parameter gradients, and returns
     /// `∂loss/∂input`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Implementations may panic when called without a preceding
-    /// `forward_train`.
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+    /// Returns [`NnError::BackwardWithoutForward`] when called without a
+    /// preceding `forward_train`, and [`NnError::ShapeMismatch`] when the
+    /// output gradient does not match the cached activations.
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError>;
 
     /// Visits each (parameter, gradient) buffer pair, in a stable order.
     /// Layers without parameters do nothing.

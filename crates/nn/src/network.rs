@@ -99,12 +99,17 @@ impl Sequential {
     }
 
     /// Backward pass; returns the gradient at the network input.
-    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardWithoutForward`] when any layer is missing
+    /// its cached activations (no preceding [`Sequential::forward_train`]).
+    pub fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            g = layer.backward(&g)?;
         }
-        g
+        Ok(g)
     }
 
     /// Applies accumulated gradients with the optimiser and zeroes them.
@@ -138,7 +143,7 @@ impl Sequential {
     ) -> Result<f64, NnError> {
         let logits = self.forward_train(input);
         let (value, grad) = loss.loss_and_grad(&logits, labels)?;
-        self.backward(&grad);
+        self.backward(&grad)?;
         self.apply_gradients(optimizer);
         Ok(value)
     }

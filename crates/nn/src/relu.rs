@@ -24,23 +24,29 @@ impl Layer for Relu {
         self.infer(input)
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let mask = self
             .mask
             .take()
-            .expect("backward called without forward_train");
-        assert_eq!(
-            mask.len(),
-            grad_output.as_slice().len(),
-            "relu cache size mismatch"
-        );
+            .ok_or(NnError::BackwardWithoutForward { layer: "relu" })?;
+        if mask.len() != grad_output.as_slice().len() {
+            return Err(NnError::ShapeMismatch {
+                op: "relu backward",
+                left: (grad_output.rows(), grad_output.cols()),
+                right: (1, mask.len()),
+            });
+        }
         let data = grad_output
             .as_slice()
             .iter()
             .zip(&mask)
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
-        Matrix::from_flat(grad_output.rows(), grad_output.cols(), data)
+        Ok(Matrix::from_flat(
+            grad_output.rows(),
+            grad_output.cols(),
+            data,
+        ))
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -81,7 +87,7 @@ mod tests {
         let x = Matrix::from_rows(&[vec![-1.0, 3.0]]).unwrap();
         let _ = relu.forward_train(&x);
         let g = Matrix::from_rows(&[vec![5.0, 7.0]]).unwrap();
-        assert_eq!(relu.backward(&g).as_slice(), &[0.0, 7.0]);
+        assert_eq!(relu.backward(&g).unwrap().as_slice(), &[0.0, 7.0]);
     }
 
     #[test]
@@ -91,13 +97,15 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.0]]).unwrap();
         let _ = relu.forward_train(&x);
         let g = Matrix::from_rows(&[vec![4.0]]).unwrap();
-        assert_eq!(relu.backward(&g).as_slice(), &[0.0]);
+        assert_eq!(relu.backward(&g).unwrap().as_slice(), &[0.0]);
     }
 
     #[test]
-    #[should_panic(expected = "backward called without forward_train")]
     fn backward_requires_forward() {
         let mut relu = Relu::new();
-        let _ = relu.backward(&Matrix::zeros(1, 1));
+        assert!(matches!(
+            relu.backward(&Matrix::zeros(1, 1)).unwrap_err(),
+            NnError::BackwardWithoutForward { layer: "relu" }
+        ));
     }
 }

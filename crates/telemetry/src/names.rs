@@ -296,6 +296,67 @@ pub fn span_seconds(span: &str) -> String {
     format!("span.{span}.seconds")
 }
 
+// ---------------------------------------------------------------------------
+// Canonical-mode withhold registry.
+//
+// `--canonical-journal` promises byte-identical journals for identically
+// seeded runs under any worker count. Everything that could differ — wall
+// clocks, checkpoint/shard provenance, kernel call counts — must be withheld
+// from canonical journals. The lists below are the single machine-readable
+// source of truth: the `JsonlSink` enforces them dynamically, and the
+// `canonical-purity` rule of `lithohd-lint` parses this file to verify
+// statically that every wall-clock-shaped name is covered.
+// ---------------------------------------------------------------------------
+
+/// Event fields withheld in canonical mode: wall-clock durations measured
+/// by instrumented code, never derived from the seeded computation. Any
+/// event field key starting `elapsed_` or `duration_` must appear here.
+pub const CANONICAL_WITHHELD_FIELDS: &[&str] = &["elapsed_us", "elapsed_ms", "duration_us"];
+
+/// Event targets withheld entirely in canonical mode: `profile` events are
+/// pure wall-clock measurements, `store.checkpoint` events are operational
+/// provenance (saves, resumes, corruption fallbacks) that differs between
+/// an interrupted-and-resumed run and an uninterrupted one without changing
+/// the run's semantics, and `shard.coordinator` events carry worker-count
+/// and fault-recovery provenance that must not break the byte-identity
+/// oracle across different `--workers` values or chaos injections.
+pub const CANONICAL_WITHHELD_TARGETS: &[&str] =
+    &["profile", "store.checkpoint", "shard.coordinator"];
+
+/// Metric-name prefixes withheld from canonical snapshots for the same
+/// reason as the withheld targets: checkpoint save/resume, shard
+/// coordination, and per-kernel performance counters are provenance, not
+/// run output (kernel call counts vary with sharding and fault recovery).
+pub const CANONICAL_WITHHELD_METRIC_PREFIXES: &[&str] = &["checkpoint.", "shard.", "kernel."];
+
+/// Metric-name suffixes withheld from canonical snapshots: every latency
+/// histogram ends in `.seconds` (see [`span_seconds`]), and wall-clock
+/// seconds never survive into a canonical journal.
+pub const CANONICAL_WITHHELD_METRIC_SUFFIXES: &[&str] = &[".seconds"];
+
+/// Whether a metric name is withheld from canonical journal snapshots.
+/// This is the exact predicate `JsonlSink` applies in canonical mode; the
+/// static `canonical-purity` lint must agree with it on every registered
+/// name.
+pub fn is_withheld_canonical_metric(name: &str) -> bool {
+    CANONICAL_WITHHELD_METRIC_PREFIXES
+        .iter()
+        .any(|prefix| name.starts_with(prefix))
+        || CANONICAL_WITHHELD_METRIC_SUFFIXES
+            .iter()
+            .any(|suffix| name.ends_with(suffix))
+}
+
+/// Whether an event field key is withheld from canonical journal records.
+pub fn is_withheld_canonical_field(key: &str) -> bool {
+    CANONICAL_WITHHELD_FIELDS.contains(&key)
+}
+
+/// Whether an event target is withheld entirely from canonical journals.
+pub fn is_withheld_canonical_target(target: &str) -> bool {
+    CANONICAL_WITHHELD_TARGETS.contains(&target)
+}
+
 #[cfg(test)]
 mod tests {
     use super::ALL;

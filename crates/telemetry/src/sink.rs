@@ -80,25 +80,6 @@ pub struct JsonlSink {
     canonical: bool,
 }
 
-/// Event fields withheld in canonical mode: wall-clock durations measured
-/// by instrumented code, never derived from the seeded computation.
-const WALL_CLOCK_FIELDS: &[&str] = &["elapsed_us", "elapsed_ms", "duration_us"];
-
-/// Event targets withheld entirely in canonical mode: `profile` events are
-/// pure wall-clock measurements, `store.checkpoint` events are operational
-/// provenance (saves, resumes, corruption fallbacks) that differs between
-/// an interrupted-and-resumed run and an uninterrupted one without changing
-/// the run's semantics, and `shard.coordinator` events carry worker-count
-/// and fault-recovery provenance that must not break the byte-identity
-/// oracle across different `--workers` values or chaos injections.
-const CANONICAL_WITHHELD_TARGETS: &[&str] = &["profile", "store.checkpoint", "shard.coordinator"];
-
-/// Metric-name prefixes withheld from canonical snapshots for the same
-/// reason as the withheld targets: checkpoint save/resume, shard
-/// coordination, and per-kernel performance counters are provenance, not
-/// run output (kernel call counts vary with sharding and fault recovery).
-const PROVENANCE_METRIC_PREFIXES: &[&str] = &["checkpoint.", "shard.", "kernel."];
-
 /// Exact byte offset and next sequence number of a journal, as used by
 /// checkpoints: a resumed process truncates the journal to `bytes` and
 /// continues writing records numbered from `seq`.
@@ -208,7 +189,7 @@ impl JsonlSink {
             ("seq".to_string(), Value::U64(writer.seq)),
         ];
         if self.canonical {
-            body.retain(|(key, _)| !WALL_CLOCK_FIELDS.contains(&key.as_str()));
+            body.retain(|(key, _)| !crate::names::is_withheld_canonical_field(key));
         } else {
             entries.push((
                 "elapsed_us".to_string(),
@@ -237,7 +218,7 @@ impl Sink for JsonlSink {
         // Span-close profile events are pure wall-clock measurements, and
         // checkpoint provenance differs between resumed and uninterrupted
         // runs; canonical journals withhold both.
-        if self.canonical && CANONICAL_WITHHELD_TARGETS.contains(&event.target) {
+        if self.canonical && crate::names::is_withheld_canonical_target(event.target) {
             return;
         }
         let body = match event.to_json() {
@@ -252,12 +233,10 @@ impl Sink for JsonlSink {
             let mut canonical = snapshot.clone();
             canonical
                 .histograms
-                .retain(|h| !h.name.ends_with(".seconds"));
-            canonical.counters.retain(|(name, _)| {
-                !PROVENANCE_METRIC_PREFIXES
-                    .iter()
-                    .any(|prefix| name.starts_with(prefix))
-            });
+                .retain(|h| !crate::names::is_withheld_canonical_metric(&h.name));
+            canonical
+                .counters
+                .retain(|(name, _)| !crate::names::is_withheld_canonical_metric(name));
             canonical.to_json()
         } else {
             snapshot.to_json()

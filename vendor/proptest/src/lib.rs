@@ -4,8 +4,10 @@
 //! strategy) { ... } }`, `prop_assert!`/`prop_assert_eq!`, range strategies,
 //! `any::<T>()`, `proptest::collection::vec`, and tuple strategies — backed by
 //! a plain sampling loop instead of real proptest's shrinking machinery. Each
-//! test draws [`NUM_CASES`] inputs from a ChaCha8 stream seeded from the test
-//! name, so failures are deterministic and reproducible, just not minimised.
+//! test draws [`num_cases`] inputs (default [`NUM_CASES`], overridable via
+//! the `PROPTEST_CASES` environment variable) from a ChaCha8 stream seeded
+//! from the test name, so failures are deterministic and reproducible, just
+//! not minimised.
 
 pub mod collection;
 pub mod strategy;
@@ -17,10 +19,21 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, proptest};
 }
 
-/// Number of random cases each `proptest!` test runs.
+/// Default number of random cases each `proptest!` test runs.
 pub const NUM_CASES: usize = 64;
 
-/// Declares property tests: each `fn` runs its body [`NUM_CASES`] times with
+/// Number of cases per test: `PROPTEST_CASES` when set to a positive
+/// integer (matching real proptest's knob — slow interpreters like Miri set
+/// it low in CI), else [`NUM_CASES`].
+pub fn num_cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(NUM_CASES)
+}
+
+/// Declares property tests: each `fn` runs its body [`num_cases`] times with
 /// inputs drawn from the given strategies.
 #[macro_export]
 macro_rules! proptest {
@@ -32,7 +45,8 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-                for __case in 0..$crate::NUM_CASES {
+                let __cases = $crate::num_cases();
+                for __case in 0..__cases {
                     $( let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng); )+
                     let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                         (move || { $body ::std::result::Result::Ok(()) })();
@@ -41,7 +55,7 @@ macro_rules! proptest {
                             "proptest {} failed on case {}/{}: {}",
                             stringify!($name),
                             __case,
-                            $crate::NUM_CASES,
+                            __cases,
                             __err,
                         );
                     }
