@@ -1,0 +1,291 @@
+//! `lithohd-loadgen` — deterministic load generator for `lithohd-serve`.
+//!
+//! Drives `POST /score` on a running server with seeded, reproducible
+//! request payloads and reports latency quantiles and throughput:
+//!
+//! * **closed loop** (default): each client holds one keep-alive
+//!   connection and fires its next request as soon as the previous one
+//!   answers — measures the server's saturated service rate.
+//! * **open loop** (`--rps <n>`): clients pace submissions to a fixed
+//!   aggregate arrival rate regardless of completions — measures latency
+//!   under a target offered load, the way real traffic arrives.
+//!
+//! Outputs a `BENCH_serve.json`-shaped kernel-sample array (gateable with
+//! `lithohd-report gate <fresh> <baseline> --tolerance-time <f>`) and,
+//! with `--svg <dir>`, the latency quantile/timeline panels.
+//!
+//! Exit codes: `0` success, `1` any request failed, `2` usage error.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use hotspot_serve::HttpClient;
+use hotspot_telemetry::{self as telemetry, names};
+use hotspot_viz::{latency_report_panel, latency_timeline_panel, LatencySummary};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const USAGE: &str = "usage: lithohd-loadgen --addr <host:port> [options]\n\
+  --addr <host:port>      server to drive (required)\n\
+  --requests <n>          measured requests total (default 200)\n\
+  --warmup <n>            unmeasured warmup requests total (default 16)\n\
+  --clients <n>           concurrent connections (default 8)\n\
+  --rows <n>              feature rows per request (default 4)\n\
+  --dim <n>               feature row width (default 148)\n\
+  --rps <n>               open-loop aggregate arrival rate (default: closed loop)\n\
+  --seed <n>              payload seed (default 7)\n\
+  --out <file.json>       write kernel-sample JSON (BENCH_serve.json shape)\n\
+  --svg <dir>             write latency SVG panels";
+
+struct Options {
+    addr: String,
+    requests: usize,
+    warmup: usize,
+    clients: usize,
+    rows: usize,
+    dim: usize,
+    rps: Option<f64>,
+    seed: u64,
+    out: Option<String>,
+    svg: Option<String>,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("lithohd-loadgen: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        addr: String::new(),
+        requests: 200,
+        warmup: 16,
+        clients: 8,
+        rows: 4,
+        dim: 148,
+        rps: None,
+        seed: 7,
+        out: None,
+        svg: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => options.addr = value()?,
+            "--requests" => options.requests = parse(&flag, &value()?)?,
+            "--warmup" => options.warmup = parse(&flag, &value()?)?,
+            "--clients" => options.clients = parse::<usize>(&flag, &value()?)?.max(1),
+            "--rows" => options.rows = parse::<usize>(&flag, &value()?)?.max(1),
+            "--dim" => options.dim = parse::<usize>(&flag, &value()?)?.max(1),
+            "--rps" => options.rps = Some(parse(&flag, &value()?)?),
+            "--seed" => options.seed = parse(&flag, &value()?)?,
+            "--out" => options.out = Some(value()?),
+            "--svg" => options.svg = Some(value()?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if options.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    Ok(options)
+}
+
+/// Seeded payload for one (client, request) pair; byte-identical across
+/// runs, so two loadgen invocations offer the server the same work.
+fn payload(seed: u64, client: usize, request: usize, rows: usize, dim: usize) -> String {
+    let stream = seed ^ ((client as u64) << 32) ^ request as u64;
+    let mut rng = ChaCha8Rng::seed_from_u64(stream);
+    let mut body = format!(r#"{{"request_id":"c{client}-r{request}","features":["#);
+    for row in 0..rows {
+        if row > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for cell in 0..dim {
+            if cell > 0 {
+                body.push(',');
+            }
+            let v: f32 = rng.gen_range(-1.0..1.0);
+            let _ = write!(body, "{}", v as f64);
+        }
+        body.push(']');
+    }
+    body.push_str("]}");
+    body
+}
+
+struct ClientOutcome {
+    latencies_ns: Vec<u64>,
+    errors: usize,
+}
+
+fn drive_client(
+    options: &Options,
+    client: usize,
+    measured: usize,
+    warmup: usize,
+) -> Result<ClientOutcome, String> {
+    let mut http = HttpClient::connect(&options.addr, Duration::from_secs(60))
+        .map_err(|e| format!("client {client} cannot connect to {}: {e}", options.addr))?;
+    // Open loop: pace this client at its share of the aggregate rate.
+    let interval = options
+        .rps
+        .filter(|rps| *rps > 0.0)
+        .map(|rps| Duration::from_secs_f64(options.clients as f64 / rps));
+    let start = Instant::now();
+    let mut latencies_ns = Vec::with_capacity(measured);
+    let mut errors = 0usize;
+    for request in 0..warmup + measured {
+        if let Some(interval) = interval {
+            let scheduled = interval * request as u32;
+            let elapsed = start.elapsed();
+            if scheduled > elapsed {
+                std::thread::sleep(scheduled - elapsed);
+            }
+        }
+        let body = payload(options.seed, client, request, options.rows, options.dim);
+        let sent = Instant::now();
+        let response = http
+            .post_json("/score", &body)
+            .map_err(|e| format!("client {client} request {request} failed: {e}"))?;
+        let elapsed = sent.elapsed();
+        telemetry::counter(names::LOADGEN_REQUESTS).incr();
+        telemetry::histogram(names::LOADGEN_LATENCY_SECONDS).record(elapsed.as_secs_f64());
+        if response.status != 200 {
+            telemetry::counter(names::LOADGEN_ERRORS).incr();
+            errors += 1;
+        }
+        if request >= warmup {
+            latencies_ns.push(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+    Ok(ClientOutcome {
+        latencies_ns,
+        errors,
+    })
+}
+
+fn run() -> Result<ExitCode, String> {
+    let options = parse_options()?;
+    let per_client = options.requests.div_ceil(options.clients);
+    let warmup_per_client = options.warmup.div_ceil(options.clients);
+
+    let wall_start = Instant::now();
+    let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(options.clients);
+        for client in 0..options.clients {
+            let options = &options;
+            handles.push(
+                scope.spawn(move || drive_client(options, client, per_client, warmup_per_client)),
+            );
+        }
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|_| Err("client thread panicked".to_string()))
+            })
+            .collect()
+    });
+    let wall = wall_start.elapsed();
+
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut errors = 0usize;
+    for outcome in outcomes {
+        let outcome = outcome?;
+        latencies_ns.extend(outcome.latencies_ns);
+        errors += outcome.errors;
+    }
+    if latencies_ns.is_empty() {
+        return Err("no measured requests — raise --requests".to_string());
+    }
+
+    let as_ms: Vec<f64> = latencies_ns.iter().map(|&ns| ns as f64 / 1e6).collect();
+    let quantile = |q: f64| -> f64 { hotspot_bench::journal::percentile(&as_ms, q).unwrap_or(0.0) };
+    let mean_ms = as_ms.iter().sum::<f64>() / as_ms.len() as f64;
+    let throughput = latencies_ns.len() as f64 / wall.as_secs_f64().max(1e-9);
+    let summary = LatencySummary {
+        p50_ms: quantile(0.50),
+        p95_ms: quantile(0.95),
+        p99_ms: quantile(0.99),
+        mean_ms,
+        throughput_rps: throughput,
+    };
+    let mode = match options.rps {
+        Some(rps) => format!("open loop @ {rps} req/s offered"),
+        None => "closed loop".to_string(),
+    };
+    println!(
+        "{} requests ({mode}, {} clients, {} rows/req): p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms mean {:.2}ms — {:.0} req/s, {errors} errors",
+        latencies_ns.len(),
+        options.clients,
+        options.rows,
+        summary.p50_ms,
+        summary.p95_ms,
+        summary.p99_ms,
+        summary.mean_ms,
+        throughput
+    );
+
+    if let Some(out) = &options.out {
+        let samples = [
+            ("serve.score.p50_ns", summary.p50_ms),
+            ("serve.score.p95_ns", summary.p95_ms),
+            ("serve.score.p99_ns", summary.p99_ms),
+            ("serve.score.mean_ns", summary.mean_ms),
+        ];
+        let rows: Vec<String> = samples
+            .iter()
+            .map(|(kernel, ms)| {
+                format!(
+                    r#"  {{"kernel": "{kernel}", "median_ns": {}, "samples": {}, "batch": {}}}"#,
+                    (ms * 1e6).round() as u64,
+                    latencies_ns.len(),
+                    options.rows
+                )
+            })
+            .collect();
+        let text = format!("[\n{}\n]\n", rows.join(",\n"));
+        std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+
+    if let Some(dir) = &options.svg {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        let report = latency_report_panel("POST /score", &summary, &as_ms);
+        let timeline = latency_timeline_panel("POST /score — per-request", &as_ms);
+        for (name, svg) in [("latency.svg", report), ("latency-timeline.svg", timeline)] {
+            let path = std::path::Path::new(dir).join(name);
+            std::fs::write(&path, svg)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    Ok(if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("bad value for {flag}: {e}"))
+}

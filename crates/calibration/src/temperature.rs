@@ -169,6 +169,15 @@ impl Temperature {
         out
     }
 
+    /// One logit row divided by the temperature — the calibrated logits a
+    /// scoring service reports alongside the softmax probabilities, so a
+    /// downstream consumer can re-derive the probability (or combine
+    /// ensembles in logit space) without knowing `T`.
+    pub fn scaled_logits(&self, logits: &[f32]) -> Vec<f32> {
+        let t = self.value as f32;
+        logits.iter().map(|&z| z / t).collect()
+    }
+
     /// Temperature-scaled softmax over a row-major logit buffer.
     ///
     /// # Panics
@@ -321,5 +330,18 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn rejects_non_positive_temperature() {
         let _ = Temperature::new(0.0);
+    }
+
+    #[test]
+    fn scaled_logits_divide_by_t_and_recover_probabilities() {
+        let temperature = Temperature::new(2.0);
+        let logits = [1.0f32, -3.0];
+        let scaled = temperature.scaled_logits(&logits);
+        assert_eq!(scaled, vec![0.5, -1.5]);
+        // Softmax of the scaled logits at T = 1 equals the calibrated
+        // probabilities at T = 2 — the contract served scores rely on.
+        let direct = temperature.probabilities(&logits);
+        let via_scaled = Temperature::identity().probabilities(&scaled);
+        assert_eq!(direct, via_scaled);
     }
 }

@@ -57,6 +57,22 @@ impl Sequential {
         (logits, embedding)
     }
 
+    /// Batch-size-1 forward pass: logits and embedding of a single input
+    /// row. This is the reference point for micro-batched serving — every
+    /// dense layer is a row-independent affine map, so
+    /// [`Sequential::infer_with_embedding`] over a stacked batch produces
+    /// bit-identical rows to calling this per input (pinned by the
+    /// `batched_inference_is_bit_identical_to_single_rows` test).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty network.
+    pub fn infer_row(&self, row: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let input = Matrix::from_flat(1, row.len(), row.to_vec());
+        let (logits, embedding) = self.infer_with_embedding(&input);
+        (logits.as_slice().to_vec(), embedding.as_slice().to_vec())
+    }
+
     /// Parallel inference over row chunks — used for full-pool prediction
     /// where a benchmark holds 10⁵–10⁶ clips. Returns `(logits, embeddings)`
     /// like [`Sequential::infer_with_embedding`].
@@ -272,5 +288,29 @@ mod tests {
         let a = net.infer(&x);
         let b = net.infer(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_inference_is_bit_identical_to_single_rows() {
+        // The serving micro-batcher coalesces concurrent requests into one
+        // forward pass; this pins the property that makes that safe.
+        let net = xor_net(11);
+        let rows: Vec<Vec<f32>> = (0..17)
+            .map(|i| vec![(i as f32 * 0.37).sin(), (i as f32 * 0.61).cos()])
+            .collect();
+        let batch = Matrix::from_rows(&rows).unwrap();
+        let (logits, embeddings) = net.infer_with_embedding(&batch);
+        for (i, row) in rows.iter().enumerate() {
+            let (single_logits, single_embedding) = net.infer_row(row);
+            let batch_logits: Vec<u32> = logits.row(i).iter().map(|v| v.to_bits()).collect();
+            let single_bits: Vec<u32> = single_logits.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_logits, single_bits, "logits diverge at row {i}");
+            let batch_embedding: Vec<u32> = embeddings.row(i).iter().map(|v| v.to_bits()).collect();
+            let single_embedding: Vec<u32> = single_embedding.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                batch_embedding, single_embedding,
+                "embedding diverges at row {i}"
+            );
+        }
     }
 }

@@ -1,0 +1,163 @@
+//! Wire types of the scoring and session APIs.
+//!
+//! Everything here is plain data with `serde` derives; the route handlers
+//! in [`crate::server`] parse requests into these types and serialise the
+//! responses back out. Optional request fields deserialise to `None` when
+//! absent, so clients can send the minimal JSON for their use case.
+
+use serde::{Deserialize, Serialize};
+
+/// One rasterised clip submitted for scoring: a `width × height` pixel grid
+/// in row-major order with intensities in `[0, 1]`. The server resamples to
+/// the extractor's native edge, so any resolution is accepted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RasterInput {
+    /// Pixels per row.
+    pub width: usize,
+    /// Rows.
+    pub height: usize,
+    /// Row-major pixel intensities; must hold `width * height` entries.
+    pub pixels: Vec<f32>,
+}
+
+/// `POST /score` request body. At least one of `features` / `rasters` must
+/// be present and non-empty; when both are given, feature rows are scored
+/// first, then rasters, and the response preserves that order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreRequest {
+    /// Client-chosen id echoed in the response and in error bodies.
+    pub request_id: Option<String>,
+    /// Raw (un-standardised) DCT feature rows, one per clip.
+    pub features: Option<Vec<Vec<f32>>>,
+    /// Rasterised clips; the server extracts features itself.
+    pub rasters: Option<Vec<RasterInput>>,
+}
+
+/// Calibrated scores of one clip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClipScore {
+    /// Calibrated hotspot probability (temperature-scaled softmax, Eq. 5).
+    pub probability: f32,
+    /// Raw model logits `[non-hotspot, hotspot]`.
+    pub logits: Vec<f32>,
+    /// Logits divided by the fitted temperature; softmax at `T = 1`
+    /// recovers `probability`.
+    pub scaled_logits: Vec<f32>,
+    /// Best-versus-second-best uncertainty `1 − |p₀ − p₁|`.
+    pub bvsb: f32,
+    /// Hotspot-aware uncertainty (Eq. 6) at the configured boundary `h`.
+    pub uncertainty: f32,
+}
+
+/// `POST /score` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreResponse {
+    /// Echo of the request id (`"-"` when the client sent none).
+    pub request_id: String,
+    /// Identifies the trained model weights.
+    pub model_version: String,
+    /// Identifies the fitted temperature.
+    pub calibration_version: String,
+    /// One entry per submitted clip, in submission order.
+    pub scores: Vec<ClipScore>,
+}
+
+/// JSON error body of every non-2xx response on the scoring routes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// HTTP status code, repeated in the body for log scraping.
+    pub status: u16,
+    /// Human-readable cause.
+    pub error: String,
+    /// Echo of the request id (`"-"` when unknown).
+    pub request_id: String,
+}
+
+/// `POST /session` request body: parameters of a new labelling campaign.
+/// Every field is optional; server defaults are small enough for CI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionRequest {
+    /// Benchmark name (`iccad12`, `iccad16_1` … `iccad16_4`).
+    pub benchmark: Option<String>,
+    /// Population scale factor applied to the benchmark spec.
+    pub scale: Option<f64>,
+    /// Campaign seed; drives generation, sampling, and sharding.
+    pub seed: Option<u64>,
+    /// Active-learning method (`ours`, `ts`, `qp`, `random`).
+    pub method: Option<String>,
+    /// Sharded-oracle worker threads.
+    pub workers: Option<usize>,
+    /// Sampling iterations; one `/step` advances exactly one.
+    pub iterations: Option<usize>,
+}
+
+/// Session state as reported by `POST /session`, `POST /session/<id>/step`,
+/// and `GET /session/<id>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionInfo {
+    /// Server-assigned session id.
+    pub session: String,
+    /// Benchmark name the campaign runs on.
+    pub benchmark: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Iterations completed so far.
+    pub iteration: usize,
+    /// Total iterations the campaign will run.
+    pub iterations: usize,
+    /// Whether the campaign has finished (detection pass done).
+    pub done: bool,
+    /// Final detection accuracy, present once `done`.
+    pub accuracy: Option<f64>,
+    /// Final litho overhead (Eq. 2), present once `done`.
+    pub litho: Option<u64>,
+}
+
+/// `GET /readyz` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadyResponse {
+    /// True once the model and calibration are loaded and the batcher runs.
+    pub ready: bool,
+    /// Identifies the trained model weights.
+    pub model_version: String,
+    /// Identifies the fitted temperature.
+    pub calibration_version: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_request_optionals_default_to_none() {
+        let req: ScoreRequest =
+            serde_json::from_str(r#"{"features": [[1.0, 2.0]]}"#).expect("parse");
+        assert_eq!(req.request_id, None);
+        assert_eq!(req.features, Some(vec![vec![1.0, 2.0]]));
+        assert_eq!(req.rasters, None);
+    }
+
+    #[test]
+    fn session_request_round_trips() {
+        let req = SessionRequest {
+            benchmark: Some("iccad12".to_string()),
+            scale: Some(0.004),
+            seed: Some(7),
+            method: Some("ours".to_string()),
+            workers: Some(2),
+            iterations: Some(4),
+        };
+        let json = serde_json::to_string(&req).expect("serialise");
+        let back: SessionRequest = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn raster_input_nested_in_request_parses() {
+        let json =
+            r#"{"request_id": "r1", "rasters": [{"width": 2, "height": 1, "pixels": [0.5, 1.0]}]}"#;
+        let req: ScoreRequest = serde_json::from_str(json).expect("parse");
+        let rasters = req.rasters.expect("rasters");
+        assert_eq!(rasters[0].pixels, vec![0.5, 1.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! `lithohd-serve` — the hotspot scoring and labelling-session server.
+//!
+//! Boots a [`hotspot_serve::ServeApp`]: trains the scorer on a generated
+//! benchmark, then serves `/score`, `/session`, `/healthz`, `/readyz`, and
+//! `/metrics` until killed. Prints the bound address on stdout (one line,
+//! `listening on <addr>`) so harnesses binding port 0 can discover it.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hotspot_serve::{BatchOptions, BootstrapConfig, ServeApp, ServeOptions};
+use hotspot_telemetry::{self as telemetry, ConsoleSink, EnvFilter};
+
+const USAGE: &str = "usage: lithohd-serve [options]\n\
+  --addr <host:port>      bind address (default 127.0.0.1:9185; port 0 = OS pick)\n\
+  --threads <n>           HTTP worker threads (default 4)\n\
+  --sessions <dir>        session state root (default serve-sessions)\n\
+  --benchmark <name>      bootstrap benchmark (default iccad12)\n\
+  --scale <f>             bootstrap population scale (default 0.004)\n\
+  --seed <n>              bootstrap seed (default 7)\n\
+  --epochs <n>            bootstrap training epochs (default 40)\n\
+  --max-batch <n>         micro-batch clip cap (default 32)\n\
+  --max-delay-ms <n>      micro-batch flush deadline (default 2)\n\
+  --queue <n>             bounded queue depth in jobs (default 256)\n\
+  --inflight <n>          load-shed beyond this many in-flight (default 512)";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("lithohd-serve: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut options = ServeOptions {
+        addr: "127.0.0.1:9185".to_string(),
+        ..ServeOptions::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => options.addr = value()?,
+            "--threads" => options.threads = parse(&flag, &value()?)?,
+            "--sessions" => options.sessions_dir = value()?.into(),
+            "--benchmark" => options.bootstrap.benchmark = value()?,
+            "--scale" => options.bootstrap.scale = parse(&flag, &value()?)?,
+            "--seed" => options.bootstrap.seed = parse(&flag, &value()?)?,
+            "--epochs" => options.bootstrap.epochs = parse(&flag, &value()?)?,
+            "--max-batch" => options.batch.max_batch = parse(&flag, &value()?)?,
+            "--max-delay-ms" => {
+                options.batch.max_delay = Duration::from_millis(parse(&flag, &value()?)?);
+            }
+            "--queue" => options.batch.queue_depth = parse(&flag, &value()?)?,
+            "--inflight" => options.batch.max_inflight = parse(&flag, &value()?)?,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let batch_options: BatchOptions = options.batch.clone();
+    let bootstrap: BootstrapConfig = options.bootstrap.clone();
+    telemetry::add_sink(Arc::new(ConsoleSink::new(EnvFilter::from_env())));
+    eprintln!(
+        "training scorer on {} (scale {}, seed {}, {} epochs)…",
+        bootstrap.benchmark, bootstrap.scale, bootstrap.seed, bootstrap.epochs
+    );
+    let app = ServeApp::start(options).map_err(|e| e.to_string())?;
+    eprintln!(
+        "micro-batching up to {} clips per {}ms flush",
+        batch_options.max_batch,
+        batch_options.max_delay.as_millis()
+    );
+    println!("listening on {}", app.local_addr());
+    // Serve until killed; the request loop runs on its own threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("bad value for {flag}: {e}"))
+}

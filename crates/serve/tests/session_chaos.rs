@@ -1,0 +1,205 @@
+//! Kill/resume chaos for labelling sessions, cross-process: a campaign
+//! stepped on one server, with the server SIGKILLed mid-campaign and a
+//! fresh process resuming from the same session directory, must produce a
+//! canonical journal byte-identical to an uninterrupted campaign — and the
+//! same final accuracy and Litho#. Concurrent `/score` traffic during the
+//! interrupted campaign must not perturb the journal (scoring runs on
+//! silenced threads).
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use hotspot_serve::{HttpClient, ScoreResponse, SessionInfo};
+
+/// A step runs benchmark generation plus a training iteration in a debug
+/// build; be generous before declaring the server wedged.
+const STEP_TIMEOUT: Duration = Duration::from_secs(600);
+
+const SESSION_BODY: &str =
+    r#"{"benchmark":"iccad12","scale":0.004,"seed":7,"method":"ours","workers":2,"iterations":3}"#;
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn boot(sessions: &Path) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_lithohd-serve"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "2",
+                "--benchmark",
+                "iccad16_2",
+                "--scale",
+                "0.25",
+                "--seed",
+                "11",
+                "--epochs",
+                "2",
+                "--sessions",
+            ])
+            .arg(sessions)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn lithohd-serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected boot line: {line:?}"))
+            .to_string();
+        Server { child, addr }
+    }
+
+    fn client(&self) -> HttpClient {
+        HttpClient::connect(&self.addr, STEP_TIMEOUT).expect("connect")
+    }
+
+    /// SIGKILL — no shutdown hooks run, exactly like a crashed box.
+    fn kill(mut self) {
+        self.child.kill().expect("kill server");
+        self.child.wait().expect("reap server");
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn step(http: &mut HttpClient, session: &str) -> SessionInfo {
+    let response = http
+        .post_json(&format!("/session/{session}/step"), "")
+        .expect("post step");
+    assert_eq!(response.status, 200, "step failed: {}", response.body);
+    serde_json::from_str(&response.body).expect("parse step info")
+}
+
+fn create_session(http: &mut HttpClient) -> SessionInfo {
+    let response = http.post_json("/session", SESSION_BODY).expect("create");
+    assert_eq!(response.status, 200, "create failed: {}", response.body);
+    serde_json::from_str(&response.body).expect("parse session info")
+}
+
+#[test]
+fn killed_and_resumed_campaign_matches_uninterrupted_campaign_exactly() {
+    let scratch =
+        std::env::temp_dir().join(format!("lithohd-session-chaos-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::create_dir_all(&scratch).expect("create scratch");
+    let dir_a: PathBuf = scratch.join("sessions-a");
+    let dir_b: PathBuf = scratch.join("sessions-b");
+
+    // Uninterrupted reference: one server steps the campaign to completion.
+    let server_a = Server::boot(&dir_a);
+    let mut http = server_a.client();
+    let created = create_session(&mut http);
+    assert_eq!(created.iteration, 0);
+    assert!(!created.done);
+    let session = created.session.clone();
+    let mut last = created;
+    for expect_iteration in 1..=3usize {
+        last = step(&mut http, &session);
+        assert_eq!(last.iteration, expect_iteration);
+        assert_eq!(last.done, expect_iteration == 3);
+    }
+    let reference_accuracy = last.accuracy.expect("final accuracy");
+    let reference_litho = last.litho.expect("final litho");
+    let journal_a =
+        std::fs::read(dir_a.join(&session).join("journal.jsonl")).expect("read journal A");
+    assert!(!journal_a.is_empty(), "canonical journal must not be empty");
+    server_a.kill();
+
+    // Interrupted campaign: step once with concurrent /score traffic, then
+    // SIGKILL the server between steps.
+    let server_b = Server::boot(&dir_b);
+    let mut http = server_b.client();
+    let created = create_session(&mut http);
+    assert_eq!(created.session, session, "session ids are deterministic");
+    let addr = server_b.addr.clone();
+    let noise = std::thread::spawn(move || {
+        let mut http = HttpClient::connect(&addr, STEP_TIMEOUT).expect("noise connect");
+        // Raster scoring exercises feature extraction on handler threads
+        // while the session step is journalling on the runner thread.
+        let body = format!(
+            r#"{{"request_id":"noise","rasters":[{{"width":8,"height":8,"pixels":[{}]}}]}}"#,
+            vec!["0.5"; 64].join(",")
+        );
+        for _ in 0..5 {
+            let response = http.post_json("/score", &body).expect("noise score");
+            assert_eq!(response.status, 200, "noise body: {}", response.body);
+            let parsed: ScoreResponse =
+                serde_json::from_str(&response.body).expect("parse noise response");
+            assert_eq!(parsed.scores.len(), 1);
+        }
+    });
+    let info = step(&mut http, &session);
+    assert_eq!(info.iteration, 1);
+    noise.join().expect("noise thread");
+    server_b.kill();
+
+    // Fresh process, same session dir: resume and finish.
+    let server_b2 = Server::boot(&dir_b);
+    let mut http = server_b2.client();
+    let status: SessionInfo = {
+        let response = http
+            .get(&format!("/session/{session}"))
+            .expect("get status");
+        assert_eq!(response.status, 200, "status body: {}", response.body);
+        serde_json::from_str(&response.body).expect("parse status")
+    };
+    assert_eq!(status.iteration, 1, "resume sees the committed iteration");
+    assert!(!status.done);
+    let info = step(&mut http, &session);
+    assert_eq!(info.iteration, 2);
+    let info = step(&mut http, &session);
+    assert!(info.done, "third step finishes the campaign");
+    assert_eq!(info.accuracy.expect("resumed accuracy"), reference_accuracy);
+    assert_eq!(info.litho.expect("resumed litho"), reference_litho);
+
+    // Stepping a finished campaign is a conflict, not a rerun.
+    let response = http
+        .post_json(&format!("/session/{session}/step"), "")
+        .expect("post extra step");
+    assert_eq!(response.status, 409, "body: {}", response.body);
+    server_b2.kill();
+
+    // The stitched journal (killed prefix + resumed suffix) must equal the
+    // uninterrupted journal byte for byte.
+    let journal_b =
+        std::fs::read(dir_b.join(&session).join("journal.jsonl")).expect("read journal B");
+    assert_eq!(
+        journal_a, journal_b,
+        "resumed canonical journal differs from the uninterrupted campaign"
+    );
+
+    // Canonical journals stay free of serving, sharding, and checkpoint
+    // provenance — and of resume markers.
+    let text = String::from_utf8(journal_b).expect("journal is UTF-8");
+    for banned in [
+        "serve.",
+        "loadgen.",
+        "shard.",
+        "checkpoint.",
+        "\"type\":\"resume\"",
+    ] {
+        assert!(
+            !text.contains(banned),
+            "canonical journal leaked {banned:?}"
+        );
+    }
+
+    std::fs::remove_dir_all(&scratch).ok();
+}

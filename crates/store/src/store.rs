@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 
 use hotspot_telemetry as telemetry;
 
+use crate::bundle::CheckpointBundle;
 use crate::file::CheckpointFile;
 use crate::StoreError;
 
@@ -220,6 +221,24 @@ impl CheckpointStore {
             }
         }
         Ok(None)
+    }
+
+    /// [`CheckpointStore::load_latest`] decoded straight into a
+    /// [`CheckpointBundle`] — the common shape for resume paths (bench
+    /// harness, serving sessions) that treat "latest valid commit" and
+    /// "latest usable bundle" as the same thing. A checkpoint that decodes
+    /// as a file but not as a bundle is an error, not a fallback: its bytes
+    /// committed atomically, so the payload schema (not torn writes) is
+    /// what broke.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store read errors and bundle decode errors.
+    pub fn load_latest_bundle(&self) -> Result<Option<(u64, CheckpointBundle)>, StoreError> {
+        match self.load_latest()? {
+            Some((key, file)) => Ok(Some((key, CheckpointBundle::from_file(&file)?))),
+            None => Ok(None),
+        }
     }
 }
 

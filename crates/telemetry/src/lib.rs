@@ -43,7 +43,9 @@ pub mod trace;
 
 pub use event::{Event, FieldValue};
 pub use export::{prometheus_name, render_prometheus};
-pub use http::{serve_metrics, MetricsServer};
+pub use http::{
+    serve_http, serve_metrics, Handler, HttpOptions, HttpServer, MetricsServer, Request, Response,
+};
 pub use level::{EnvFilter, Level, ParseLevelError};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramState, HistogramSummary, MetricsRegistry, MetricsSnapshot,
@@ -93,6 +95,24 @@ pub fn add_sink(sink: Arc<dyn Sink>) {
     let state = global();
     let mut sinks = recover(state.sinks.write());
     sinks.push(sink);
+    state.sink_count.store(sinks.len(), Ordering::Release);
+}
+
+/// Removes one previously registered sink (matched by `Arc` identity),
+/// flushing it first. Lets a long-running process attach a journal for the
+/// duration of one unit of work — a serving session step, say — and detach
+/// it afterwards without disturbing other sinks.
+pub fn remove_sink(sink: &Arc<dyn Sink>) {
+    let state = global();
+    let mut sinks = recover(state.sinks.write());
+    sinks.retain(|registered| {
+        if Arc::ptr_eq(registered, sink) {
+            registered.flush();
+            false
+        } else {
+            true
+        }
+    });
     state.sink_count.store(sinks.len(), Ordering::Release);
 }
 

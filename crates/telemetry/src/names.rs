@@ -185,6 +185,62 @@ pub const KERNEL_AERIAL_FLOPS: &str = "kernel.aerial.flops";
 /// Bytes moved through the aerial convolution kernel.
 pub const KERNEL_AERIAL_BYTES: &str = "kernel.aerial.bytes";
 
+/// Requests accepted by the `hotspot-serve` HTTP loop (every route).
+/// `serve.*` metrics live in the serving process's own registry and are
+/// operational telemetry, never canonical run output — the whole prefix is
+/// withheld from canonical journals.
+pub const SERVE_HTTP_REQUESTS: &str = "serve.http.requests";
+
+/// Error responses (4xx/5xx) produced by the serving routes.
+pub const SERVE_HTTP_ERRORS: &str = "serve.http.errors";
+
+/// Scoring requests admitted into the micro-batch queue.
+pub const SERVE_SCORE_REQUESTS: &str = "serve.score.requests";
+
+/// Clips scored through the micro-batcher (rows, not requests).
+pub const SERVE_SCORE_CLIPS: &str = "serve.score.clips";
+
+/// Histogram of wall-clock seconds per scoring request (admission through
+/// response), the serving latency series behind `/metrics` p50/p95/p99.
+pub const SERVE_SCORE_SECONDS: &str = "serve.score.seconds";
+
+/// Micro-batch flushes executed (one NN forward pass each).
+pub const SERVE_BATCH_FLUSHES: &str = "serve.batch.flushes";
+
+/// Clips coalesced into flushed micro-batches.
+pub const SERVE_BATCH_CLIPS: &str = "serve.batch.clips";
+
+/// Rows in the most recent flushed micro-batch (batch-fill gauge).
+pub const SERVE_BATCH_FILL: &str = "serve.batch.fill";
+
+/// Scoring requests rejected with `429` because the bounded batch queue was
+/// full (backpressure).
+pub const SERVE_BACKPRESSURE_REJECTED: &str = "serve.backpressure.rejected";
+
+/// Scoring requests shed with `503` because the in-flight cap was exceeded
+/// (load-shedding, before the queue is even tried).
+pub const SERVE_LOAD_SHED: &str = "serve.load.shed";
+
+/// Labelling-campaign sessions created via `POST /session`.
+pub const SERVE_SESSIONS_CREATED: &str = "serve.session.created";
+
+/// Campaign iterations advanced via `POST /session/<id>/step`.
+pub const SERVE_SESSION_STEPS: &str = "serve.session.steps";
+
+/// Session steps that restored state from a `CheckpointStore` commit (every
+/// step after the first, by construction — including steps on a restarted
+/// server process).
+pub const SERVE_SESSION_RESUMES: &str = "serve.session.resumes";
+
+/// Requests issued by the `lithohd-loadgen` load generator.
+pub const LOADGEN_REQUESTS: &str = "loadgen.requests";
+
+/// Load-generator requests that failed (connect error, non-2xx status).
+pub const LOADGEN_ERRORS: &str = "loadgen.errors";
+
+/// Histogram of wall-clock seconds per load-generator request.
+pub const LOADGEN_LATENCY_SECONDS: &str = "loadgen.latency.seconds";
+
 /// Journal event message for one completed sampling iteration. Carries the
 /// per-iteration trajectory fields (accuracy, ECE, temperature, train loss)
 /// consumed by `lithohd-report`.
@@ -278,6 +334,22 @@ pub const ALL: &[&str] = &[
     KERNEL_AERIAL_ELEMENTS,
     KERNEL_AERIAL_FLOPS,
     KERNEL_AERIAL_BYTES,
+    SERVE_HTTP_REQUESTS,
+    SERVE_HTTP_ERRORS,
+    SERVE_SCORE_REQUESTS,
+    SERVE_SCORE_CLIPS,
+    SERVE_SCORE_SECONDS,
+    SERVE_BATCH_FLUSHES,
+    SERVE_BATCH_CLIPS,
+    SERVE_BATCH_FILL,
+    SERVE_BACKPRESSURE_REJECTED,
+    SERVE_LOAD_SHED,
+    SERVE_SESSIONS_CREATED,
+    SERVE_SESSION_STEPS,
+    SERVE_SESSION_RESUMES,
+    LOADGEN_REQUESTS,
+    LOADGEN_ERRORS,
+    LOADGEN_LATENCY_SECONDS,
     EVENT_ITERATION_COMPLETE,
     EVENT_RUN_COMPLETE,
     EVENT_CLIP_SELECTED,
@@ -325,9 +397,12 @@ pub const CANONICAL_WITHHELD_TARGETS: &[&str] =
 
 /// Metric-name prefixes withheld from canonical snapshots for the same
 /// reason as the withheld targets: checkpoint save/resume, shard
-/// coordination, and per-kernel performance counters are provenance, not
-/// run output (kernel call counts vary with sharding and fault recovery).
-pub const CANONICAL_WITHHELD_METRIC_PREFIXES: &[&str] = &["checkpoint.", "shard.", "kernel."];
+/// coordination, per-kernel performance counters, and serving/load-test
+/// traffic are provenance, not run output (kernel call counts vary with
+/// sharding and fault recovery; serve/loadgen counters vary with request
+/// traffic, which must never perturb a session's canonical journal).
+pub const CANONICAL_WITHHELD_METRIC_PREFIXES: &[&str] =
+    &["checkpoint.", "shard.", "kernel.", "serve.", "loadgen."];
 
 /// Metric-name suffixes withheld from canonical snapshots: every latency
 /// histogram ends in `.seconds` (see [`span_seconds`]), and wall-clock

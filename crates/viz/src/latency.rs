@@ -1,0 +1,129 @@
+//! Latency panels for serving load tests.
+//!
+//! `lithohd-loadgen` measures per-request wall-clock latency against a
+//! running `hotspot-serve` instance and renders two artifacts with this
+//! module: a quantile bar panel (p50/p95/p99 plus the mean) and a
+//! timeline of per-request latency in arrival order. Both follow the
+//! crate's determinism contract — identical samples render byte-identical
+//! SVG.
+
+use crate::{BarChart, LineChart, Series, Svg};
+
+/// Latency quantile summary of one load-test run, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 95th-percentile latency.
+    pub p95_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Sustained throughput in requests per second.
+    pub throughput_rps: f64,
+}
+
+/// Renders the quantile bar panel: p50/p95/p99/mean bars with the
+/// throughput in the title line.
+pub fn latency_quantile_panel(title: &str, summary: &LatencySummary) -> String {
+    let chart = BarChart::new(
+        format!("{title} — {:.0} req/s", summary.throughput_rps),
+        "latency (ms)",
+        vec![
+            ("p50".to_string(), summary.p50_ms),
+            ("p95".to_string(), summary.p95_ms),
+            ("p99".to_string(), summary.p99_ms),
+            ("mean".to_string(), summary.mean_ms),
+        ],
+    );
+    chart.to_svg()
+}
+
+/// Renders the per-request latency timeline (request ordinal on x,
+/// milliseconds on y) — tail spikes and batching waves read directly off
+/// this panel.
+pub fn latency_timeline_panel(title: &str, latencies_ms: &[f64]) -> String {
+    let points: Vec<(f64, f64)> = latencies_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &ms)| (i as f64, ms))
+        .collect();
+    let mut chart = LineChart::new(
+        title,
+        "request",
+        "latency (ms)",
+        vec![Series::new("latency", points)],
+    );
+    // Per-request markers turn into an unreadable smear past a few hundred
+    // samples; the line alone carries the shape.
+    chart.markers = latencies_ms.len() <= 64;
+    chart.to_svg()
+}
+
+/// Renders both panels stacked into one document (quantiles above the
+/// timeline) for a single-artifact upload.
+pub fn latency_report_panel(title: &str, summary: &LatencySummary, latencies_ms: &[f64]) -> String {
+    let quantiles = BarChart::new(
+        format!("{title} — {:.0} req/s", summary.throughput_rps),
+        "latency (ms)",
+        vec![
+            ("p50".to_string(), summary.p50_ms),
+            ("p95".to_string(), summary.p95_ms),
+            ("p99".to_string(), summary.p99_ms),
+            ("mean".to_string(), summary.mean_ms),
+        ],
+    );
+    let points: Vec<(f64, f64)> = latencies_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &ms)| (i as f64, ms))
+        .collect();
+    let mut timeline = LineChart::new(
+        format!("{title} — per-request"),
+        "request",
+        "latency (ms)",
+        vec![Series::new("latency", points)],
+    );
+    timeline.markers = latencies_ms.len() <= 64;
+    let width = quantiles.width.max(timeline.width);
+    let mut svg = Svg::new(width, quantiles.height + timeline.height);
+    quantiles.render_into(&mut svg, 0.0, 0.0);
+    timeline.render_into(&mut svg, 0.0, quantiles.height);
+    svg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> LatencySummary {
+        LatencySummary {
+            p50_ms: 1.25,
+            p95_ms: 3.5,
+            p99_ms: 7.0,
+            mean_ms: 1.75,
+            throughput_rps: 420.0,
+        }
+    }
+
+    #[test]
+    fn panels_are_deterministic_and_well_formed() {
+        let latencies = vec![1.0, 2.0, 1.5, 9.0, 1.2];
+        let a = latency_report_panel("score", &summary(), &latencies);
+        let b = latency_report_panel("score", &summary(), &latencies);
+        assert_eq!(a, b, "same inputs must render byte-identical SVG");
+        assert!(a.starts_with("<svg"));
+        assert!(a.ends_with("</svg>\n") || a.ends_with("</svg>"));
+        assert!(a.contains("p99"));
+        assert!(a.contains("420 req/s"));
+    }
+
+    #[test]
+    fn timeline_drops_markers_on_large_runs() {
+        let small = latency_timeline_panel("t", &[1.0; 8]);
+        let large = latency_timeline_panel("t", &vec![1.0; 500]);
+        assert!(small.contains("circle"));
+        assert!(!large.contains("circle"));
+    }
+}

@@ -35,6 +35,7 @@
 mod chart;
 mod flame;
 mod heatmap;
+mod latency;
 mod reliability;
 mod scale;
 mod svg;
@@ -42,6 +43,9 @@ mod svg;
 pub use chart::{BarChart, LineChart, Series};
 pub use flame::{FlameChart, FlameFrame};
 pub use heatmap::Heatmap;
+pub use latency::{
+    latency_quantile_panel, latency_report_panel, latency_timeline_panel, LatencySummary,
+};
 pub use reliability::{RelBin, ReliabilityChart};
 pub use scale::LinearScale;
 pub use svg::{escape_text, fmt_num, Svg, TextAnchor};
